@@ -1,0 +1,124 @@
+"""Architecture ablations on the cycle model (design choices called out in DESIGN.md).
+
+Three sweeps around the Figure 7 design point, all evaluated at the paper's
+110-bit parameters with the MATCHA platform model:
+
+* number of butterfly cores per FFT/IFFT core,
+* HBM bandwidth (the bootstrapping-key stream),
+* disabling the TGSW-cluster/EP-core overlap (the "no pipeline" CPU-style flow).
+"""
+
+from repro.arch.architecture import matcha_architecture
+from repro.arch.gate_compiler import compile_gate_dfg
+from repro.arch.scheduler import ListScheduler
+from repro.platforms.matcha import MatchaPlatform
+from repro.tfhe.params import PAPER_110BIT
+from repro.utils.tables import format_table
+
+M = 3  # MATCHA's sweet spot
+
+
+def _latency_ms(architecture) -> float:
+    dfg = compile_gate_dfg(PAPER_110BIT, unroll_factor=M)
+    return ListScheduler(architecture).schedule(dfg).latency_seconds * 1e3
+
+
+def test_ablation_butterfly_cores(benchmark, record_result):
+    def sweep():
+        rows = []
+        for butterflies in (32, 64, 128, 256):
+            arch = matcha_architecture(butterfly_cores_per_fft=butterflies)
+            rows.append([butterflies, f"{_latency_ms(arch):.3f}"])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    latencies = [float(r[1]) for r in rows]
+    # More butterfly cores never hurts, with diminishing returns.
+    assert latencies == sorted(latencies, reverse=True)
+    record_result(
+        "ablation_butterfly_cores",
+        format_table(
+            ["butterfly cores per FFT core", "gate latency (ms, m=3)"],
+            rows,
+            title="Ablation: FFT-core width.",
+        ),
+    )
+
+
+def test_ablation_hbm_bandwidth(benchmark, record_result):
+    def sweep():
+        rows = []
+        for bandwidth_gb in (160, 320, 640, 1280):
+            platform = MatchaPlatform(
+                PAPER_110BIT, hbm_bandwidth_bytes_per_s=bandwidth_gb * 1e9
+            )
+            report = platform.report(M)
+            rows.append(
+                [
+                    bandwidth_gb,
+                    f"{report.gate_latency_ms:.3f}",
+                    f"{report.throughput_gates_per_s:.0f}",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    latencies = [float(r[1]) for r in rows]
+    throughputs = [float(r[2]) for r in rows]
+    # More bandwidth never meaningfully hurts (the greedy list scheduler can
+    # wobble by a few percent once HBM stops being the critical resource).
+    for slower, faster in zip(latencies, latencies[1:]):
+        assert faster <= slower * 1.10
+    for lower, higher in zip(throughputs, throughputs[1:]):
+        assert higher >= lower * 0.90
+    # Below the design point the stream clearly throttles the accelerator.
+    assert latencies[0] > 1.5 * latencies[2]
+    record_result(
+        "ablation_hbm_bandwidth",
+        format_table(
+            ["HBM bandwidth (GB/s)", "gate latency (ms, m=3)", "throughput (gates/s)"],
+            rows,
+            title="Ablation: bootstrapping-key streaming bandwidth.",
+        ),
+    )
+
+
+def test_ablation_pipeline_overlap(benchmark, record_result):
+    """Quantifies the benefit of the Figure 6 pipeline (the paper's key argument
+    for why aggressive BKU works on MATCHA but not on the CPU)."""
+    from repro.arch.ops import OpType
+    from repro.core.pipeline import PipelineStageTimes, schedule_bootstrapping
+
+    platform = MatchaPlatform(PAPER_110BIT)
+
+    def sweep():
+        rows = []
+        for m in (2, 3, 4):
+            schedule = platform.schedule(m)
+            iterations = -(-PAPER_110BIT.n // m)
+            tgsw = (
+                schedule.cycles_by_op.get(OpType.TGSW_SCALE, 0.0)
+                + schedule.cycles_by_op.get(OpType.TGSW_ADD, 0.0)
+            ) / iterations
+            ep = (
+                schedule.cycles_by_op.get(OpType.IFFT, 0.0)
+                + schedule.cycles_by_op.get(OpType.FFT, 0.0)
+                + schedule.cycles_by_op.get(OpType.POINTWISE_MAC, 0.0)
+                + schedule.cycles_by_op.get(OpType.DECOMPOSE, 0.0)
+            ) / iterations
+            times = PipelineStageTimes(tgsw, ep)
+            with_pipe = schedule_bootstrapping(iterations, times, pipelined=True).total_cycles
+            without = schedule_bootstrapping(iterations, times, pipelined=False).total_cycles
+            rows.append([m, f"{without / with_pipe:.2f}x"])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert all(float(r[1].rstrip("x")) >= 1.0 for r in rows)
+    record_result(
+        "ablation_pipeline_overlap",
+        format_table(
+            ["m", "blind-rotate speedup from pipelining"],
+            rows,
+            title="Ablation: TGSW-cluster / EP-core overlap (Figure 6).",
+        ),
+    )

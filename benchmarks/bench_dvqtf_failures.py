@@ -1,0 +1,59 @@
+"""Section 4.3: DVQTF bit-width vs decryption-failure budget.
+
+The paper reports that 38-bit DVQTFs produce no decryption failure in 10^8
+gates at small unroll factors, while m = 5 needs the full 64-bit DVQTFs.  This
+bench measures the approximate-transform error at several bit-widths, compares
+it against the noise budget at m = 2 and m = 5, and additionally runs a small
+functional Monte-Carlo with deliberately coarse twiddles to show actual
+decryption failures appearing.
+"""
+
+from repro.analysis.noise_tables import dvqtf_failure_study, render_dvqtf_study
+from repro.core.integer_fft import ApproximateNegacyclicTransform
+from repro.tfhe.gates import PLAINTEXT_GATES, TFHEGateEvaluator, decrypt_bit, encrypt_bit
+from repro.tfhe.keys import generate_keys
+from repro.tfhe.params import TEST_SMALL
+
+
+def test_dvqtf_budget_study(benchmark, record_result):
+    rows = benchmark.pedantic(
+        lambda: dvqtf_failure_study(degree=1024, trials=1, rng=0), rounds=1, iterations=1
+    )
+    by_key = {(r.unroll_factor, r.twiddle_bits): r for r in rows}
+    # Wide DVQTFs are safe at every unroll factor; very narrow ones are not.
+    assert by_key[(2, 64)].safe and by_key[(5, 64)].safe
+    assert not by_key[(2, 16)].safe and not by_key[(5, 16)].safe
+    # The error budget shrinks as m grows (total headroom, Section 4.3).
+    assert by_key[(2, 64)].expected_failures_per_1e8_gates <= 1.0
+    record_result("dvqtf_failure_study", render_dvqtf_study(rows))
+
+
+def test_dvqtf_functional_failures_with_coarse_twiddles(benchmark, record_result):
+    """Functional evidence: 8-bit twiddles break gates, 64-bit twiddles do not."""
+
+    def run_study():
+        outcomes = []
+        for bits in (8, 64):
+            transform = ApproximateNegacyclicTransform(TEST_SMALL.N, twiddle_bits=bits)
+            secret, cloud = generate_keys(TEST_SMALL, transform, unroll_factor=1, rng=9)
+            evaluator = TFHEGateEvaluator(cloud)
+            failures = 0
+            trials = 0
+            for a in (0, 1):
+                for b in (0, 1):
+                    ca = encrypt_bit(secret, a, rng=10 + a)
+                    cb = encrypt_bit(secret, b, rng=20 + b)
+                    got = decrypt_bit(secret, evaluator.nand(ca, cb))
+                    failures += got != PLAINTEXT_GATES["nand"](a, b)
+                    trials += 1
+            outcomes.append((bits, failures, trials))
+        return outcomes
+
+    outcomes = benchmark.pedantic(run_study, rounds=1, iterations=1)
+    text = "\n".join(
+        f"twiddle bits = {bits:2d}: {failures}/{trials} gate decryption failures"
+        for bits, failures, trials in outcomes
+    )
+    record_result("dvqtf_functional_failures", text)
+    assert outcomes[0][1] > 0  # coarse twiddles fail
+    assert outcomes[1][1] == 0  # 64-bit DVQTFs never fail

@@ -1,0 +1,36 @@
+"""Figure 1: latency breakdown of TFHE gates (gate / other / IFFT / FFT)."""
+
+from repro.analysis.breakdown import (
+    gate_latency_breakdown,
+    measure_gate_breakdown,
+    render_figure1,
+)
+from repro.tfhe.params import TEST_SMALL
+
+
+def test_fig1_breakdown_cost_model(benchmark, record_result):
+    """Deterministic op-count breakdown at the paper's 110-bit parameters."""
+    breakdowns = benchmark(gate_latency_breakdown)
+    nand = next(b for b in breakdowns if b.gate == "nand")
+    # Paper: bootstrapping ~99 % of the gate, FFT+IFFT ~80 % of the bootstrapping.
+    assert nand.bootstrap_fraction > 0.95
+    assert 0.6 <= nand.transform_fraction_of_bootstrap <= 0.95
+    record_result("fig1_breakdown_model", render_figure1(breakdowns))
+
+
+def test_fig1_breakdown_measured(benchmark, record_result):
+    """Wall-clock breakdown measured on the functional simulator (reduced ring)."""
+    measured = benchmark.pedantic(
+        lambda: measure_gate_breakdown(TEST_SMALL, gate="nand", rng=0), rounds=1, iterations=1
+    )
+    pct = measured.percentages()
+    text = (
+        "Figure 1 (measured on the functional simulator, test-small parameters)\n"
+        f"gate %  : {pct['gate']:.1f}\n"
+        f"other % : {pct['other']:.1f}\n"
+        f"IFFT %  : {pct['ifft']:.1f}\n"
+        f"FFT %   : {pct['fft']:.1f}\n"
+        f"bootstrapping fraction: {measured.bootstrap_fraction * 100:.1f}%"
+    )
+    assert measured.bootstrap_fraction > 0.9
+    record_result("fig1_breakdown_measured", text)

@@ -1,0 +1,24 @@
+"""Figure 2: breadth-first vs depth-first (conjugate-pair) FFT traversal."""
+
+import numpy as np
+
+from repro.analysis.fft_sweep import depth_first_comparison, render_figure2
+from repro.core.conjugate_pair import ConjugatePairFFT
+
+
+def test_fig2_depth_first_structure(benchmark, record_result):
+    comparison = benchmark.pedantic(
+        lambda: depth_first_comparison(transform_size=512), rounds=1, iterations=1
+    )
+    assert comparison.depth_first
+    assert comparison.twiddle_read_reduction >= 2.0
+    record_result("fig2_depth_first", render_figure2(comparison))
+
+
+def test_fig2_conjugate_pair_transform_speed(benchmark):
+    """Timing of the structural CPFFT model itself (not a paper number)."""
+    rng = np.random.default_rng(0)
+    signal = rng.normal(size=256) + 1j * rng.normal(size=256)
+    fft = ConjugatePairFFT(256, twiddle_bits=None)
+    result = benchmark(fft.transform, signal)
+    assert result.shape == (256,)

@@ -1,0 +1,45 @@
+"""Figure 3: the multiplication-less lifting butterfly.
+
+Reports the shift/add cost of dyadic-value-quantised lifting coefficients
+(the paper's 9/128 example expands into two shifters) and times the vectorised
+lifting rotation used inside every butterfly stage.
+"""
+
+import numpy as np
+
+from repro.core.lifting import DyadicCoefficient, LiftingRotationArray
+from repro.utils.tables import format_table
+
+
+def test_fig3_shift_add_costs(benchmark, record_result):
+    def build_rows():
+        rows = []
+        for value, beta in ((9 / 128, 7), (0.3826834, 16), (0.7071068, 32), (0.9238795, 64)):
+            coeff = DyadicCoefficient.from_float(value, beta)
+            rows.append(
+                [
+                    f"{value:.7f}",
+                    beta,
+                    coeff.adder_count(),
+                    f"{coeff.quantisation_error(value):.2e}",
+                ]
+            )
+        return rows
+
+    rows = benchmark(build_rows)
+    text = format_table(
+        ["coefficient", "beta (bits)", "shift/add terms", "quantisation error"],
+        rows,
+        title="Figure 3: lifting coefficients realised with adders and shifters only.",
+    )
+    record_result("fig3_lifting", text)
+
+
+def test_fig3_lifting_rotation_throughput(benchmark):
+    """Throughput of one vectorised lifting-rotation stage (512 butterflies)."""
+    angles = 2.0 * np.pi * np.arange(256) / 512
+    rotation = LiftingRotationArray(angles, beta=64)
+    re = np.round(np.random.default_rng(0).uniform(-1e9, 1e9, 256))
+    im = np.round(np.random.default_rng(1).uniform(-1e9, 1e9, 256))
+    out_re, out_im = benchmark(rotation.forward, re, im)
+    assert out_re.shape == re.shape and out_im.shape == im.shape

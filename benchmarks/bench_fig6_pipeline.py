@@ -1,0 +1,64 @@
+"""Figure 6: the pipelined TGSW-cluster / EP-core datapath."""
+
+from repro.arch.ops import OpType
+from repro.core.pipeline import PipelineStageTimes, schedule_bootstrapping
+from repro.platforms.matcha import MatchaPlatform
+from repro.tfhe.params import PAPER_110BIT
+from repro.utils.tables import format_table
+
+
+def _stage_times_from_schedule(platform, m):
+    schedule = platform.schedule(m)
+    iterations = -(-PAPER_110BIT.n // m)
+    tgsw = (
+        schedule.cycles_by_op.get(OpType.TGSW_SCALE, 0.0)
+        + schedule.cycles_by_op.get(OpType.TGSW_ADD, 0.0)
+    ) / iterations
+    ep = (
+        schedule.cycles_by_op.get(OpType.IFFT, 0.0)
+        + schedule.cycles_by_op.get(OpType.FFT, 0.0)
+        + schedule.cycles_by_op.get(OpType.POINTWISE_MAC, 0.0)
+        + schedule.cycles_by_op.get(OpType.DECOMPOSE, 0.0)
+    ) / iterations
+    return PipelineStageTimes(tgsw_cluster_cycles=tgsw, ep_core_cycles=ep), iterations
+
+
+def test_fig6_pipeline_balance(benchmark, record_result):
+    platform = MatchaPlatform(PAPER_110BIT)
+
+    def build_rows():
+        rows = []
+        for m in (1, 2, 3, 4):
+            times, iterations = _stage_times_from_schedule(platform, m)
+            pipelined = schedule_bootstrapping(iterations, times, pipelined=True)
+            sequential = schedule_bootstrapping(iterations, times, pipelined=False)
+            rows.append(
+                [
+                    m,
+                    f"{times.tgsw_cluster_cycles:.0f}",
+                    f"{times.ep_core_cycles:.0f}",
+                    f"{times.imbalance:.2f}",
+                    f"{pipelined.speedup_over_sequential:.2f}x",
+                    f"{sequential.total_cycles / 2.0e6:.3f}",
+                    f"{pipelined.total_cycles / 2.0e6:.3f}",
+                ]
+            )
+        return rows
+
+    rows = benchmark(build_rows)
+    text = format_table(
+        [
+            "m",
+            "TGSW-cluster cycles/iter",
+            "EP-core cycles/iter",
+            "imbalance",
+            "pipeline speedup",
+            "sequential blind-rotate (ms)",
+            "pipelined blind-rotate (ms)",
+        ],
+        rows,
+        title="Figure 6: overlapping bundle construction with the external product.",
+    )
+    record_result("fig6_pipeline", text)
+    # The pipeline must never be slower than the sequential CPU-style flow.
+    assert all(float(r[4].rstrip("x")) >= 1.0 for r in rows)

@@ -1,0 +1,33 @@
+"""Figure 8: error of the approximate multiplication-less integer FFT/IFFT.
+
+Sweeps the DVQTF bit-width on the exact workload the external product runs
+(gadget-decomposed polynomial x torus polynomial, N = 1024) and reports the
+error in dB next to the double-precision baseline.  Paper reference points:
+error decreasing with the twiddle bit-width, saturating around -141 dB for
+64-bit DVQTFs while the double-precision kernels sit near -150 dB.
+"""
+
+from repro.analysis.fft_sweep import fft_error_sweep, render_figure8
+from repro.core.fft_error import error_floor_db
+
+
+def test_fig8_error_vs_twiddle_bits(benchmark, record_result):
+    samples = benchmark.pedantic(
+        lambda: fft_error_sweep(
+            degree=1024,
+            twiddle_bits=(10, 16, 20, 24, 28, 32, 38, 44, 52, 58, 64, 68),
+            trials=2,
+            rng=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    approx = [s for s in samples if s.twiddle_bits is not None]
+    double = samples[-1]
+
+    # Shape assertions mirroring the paper's figure.
+    assert approx[0].error_db > approx[5].error_db > error_floor_db(samples) - 1.0
+    assert error_floor_db(samples) > double.error_db
+    assert error_floor_db(samples) < -100.0
+
+    record_result("fig8_fft_error", render_figure8(samples))

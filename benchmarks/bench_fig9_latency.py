@@ -1,0 +1,38 @@
+"""Figure 9: NAND gate latency across platforms and BKU factors.
+
+Paper reference points: CPU 13.1 ms (m=1) improving to 6.67 ms (m=2) and then
+regressing; GPU 0.37 ms (m=1) improving to 0.18 ms (m=4); MATCHA's best latency
+at m = 3 in the same sub-millisecond regime as the GPU; FPGA/ASIC above 6.8 ms
+and restricted to m = 1.
+"""
+
+import math
+
+from repro.analysis.comparison import platform_comparison, render_figure9
+
+
+def test_fig9_latency_comparison(benchmark, record_result):
+    result = benchmark.pedantic(platform_comparison, rounds=1, iterations=1)
+
+    cpu = {r.unroll_factor: r.gate_latency_ms for r in result.reports["CPU"]}
+    gpu = {r.unroll_factor: r.gate_latency_ms for r in result.reports["GPU"]}
+    matcha = {r.unroll_factor: r.gate_latency_ms for r in result.reports["MATCHA"]}
+    fpga = result.at("FPGA", 1).gate_latency_ms
+    asic = result.at("ASIC", 1).gate_latency_ms
+
+    # CPU: anchored at 13.1 ms, best at m = 2, worse beyond.
+    assert math.isclose(cpu[1], 13.1, rel_tol=0.01)
+    assert 0.40 <= result.cpu_bku_latency_reduction <= 0.55
+    assert cpu[3] > cpu[2] and cpu[4] > cpu[3]
+    # GPU: monotone improvement, 0.37 ms -> ~0.18 ms.
+    assert math.isclose(gpu[1], 0.37, rel_tol=0.01)
+    assert gpu[4] < 0.25
+    # MATCHA: sub-millisecond, best at m = 3, m = 4 regresses.
+    assert result.matcha_best_latency_unroll == 3
+    assert matcha[3] < 0.5
+    assert matcha[4] > matcha[3]
+    # TVE baselines: millisecond-class, no BKU.
+    assert fpga > 5.0 and asic > 5.0
+    assert not result.at("FPGA", 2).supported
+
+    record_result("fig9_latency", render_figure9(result))

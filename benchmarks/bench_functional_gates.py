@@ -1,0 +1,52 @@
+"""Functional-simulator gate latency across evaluation backends.
+
+This is not a paper figure by itself; it measures the pure-Python functional
+simulator (reduced parameters) so the repository's own performance can be
+tracked, and it confirms the qualitative per-backend ordering: the exact
+quadratic engine is the slowest per gate on non-tiny rings, the double FFT the
+fastest, the approximate integer FFT in between (its butterflies are emulated
+rather than executed by hardware shifters).
+"""
+
+import pytest
+
+from repro.core.integer_fft import ApproximateNegacyclicTransform
+from repro.tfhe.gates import TFHEGateEvaluator, decrypt_bit, encrypt_bit
+from repro.tfhe.keys import generate_keys
+from repro.tfhe.params import TEST_SMALL
+from repro.tfhe.transform import DoubleFFTNegacyclicTransform
+
+
+@pytest.fixture(scope="module")
+def double_backend():
+    transform = DoubleFFTNegacyclicTransform(TEST_SMALL.N)
+    secret, cloud = generate_keys(TEST_SMALL, transform, unroll_factor=1, rng=1)
+    return secret, TFHEGateEvaluator(cloud)
+
+
+@pytest.fixture(scope="module")
+def approx_backend():
+    transform = ApproximateNegacyclicTransform(TEST_SMALL.N, twiddle_bits=64)
+    secret, cloud = generate_keys(TEST_SMALL, transform, unroll_factor=2, rng=2)
+    return secret, TFHEGateEvaluator(cloud)
+
+
+def test_nand_gate_double_fft_backend(benchmark, double_backend):
+    secret, evaluator = double_backend
+    ca, cb = encrypt_bit(secret, 1, rng=3), encrypt_bit(secret, 1, rng=4)
+    result = benchmark(evaluator.nand, ca, cb)
+    assert decrypt_bit(secret, result) == 0
+
+
+def test_nand_gate_matcha_backend(benchmark, approx_backend):
+    secret, evaluator = approx_backend
+    ca, cb = encrypt_bit(secret, 1, rng=5), encrypt_bit(secret, 0, rng=6)
+    result = benchmark(evaluator.nand, ca, cb)
+    assert decrypt_bit(secret, result) == 1
+
+
+def test_xor_gate_matcha_backend(benchmark, approx_backend):
+    secret, evaluator = approx_backend
+    ca, cb = encrypt_bit(secret, 1, rng=7), encrypt_bit(secret, 1, rng=8)
+    result = benchmark(evaluator.xor, ca, cb)
+    assert decrypt_bit(secret, result) == 0

@@ -1,0 +1,14 @@
+"""Table 1: comparison between HE schemes (BGV, BFV, CKKS, FHEW, TFHE)."""
+
+from repro.analysis.schemes import bootstrapping_speedup_over, render_table1, table1_rows
+
+
+def test_table1_scheme_comparison(benchmark, record_result):
+    rows = benchmark(table1_rows)
+    assert len(rows) == 5
+    text = render_table1()
+    text += (
+        f"\nTFHE bootstrapping speedup over BGV: {bootstrapping_speedup_over('BGV'):.0f}x"
+        f"\nTFHE bootstrapping speedup over CKKS: {bootstrapping_speedup_over('CKKS'):.0f}x"
+    )
+    record_result("table1_schemes", text)

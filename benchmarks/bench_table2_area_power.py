@@ -1,0 +1,36 @@
+"""Table 2: power and area of MATCHA at 2 GHz (16 nm)."""
+
+import pytest
+
+from repro.analysis.comparison import render_table2
+from repro.arch.energy import matcha_area_power_table
+
+
+def test_table2_area_power(benchmark, record_result):
+    envelope = benchmark(matcha_area_power_table)
+    # Paper totals: 39.98 W and 36.96 mm^2.
+    assert envelope.total_power_w == pytest.approx(39.98, abs=0.02)
+    assert envelope.total_area_mm2 == pytest.approx(36.96, abs=0.05)
+    record_result("table2_area_power", render_table2())
+
+
+def test_table2_ablation_ep_core_count(benchmark, record_result):
+    """Ablation: how power/area scale with the number of pipeline pairs."""
+    from repro.utils.tables import format_table
+
+    def build_rows():
+        rows = []
+        for cores in (2, 4, 8, 16):
+            envelope = matcha_area_power_table(ep_cores=cores, tgsw_clusters=cores)
+            rows.append(
+                [cores, f"{envelope.total_power_w:.2f}", f"{envelope.total_area_mm2:.2f}"]
+            )
+        return rows
+
+    rows = benchmark(build_rows)
+    text = format_table(
+        ["EP cores / TGSW clusters", "power (W)", "area (mm^2)"],
+        rows,
+        title="Table 2 ablation: scaling the number of bootstrapping pipelines.",
+    )
+    record_result("table2_ablation", text)

@@ -1,0 +1,23 @@
+"""Table 3: noise comparison between BKU (m = 2) and MATCHA (general m)."""
+
+from repro.analysis.noise_tables import render_table3, table3_rows
+from repro.tfhe.noise import TfheNoiseModel
+from repro.tfhe.params import PAPER_110BIT
+
+
+def test_table3_noise_comparison(benchmark, record_result):
+    rows = benchmark(table3_rows, PAPER_110BIT, (2, 3, 4, 5))
+    assert [r[0] for r in rows] == [2, 3, 4, 5]
+
+    # The paper's qualitative claims: EP/rounding noise scales as 1/m, the
+    # bootstrapping-key count (and with it the total noise) grows with m.
+    sigmas = [float(r[-1]) for r in rows]
+    assert sigmas == sorted(sigmas)
+    record_result("table3_noise", render_table3(PAPER_110BIT, (2, 3, 4, 5)))
+
+
+def test_table3_noise_model_evaluation_speed(benchmark):
+    """Raw speed of one full noise-budget evaluation (model-only microbench)."""
+    model = TfheNoiseModel(PAPER_110BIT, unroll_factor=3, fft_error_stddev=1e-7)
+    budget = benchmark(model.gate_budget)
+    assert budget.total_variance > 0

@@ -1,0 +1,91 @@
+"""MATCHA accelerator performance and energy model.
+
+Runs the cycle-level model of the Figure 7 architecture (gate DFG + list
+scheduler), prints the Table 2 power/area envelope and sweeps the BKU factor
+``m`` across all five evaluated platforms — i.e. regenerates the data behind
+Figures 9, 10 and 11 from the command line.
+
+Run:  python examples/matcha_accelerator_model.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.comparison import (
+    platform_comparison,
+    render_figure9,
+    render_figure10,
+    render_figure11,
+    render_table2,
+)
+from repro.core.accelerator import MatchaAccelerator, MatchaConfig
+from repro.platforms.matcha import MatchaPlatform
+from repro.tfhe.params import PAPER_110BIT
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    print(render_table2())
+    print()
+
+    # Per-m detail of the MATCHA cycle model: latency, energy, utilisation.
+    platform = MatchaPlatform(PAPER_110BIT)
+    rows = []
+    for m in (1, 2, 3, 4):
+        report = platform.report(m)
+        utilisation = platform.utilisation(m)
+        rows.append(
+            [
+                m,
+                f"{report.gate_latency_ms:.3f}",
+                f"{platform.energy_per_gate_j(m) * 1e3:.2f}",
+                f"{report.throughput_gates_per_s:.0f}",
+                f"{utilisation['tgsw_cluster']:.2f}",
+                f"{utilisation['ep_mac']:.2f}",
+                f"{utilisation['hbm']:.2f}",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "m",
+                "latency (ms)",
+                "energy/gate (mJ)",
+                "gates/s",
+                "TGSW util",
+                "EP util",
+                "HBM util",
+            ],
+            rows,
+            title="MATCHA cycle model (one gate on one TGSW-cluster/EP-core pipeline pair).",
+        )
+    )
+    print()
+
+    # Full platform comparison (Figures 9-11).
+    result = platform_comparison()
+    print(render_figure9(result))
+    print()
+    print(render_figure10(result))
+    print()
+    print(render_figure11(result))
+    print()
+    print(
+        f"MATCHA best throughput vs GPU best: {result.matcha_vs_gpu_throughput:.2f}x "
+        "(paper: 2.3x)"
+    )
+    print(
+        f"MATCHA best throughput/W vs ASIC:   {result.matcha_vs_asic_throughput_per_watt:.1f}x "
+        "(paper: 6.3x)"
+    )
+
+    # The accelerator facade ties configuration and model together.
+    accelerator = MatchaAccelerator(config=MatchaConfig(unroll_factor=3))
+    report = accelerator.performance()
+    print(
+        f"\nMatchaAccelerator(m=3): {report.gate_latency_ms:.3f} ms/gate, "
+        f"{report.throughput_gates_per_s:.0f} gates/s at {report.power_w:.2f} W"
+    )
+
+
+if __name__ == "__main__":
+    main()

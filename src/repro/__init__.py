@@ -1,0 +1,48 @@
+"""MATCHA reproduction: TFHE + an accelerator model for TFHE gate bootstrapping.
+
+The package is organised as:
+
+* :mod:`repro.tfhe` — a from-scratch TFHE cryptosystem (the substrate the
+  paper accelerates);
+* :mod:`repro.core` — the paper's contribution: approximate
+  multiplication-less integer FFT/IFFT, bootstrapping-key unrolling and the
+  pipelined MATCHA accelerator;
+* :mod:`repro.arch` — the cycle-level data-flow-graph scheduler and
+  power/area models (the stand-in for the paper's OpenCGRA methodology);
+* :mod:`repro.platforms` — CPU / GPU / FPGA / ASIC / MATCHA platform models
+  used by the evaluation;
+* :mod:`repro.analysis` — generators for every table and figure of the paper.
+"""
+
+from repro.tfhe import (
+    PAPER_110BIT,
+    TEST_MEDIUM,
+    TEST_SMALL,
+    TEST_TINY,
+    TFHEGateEvaluator,
+    TFHEParameters,
+    decrypt_bit,
+    decrypt_bits,
+    encrypt_bit,
+    encrypt_bits,
+    generate_keys,
+    make_transform,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PAPER_110BIT",
+    "TEST_MEDIUM",
+    "TEST_SMALL",
+    "TEST_TINY",
+    "TFHEGateEvaluator",
+    "TFHEParameters",
+    "decrypt_bit",
+    "decrypt_bits",
+    "encrypt_bit",
+    "encrypt_bits",
+    "generate_keys",
+    "make_transform",
+    "__version__",
+]

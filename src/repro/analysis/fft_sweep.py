@@ -1,0 +1,101 @@
+"""Figure 2 (depth-first FFT) and Figure 8 (approximate FFT error) analyses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.conjugate_pair import ConjugatePairFFT
+from repro.core.fft_error import FftErrorSample, sweep_twiddle_bits
+from repro.core.twiddle import twiddle_read_counts
+from repro.utils.rng import SeedLike, make_rng
+from repro.utils.tables import format_table
+
+
+# --------------------------------------------------------------------------- #
+# Figure 8                                                                     #
+# --------------------------------------------------------------------------- #
+def fft_error_sweep(
+    degree: int = 1024,
+    twiddle_bits: Sequence[int] = (10, 16, 20, 24, 28, 32, 38, 44, 52, 58, 64, 68),
+    trials: int = 3,
+    rng: SeedLike = 0,
+) -> List[FftErrorSample]:
+    """The Figure 8 data: error (dB) of the approximate transform vs DVQTF bits."""
+    return sweep_twiddle_bits(degree=degree, twiddle_bits=twiddle_bits, trials=trials, rng=rng)
+
+
+def render_figure8(samples: List[FftErrorSample] | None = None) -> str:
+    """Text rendering of Figure 8."""
+    samples = samples or fft_error_sweep()
+    rows = []
+    for s in samples:
+        bits = "double (64-bit float)" if s.twiddle_bits is None else str(s.twiddle_bits)
+        rows.append([bits, f"{s.error_db:.1f}"])
+    return format_table(
+        ["twiddle factor bits", "error (dB)"],
+        rows,
+        title="Figure 8: error of the approximate multiplication-less integer FFT & IFFT.",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Figure 2                                                                     #
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class DepthFirstComparison:
+    """Structural comparison of the breadth-first and depth-first traversals."""
+
+    transform_size: int
+    breadth_first_twiddle_reads: int
+    conjugate_pair_twiddle_reads: int
+    twiddle_read_reduction: float
+    max_recursion_depth: int
+    #: Completion order of sub-transform sizes — depth-first completes small
+    #: sub-transforms before the enclosing ones (Figure 2(b)).
+    completion_order_head: List[int]
+    depth_first: bool
+
+
+def depth_first_comparison(
+    transform_size: int = 512, rng: SeedLike = 0
+) -> DepthFirstComparison:
+    """Run the structural CPFFT model and gather the Figure 2 evidence."""
+    rng = make_rng(rng)
+    counts = twiddle_read_counts(transform_size)
+    fft = ConjugatePairFFT(transform_size, twiddle_bits=None)
+    fft.transform(rng.normal(size=transform_size) + 1j * rng.normal(size=transform_size))
+    order = fft.stats.completion_order
+    # Depth-first property: the full-size transform completes last, and some
+    # smaller sub-transform completes before any transform of the next level
+    # up has started to complete.
+    depth_first = bool(order and order[-1] == transform_size and order[0] <= 2)
+    return DepthFirstComparison(
+        transform_size=transform_size,
+        breadth_first_twiddle_reads=int(counts["breadth_first_reads"]),
+        conjugate_pair_twiddle_reads=int(counts["conjugate_pair_reads"]),
+        twiddle_read_reduction=float(counts["reduction_factor"]),
+        max_recursion_depth=fft.stats.max_depth,
+        completion_order_head=list(order[:8]),
+        depth_first=depth_first,
+    )
+
+
+def render_figure2(comparison: DepthFirstComparison | None = None) -> str:
+    """Text rendering of the Figure 2 comparison."""
+    comparison = comparison or depth_first_comparison()
+    rows = [
+        ["transform size", comparison.transform_size],
+        ["breadth-first twiddle reads", comparison.breadth_first_twiddle_reads],
+        ["conjugate-pair twiddle reads", comparison.conjugate_pair_twiddle_reads],
+        ["twiddle-read reduction", f"{comparison.twiddle_read_reduction:.2f}x"],
+        ["max recursion depth", comparison.max_recursion_depth],
+        ["depth-first completion", comparison.depth_first],
+    ]
+    return format_table(
+        ["metric", "value"],
+        rows,
+        title="Figure 2: breadth-first vs depth-first (conjugate-pair) FFT traversal.",
+    )

@@ -1,0 +1,178 @@
+"""Compile a bootstrapped TFHE gate into a data-flow graph.
+
+This is the stand-in for the paper's use of OpenCGRA: "OpenCGRA first
+compiles a TFHE logic operation into a data flow graph (DFG) of the operations
+supported by MATCHA, solves its dependencies, and removes structural hazards"
+(Section 5).  The compiler below expands Algorithm 1 with BKU factor ``m``
+into explicit per-iteration nodes:
+
+* a bootstrapping-key HBM/SPM transfer and ``2^m − 1`` TGSW scale/add nodes
+  (the TGSW-cluster stage of Figure 6),
+* the gadget decomposition, ``(k+1)·l`` forward transforms, the pointwise
+  multiply-accumulate and ``k+1`` backward transforms of the external product
+  (the EP-core stage),
+
+plus the per-gate prologue (linear combination, mod switch, test-vector
+rotation) and epilogue (sample extraction, key switch).
+
+The node *work* amounts are elementary-operation counts (butterflies, MACs,
+coefficient operations); the architecture description turns them into cycles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.arch.dfg import DataFlowGraph
+from repro.arch.ops import OpType
+from repro.tfhe.params import TFHEParameters
+
+
+@dataclass(frozen=True)
+class GateWorkloads:
+    """Elementary-work constants of one gate for a parameter set."""
+
+    transform_butterflies: float
+    decompose_coeffs: float
+    pointwise_macs: float
+    tgsw_scale_macs: float
+    bundle_patterns: int
+    iterations: int
+    linear_coeffs: float
+    rotate_coeffs: float
+    extract_coeffs: float
+    keyswitch_ops: float
+    bk_bytes_per_iteration: float
+
+
+def gate_workloads(params: TFHEParameters, unroll_factor: int) -> GateWorkloads:
+    """Derive the per-node work amounts for ``params`` and BKU factor ``m``."""
+    if unroll_factor < 1:
+        raise ValueError("unroll factor must be >= 1")
+    n, N, k, l = params.n, params.N, params.k, params.l
+    half = N // 2
+    stages = int(math.log2(half)) if half > 1 else 1
+    transform_butterflies = (half // 2) * stages
+    rows = (k + 1) * l
+    bundle_patterns = (1 << unroll_factor) - 1
+    iterations = -(-n // unroll_factor)
+    # One transformed TGSW ciphertext: rows x (k+1) spectra of N/2 complex
+    # values, 8 bytes per value (64-bit fixed point).
+    bk_bytes = bundle_patterns * rows * (k + 1) * half * 8
+    return GateWorkloads(
+        transform_butterflies=float(transform_butterflies),
+        decompose_coeffs=float(rows * N),
+        pointwise_macs=float(rows * (k + 1) * half),
+        tgsw_scale_macs=float(rows * (k + 1) * half),
+        bundle_patterns=bundle_patterns,
+        iterations=iterations,
+        linear_coeffs=float(2 * (n + 1)),
+        rotate_coeffs=float((k + 1) * N),
+        extract_coeffs=float(k * N),
+        keyswitch_ops=float(k * N * params.keyswitch.length * (n + 1)),
+        bk_bytes_per_iteration=float(bk_bytes),
+    )
+
+
+def compile_gate_dfg(
+    params: TFHEParameters,
+    unroll_factor: int = 1,
+    include_keyswitch: bool = True,
+    include_memory_traffic: bool = True,
+) -> DataFlowGraph:
+    """Build the DFG of one bootstrapped gate (NAND-class) for BKU factor ``m``."""
+    work = gate_workloads(params, unroll_factor)
+    k, l = params.k, params.l
+    rows = (k + 1) * l
+
+    dfg = DataFlowGraph()
+
+    # Prologue: linear combination of the input ciphertexts, mod switch and
+    # test-vector rotation.
+    linear = dfg.add_node(OpType.POLY_LINEAR, work.linear_coeffs, tag="gate-linear")
+    rotate = dfg.add_node(
+        OpType.ROTATE, work.rotate_coeffs, tag="testvector-rotate", predecessors=[linear]
+    )
+
+    previous_acc = rotate
+    for iteration in range(work.iterations):
+        tag = f"iter{iteration}"
+
+        # --- TGSW-cluster stage: bundle construction ----------------------
+        bundle_deps: List[int] = []
+        if include_memory_traffic:
+            hbm = dfg.add_node(
+                OpType.HBM_TRANSFER,
+                work.bk_bytes_per_iteration,
+                tag=f"{tag}-bk-stream",
+            )
+            bundle_deps.append(hbm)
+        scale_nodes = []
+        for pattern in range(work.bundle_patterns):
+            scale_nodes.append(
+                dfg.add_node(
+                    OpType.TGSW_SCALE,
+                    work.tgsw_scale_macs,
+                    tag=f"{tag}-scale{pattern}",
+                    predecessors=bundle_deps,
+                )
+            )
+        bundle = dfg.add_node(
+            OpType.TGSW_ADD,
+            work.tgsw_scale_macs * max(work.bundle_patterns - 1, 1),
+            tag=f"{tag}-bundle",
+            predecessors=scale_nodes if scale_nodes else bundle_deps,
+        )
+
+        # --- EP-core stage: external product -------------------------------
+        decompose = dfg.add_node(
+            OpType.DECOMPOSE,
+            work.decompose_coeffs,
+            tag=f"{tag}-decompose",
+            predecessors=[previous_acc],
+        )
+        iffts = [
+            dfg.add_node(
+                OpType.IFFT,
+                work.transform_butterflies,
+                tag=f"{tag}-ifft{row}",
+                predecessors=[decompose],
+            )
+            for row in range(rows)
+        ]
+        mac = dfg.add_node(
+            OpType.POINTWISE_MAC,
+            work.pointwise_macs,
+            tag=f"{tag}-mac",
+            predecessors=iffts + [bundle],
+        )
+        ffts = [
+            dfg.add_node(
+                OpType.FFT,
+                work.transform_butterflies,
+                tag=f"{tag}-fft{col}",
+                predecessors=[mac],
+            )
+            for col in range(k + 1)
+        ]
+        # The accumulator of the next iteration depends on all backward
+        # transforms of this iteration.
+        previous_acc = dfg.add_node(
+            OpType.POLY_LINEAR, float(params.N * (k + 1)), tag=f"{tag}-acc", predecessors=ffts
+        )
+
+    # Epilogue: sample extraction and (optionally) the key switch.
+    extract = dfg.add_node(
+        OpType.SAMPLE_EXTRACT,
+        work.extract_coeffs,
+        tag="sample-extract",
+        predecessors=[previous_acc],
+    )
+    if include_keyswitch:
+        dfg.add_node(
+            OpType.KEYSWITCH, work.keyswitch_ops, tag="keyswitch", predecessors=[extract]
+        )
+    dfg.validate()
+    return dfg

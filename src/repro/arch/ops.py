@@ -1,0 +1,65 @@
+"""The operation set of the MATCHA datapath.
+
+Every node of a gate DFG carries one of these operation types; the
+architecture description declares which functional-unit class executes which
+type and at what throughput.  The split mirrors Figure 7: FFT/IFFT kernels run
+on the butterfly-core arrays, TGSW scale/add work runs on the TGSW clusters,
+pointwise multiply-accumulate and decomposition run on the EP cores, and the
+polynomial-level bookkeeping (linear gate combinations, rotations, sample
+extraction, key switching) runs on the polynomial unit.
+"""
+
+from __future__ import annotations
+
+from enum import Enum, unique
+
+
+@unique
+class OpType(Enum):
+    """Operation classes recognised by the architecture description."""
+
+    #: Forward transform, coefficients -> Lagrange domain (TFHE's "IFFT").
+    IFFT = "ifft"
+    #: Backward transform, Lagrange domain -> coefficients (TFHE's "FFT").
+    FFT = "fft"
+    #: Pointwise multiply-accumulate of spectra during an external product.
+    POINTWISE_MAC = "pointwise_mac"
+    #: Gadget decomposition of an accumulator polynomial.
+    DECOMPOSE = "decompose"
+    #: Scaling of one bootstrapping key by (X^e - 1) during bundle construction.
+    TGSW_SCALE = "tgsw_scale"
+    #: Accumulation of scaled keys into the bundle.
+    TGSW_ADD = "tgsw_add"
+    #: Polynomial additions/subtractions of the linear gate combination.
+    POLY_LINEAR = "poly_linear"
+    #: Rotation of the test vector / accumulator by a power of X.
+    ROTATE = "rotate"
+    #: Sample extraction of the accumulator's constant coefficient.
+    SAMPLE_EXTRACT = "sample_extract"
+    #: One digit layer of the LWE key switch.
+    KEYSWITCH = "keyswitch"
+    #: Scratchpad <-> register-file transfer.
+    SPM_TRANSFER = "spm_transfer"
+    #: HBM -> scratchpad transfer (bootstrapping-key streaming).
+    HBM_TRANSFER = "hbm_transfer"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Operations that the paper accounts to the "FFT"/"IFFT" buckets of Figure 1.
+TRANSFORM_OPS = (OpType.IFFT, OpType.FFT)
+
+#: Operations accounted to the "other" bucket of the bootstrapping breakdown.
+BOOTSTRAP_OTHER_OPS = (
+    OpType.POINTWISE_MAC,
+    OpType.DECOMPOSE,
+    OpType.TGSW_SCALE,
+    OpType.TGSW_ADD,
+    OpType.ROTATE,
+    OpType.SAMPLE_EXTRACT,
+    OpType.KEYSWITCH,
+)
+
+#: Operations accounted to the "gate" bucket (the linear pre-combination).
+GATE_OPS = (OpType.POLY_LINEAR,)

@@ -1,0 +1,236 @@
+"""Bootstrapping-key unrolling (BKU) — Section 4.2, Figures 4 and 5.
+
+The blind rotation of Algorithm 1 computes ``X^{Σ ā_i s_i}`` with one external
+product per secret-key bit.  BKU groups ``m`` bits together: for every group
+and every non-empty bit pattern ``p`` it pre-encrypts the indicator product
+
+    ind_p = Π_{j: p_j = 1} s_j · Π_{j: p_j = 0} (1 − s_j)
+
+as a TGSW ciphertext (``2^m − 1`` keys per group).  Because the indicators of
+all ``2^m`` patterns sum to one, the rotation of one group collapses to a
+single external product with the *bootstrapping key bundle*
+
+    BKB = h + Σ_{p ≠ 0} (X^{e_p} − 1) · BK_p,     e_p = Σ_{j: p_j = 1} ā_j,
+
+exactly the construction of Figure 5 (shown there for ``m = 2``).  The number
+of external products per bootstrapping drops from ``n`` to ``n/m``, at the
+cost of a bootstrapping key that grows as ``(2^m − 1)/m`` and of bundle
+construction work that grows as ``2^m − 1`` — the trade-off MATCHA's pipelined
+TGSW clusters are built to hide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.tfhe.keys import TFHESecretKey
+from repro.tfhe.params import TFHEParameters
+from repro.tfhe.tgsw import (
+    TgswSample,
+    TransformedTgswSample,
+    tgsw_encrypt,
+    tgsw_external_product,
+    tgsw_identity,
+    tgsw_transform,
+)
+from repro.tfhe.tlwe import TlweSample
+from repro.tfhe.transform import NegacyclicTransform, Spectrum
+from repro.utils.rng import SeedLike, make_rng
+
+
+def group_indices(n: int, unroll_factor: int) -> List[List[int]]:
+    """Partition the LWE key indices ``0..n-1`` into groups of ``m`` bits.
+
+    The last group may be smaller when ``m`` does not divide ``n``.
+    """
+    if unroll_factor < 1:
+        raise ValueError("unroll factor must be >= 1")
+    return [
+        list(range(start, min(start + unroll_factor, n)))
+        for start in range(0, n, unroll_factor)
+    ]
+
+
+def indicator_message(bits: Sequence[int], pattern: int) -> int:
+    """The plaintext ``Π s_j^{p_j} (1 − s_j)^{1 − p_j}`` for a bit pattern."""
+    product = 1
+    for j, bit in enumerate(bits):
+        selected = (pattern >> j) & 1
+        product *= bit if selected else (1 - bit)
+    return product
+
+
+def pattern_exponent(bara: Sequence[int], indices: Sequence[int], pattern: int) -> int:
+    """The rotation exponent ``e_p = Σ_{j: p_j = 1} ā_{indices[j]}``."""
+    return int(sum(int(bara[indices[j]]) for j in range(len(indices)) if (pattern >> j) & 1))
+
+
+def x_power_minus_one_polynomial(degree: int, power: int) -> np.ndarray:
+    """The integer polynomial ``X^power − 1`` reduced modulo ``X^N + 1``."""
+    poly = np.zeros(degree, dtype=np.int64)
+    poly[0] -= 1
+    power = int(power) % (2 * degree)
+    sign = 1 if power < degree else -1
+    poly[power % degree] += sign
+    return poly
+
+
+@dataclass
+class UnrolledKeyGroup:
+    """The BKU key material of one group of secret-key bits."""
+
+    indices: List[int]
+    #: ``keys[pattern - 1]`` is the (transformed) TGSW encryption of the
+    #: indicator of ``pattern`` (patterns are 1 .. 2^size − 1).
+    keys: List[TransformedTgswSample]
+
+    @property
+    def size(self) -> int:
+        return len(self.indices)
+
+    @property
+    def pattern_count(self) -> int:
+        return (1 << self.size) - 1
+
+
+@dataclass
+class UnrolledBootstrappingKey:
+    """The full unrolled bootstrapping key (all groups)."""
+
+    params: TFHEParameters
+    unroll_factor: int
+    groups: List[UnrolledKeyGroup]
+
+    @property
+    def tgsw_key_count(self) -> int:
+        """Total number of TGSW ciphertexts (the paper's BK-size blow-up)."""
+        return sum(group.pattern_count for group in self.groups)
+
+    @property
+    def external_products_per_bootstrap(self) -> int:
+        return len(self.groups)
+
+
+def generate_unrolled_bootstrapping_key(
+    secret: TFHESecretKey,
+    transform: NegacyclicTransform,
+    unroll_factor: int,
+    rng: SeedLike = None,
+) -> UnrolledBootstrappingKey:
+    """Encrypt the ``(2^m − 1)·⌈n/m⌉`` indicator products of Figure 5."""
+    rng = make_rng(rng)
+    params = secret.params
+    key_bits = secret.lwe_key.key
+    groups: List[UnrolledKeyGroup] = []
+    for indices in group_indices(params.n, unroll_factor):
+        bits = [int(key_bits[i]) for i in indices]
+        keys: List[TransformedTgswSample] = []
+        for pattern in range(1, 1 << len(indices)):
+            message = indicator_message(bits, pattern)
+            sample = tgsw_encrypt(
+                secret.tlwe_key,
+                message,
+                params.tgsw,
+                transform,
+                noise_stddev=params.tlwe.noise_stddev,
+                rng=rng,
+            )
+            keys.append(tgsw_transform(sample, transform))
+        groups.append(UnrolledKeyGroup(indices=indices, keys=keys))
+    return UnrolledBootstrappingKey(
+        params=params, unroll_factor=unroll_factor, groups=groups
+    )
+
+
+class UnrolledBlindRotator:
+    """Blind rotation through bootstrapping-key bundles (Figure 5 / Figure 6 ❶❷).
+
+    Each group performs two steps, exactly the two pipeline stages of MATCHA:
+
+    1. *bundle construction* (TGSW cluster): scale each group key by
+       ``X^{e_p} − 1`` in the Lagrange domain and add them to the gadget
+       ``h``;
+    2. *external product* (EP core): ``ACC ← BKB ⊡ ACC``.
+    """
+
+    def __init__(
+        self,
+        key: UnrolledBootstrappingKey,
+        transform: NegacyclicTransform,
+    ) -> None:
+        self.key = key
+        self.transform = transform
+        params = key.params
+        identity = tgsw_identity(params.tlwe, params.tgsw)
+        self._identity_spectra = tgsw_transform(identity, transform)
+        #: Counters mirrored by the pipeline/latency models.
+        self.bundles_built = 0
+        self.external_products = 0
+
+    @property
+    def unroll_factor(self) -> int:
+        return self.key.unroll_factor
+
+    @property
+    def external_products_per_bootstrap(self) -> int:
+        return self.key.external_products_per_bootstrap
+
+    # -- pipeline stage 1: the TGSW cluster --------------------------------
+    def build_bundle(
+        self, group: UnrolledKeyGroup, bara: np.ndarray
+    ) -> TransformedTgswSample:
+        """Construct the bootstrapping key bundle ``BKB`` for one group."""
+        self.bundles_built += 1
+        transform = self.transform
+        rows = self._identity_spectra.rows
+        cols = self._identity_spectra.mask_count + 1
+        bundle: List[List[Spectrum]] = [
+            [transform.spectrum_copy(self._identity_spectra.spectra[r][c]) for c in range(cols)]
+            for r in range(rows)
+        ]
+        degree = self.key.params.N
+        for pattern in range(1, (1 << group.size)):
+            exponent = pattern_exponent(bara, group.indices, pattern)
+            if exponent % (2 * degree) == 0:
+                # X^0 − 1 = 0: the term vanishes.
+                continue
+            factor = x_power_minus_one_polynomial(degree, exponent)
+            factor_spec = transform.forward(factor)
+            bk = group.keys[pattern - 1]
+            for r in range(rows):
+                for c in range(cols):
+                    bundle[r][c] = transform.spectrum_add(
+                        bundle[r][c],
+                        transform.spectrum_mul(factor_spec, bk.spectra[r][c]),
+                    )
+        return TransformedTgswSample(
+            spectra=bundle,
+            params=self.key.params.tgsw,
+            mask_count=cols - 1,
+            degree=degree,
+        )
+
+    # -- pipeline stage 2: the EP core --------------------------------------
+    def rotate(self, accumulator: TlweSample, bara: np.ndarray) -> TlweSample:
+        acc = accumulator
+        for group in self.key.groups:
+            bundle = self.build_bundle(group, bara)
+            acc = tgsw_external_product(bundle, acc, self.transform)
+            self.external_products += 1
+        return acc
+
+
+def bootstrapping_key_size_bytes(params: TFHEParameters, unroll_factor: int) -> int:
+    """Size of the unrolled bootstrapping key in bytes (32-bit coefficients).
+
+    One TGSW ciphertext holds ``(k+1)·l·(k+1)·N`` 32-bit words; BKU stores
+    ``(2^m − 1)`` of them per group of ``m`` key bits — the exponential
+    blow-up called out in Section 4.2 and Table 3.
+    """
+    groups = group_indices(params.n, unroll_factor)
+    tgsw_words = (params.k + 1) * params.l * (params.k + 1) * params.N
+    total_keys = sum((1 << len(g)) - 1 for g in groups)
+    return total_keys * tgsw_words * 4

@@ -1,0 +1,108 @@
+"""Transform-error measurement (Figure 8).
+
+The paper quantifies the error of the approximate multiplication-less integer
+FFT/IFFT by the error of a polynomial multiplication performed through the
+transform, expressed in dB, as a function of the twiddle-factor bit-width.
+The reference is the exact negacyclic product; the baseline is the
+double-precision floating-point transform of the TFHE library.
+
+The workload is the one the bootstrapping actually runs: a gadget-decomposed
+integer polynomial (coefficients in ``[-Bg/2, Bg/2)``) multiplied by a uniform
+torus polynomial (32-bit coefficients), so the measured error is directly the
+extra noise one external-product row contributes to a ciphertext.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.integer_fft import ApproximateNegacyclicTransform
+from repro.tfhe.polynomial import negacyclic_convolution_int64
+from repro.tfhe.torus import TORUS_SCALE
+from repro.tfhe.transform import DoubleFFTNegacyclicTransform, NegacyclicTransform
+from repro.utils.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class FftErrorSample:
+    """Error of one transform configuration on the polynomial-product workload."""
+
+    label: str
+    twiddle_bits: int | None
+    rms_torus_error: float
+
+    @property
+    def error_db(self) -> float:
+        """Error in dB: ``20 log10`` of the RMS error on the real torus."""
+        if self.rms_torus_error <= 0:
+            return float("-inf")
+        return 20.0 * math.log10(self.rms_torus_error)
+
+
+def polynomial_product_error(
+    transform: NegacyclicTransform,
+    degree: int,
+    trials: int = 4,
+    int_bound: int = 512,
+    rng: SeedLike = None,
+) -> float:
+    """RMS torus error of ``trials`` random polynomial products through ``transform``."""
+    rng = make_rng(rng)
+    squared = 0.0
+    count = 0
+    for _ in range(trials):
+        int_poly = rng.integers(-int_bound, int_bound, degree)
+        torus_poly = rng.integers(-(2**31), 2**31, degree).astype(np.int64)
+        exact = negacyclic_convolution_int64(int_poly, torus_poly)
+        spectrum = transform.spectrum_mul(
+            transform.forward(int_poly), transform.forward(torus_poly)
+        )
+        approx = transform.backward(spectrum)
+        err = (approx - exact).astype(np.float64) / float(TORUS_SCALE)
+        squared += float(np.sum(err * err))
+        count += err.size
+    return math.sqrt(squared / count) if count else 0.0
+
+
+def sweep_twiddle_bits(
+    degree: int = 1024,
+    twiddle_bits: Sequence[int] = (10, 16, 20, 24, 28, 32, 38, 44, 52, 58, 64, 68),
+    trials: int = 3,
+    rng: SeedLike = 0,
+) -> List[FftErrorSample]:
+    """Figure 8 sweep: approximate-transform error for each twiddle bit-width.
+
+    The returned list ends with the double-precision baseline entry
+    (``twiddle_bits = None``), mirroring the horizontal reference line of the
+    paper's figure.
+    """
+    rng = make_rng(rng)
+    samples: List[FftErrorSample] = []
+    for bits in twiddle_bits:
+        transform = ApproximateNegacyclicTransform(degree, twiddle_bits=bits)
+        error = polynomial_product_error(transform, degree, trials=trials, rng=rng)
+        samples.append(
+            FftErrorSample(label=f"approx-{bits}b", twiddle_bits=bits, rms_torus_error=error)
+        )
+    double = DoubleFFTNegacyclicTransform(degree)
+    samples.append(
+        FftErrorSample(
+            label="double",
+            twiddle_bits=None,
+            rms_torus_error=polynomial_product_error(double, degree, trials=trials, rng=rng),
+        )
+    )
+    return samples
+
+
+def error_floor_db(samples: Sequence[FftErrorSample]) -> float:
+    """The saturation floor of the approximate transform (largest bit-width)."""
+    approx = [s for s in samples if s.twiddle_bits is not None]
+    if not approx:
+        raise ValueError("no approximate samples provided")
+    widest = max(approx, key=lambda s: s.twiddle_bits or 0)
+    return widest.error_db

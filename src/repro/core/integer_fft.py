@@ -1,0 +1,224 @@
+"""The approximate multiplication-less integer negacyclic transform.
+
+This is MATCHA's replacement for the double-precision FFT/IFFT kernels of the
+TFHE library (Section 4.1).  Polynomials are moved between the coefficient
+representation and the Lagrange half-complex representation with an integer
+FFT whose butterflies are *lifting rotations*: every twiddle multiplication is
+three shear steps with dyadic-value-quantised coefficients, realisable with
+adders and binary shifters only (:mod:`repro.core.lifting`).
+
+Differences from an exact transform, and why TFHE tolerates them:
+
+* the twiddle factors are quantised to ``twiddle_bits`` fractional bits
+  (the paper's DVQTFs) — quantisation error falls with the bit-width and is
+  the knob swept in Figure 8;
+* every lifting step rounds its scaled operand to an integer — this is the
+  irreducible error floor that keeps the approximate transform above the
+  double-precision baseline even with 64-bit DVQTFs;
+* the transform is *integer to integer*, so the accelerator needs no floating
+  point hardware at all.
+
+The resulting polynomial-product error is absorbed by the noise term of the
+ciphertext and rounded away at decryption, because every TFHE gate bootstraps
+(Section 4.1 "Novelty").
+
+Implementation notes
+--------------------
+
+* The forward direction uses a decimation-in-frequency flow (natural input,
+  bit-reversed output) and the backward direction a decimation-in-time flow
+  (bit-reversed input, natural output); spectra therefore live in bit-reversed
+  order and no bit-reversal pass is ever executed, mirroring the paper's
+  discussion of bit-reversal overhead.
+* Small operands (the gadget-decomposed accumulator rows) are pre-scaled by a
+  power of two so the per-step rounding error stays far below the ciphertext
+  noise; the scale travels with the spectrum and is removed after the
+  pointwise products.  This models the fixed-point headroom of MATCHA's 64-bit
+  butterfly datapath.
+* The vectorised rotation uses exactly quantised dyadic coefficients and
+  round-to-nearest products.  The scalar shift/add datapath
+  (:meth:`repro.core.lifting.DyadicCoefficient.apply_shift_add`) is validated
+  against it in the unit tests; the two differ only in the final-bit rounding
+  convention.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.lifting import LiftingRotationArray
+from repro.tfhe.transform import NegacyclicTransform
+from repro.utils.bits import is_power_of_two
+
+
+@dataclass
+class IntegerSpectrum:
+    """A Lagrange-domain polynomial with an attached fixed-point scale.
+
+    ``values`` hold integers (stored in a complex128 array); the represented
+    spectrum is ``values / 2**scale_bits``.
+    """
+
+    values: np.ndarray
+    scale_bits: int
+
+    def copy(self) -> "IntegerSpectrum":
+        return IntegerSpectrum(self.values.copy(), self.scale_bits)
+
+
+class ApproximateNegacyclicTransform(NegacyclicTransform):
+    """Approximate multiplication-less integer FFT/IFFT engine.
+
+    Parameters
+    ----------
+    degree:
+        Ring degree ``N`` (a power of two).
+    twiddle_bits:
+        Bit-width ``beta`` of the dyadic-value-quantised twiddle factors
+        (the paper's DVQTFs; Figure 8 sweeps this knob, MATCHA ships with 64).
+    target_msb:
+        Fixed-point headroom target: forward operands are scaled up so their
+        magnitude approaches ``2**target_msb``, keeping rounding error far
+        below the ciphertext noise.  The default (36) models the headroom of
+        the 64-bit butterfly datapath and is calibrated so the 64-bit-DVQTF
+        error floor of a polynomial product lands at about −147 dB, next to
+        the paper's reported −141 dB (Figure 8).
+    """
+
+    def __init__(self, degree: int, twiddle_bits: int = 64, target_msb: int = 36) -> None:
+        super().__init__(degree)
+        if not is_power_of_two(degree):
+            raise ValueError("ring degree must be a power of two")
+        if twiddle_bits < 1:
+            raise ValueError("twiddle_bits must be >= 1")
+        self.twiddle_bits = int(twiddle_bits)
+        self.target_msb = int(target_msb)
+        self._half = degree // 2
+
+        # Twist rotations: element s is rotated by +pi*s/N (forward) and the
+        # inverse rotation on the way back.
+        s = np.arange(self._half)
+        self._twist = LiftingRotationArray(np.pi * s / degree, twiddle_bits)
+
+        # Per-stage butterfly rotations for the DIF (forward) and DIT
+        # (backward) flows.
+        self._dif_stages: List[Tuple[int, LiftingRotationArray]] = []
+        length = self._half
+        while length >= 2:
+            angles = 2.0 * np.pi * np.arange(length // 2) / length
+            self._dif_stages.append((length, LiftingRotationArray(angles, twiddle_bits)))
+            length //= 2
+
+        self._dit_stages: List[Tuple[int, LiftingRotationArray]] = []
+        length = 2
+        while length <= self._half:
+            angles = -2.0 * np.pi * np.arange(length // 2) / length
+            self._dit_stages.append((length, LiftingRotationArray(angles, twiddle_bits)))
+            length *= 2
+
+    # ------------------------------------------------------------------ #
+    # conversions                                                         #
+    # ------------------------------------------------------------------ #
+    def _choose_scale(self, coeffs: np.ndarray) -> int:
+        peak = float(np.max(np.abs(coeffs))) if coeffs.size else 0.0
+        if peak < 1.0:
+            peak = 1.0
+        msb = int(math.ceil(math.log2(peak + 1.0)))
+        return max(0, self.target_msb - msb)
+
+    def forward(self, coeffs: np.ndarray) -> IntegerSpectrum:
+        """Coefficients → Lagrange domain (the paper's IFFT kernel)."""
+        self.stats.forward_calls += 1
+        coeffs = np.asarray(coeffs, dtype=np.float64)
+        if coeffs.shape[0] != self.degree:
+            raise ValueError("polynomial degree mismatch")
+        half = self._half
+        scale_bits = self._choose_scale(coeffs)
+        scaled = coeffs * float(1 << scale_bits)
+
+        re = scaled[:half].copy()
+        im = scaled[half:].copy()
+        re, im = self._twist.forward(re, im)
+
+        for length, rotation in self._dif_stages:
+            re = re.reshape(half // length, length)
+            im = im.reshape(half // length, length)
+            half_length = length // 2
+            top_re, bot_re = re[:, :half_length], re[:, half_length:]
+            top_im, bot_im = im[:, :half_length], im[:, half_length:]
+            sum_re, sum_im = top_re + bot_re, top_im + bot_im
+            diff_re, diff_im = top_re - bot_re, top_im - bot_im
+            rot_re, rot_im = rotation.forward(diff_re, diff_im)
+            re = np.concatenate([sum_re, rot_re], axis=1).reshape(half)
+            im = np.concatenate([sum_im, rot_im], axis=1).reshape(half)
+
+        return IntegerSpectrum(values=re + 1j * im, scale_bits=scale_bits)
+
+    def backward(self, spectrum: IntegerSpectrum) -> np.ndarray:
+        """Lagrange domain → int64 coefficients (the paper's FFT kernel)."""
+        self.stats.backward_calls += 1
+        half = self._half
+        values = np.asarray(spectrum.values, dtype=np.complex128)
+        if values.shape[0] != half:
+            raise ValueError("spectrum length mismatch")
+        re = values.real.copy()
+        im = values.imag.copy()
+
+        for length, rotation in self._dit_stages:
+            re = re.reshape(half // length, length)
+            im = im.reshape(half // length, length)
+            half_length = length // 2
+            top_re, bot_re = re[:, :half_length], re[:, half_length:]
+            top_im, bot_im = im[:, :half_length], im[:, half_length:]
+            rot_re, rot_im = rotation.forward(bot_re, bot_im)
+            # Halve each stage output: log2(half) halvings realise the 1/(N/2)
+            # normalisation of the inverse transform.
+            new_top_re = np.round((top_re + rot_re) * 0.5)
+            new_top_im = np.round((top_im + rot_im) * 0.5)
+            new_bot_re = np.round((top_re - rot_re) * 0.5)
+            new_bot_im = np.round((top_im - rot_im) * 0.5)
+            re = np.concatenate([new_top_re, new_bot_re], axis=1).reshape(half)
+            im = np.concatenate([new_top_im, new_bot_im], axis=1).reshape(half)
+
+        re, im = self._twist.inverse(re, im)
+
+        descale = float(1 << spectrum.scale_bits)
+        coeffs = np.empty(self.degree, dtype=np.float64)
+        coeffs[:half] = re
+        coeffs[half:] = im
+        return np.round(coeffs / descale).astype(np.int64)
+
+    # ------------------------------------------------------------------ #
+    # spectrum algebra                                                    #
+    # ------------------------------------------------------------------ #
+    def spectrum_zero(self) -> IntegerSpectrum:
+        return IntegerSpectrum(np.zeros(self._half, dtype=np.complex128), 0)
+
+    def spectrum_add(self, a: IntegerSpectrum, b: IntegerSpectrum) -> IntegerSpectrum:
+        self.stats.pointwise_ops += 1
+        # The all-zero spectrum is the exact additive identity regardless of scale.
+        if not np.any(a.values):
+            return b.copy()
+        if not np.any(b.values):
+            return a.copy()
+        if a.scale_bits == b.scale_bits:
+            return IntegerSpectrum(a.values + b.values, a.scale_bits)
+        target = min(a.scale_bits, b.scale_bits)
+        a_vals = np.round(a.values / float(1 << (a.scale_bits - target)))
+        b_vals = np.round(b.values / float(1 << (b.scale_bits - target)))
+        return IntegerSpectrum(a_vals + b_vals, target)
+
+    def spectrum_mul(self, a: IntegerSpectrum, b: IntegerSpectrum) -> IntegerSpectrum:
+        self.stats.pointwise_ops += 1
+        combined = a.scale_bits + b.scale_bits
+        product = a.values * b.values
+        if combined:
+            product = product / float(1 << combined)
+        return IntegerSpectrum(np.round(product.real) + 1j * np.round(product.imag), 0)
+
+    def spectrum_copy(self, a: IntegerSpectrum) -> IntegerSpectrum:
+        return a.copy()

@@ -1,0 +1,40 @@
+"""ASIC baseline: the 8-copy TVE design re-synthesised in 16 nm.
+
+The paper constructs its ASIC baseline by synthesising the FPGA TVE design
+with the same 16 nm PTM process used for MATCHA: the architecture (no BKU, no
+pipelining) is unchanged, but the clock is faster and the power drops to about
+26 W, making it the strongest baseline in throughput per Watt (Figure 11).
+"""
+
+from __future__ import annotations
+
+from repro.platforms import calibration as cal
+from repro.platforms.base import Platform
+
+
+class AsicPlatform(Platform):
+    """Latency/power/throughput model of the synthesised TVE ASIC baseline."""
+
+    name = "ASIC"
+    max_unroll_factor = 1
+
+    def __init__(
+        self,
+        gate_latency_s: float = cal.ASIC_TVE_GATE_LATENCY_S,
+        copies: int = cal.ASIC_COPIES,
+        power_w: float = cal.ASIC_POWER_W,
+    ) -> None:
+        self._gate_latency_s = gate_latency_s
+        self._copies = copies
+        self._power_w = power_w
+
+    def gate_latency_s(self, unroll_factor: int) -> float:
+        if not self.supports(unroll_factor):
+            raise ValueError("the TVE baselines support only m = 1")
+        return self._gate_latency_s
+
+    def power_w(self, unroll_factor: int) -> float:
+        return self._power_w
+
+    def concurrent_gates(self, unroll_factor: int) -> float:
+        return float(self._copies)

@@ -1,0 +1,64 @@
+"""CPU baseline: 8-core Xeon E-2288G running the TFHE library.
+
+The latency model follows the paper's explanation of why aggressive BKU does
+not pay off on a CPU (Section 4.2):
+
+* the per-iteration external product cost is fixed, so halving the iteration
+  count (m = 2) roughly halves the blind-rotation time (the paper reports a
+  49 % reduction);
+* beyond ``m = 2`` the ``2^m − 1`` bundle terms exceed what the 8 cores and
+  the last-level cache absorb: every extra term adds scale/add work, key
+  traffic and synchronisation, so the latency goes back up;
+* there is no pipelining between bundle construction and the external
+  product, so the two stages simply add.
+
+Throughput assumes each core can run an independent gate stream (the paper's
+Figure 10 shows the CPU with m = 2 overtaking the FPGA/ASIC baselines, which
+requires more than one gate in flight).
+"""
+
+from __future__ import annotations
+
+from repro.platforms import calibration as cal
+from repro.platforms.base import Platform
+from repro.tfhe.params import PAPER_110BIT, TFHEParameters
+
+
+class CpuPlatform(Platform):
+    """Latency/power/throughput model of the TFHE-library CPU baseline."""
+
+    name = "CPU"
+    max_unroll_factor = 4
+
+    def __init__(self, params: TFHEParameters = PAPER_110BIT) -> None:
+        self.params = params
+        iterations_m1 = params.n
+        self._per_iteration_s = (
+            cal.CPU_NAND_LATENCY_M1_S - cal.CPU_FIXED_OVERHEAD_S
+        ) / iterations_m1
+
+    def iterations(self, unroll_factor: int) -> int:
+        return -(-self.params.n // unroll_factor)
+
+    def bundle_terms(self, unroll_factor: int) -> int:
+        return (1 << unroll_factor) - 1
+
+    def gate_latency_s(self, unroll_factor: int) -> float:
+        if not self.supports(unroll_factor):
+            raise ValueError(f"unsupported unroll factor {unroll_factor}")
+        terms = self.bundle_terms(unroll_factor)
+        # Terms beyond the free budget serialise on the limited cores and
+        # thrash the shared cache.
+        extra_terms = max(0, terms - cal.CPU_FREE_BUNDLE_TERMS)
+        per_iteration = self._per_iteration_s + extra_terms * cal.CPU_BUNDLE_TERM_S
+        return cal.CPU_FIXED_OVERHEAD_S + self.iterations(unroll_factor) * per_iteration
+
+    def power_w(self, unroll_factor: int) -> float:
+        return cal.CPU_POWER_W
+
+    def concurrent_gates(self, unroll_factor: int) -> float:
+        # One gate per physical core; aggressive BKU needs several cores per
+        # gate for its bundle terms, which eats into the gate-level parallelism.
+        terms = self.bundle_terms(unroll_factor)
+        cores_per_gate = max(1.0, terms / cal.CPU_FREE_BUNDLE_TERMS) if terms > cal.CPU_FREE_BUNDLE_TERMS else 1.0
+        return max(1.0, cal.CPU_CORES / cores_per_gate)

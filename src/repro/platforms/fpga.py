@@ -1,0 +1,40 @@
+"""FPGA baseline: 8 copies of the TFHE Vector Engine on a Stratix-10 GX2800.
+
+The TVE [Gener et al. 2021] is a programmable vector engine without BKU
+support and without a bundle/external-product pipeline, so it is fixed at
+``m = 1``; the Stratix-10 board fits eight copies, each processing its own
+gate (Section 5 "Our Baselines").
+"""
+
+from __future__ import annotations
+
+from repro.platforms import calibration as cal
+from repro.platforms.base import Platform
+
+
+class FpgaPlatform(Platform):
+    """Latency/power/throughput model of the 8-copy TVE FPGA baseline."""
+
+    name = "FPGA"
+    max_unroll_factor = 1
+
+    def __init__(
+        self,
+        gate_latency_s: float = cal.FPGA_TVE_GATE_LATENCY_S,
+        copies: int = cal.FPGA_COPIES,
+        power_w: float = cal.FPGA_POWER_W,
+    ) -> None:
+        self._gate_latency_s = gate_latency_s
+        self._copies = copies
+        self._power_w = power_w
+
+    def gate_latency_s(self, unroll_factor: int) -> float:
+        if not self.supports(unroll_factor):
+            raise ValueError("the TVE baselines support only m = 1")
+        return self._gate_latency_s
+
+    def power_w(self, unroll_factor: int) -> float:
+        return self._power_w
+
+    def concurrent_gates(self, unroll_factor: int) -> float:
+        return float(self._copies)

@@ -1,0 +1,45 @@
+"""GPU baseline: Tesla V100 running the cuFHE library.
+
+The V100 has enough parallel resources to absorb the extra bundle terms of
+aggressive BKU, so unlike the CPU its gate latency keeps falling as ``m``
+grows (Figure 9): the iteration count shrinks by ``1/m`` while the
+per-iteration cost only creeps up slightly.  Its weakness is power: at
+more than 200 W the best throughput per Watt stays below the ASIC baseline
+(Figure 11).
+"""
+
+from __future__ import annotations
+
+from repro.platforms import calibration as cal
+from repro.platforms.base import Platform
+from repro.tfhe.params import PAPER_110BIT, TFHEParameters
+
+
+class GpuPlatform(Platform):
+    """Latency/power/throughput model of the cuFHE V100 baseline."""
+
+    name = "GPU"
+    max_unroll_factor = 4
+
+    def __init__(self, params: TFHEParameters = PAPER_110BIT) -> None:
+        self.params = params
+        iterations_m1 = params.n
+        self._per_iteration_s = (
+            cal.GPU_NAND_LATENCY_M1_S - cal.GPU_FIXED_OVERHEAD_S
+        ) / iterations_m1 - cal.GPU_BUNDLE_TERM_S
+
+    def iterations(self, unroll_factor: int) -> int:
+        return -(-self.params.n // unroll_factor)
+
+    def gate_latency_s(self, unroll_factor: int) -> float:
+        if not self.supports(unroll_factor):
+            raise ValueError(f"unsupported unroll factor {unroll_factor}")
+        terms = (1 << unroll_factor) - 1
+        per_iteration = self._per_iteration_s + terms * cal.GPU_BUNDLE_TERM_S
+        return cal.GPU_FIXED_OVERHEAD_S + self.iterations(unroll_factor) * per_iteration
+
+    def power_w(self, unroll_factor: int) -> float:
+        return cal.GPU_POWER_W
+
+    def concurrent_gates(self, unroll_factor: int) -> float:
+        return cal.GPU_CONCURRENT_GATES

@@ -1,0 +1,95 @@
+"""MATCHA platform model, driven by the cycle-level scheduler.
+
+Latency comes from scheduling the gate DFG onto a single pipeline slice (one
+TGSW cluster + one EP core + the shared polynomial unit and HBM channel) of
+the Figure 7 architecture; a single gate cannot use more than one slice
+because the blind rotation is sequential.
+
+Throughput uses all eight slices, each processing its own gate, bounded by
+the bootstrapping-key streaming bandwidth of the HBM interface: the unrolled
+key does not fit in the 4 MB scratchpad, so every in-flight gate needs the key
+streamed in, and only a limited number of such streams fit in 640 GB/s
+(pipelines beyond that share a stream).  This is the effect that caps the
+benefit of ``m = 4`` in Figures 9-11 together with the 2^m − 1 bundle work.
+
+Power uses the Table 2 envelope (39.98 W), which is what the paper divides by
+for throughput per Watt.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.arch.architecture import matcha_architecture
+from repro.arch.gate_compiler import compile_gate_dfg
+from repro.arch.memory import bootstrapping_key_bytes
+from repro.arch.scheduler import ListScheduler, ScheduleResult
+from repro.platforms import calibration as cal
+from repro.platforms.base import Platform
+from repro.tfhe.params import PAPER_110BIT, TFHEParameters
+
+
+class MatchaPlatform(Platform):
+    """Latency/power/throughput model of MATCHA (Figure 7 configuration)."""
+
+    name = "MATCHA"
+    max_unroll_factor = 4
+
+    def __init__(
+        self,
+        params: TFHEParameters = PAPER_110BIT,
+        pipeline_count: int = cal.MATCHA_PIPELINES,
+        clock_hz: float = 2.0e9,
+        hbm_bandwidth_bytes_per_s: float = 640.0e9,
+        throughput_scale: float = cal.MATCHA_THROUGHPUT_SCALE,
+    ) -> None:
+        self.params = params
+        self.pipeline_count = pipeline_count
+        self.clock_hz = clock_hz
+        self.hbm_bandwidth_bytes_per_s = hbm_bandwidth_bytes_per_s
+        self.architecture = matcha_architecture(
+            pipeline_slices=1,
+            clock_hz=clock_hz,
+            hbm_bandwidth_bytes_per_s=hbm_bandwidth_bytes_per_s,
+            throughput_scale=throughput_scale,
+        )
+        self._scheduler = ListScheduler(self.architecture)
+        self._schedule_cache: Dict[int, ScheduleResult] = {}
+
+    # -- cycle model -----------------------------------------------------------
+    def schedule(self, unroll_factor: int) -> ScheduleResult:
+        """The (cached) cycle-level schedule of one gate at BKU factor ``m``."""
+        if unroll_factor not in self._schedule_cache:
+            dfg = compile_gate_dfg(self.params, unroll_factor=unroll_factor)
+            self._schedule_cache[unroll_factor] = self._scheduler.schedule(dfg)
+        return self._schedule_cache[unroll_factor]
+
+    # -- platform interface ------------------------------------------------------
+    def gate_latency_s(self, unroll_factor: int) -> float:
+        if not self.supports(unroll_factor):
+            raise ValueError(f"unsupported unroll factor {unroll_factor}")
+        return self.schedule(unroll_factor).latency_seconds
+
+    def power_w(self, unroll_factor: int) -> float:
+        return cal.MATCHA_POWER_W
+
+    def concurrent_gates(self, unroll_factor: int) -> float:
+        """Pipelines in flight, capped by the shared bootstrapping-key stream."""
+        latency = self.gate_latency_s(unroll_factor)
+        compute_bound = float(self.pipeline_count)
+        bk_bytes = bootstrapping_key_bytes(self.params, unroll_factor, transformed=True)
+        stream_bound_throughput = (
+            cal.MATCHA_HBM_CONCURRENT_STREAMS
+            * self.hbm_bandwidth_bytes_per_s
+            / bk_bytes
+        )
+        stream_bound = stream_bound_throughput * latency
+        return max(1.0, min(compute_bound, stream_bound))
+
+    # -- extras used by analysis/benches -----------------------------------------
+    def energy_per_gate_j(self, unroll_factor: int) -> float:
+        """Energy of one gate: Table 2 power envelope times gate latency."""
+        return self.power_w(unroll_factor) * self.gate_latency_s(unroll_factor)
+
+    def utilisation(self, unroll_factor: int) -> Dict[str, float]:
+        return self.schedule(unroll_factor).utilisation_by_unit

@@ -1,0 +1,33 @@
+"""Registry of the evaluated platforms (Figures 9-11 x-axis groups)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.platforms.asic import AsicPlatform
+from repro.platforms.base import Platform
+from repro.platforms.cpu import CpuPlatform
+from repro.platforms.fpga import FpgaPlatform
+from repro.platforms.gpu import GpuPlatform
+from repro.platforms.matcha import MatchaPlatform
+from repro.tfhe.params import PAPER_110BIT, TFHEParameters
+
+
+def all_platforms(params: TFHEParameters = PAPER_110BIT) -> List[Platform]:
+    """The five platforms of the paper's evaluation, in figure order."""
+    return [
+        CpuPlatform(params),
+        GpuPlatform(params),
+        MatchaPlatform(params),
+        FpgaPlatform(),
+        AsicPlatform(),
+    ]
+
+
+def get_platform(name: str, params: TFHEParameters = PAPER_110BIT) -> Platform:
+    """Look up one platform by its display name (case-insensitive)."""
+    table: Dict[str, Platform] = {p.name.lower(): p for p in all_platforms(params)}
+    key = name.lower()
+    if key not in table:
+        raise KeyError(f"unknown platform {name!r}; known: {sorted(table)}")
+    return table[key]

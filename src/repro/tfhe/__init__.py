@@ -1,0 +1,65 @@
+"""TFHE cryptosystem substrate.
+
+A from-scratch implementation of TFHE gate bootstrapping (Chillotti et al.,
+Journal of Cryptology 2020) as described in Section 2 of the MATCHA paper:
+torus arithmetic, LWE/TLWE/TGSW encryption, the external product, blind
+rotation, sample extraction, key switching and the homomorphic Boolean gates.
+
+The polynomial-multiplication engine is pluggable (see
+:mod:`repro.tfhe.transform`); MATCHA's approximate multiplication-less integer
+FFT lives in :mod:`repro.core.integer_fft` and plugs into the same interface.
+"""
+
+from repro.tfhe.params import (
+    PAPER_110BIT,
+    PARAMETER_SETS,
+    TEST_MEDIUM,
+    TEST_SMALL,
+    TEST_TINY,
+    TFHEParameters,
+    get_parameters,
+)
+from repro.tfhe.keys import (
+    TFHECloudKey,
+    TFHESecretKey,
+    generate_cloud_key,
+    generate_keys,
+    generate_secret_key,
+)
+from repro.tfhe.gates import (
+    TFHEGateEvaluator,
+    decrypt_bit,
+    decrypt_bits,
+    encrypt_bit,
+    encrypt_bits,
+)
+from repro.tfhe.transform import (
+    DoubleFFTNegacyclicTransform,
+    NaiveNegacyclicTransform,
+    NegacyclicTransform,
+    make_transform,
+)
+
+__all__ = [
+    "PAPER_110BIT",
+    "PARAMETER_SETS",
+    "TEST_MEDIUM",
+    "TEST_SMALL",
+    "TEST_TINY",
+    "TFHEParameters",
+    "get_parameters",
+    "TFHECloudKey",
+    "TFHESecretKey",
+    "generate_cloud_key",
+    "generate_keys",
+    "generate_secret_key",
+    "TFHEGateEvaluator",
+    "decrypt_bit",
+    "decrypt_bits",
+    "encrypt_bit",
+    "encrypt_bits",
+    "DoubleFFTNegacyclicTransform",
+    "NaiveNegacyclicTransform",
+    "NegacyclicTransform",
+    "make_transform",
+]

@@ -1,0 +1,165 @@
+"""Gate bootstrapping (Algorithm 1 of the paper).
+
+A TFHE logic gate is a linear combination of the input ciphertexts followed by
+a *gate bootstrapping*: the noisy phase of the combined sample is
+homomorphically decrypted into a rotation of a test polynomial, the rotated
+accumulator is extracted back to a scalar LWE sample and key-switched to the
+original key.  The blind rotation (the loop over the ``n`` mask coefficients,
+each step an external product) dominates the latency of every gate; its FFT
+and IFFT kernels are the target of MATCHA's approximate integer transforms.
+
+Two blind-rotation strategies are provided:
+
+* :class:`CmuxBlindRotator` — the classical TFHE-library strategy
+  (``ACC ← CMux(BK_i, X^{ā_i}·ACC, ACC)``), one secret-key bit per external
+  product;
+* :class:`repro.core.bku.UnrolledBlindRotator` — bootstrapping-key unrolling
+  (Figure 5), ``m`` secret-key bits per external product using a bundle built
+  from ``2^m − 1`` TGSW keys.  MATCHA's pipelined datapath targets this form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Protocol, Sequence
+
+import numpy as np
+
+from repro.tfhe.keyswitch import KeySwitchKey, keyswitch_apply
+from repro.tfhe.lwe import LweSample
+from repro.tfhe.params import TFHEParameters
+from repro.tfhe.tgsw import TransformedTgswSample, tgsw_cmux
+from repro.tfhe.tlwe import (
+    TlweSample,
+    tlwe_rotate,
+    tlwe_sample_extract,
+    tlwe_trivial,
+)
+from repro.tfhe.torus import modswitch_from_torus32
+from repro.tfhe.transform import NegacyclicTransform
+
+
+@dataclass
+class BootstrapProfile:
+    """Operation counts of a bootstrapping, used for the Figure 1 breakdown."""
+
+    forward_transforms: int = 0
+    backward_transforms: int = 0
+    external_products: int = 0
+    pointwise_ops: int = 0
+    linear_ops: int = 0
+    keyswitch_ops: int = 0
+
+    def merge(self, other: "BootstrapProfile") -> "BootstrapProfile":
+        return BootstrapProfile(
+            self.forward_transforms + other.forward_transforms,
+            self.backward_transforms + other.backward_transforms,
+            self.external_products + other.external_products,
+            self.pointwise_ops + other.pointwise_ops,
+            self.linear_ops + other.linear_ops,
+            self.keyswitch_ops + other.keyswitch_ops,
+        )
+
+
+class BlindRotator(Protocol):
+    """Strategy interface for the blind-rotation loop of Algorithm 1."""
+
+    def rotate(self, accumulator: TlweSample, bara: np.ndarray) -> TlweSample:
+        """Homomorphically multiply the accumulator by ``X^{Σ ā_i·s_i}``."""
+        ...
+
+    @property
+    def external_products_per_bootstrap(self) -> int:
+        """Number of external products one blind rotation performs."""
+        ...
+
+
+class CmuxBlindRotator:
+    """Classical blind rotation: one CMux (external product) per key bit."""
+
+    def __init__(
+        self,
+        bootstrapping_key: Sequence[TransformedTgswSample],
+        transform: NegacyclicTransform,
+    ) -> None:
+        self.bootstrapping_key = list(bootstrapping_key)
+        self.transform = transform
+
+    @property
+    def external_products_per_bootstrap(self) -> int:
+        return len(self.bootstrapping_key)
+
+    def rotate(self, accumulator: TlweSample, bara: np.ndarray) -> TlweSample:
+        acc = accumulator
+        for i, bk_i in enumerate(self.bootstrapping_key):
+            power = int(bara[i])
+            if power == 0:
+                continue
+            rotated = tlwe_rotate(acc, power)
+            acc = tgsw_cmux(bk_i, rotated, acc, self.transform)
+        return acc
+
+
+def make_test_vector(params: TFHEParameters, mu: int) -> np.ndarray:
+    """The all-``mu`` test polynomial used by gate bootstrapping.
+
+    After the blind rotation by ``X^{-p̄}`` (where ``p̄`` is the rescaled phase
+    of the input sample) the constant coefficient of the test polynomial is
+    ``+mu`` when the phase is positive and ``-mu`` when it is negative.
+    """
+    return np.full(params.N, np.int32(mu), dtype=np.int32)
+
+
+def modswitch_sample(sample: LweSample, degree: int) -> tuple[int, np.ndarray]:
+    """Rescale a sample's coefficients from the torus to ``Z_{2N}`` (Rounding).
+
+    Returns ``(b̄, ā)`` as used by Algorithm 1 line 2.
+    """
+    space = 2 * degree
+    barb = int(modswitch_from_torus32(sample.b, space))
+    bara = np.asarray(modswitch_from_torus32(sample.a, space), dtype=np.int64)
+    return barb, bara
+
+
+def blind_rotate_and_extract(
+    sample: LweSample,
+    test_vector: np.ndarray,
+    rotator: BlindRotator,
+    params: TFHEParameters,
+) -> LweSample:
+    """Lines 2–8 of Algorithm 1: rounding, blind rotation and sample extraction."""
+    degree = params.N
+    barb, bara = modswitch_sample(sample, degree)
+    accumulator = tlwe_trivial(test_vector, params.k)
+    if barb != 0:
+        accumulator = tlwe_rotate(accumulator, -barb)
+    accumulator = rotator.rotate(accumulator, bara)
+    return tlwe_sample_extract(accumulator, index=0)
+
+
+def bootstrap_without_keyswitch(
+    sample: LweSample,
+    mu: int,
+    rotator: BlindRotator,
+    params: TFHEParameters,
+) -> LweSample:
+    """Bootstrap ``sample`` to a fresh sample of ``±mu`` under the extracted key."""
+    test_vector = make_test_vector(params, mu)
+    return blind_rotate_and_extract(sample, test_vector, rotator, params)
+
+
+def gate_bootstrap(
+    sample: LweSample,
+    mu: int,
+    rotator: BlindRotator,
+    keyswitch_key: KeySwitchKey,
+    params: TFHEParameters,
+) -> LweSample:
+    """Full gate bootstrapping: blind rotate, extract, then key switch.
+
+    The output encrypts ``+mu`` when the phase of ``sample`` is positive and
+    ``-mu`` otherwise, under the original ``n``-dimensional key and with a
+    fresh (input-independent) noise level.
+    """
+    extracted = bootstrap_without_keyswitch(sample, mu, rotator, params)
+    return keyswitch_apply(keyswitch_key, extracted)

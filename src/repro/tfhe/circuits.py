@@ -1,0 +1,144 @@
+"""Reusable encrypted-circuit building blocks.
+
+The paper motivates MATCHA with gate-level encrypted computing (e.g. the
+TFHE RISC-V processor runs thousands of bootstrapped gates per instruction).
+This module packages the standard combinational blocks a downstream user
+needs to build such workloads on top of :class:`repro.tfhe.gates.TFHEGateEvaluator`:
+integer encode/decode helpers, a ripple-carry adder/subtractor, comparators,
+a multiplexer over bit vectors and an equality test.
+
+All functions take and return lists of LWE ciphertexts ordered LSB first, so
+they compose freely; every gate they emit is a bootstrapped TFHE gate, which
+keeps the depth unlimited.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.tfhe.gates import TFHEGateEvaluator, decrypt_bits, encrypt_bits
+from repro.tfhe.keys import TFHESecretKey
+from repro.tfhe.lwe import LweSample
+from repro.utils.rng import SeedLike
+
+
+def int_to_bits(value: int, width: int) -> List[int]:
+    """Two's-complement / unsigned bits of ``value``, LSB first."""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    """Reassemble an unsigned integer from LSB-first bits."""
+    return sum(int(bit) << i for i, bit in enumerate(bits))
+
+
+def encrypt_integer(
+    secret: TFHESecretKey, value: int, width: int, rng: SeedLike = None
+) -> List[LweSample]:
+    """Encrypt an unsigned integer as ``width`` gate-bootstrapping ciphertexts."""
+    return encrypt_bits(secret, int_to_bits(value, width), rng)
+
+
+def decrypt_integer(secret: TFHESecretKey, bits: Sequence[LweSample]) -> int:
+    """Decrypt an encrypted integer produced by :func:`encrypt_integer`."""
+    return bits_to_int(decrypt_bits(secret, list(bits)))
+
+
+def _check_widths(a: Sequence[LweSample], b: Sequence[LweSample]) -> None:
+    if len(a) != len(b):
+        raise ValueError("operand widths differ")
+    if not a:
+        raise ValueError("operands must have at least one bit")
+
+
+def full_adder(
+    evaluator: TFHEGateEvaluator, a: LweSample, b: LweSample, carry: LweSample
+) -> Tuple[LweSample, LweSample]:
+    """One full-adder stage; returns ``(sum, carry_out)`` (5 bootstrapped gates)."""
+    a_xor_b = evaluator.xor(a, b)
+    total = evaluator.xor(a_xor_b, carry)
+    carry_out = evaluator.or_(evaluator.and_(a, b), evaluator.and_(a_xor_b, carry))
+    return total, carry_out
+
+
+def add(
+    evaluator: TFHEGateEvaluator,
+    a: Sequence[LweSample],
+    b: Sequence[LweSample],
+) -> List[LweSample]:
+    """Ripple-carry addition; returns ``width + 1`` bits (the last is the carry)."""
+    _check_widths(a, b)
+    carry = evaluator.constant(0)
+    out: List[LweSample] = []
+    for bit_a, bit_b in zip(a, b):
+        total, carry = full_adder(evaluator, bit_a, bit_b, carry)
+        out.append(total)
+    out.append(carry)
+    return out
+
+
+def negate(evaluator: TFHEGateEvaluator, a: Sequence[LweSample]) -> List[LweSample]:
+    """Two's-complement negation (invert and add one), same width as the input."""
+    inverted = [evaluator.not_(bit) for bit in a]
+    one = [evaluator.constant(1)] + [evaluator.constant(0)] * (len(a) - 1)
+    return add(evaluator, inverted, one)[: len(a)]
+
+
+def subtract(
+    evaluator: TFHEGateEvaluator,
+    a: Sequence[LweSample],
+    b: Sequence[LweSample],
+) -> List[LweSample]:
+    """Two's-complement subtraction ``a - b`` truncated to the operand width."""
+    _check_widths(a, b)
+    return add(evaluator, list(a), negate(evaluator, b))[: len(a)]
+
+
+def equal(
+    evaluator: TFHEGateEvaluator,
+    a: Sequence[LweSample],
+    b: Sequence[LweSample],
+) -> LweSample:
+    """Encrypted equality test (AND of per-bit XNORs)."""
+    _check_widths(a, b)
+    result = evaluator.constant(1)
+    for bit_a, bit_b in zip(a, b):
+        result = evaluator.and_(result, evaluator.xnor(bit_a, bit_b))
+    return result
+
+
+def greater_than(
+    evaluator: TFHEGateEvaluator,
+    a: Sequence[LweSample],
+    b: Sequence[LweSample],
+) -> LweSample:
+    """Encrypted unsigned comparison ``a > b`` (bit-serial, LSB to MSB)."""
+    _check_widths(a, b)
+    result = evaluator.constant(0)
+    for bit_a, bit_b in zip(a, b):
+        bits_equal = evaluator.xnor(bit_a, bit_b)
+        a_wins_here = evaluator.andyn(bit_a, bit_b)
+        result = evaluator.mux(bits_equal, result, a_wins_here)
+    return result
+
+
+def select(
+    evaluator: TFHEGateEvaluator,
+    condition: LweSample,
+    if_true: Sequence[LweSample],
+    if_false: Sequence[LweSample],
+) -> List[LweSample]:
+    """Vector multiplexer: returns ``if_true`` when ``condition`` encrypts 1."""
+    _check_widths(if_true, if_false)
+    return [evaluator.mux(condition, t, f) for t, f in zip(if_true, if_false)]
+
+
+def maximum(
+    evaluator: TFHEGateEvaluator,
+    a: Sequence[LweSample],
+    b: Sequence[LweSample],
+) -> List[LweSample]:
+    """Encrypted unsigned maximum of two integers."""
+    return select(evaluator, greater_than(evaluator, a, b), a, b)

@@ -1,0 +1,233 @@
+"""Homomorphic Boolean gates.
+
+Every two-input gate is a fixed affine combination of the input ciphertexts
+followed by a gate bootstrapping to the messages ``±1/8`` (Section 2,
+``Logic[c0, c1]``).  The affine combinations follow the reference TFHE
+library; e.g. a NAND gate computes ``(0, 1/8) − c_a − c_b`` and bootstraps the
+result, so the output encrypts *true* unless both inputs are true.
+
+``NOT`` and ``COPY``/``CONSTANT`` are purely linear and need no bootstrapping,
+which is why the paper reports the latency of the bootstrapped gates only
+(they are all dominated by the same bootstrapping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.tfhe.bootstrap import gate_bootstrap
+from repro.tfhe.keys import TFHECloudKey, TFHESecretKey
+from repro.tfhe.lwe import (
+    LweSample,
+    gate_message,
+    lwe_add,
+    lwe_add_constant,
+    lwe_decrypt_bit,
+    lwe_encrypt,
+    lwe_encrypt_trivial,
+    lwe_negate,
+    lwe_scale,
+    lwe_sub,
+)
+from repro.tfhe.torus import double_to_torus32
+from repro.utils.rng import SeedLike, make_rng
+
+#: Gate-bootstrapping message: 1/8 on the torus.
+MU = np.int32(double_to_torus32(0.125))
+
+
+@dataclass
+class GateCounters:
+    """Counts of evaluated gates and bootstrappings (for throughput reporting)."""
+
+    gates: int = 0
+    bootstraps: int = 0
+
+    def reset(self) -> None:
+        self.gates = 0
+        self.bootstraps = 0
+
+
+class TFHEGateEvaluator:
+    """Evaluates homomorphic Boolean gates with a given cloud key.
+
+    The evaluator is the main public entry point of the functional library::
+
+        secret, cloud = generate_keys(TEST_SMALL, rng=1)
+        evaluator = TFHEGateEvaluator(cloud)
+        c = evaluator.nand(encrypt_bit(secret, 1), encrypt_bit(secret, 0))
+    """
+
+    def __init__(self, cloud_key: TFHECloudKey) -> None:
+        self.cloud_key = cloud_key
+        self.counters = GateCounters()
+
+    # -- internal helpers --------------------------------------------------
+    def _bootstrap(self, sample: LweSample) -> LweSample:
+        self.counters.bootstraps += 1
+        return gate_bootstrap(
+            sample,
+            int(MU),
+            self.cloud_key.blind_rotator,
+            self.cloud_key.keyswitch_key,
+            self.cloud_key.params,
+        )
+
+    def _binary_gate(
+        self, offset_eighths: int, ca: LweSample, cb: LweSample, sign_a: int, sign_b: int
+    ) -> LweSample:
+        """Generic bootstrapped gate: ``(0, offset/8) + sign_a·ca + sign_b·cb``."""
+        self.counters.gates += 1
+        combined = lwe_encrypt_trivial(
+            ca.dimension, np.int32(offset_eighths * int(MU))
+        )
+        combined = lwe_add(combined, lwe_scale(sign_a, ca))
+        combined = lwe_add(combined, lwe_scale(sign_b, cb))
+        return self._bootstrap(combined)
+
+    # -- linear (bootstrapping-free) gates ----------------------------------
+    def constant(self, bit: int) -> LweSample:
+        """A trivial (noiseless) encryption of a public constant bit."""
+        self.counters.gates += 1
+        return lwe_encrypt_trivial(self.cloud_key.params.n, gate_message(bit))
+
+    def not_(self, ca: LweSample) -> LweSample:
+        """Homomorphic NOT: plain negation, no bootstrapping (Section 5)."""
+        self.counters.gates += 1
+        return lwe_negate(ca)
+
+    def copy(self, ca: LweSample) -> LweSample:
+        """Identity gate (returns a copy of the ciphertext)."""
+        self.counters.gates += 1
+        return ca.copy()
+
+    # -- bootstrapped two-input gates ---------------------------------------
+    def nand(self, ca: LweSample, cb: LweSample) -> LweSample:
+        """Homomorphic NAND: bootstrap of ``(0, 1/8) − ca − cb``."""
+        return self._binary_gate(1, ca, cb, -1, -1)
+
+    def and_(self, ca: LweSample, cb: LweSample) -> LweSample:
+        """Homomorphic AND: bootstrap of ``(0, −1/8) + ca + cb``."""
+        return self._binary_gate(-1, ca, cb, 1, 1)
+
+    def or_(self, ca: LweSample, cb: LweSample) -> LweSample:
+        """Homomorphic OR: bootstrap of ``(0, 1/8) + ca + cb``."""
+        return self._binary_gate(1, ca, cb, 1, 1)
+
+    def nor(self, ca: LweSample, cb: LweSample) -> LweSample:
+        """Homomorphic NOR: bootstrap of ``(0, −1/8) − ca − cb``."""
+        return self._binary_gate(-1, ca, cb, -1, -1)
+
+    def andny(self, ca: LweSample, cb: LweSample) -> LweSample:
+        """Homomorphic (NOT a) AND b."""
+        return self._binary_gate(-1, ca, cb, -1, 1)
+
+    def andyn(self, ca: LweSample, cb: LweSample) -> LweSample:
+        """Homomorphic a AND (NOT b)."""
+        return self._binary_gate(-1, ca, cb, 1, -1)
+
+    def orny(self, ca: LweSample, cb: LweSample) -> LweSample:
+        """Homomorphic (NOT a) OR b."""
+        return self._binary_gate(1, ca, cb, -1, 1)
+
+    def oryn(self, ca: LweSample, cb: LweSample) -> LweSample:
+        """Homomorphic a OR (NOT b)."""
+        return self._binary_gate(1, ca, cb, 1, -1)
+
+    def xor(self, ca: LweSample, cb: LweSample) -> LweSample:
+        """Homomorphic XOR: bootstrap of ``(0, 1/4) + 2·(ca + cb)``."""
+        self.counters.gates += 1
+        combined = lwe_encrypt_trivial(ca.dimension, np.int32(2 * int(MU)))
+        combined = lwe_add(combined, lwe_scale(2, lwe_add(ca, cb)))
+        return self._bootstrap(combined)
+
+    def xnor(self, ca: LweSample, cb: LweSample) -> LweSample:
+        """Homomorphic XNOR: bootstrap of ``(0, −1/4) − 2·(ca + cb)``."""
+        self.counters.gates += 1
+        combined = lwe_encrypt_trivial(ca.dimension, np.int32(-2 * int(MU)))
+        combined = lwe_sub(combined, lwe_scale(2, lwe_add(ca, cb)))
+        return self._bootstrap(combined)
+
+    def mux(self, sel: LweSample, if_true: LweSample, if_false: LweSample) -> LweSample:
+        """Homomorphic multiplexer ``sel ? if_true : if_false``.
+
+        Implemented as ``OR(AND(sel, if_true), ANDNY(sel, if_false))`` — three
+        bootstrapped gates.  (The TFHE library has a cheaper two-bootstrap MUX
+        using an intermediate key switch; the composition used here is the
+        simplest correct form.)
+        """
+        picked_true = self.and_(sel, if_true)
+        picked_false = self.andny(sel, if_false)
+        return self.or_(picked_true, picked_false)
+
+    #: Name → bound method lookup used by the circuit examples and benches.
+    GATE_NAMES = (
+        "nand",
+        "and",
+        "or",
+        "nor",
+        "xor",
+        "xnor",
+        "andny",
+        "andyn",
+        "orny",
+        "oryn",
+    )
+
+    def gate(self, name: str, ca: LweSample, cb: LweSample) -> LweSample:
+        """Evaluate a two-input gate by name (``"nand"``, ``"xor"``, ...)."""
+        table: Dict[str, Callable[[LweSample, LweSample], LweSample]] = {
+            "nand": self.nand,
+            "and": self.and_,
+            "or": self.or_,
+            "nor": self.nor,
+            "xor": self.xor,
+            "xnor": self.xnor,
+            "andny": self.andny,
+            "andyn": self.andyn,
+            "orny": self.orny,
+            "oryn": self.oryn,
+        }
+        if name not in table:
+            raise ValueError(f"unknown gate {name!r}")
+        return table[name](ca, cb)
+
+
+def encrypt_bit(secret: TFHESecretKey, bit: int, rng: SeedLike = None) -> LweSample:
+    """Client-side encryption of one Boolean as a gate-bootstrapping ciphertext."""
+    rng = make_rng(rng)
+    return lwe_encrypt(secret.lwe_key, gate_message(bit), rng=rng)
+
+
+def decrypt_bit(secret: TFHESecretKey, sample: LweSample) -> int:
+    """Client-side decryption of a gate-bootstrapping ciphertext."""
+    return lwe_decrypt_bit(secret.lwe_key, sample)
+
+
+def encrypt_bits(secret: TFHESecretKey, bits, rng: SeedLike = None):
+    """Encrypt an iterable of bits (least-significant first for integers)."""
+    rng = make_rng(rng)
+    return [encrypt_bit(secret, int(b), rng) for b in bits]
+
+
+def decrypt_bits(secret: TFHESecretKey, samples):
+    """Decrypt a list of ciphertexts back to a list of bits."""
+    return [decrypt_bit(secret, s) for s in samples]
+
+
+#: Plaintext truth tables used by the test-suite to check every gate.
+PLAINTEXT_GATES: Dict[str, Callable[[int, int], int]] = {
+    "nand": lambda a, b: 1 - (a & b),
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "nor": lambda a, b: 1 - (a | b),
+    "xor": lambda a, b: a ^ b,
+    "xnor": lambda a, b: 1 - (a ^ b),
+    "andny": lambda a, b: (1 - a) & b,
+    "andyn": lambda a, b: a & (1 - b),
+    "orny": lambda a, b: (1 - a) | b,
+    "oryn": lambda a, b: a | (1 - b),
+}

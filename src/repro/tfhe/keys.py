@@ -1,0 +1,142 @@
+"""Key material: secret keys, bootstrapping keys and the cloud key set.
+
+The client generates a :class:`TFHESecretKey` and derives from it a
+:class:`TFHECloudKey` (bootstrapping key + key-switching key) which is shipped
+to the server.  The cloud key also fixes the *evaluation backend*: the
+polynomial-multiplication engine (double-precision FFT, approximate integer
+FFT, or exact) and the blind-rotation strategy (classical CMux or unrolled
+BKU with a chosen ``m``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.tfhe.bootstrap import BlindRotator, CmuxBlindRotator
+from repro.tfhe.keyswitch import KeySwitchKey, keyswitch_key_generate
+from repro.tfhe.lwe import LweKey, lwe_key_generate
+from repro.tfhe.params import TFHEParameters
+from repro.tfhe.tgsw import TransformedTgswSample, tgsw_encrypt, tgsw_transform
+from repro.tfhe.tlwe import TlweKey, tlwe_extract_lwe_key, tlwe_key_generate
+from repro.tfhe.transform import NegacyclicTransform, make_transform
+from repro.utils.rng import SeedLike, make_rng
+
+
+@dataclass
+class TFHESecretKey:
+    """The client-side key material."""
+
+    params: TFHEParameters
+    lwe_key: LweKey
+    tlwe_key: TlweKey
+    extracted_key: LweKey
+
+
+@dataclass
+class TFHECloudKey:
+    """The server-side (public) evaluation key material.
+
+    ``blind_rotator`` encapsulates the bootstrapping key together with the
+    blind-rotation strategy; ``unroll_factor`` records the BKU factor ``m``
+    it was built for (1 = classical).
+    """
+
+    params: TFHEParameters
+    blind_rotator: BlindRotator
+    keyswitch_key: KeySwitchKey
+    transform: NegacyclicTransform
+    unroll_factor: int
+
+
+def generate_secret_key(
+    params: TFHEParameters, rng: SeedLike = None
+) -> TFHESecretKey:
+    """Generate the LWE and ring keys of a client."""
+    rng = make_rng(rng)
+    lwe_key = lwe_key_generate(params.lwe, rng)
+    tlwe_key = tlwe_key_generate(params.tlwe, rng)
+    extracted = tlwe_extract_lwe_key(tlwe_key)
+    return TFHESecretKey(
+        params=params, lwe_key=lwe_key, tlwe_key=tlwe_key, extracted_key=extracted
+    )
+
+
+def generate_standard_bootstrapping_key(
+    secret: TFHESecretKey,
+    transform: NegacyclicTransform,
+    rng: SeedLike = None,
+) -> List[TransformedTgswSample]:
+    """The classical bootstrapping key: one TGSW encryption of each LWE key bit."""
+    rng = make_rng(rng)
+    params = secret.params
+    key_bits = secret.lwe_key.key
+    bootstrapping_key = []
+    for i in range(params.n):
+        sample = tgsw_encrypt(
+            secret.tlwe_key,
+            int(key_bits[i]),
+            params.tgsw,
+            transform,
+            noise_stddev=params.tlwe.noise_stddev,
+            rng=rng,
+        )
+        bootstrapping_key.append(tgsw_transform(sample, transform))
+    return bootstrapping_key
+
+
+def generate_cloud_key(
+    secret: TFHESecretKey,
+    transform: Optional[NegacyclicTransform] = None,
+    unroll_factor: int = 1,
+    rng: SeedLike = None,
+) -> TFHECloudKey:
+    """Derive the server-side evaluation key from a secret key.
+
+    ``unroll_factor`` selects the blind-rotation strategy: ``1`` builds the
+    classical CMux rotator, ``m >= 2`` builds the BKU rotator of
+    :mod:`repro.core.bku` with ``2^m − 1`` TGSW keys per group of ``m`` LWE
+    key bits.
+    """
+    rng = make_rng(rng)
+    params = secret.params
+    if transform is None:
+        transform = make_transform("double", params.N)
+    if unroll_factor < 1:
+        raise ValueError("unroll factor must be >= 1")
+
+    if unroll_factor == 1:
+        bootstrapping_key = generate_standard_bootstrapping_key(secret, transform, rng)
+        rotator: BlindRotator = CmuxBlindRotator(bootstrapping_key, transform)
+    else:
+        # Imported lazily: repro.core builds on repro.tfhe, not the reverse.
+        from repro.core.bku import UnrolledBlindRotator, generate_unrolled_bootstrapping_key
+
+        unrolled_key = generate_unrolled_bootstrapping_key(
+            secret, transform, unroll_factor, rng
+        )
+        rotator = UnrolledBlindRotator(unrolled_key, transform)
+
+    keyswitch_key = keyswitch_key_generate(
+        secret.extracted_key, secret.lwe_key, params.keyswitch, rng
+    )
+    return TFHECloudKey(
+        params=params,
+        blind_rotator=rotator,
+        keyswitch_key=keyswitch_key,
+        transform=transform,
+        unroll_factor=unroll_factor,
+    )
+
+
+def generate_keys(
+    params: TFHEParameters,
+    transform: Optional[NegacyclicTransform] = None,
+    unroll_factor: int = 1,
+    rng: SeedLike = None,
+) -> tuple[TFHESecretKey, TFHECloudKey]:
+    """Generate a matching (secret key, cloud key) pair in one call."""
+    rng = make_rng(rng)
+    secret = generate_secret_key(params, rng)
+    cloud = generate_cloud_key(secret, transform, unroll_factor, rng)
+    return secret, cloud

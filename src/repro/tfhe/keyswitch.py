@@ -1,0 +1,107 @@
+"""LWE key switching.
+
+After ``SampleExtract`` the bootstrapped ciphertext lives under the extracted
+ring key of dimension ``k·N``; the ``KeySwitch`` step (last line of
+Algorithm 1) converts it back to the original ``n``-dimensional LWE key so the
+output of one gate can feed the next.
+
+The key-switching key encrypts, for every bit ``i`` of the input key, every
+digit position ``j`` and every digit value ``v``, the torus element
+``v · key_in[i] / base^j``.  Switching decomposes each mask coefficient of the
+input sample into ``t`` base-``2^basebit`` digits and subtracts the matching
+key-switching samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tfhe.lwe import LweKey, LweSample
+from repro.tfhe.params import KeySwitchParams
+from repro.tfhe.torus import torus32_from_int64
+from repro.utils.rng import SeedLike, make_rng
+
+
+@dataclass
+class KeySwitchKey:
+    """Key-switching key from an input LWE key to an output LWE key.
+
+    ``data`` has shape ``(n_in, t, base, n_out + 1)``: the last axis packs the
+    mask ``a`` (first ``n_out`` entries) and the body ``b`` (last entry) of
+    each key-switching sample.
+    """
+
+    params: KeySwitchParams
+    data: np.ndarray
+    input_dimension: int
+    output_dimension: int
+
+
+def keyswitch_key_generate(
+    input_key: LweKey,
+    output_key: LweKey,
+    params: KeySwitchParams,
+    rng: SeedLike = None,
+) -> KeySwitchKey:
+    """Generate the key-switching key ``KS_{input_key -> output_key}``."""
+    rng = make_rng(rng)
+    n_in = input_key.dimension
+    n_out = output_key.dimension
+    base = params.base
+    t = params.length
+
+    data = np.zeros((n_in, t, base, n_out + 1), dtype=np.int32)
+    in_bits = input_key.key.astype(np.int64)
+    out_bits = output_key.key.astype(np.int64)
+
+    # Vectorised generation: sample all masks and noises in one shot.
+    a = rng.integers(
+        low=-(2**31), high=2**31, size=(n_in, t, base, n_out), dtype=np.int64
+    )
+    noise = np.round(
+        rng.normal(0.0, params.noise_stddev, size=(n_in, t, base)) * (2.0**32)
+    ).astype(np.int64)
+
+    digit_values = np.arange(base, dtype=np.int64)
+    for j in range(t):
+        shift = 32 - params.base_bits * (j + 1)
+        if shift < 0:
+            raise ValueError("key-switch decomposition exceeds 32 bits")
+        # message[i, v] = v * key_in[i] * 2^shift
+        message = (digit_values[None, :] * in_bits[:, None]) << shift
+        phase = a[:, j, :, :] @ out_bits
+        b = torus32_from_int64(phase + noise[:, j, :] + message)
+        data[:, j, :, :n_out] = torus32_from_int64(a[:, j, :, :])
+        data[:, j, :, n_out] = b
+    return KeySwitchKey(
+        params=params, data=data, input_dimension=n_in, output_dimension=n_out
+    )
+
+
+def keyswitch_apply(ks: KeySwitchKey, sample: LweSample) -> LweSample:
+    """Switch ``sample`` (under the input key) to the output key."""
+    if sample.dimension != ks.input_dimension:
+        raise ValueError("sample dimension does not match key-switching key")
+    params = ks.params
+    base_bits = params.base_bits
+    t = params.length
+    mask = params.base - 1
+    n_out = ks.output_dimension
+
+    # Round the mask coefficients to the precision kept by the decomposition.
+    rounding = 1 << (32 - base_bits * t - 1) if 32 - base_bits * t - 1 >= 0 else 0
+    a_in = (sample.a.astype(np.int64) & 0xFFFFFFFF) + rounding
+
+    shifts = np.array([32 - base_bits * (j + 1) for j in range(t)], dtype=np.int64)
+    digits = ((a_in[:, None] >> shifts[None, :]) & mask).astype(np.int64)  # (n_in, t)
+
+    selected = ks.data[
+        np.arange(ks.input_dimension)[:, None], np.arange(t)[None, :], digits
+    ]  # (n_in, t, n_out + 1)
+    totals = selected.astype(np.int64).sum(axis=(0, 1))
+
+    a_out = torus32_from_int64(-totals[:n_out])
+    b_out = torus32_from_int64(int(np.int64(sample.b)) - int(totals[n_out]))
+    return LweSample(a=a_out, b=np.int32(b_out))

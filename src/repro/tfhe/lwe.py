@@ -1,0 +1,144 @@
+"""Scalar TLWE (LWE over the torus) encryption.
+
+A TLWE sample under a binary secret key ``s ∈ B^n`` is a pair ``(a, b)`` with
+``a`` uniform in ``T^n`` and ``b = a·s + e + m`` where ``e`` is Gaussian noise
+and ``m`` the torus-encoded message (Section 2 of the paper).  Gate
+bootstrapping encodes Boolean messages at the torus points ``±1/8``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tfhe.params import LweParams
+from repro.tfhe.torus import (
+    double_to_torus32,
+    gaussian_torus32,
+    torus32_from_int64,
+    torus32_to_double,
+    uniform_torus32,
+)
+from repro.utils.rng import SeedLike, make_rng
+
+
+@dataclass
+class LweSample:
+    """A scalar LWE ciphertext ``(a, b)`` over the discretised torus."""
+
+    a: np.ndarray  # int32[n]
+    b: np.int32
+
+    @property
+    def dimension(self) -> int:
+        return int(self.a.shape[0])
+
+    def copy(self) -> "LweSample":
+        return LweSample(self.a.copy(), np.int32(self.b))
+
+
+@dataclass
+class LweKey:
+    """A binary LWE secret key."""
+
+    params: LweParams
+    key: np.ndarray  # int32[n] with entries in {0, 1}
+
+    @property
+    def dimension(self) -> int:
+        return int(self.key.shape[0])
+
+
+def lwe_key_generate(params: LweParams, rng: SeedLike = None) -> LweKey:
+    """Sample a uniform binary secret key ``s ← B^n``."""
+    rng = make_rng(rng)
+    key = rng.integers(0, 2, size=params.dimension, dtype=np.int64).astype(np.int32)
+    return LweKey(params=params, key=key)
+
+
+def lwe_encrypt(
+    key: LweKey,
+    message: np.int32,
+    noise_stddev: float | None = None,
+    rng: SeedLike = None,
+) -> LweSample:
+    """Encrypt a torus message: ``b = a·s + e + message``."""
+    rng = make_rng(rng)
+    stddev = key.params.noise_stddev if noise_stddev is None else noise_stddev
+    a = uniform_torus32(key.dimension, rng)
+    noise = gaussian_torus32(stddev, size=None, rng=rng)
+    phase = int(np.dot(a.astype(np.int64), key.key.astype(np.int64)))
+    b = torus32_from_int64(phase + int(noise) + int(np.int64(message)))
+    return LweSample(a=a, b=np.int32(b))
+
+
+def lwe_encrypt_trivial(dimension: int, message: np.int32) -> LweSample:
+    """A noiseless, keyless ("trivial") encryption: ``a = 0, b = message``.
+
+    Trivial samples encrypt public constants; they are used for the constant
+    gate and as the starting accumulator of a bootstrapping.
+    """
+    return LweSample(a=np.zeros(dimension, dtype=np.int32), b=np.int32(message))
+
+
+def lwe_phase(key: LweKey, sample: LweSample) -> np.int32:
+    """The phase ``b - a·s`` (message plus noise) of a sample."""
+    dot = int(np.dot(sample.a.astype(np.int64), key.key.astype(np.int64)))
+    return np.int32(torus32_from_int64(int(np.int64(sample.b)) - dot))
+
+
+def lwe_decrypt_bit(key: LweKey, sample: LweSample) -> int:
+    """Decrypt a gate-bootstrapping ciphertext (messages at ``±1/8``) to a bit.
+
+    Decryption follows the paper's description: the phase is computed and
+    the noise is rounded away by looking only at its sign.
+    """
+    phase = lwe_phase(key, sample)
+    return int(phase > 0)
+
+
+def lwe_noise(key: LweKey, sample: LweSample, message: np.int32) -> float:
+    """The (signed, real-valued) noise of a sample given its true message."""
+    phase = lwe_phase(key, sample)
+    return float(torus32_to_double(torus32_from_int64(int(phase) - int(np.int64(message)))))
+
+
+def lwe_add(x: LweSample, y: LweSample) -> LweSample:
+    """Homomorphic addition of two LWE samples."""
+    a = torus32_from_int64(x.a.astype(np.int64) + y.a.astype(np.int64))
+    b = torus32_from_int64(int(np.int64(x.b)) + int(np.int64(y.b)))
+    return LweSample(a=a, b=np.int32(b))
+
+
+def lwe_sub(x: LweSample, y: LweSample) -> LweSample:
+    """Homomorphic subtraction of two LWE samples."""
+    a = torus32_from_int64(x.a.astype(np.int64) - y.a.astype(np.int64))
+    b = torus32_from_int64(int(np.int64(x.b)) - int(np.int64(y.b)))
+    return LweSample(a=a, b=np.int32(b))
+
+
+def lwe_negate(x: LweSample) -> LweSample:
+    """Homomorphic negation of an LWE sample."""
+    a = torus32_from_int64(-x.a.astype(np.int64))
+    b = torus32_from_int64(-int(np.int64(x.b)))
+    return LweSample(a=a, b=np.int32(b))
+
+
+def lwe_scale(scalar: int, x: LweSample) -> LweSample:
+    """Multiply an LWE sample by a small public integer."""
+    a = torus32_from_int64(int(scalar) * x.a.astype(np.int64))
+    b = torus32_from_int64(int(scalar) * int(np.int64(x.b)))
+    return LweSample(a=a, b=np.int32(b))
+
+
+def lwe_add_constant(x: LweSample, constant: np.int32) -> LweSample:
+    """Add a public torus constant to the message of an LWE sample."""
+    b = torus32_from_int64(int(np.int64(x.b)) + int(np.int64(constant)))
+    return LweSample(a=x.a.copy(), b=np.int32(b))
+
+
+def gate_message(bit: int) -> np.int32:
+    """Torus encoding of a Boolean for gate bootstrapping: ``±1/8``."""
+    mu = double_to_torus32(0.125)
+    return np.int32(mu if bit else -mu)

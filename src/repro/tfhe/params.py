@@ -1,0 +1,190 @@
+"""TFHE parameter sets.
+
+The paper evaluates the standard 110-bit-security TFHE parameters of the
+reference library (Section 5): ring degree ``N = 1024``, TLWE dimension
+``k = 1``, gadget base ``Bg = 1024`` with decomposition length ``l = 3`` and
+LWE dimension ``n = 630``.  Bootstrapping a gate with those parameters in pure
+Python takes seconds, so the test suite mostly uses reduced parameter sets
+whose noise budgets are scaled to keep gates correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class LweParams:
+    """Parameters of the scalar (T)LWE encryption layer."""
+
+    dimension: int
+    noise_stddev: float
+
+    def __post_init__(self) -> None:
+        if self.dimension <= 0:
+            raise ValueError("LWE dimension must be positive")
+        if not 0 <= self.noise_stddev < 1:
+            raise ValueError("noise stddev must lie in [0, 1)")
+
+
+@dataclass(frozen=True)
+class TlweParams:
+    """Parameters of the ring (TRLWE) encryption layer."""
+
+    degree: int
+    mask_count: int
+    noise_stddev: float
+
+    def __post_init__(self) -> None:
+        if self.degree <= 0 or self.degree & (self.degree - 1):
+            raise ValueError("ring degree must be a power of two")
+        if self.mask_count <= 0:
+            raise ValueError("mask count k must be positive")
+        if not 0 <= self.noise_stddev < 1:
+            raise ValueError("noise stddev must lie in [0, 1)")
+
+    @property
+    def extracted_lwe_dimension(self) -> int:
+        """Dimension of the LWE key extracted from the ring key."""
+        return self.degree * self.mask_count
+
+
+@dataclass(frozen=True)
+class TgswParams:
+    """Parameters of the TGSW (gadget) layer used for bootstrapping keys."""
+
+    decomp_length: int
+    decomp_base_bits: int
+
+    def __post_init__(self) -> None:
+        if self.decomp_length <= 0:
+            raise ValueError("decomposition length l must be positive")
+        if not 1 <= self.decomp_base_bits <= 31:
+            raise ValueError("decomposition base bits must lie in [1, 31]")
+
+    @property
+    def base(self) -> int:
+        """The gadget decomposition base ``Bg``."""
+        return 1 << self.decomp_base_bits
+
+
+@dataclass(frozen=True)
+class KeySwitchParams:
+    """Parameters of the LWE key-switching key."""
+
+    base_bits: int
+    length: int
+    noise_stddev: float
+
+    def __post_init__(self) -> None:
+        if self.base_bits <= 0:
+            raise ValueError("key-switch base bits must be positive")
+        if self.length <= 0:
+            raise ValueError("key-switch length must be positive")
+
+    @property
+    def base(self) -> int:
+        return 1 << self.base_bits
+
+
+@dataclass(frozen=True)
+class TFHEParameters:
+    """A complete TFHE gate-bootstrapping parameter set."""
+
+    name: str
+    security_bits: int
+    lwe: LweParams
+    tlwe: TlweParams
+    tgsw: TgswParams
+    keyswitch: KeySwitchParams
+    #: Plaintext space used by gate bootstrapping (messages at +-1/8).
+    message_space: int = 8
+
+    @property
+    def n(self) -> int:
+        """LWE dimension (the paper's ``n``)."""
+        return self.lwe.dimension
+
+    @property
+    def N(self) -> int:  # noqa: N802 - matches the paper's notation
+        """Ring polynomial degree (the paper's ``N``)."""
+        return self.tlwe.degree
+
+    @property
+    def k(self) -> int:
+        """TLWE mask count (the paper's ``k``)."""
+        return self.tlwe.mask_count
+
+    @property
+    def l(self) -> int:
+        """Gadget decomposition length (the paper's ``l``)."""
+        return self.tgsw.decomp_length
+
+    @property
+    def Bg(self) -> int:  # noqa: N802 - matches the paper's notation
+        """Gadget decomposition base (the paper's ``Bg``)."""
+        return self.tgsw.base
+
+    def describe(self) -> str:
+        """One-line human readable summary of the parameter set."""
+        return (
+            f"{self.name}: n={self.n}, N={self.N}, k={self.k}, "
+            f"Bg=2^{self.tgsw.decomp_base_bits}, l={self.l}, "
+            f"ks=2^{self.keyswitch.base_bits}x{self.keyswitch.length}, "
+            f"~{self.security_bits}-bit security"
+        )
+
+
+#: The paper's parameter set (Section 5): standard 110-bit security TFHE
+#: parameters with N=1024, k=1, Bg=1024, l=3 and n=630.
+PAPER_110BIT = TFHEParameters(
+    name="paper-110bit",
+    security_bits=110,
+    lwe=LweParams(dimension=630, noise_stddev=2.44e-5),
+    tlwe=TlweParams(degree=1024, mask_count=1, noise_stddev=3.73e-9),
+    tgsw=TgswParams(decomp_length=3, decomp_base_bits=10),
+    keyswitch=KeySwitchParams(base_bits=2, length=8, noise_stddev=2.44e-5),
+)
+
+#: Reduced parameters for the functional test-suite.  The ring and LWE
+#: dimensions are shrunk aggressively and the noise is shrunk accordingly so
+#: gate bootstrapping still decrypts correctly; there is **no** security claim.
+TEST_SMALL = TFHEParameters(
+    name="test-small",
+    security_bits=0,
+    lwe=LweParams(dimension=32, noise_stddev=2.0**-20),
+    tlwe=TlweParams(degree=128, mask_count=1, noise_stddev=2.0**-28),
+    tgsw=TgswParams(decomp_length=3, decomp_base_bits=8),
+    keyswitch=KeySwitchParams(base_bits=4, length=5, noise_stddev=2.0**-20),
+)
+
+#: An even smaller set for property-based tests that bootstrap many times.
+TEST_TINY = TFHEParameters(
+    name="test-tiny",
+    security_bits=0,
+    lwe=LweParams(dimension=16, noise_stddev=2.0**-22),
+    tlwe=TlweParams(degree=64, mask_count=1, noise_stddev=2.0**-30),
+    tgsw=TgswParams(decomp_length=2, decomp_base_bits=10),
+    keyswitch=KeySwitchParams(base_bits=5, length=4, noise_stddev=2.0**-22),
+)
+
+#: Mid-size parameters used by integration tests that want a realistic ring
+#: degree without the cost of the full 110-bit LWE dimension.
+TEST_MEDIUM = TFHEParameters(
+    name="test-medium",
+    security_bits=0,
+    lwe=LweParams(dimension=64, noise_stddev=2.0**-20),
+    tlwe=TlweParams(degree=512, mask_count=1, noise_stddev=2.0**-28),
+    tgsw=TgswParams(decomp_length=3, decomp_base_bits=10),
+    keyswitch=KeySwitchParams(base_bits=4, length=5, noise_stddev=2.0**-20),
+)
+
+PARAMETER_SETS = {
+    params.name: params
+    for params in (PAPER_110BIT, TEST_SMALL, TEST_TINY, TEST_MEDIUM)
+}
+
+
+def get_parameters(name: str) -> TFHEParameters:
+    """Look up a named parameter set (raises ``KeyError`` for unknown names)."""
+    return PARAMETER_SETS[name]

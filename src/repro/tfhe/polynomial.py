@@ -1,0 +1,132 @@
+"""Negacyclic polynomial arithmetic.
+
+TFHE works in the rings ``Z_N[X] = Z[X]/(X^N + 1)`` (integer polynomials) and
+``T_N[X] = T[X]/(X^N + 1)`` (torus polynomials).  Both are represented as
+NumPy ``int32``/``int64`` coefficient vectors of length ``N`` with coefficient
+``i`` holding the coefficient of ``X^i``.
+
+The quotient by ``X^N + 1`` makes multiplication *negacyclic*: ``X^N = -1``,
+so rotating a polynomial by ``k`` positions negates the coefficients that wrap
+around.  This module provides the exact (schoolbook) negacyclic product used
+as ground truth by the FFT engines, together with the rotation and
+add/subtract primitives that the bootstrapping loop needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tfhe.torus import torus32_from_int64
+
+
+def zero_torus_polynomial(degree: int) -> np.ndarray:
+    """Return the all-zero torus polynomial of the given ring degree."""
+    return np.zeros(degree, dtype=np.int32)
+
+
+def constant_torus_polynomial(degree: int, constant: int) -> np.ndarray:
+    """Return the torus polynomial whose constant term is ``constant``."""
+    poly = np.zeros(degree, dtype=np.int32)
+    poly[0] = np.int32(np.int64(constant) & 0xFFFFFFFF)
+    return poly
+
+
+def poly_add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Coefficient-wise torus addition (wrap-around int32)."""
+    return torus32_from_int64(a.astype(np.int64) + b.astype(np.int64))
+
+
+def poly_sub(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Coefficient-wise torus subtraction (wrap-around int32)."""
+    return torus32_from_int64(a.astype(np.int64) - b.astype(np.int64))
+
+
+def poly_neg(a: np.ndarray) -> np.ndarray:
+    """Coefficient-wise torus negation."""
+    return torus32_from_int64(-a.astype(np.int64))
+
+
+def poly_scale(scalar: int, a: np.ndarray) -> np.ndarray:
+    """Multiply every coefficient by a (signed) integer scalar."""
+    return torus32_from_int64(int(scalar) * a.astype(np.int64))
+
+
+def poly_mul_by_xk(poly: np.ndarray, power: int) -> np.ndarray:
+    """Multiply a polynomial by ``X^power`` modulo ``X^N + 1``.
+
+    ``power`` may be any integer; it is reduced modulo ``2N`` because
+    ``X^{2N} = 1`` in the quotient ring.  Coefficients that wrap past the
+    degree boundary are negated (negacyclic rotation).
+    """
+    degree = poly.shape[-1]
+    power = int(power) % (2 * degree)
+    negate_all = power >= degree
+    shift = power % degree
+
+    rotated = np.empty(poly.shape, dtype=np.int32)
+    if shift == 0:
+        rotated[...] = poly
+    else:
+        rotated[..., shift:] = poly[..., : degree - shift]
+        rotated[..., :shift] = torus32_from_int64(
+            -poly[..., degree - shift :].astype(np.int64)
+        )
+    if negate_all:
+        rotated = torus32_from_int64(-rotated.astype(np.int64))
+    return rotated.astype(np.int32)
+
+
+def poly_mul_by_xk_minus_one(poly: np.ndarray, power: int) -> np.ndarray:
+    """Compute ``(X^power - 1) * poly`` modulo ``X^N + 1``.
+
+    This is the scaling applied to bootstrapping keys when building the
+    blind-rotation accumulator update (Algorithm 1 line 6 and the BKU bundle
+    construction of Figure 5).
+    """
+    return poly_sub(poly_mul_by_xk(poly, power), poly)
+
+
+def negacyclic_convolution(int_poly: np.ndarray, torus_poly: np.ndarray) -> np.ndarray:
+    """Exact negacyclic product of an integer polynomial and a torus polynomial.
+
+    Schoolbook ``O(N^2)`` evaluation used as the ground truth the FFT engines
+    are validated against, and as the polynomial-multiplication backend for the
+    tiny test parameter sets where it is actually faster than an FFT.
+
+    The result is reduced onto the 32-bit torus.
+    """
+    int_poly = np.asarray(int_poly, dtype=np.int64)
+    torus_poly = np.asarray(torus_poly, dtype=np.int64)
+    degree = int_poly.shape[0]
+    if torus_poly.shape[0] != degree:
+        raise ValueError("polynomial degrees do not match")
+
+    # Full linear convolution, then fold the upper half back in with negation
+    # (X^N = -1).
+    full = np.convolve(int_poly, torus_poly)
+    folded = full[:degree].copy()
+    folded[: degree - 1] -= full[degree:]
+    return torus32_from_int64(folded)
+
+
+def negacyclic_convolution_int64(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Exact negacyclic product of two integer polynomials, kept in int64.
+
+    Unlike :func:`negacyclic_convolution` the result is *not* reduced onto the
+    torus; the FFT error-measurement harness (Figure 8) needs the full-width
+    integer reference to express the approximation error in dB.
+    """
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    degree = a.shape[0]
+    if b.shape[0] != degree:
+        raise ValueError("polynomial degrees do not match")
+    full = np.convolve(a, b)
+    folded = full[:degree].copy()
+    folded[: degree - 1] -= full[degree:]
+    return folded
+
+
+def poly_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    """Exact coefficient-wise equality of two polynomials."""
+    return bool(np.array_equal(np.asarray(a, dtype=np.int32), np.asarray(b, dtype=np.int32)))

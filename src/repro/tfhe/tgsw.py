@@ -1,0 +1,279 @@
+"""TGSW samples, gadget decomposition and the external product.
+
+TGSW is the matrix extension of TLWE (Section 2): a TGSW sample of a message
+``mu`` is a stack of ``(k+1)·l`` TLWE encryptions of zero to which the gadget
+``mu·h`` is added, where ``h`` is the gadget matrix whose rows contain the
+constants ``1/Bg, 1/Bg^2, ..., 1/Bg^l`` in each of the ``k+1`` polynomial
+positions.
+
+The *external product* ``⊡ : TGSW × TLWE → TLWE`` multiplies the messages of
+its operands; it is the homomorphic CMux/blind-rotation workhorse of
+Algorithm 1 line 7 and by far the dominant computation of a TFHE gate, since
+each external product performs ``(k+1)·l`` forward transforms and ``k+1``
+backward transforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.tfhe.params import TgswParams, TlweParams
+from repro.tfhe.tlwe import TlweKey, TlweSample, tlwe_encrypt, tlwe_zero
+from repro.tfhe.torus import torus32_from_int64
+from repro.tfhe.transform import NegacyclicTransform, Spectrum
+from repro.utils.rng import SeedLike, make_rng
+
+
+@dataclass
+class TgswSample:
+    """A TGSW ciphertext: ``(k+1)·l`` TLWE rows of ``k+1`` polynomials each.
+
+    ``data`` has shape ``((k+1)·l, k+1, N)``.
+    """
+
+    data: np.ndarray
+    params: TgswParams
+
+    @property
+    def rows(self) -> int:
+        return int(self.data.shape[0])
+
+    @property
+    def mask_count(self) -> int:
+        return int(self.data.shape[1]) - 1
+
+    @property
+    def degree(self) -> int:
+        return int(self.data.shape[2])
+
+    def copy(self) -> "TgswSample":
+        return TgswSample(self.data.copy(), self.params)
+
+
+@dataclass
+class TransformedTgswSample:
+    """A TGSW sample whose polynomials are kept in the Lagrange domain.
+
+    Bootstrapping keys are transformed once at key-generation time; the
+    blind-rotation loop then only transforms the (small) decomposed
+    accumulator polynomials.  ``spectra[row][col]`` is the spectrum of the
+    corresponding polynomial of the coefficient-domain sample.
+    """
+
+    spectra: List[List[Spectrum]]
+    params: TgswParams
+    mask_count: int
+    degree: int
+
+    @property
+    def rows(self) -> int:
+        return len(self.spectra)
+
+
+def gadget_values(params: TgswParams) -> np.ndarray:
+    """The torus constants ``Bg^{-1}, ..., Bg^{-l}`` of the gadget matrix."""
+    shifts = [32 - params.decomp_base_bits * (j + 1) for j in range(params.decomp_length)]
+    return np.array(
+        [(1 << s) if s >= 0 else 0 for s in shifts], dtype=np.int64
+    ).astype(np.uint32).astype(np.int32)
+
+
+def decomposition_offset(params: TgswParams) -> int:
+    """The rounding offset added before digit extraction (TFHE's ``offset``)."""
+    offset = 0
+    base_bits = params.decomp_base_bits
+    half_base = 1 << (base_bits - 1)
+    for j in range(1, params.decomp_length + 1):
+        shift = 32 - j * base_bits
+        if shift >= 0:
+            offset += half_base << shift
+    return offset & 0xFFFFFFFF
+
+
+def gadget_decompose(
+    poly: np.ndarray, params: TgswParams
+) -> np.ndarray:
+    """Signed gadget decomposition of a torus polynomial.
+
+    Returns an ``(l, N)`` int32 array of digits in ``[-Bg/2, Bg/2)`` such that
+    ``Σ_j digits[j]·Bg^{-j-1}`` approximates every coefficient of ``poly`` up
+    to the decomposition rounding error ``<= Bg^{-l}/2``.
+    """
+    base_bits = params.decomp_base_bits
+    mask = (1 << base_bits) - 1
+    half_base = 1 << (base_bits - 1)
+    offset = decomposition_offset(params)
+
+    shifted = (np.asarray(poly, dtype=np.int64) & 0xFFFFFFFF) + offset
+    digits = np.empty((params.decomp_length, poly.shape[-1]), dtype=np.int32)
+    for j in range(params.decomp_length):
+        shift = 32 - (j + 1) * base_bits
+        digits[j] = (((shifted >> shift) & mask) - half_base).astype(np.int32)
+    return digits
+
+
+def gadget_recompose(digits: np.ndarray, params: TgswParams) -> np.ndarray:
+    """Recompose decomposition digits back onto the torus (for testing)."""
+    gadget = gadget_values(params).astype(np.int64)
+    total = np.zeros(digits.shape[-1], dtype=np.int64)
+    for j in range(params.decomp_length):
+        total += digits[j].astype(np.int64) * gadget[j]
+    return torus32_from_int64(total)
+
+
+def tgsw_encrypt_zero(
+    key: TlweKey,
+    params: TgswParams,
+    transform: NegacyclicTransform,
+    noise_stddev: float | None = None,
+    rng: SeedLike = None,
+) -> TgswSample:
+    """A TGSW encryption of zero: a stack of TLWE encryptions of zero."""
+    rng = make_rng(rng)
+    tlwe_params = key.params
+    rows = (tlwe_params.mask_count + 1) * params.decomp_length
+    zero_message = np.zeros(tlwe_params.degree, dtype=np.int32)
+    data = np.zeros(
+        (rows, tlwe_params.mask_count + 1, tlwe_params.degree), dtype=np.int32
+    )
+    for row in range(rows):
+        sample = tlwe_encrypt(key, zero_message, transform, noise_stddev, rng)
+        data[row] = sample.data
+    return TgswSample(data=data, params=params)
+
+
+def tgsw_add_gadget(sample: TgswSample, message: int) -> TgswSample:
+    """Add ``message·h`` (the scaled gadget matrix) to a TGSW encryption of zero.
+
+    ``message`` is a small integer (the bootstrapping keys encrypt secret-key
+    bits and bit products, so it is 0 or 1).
+    """
+    params = sample.params
+    k = sample.mask_count
+    gadget = gadget_values(params).astype(np.int64)
+    data = sample.data.copy()
+    for block in range(k + 1):
+        for j in range(params.decomp_length):
+            row = block * params.decomp_length + j
+            data[row, block, 0] = np.int32(
+                torus32_from_int64(
+                    data[row, block, 0].astype(np.int64) + int(message) * gadget[j]
+                )
+            )
+    return TgswSample(data=data, params=params)
+
+
+def tgsw_encrypt(
+    key: TlweKey,
+    message: int,
+    params: TgswParams,
+    transform: NegacyclicTransform,
+    noise_stddev: float | None = None,
+    rng: SeedLike = None,
+) -> TgswSample:
+    """TGSW encryption of a small integer message (0 or 1 for bootstrapping keys)."""
+    zero = tgsw_encrypt_zero(key, params, transform, noise_stddev, rng)
+    return tgsw_add_gadget(zero, message)
+
+
+def tgsw_identity(
+    tlwe_params: TlweParams, params: TgswParams
+) -> TgswSample:
+    """The noiseless gadget matrix ``h`` itself (a trivial TGSW sample of 1).
+
+    The BKU bundle construction of Figure 5 starts from ``h`` ("+1" term) and
+    adds the scaled bootstrapping keys to it.
+    """
+    rows = (tlwe_params.mask_count + 1) * params.decomp_length
+    data = np.zeros(
+        (rows, tlwe_params.mask_count + 1, tlwe_params.degree), dtype=np.int32
+    )
+    sample = TgswSample(data=data, params=params)
+    return tgsw_add_gadget(sample, 1)
+
+
+def tgsw_transform(
+    sample: TgswSample, transform: NegacyclicTransform
+) -> TransformedTgswSample:
+    """Move every polynomial of a TGSW sample into the Lagrange domain."""
+    spectra: List[List[Spectrum]] = []
+    for row in range(sample.rows):
+        row_spectra = [
+            transform.forward(sample.data[row, col])
+            for col in range(sample.mask_count + 1)
+        ]
+        spectra.append(row_spectra)
+    return TransformedTgswSample(
+        spectra=spectra,
+        params=sample.params,
+        mask_count=sample.mask_count,
+        degree=sample.degree,
+    )
+
+
+def tgsw_external_product(
+    tgsw: TransformedTgswSample,
+    tlwe: TlweSample,
+    transform: NegacyclicTransform,
+) -> TlweSample:
+    """The external product ``TGSW ⊡ TLWE → TLWE`` (Algorithm 1 line 7).
+
+    The TLWE operand is gadget-decomposed into ``(k+1)·l`` small integer
+    polynomials; each is transformed, multiplied with the corresponding row of
+    the (pre-transformed) TGSW operand and accumulated in the Lagrange domain;
+    one backward transform per output polynomial produces the result.
+    """
+    from repro.tfhe.tgsw import gadget_decompose  # local alias for clarity
+
+    params = tgsw.params
+    k = tgsw.mask_count
+    degree = tgsw.degree
+    if tlwe.degree != degree or tlwe.mask_count != k:
+        raise ValueError("TGSW and TLWE operands are incompatible")
+
+    decomposed: List[np.ndarray] = []
+    for block in range(k + 1):
+        digits = gadget_decompose(tlwe.data[block], params)
+        decomposed.extend(digits[j] for j in range(params.decomp_length))
+
+    dec_spectra = [transform.forward(d) for d in decomposed]
+
+    result = np.zeros((k + 1, degree), dtype=np.int32)
+    for col in range(k + 1):
+        acc = transform.spectrum_zero()
+        for row in range(tgsw.rows):
+            acc = transform.spectrum_add(
+                acc, transform.spectrum_mul(dec_spectra[row], tgsw.spectra[row][col])
+            )
+        result[col] = torus32_from_int64(transform.backward(acc))
+    return TlweSample(result)
+
+
+def tgsw_external_product_plain(
+    tgsw: TgswSample,
+    tlwe: TlweSample,
+    transform: NegacyclicTransform,
+) -> TlweSample:
+    """External product with a coefficient-domain TGSW operand (convenience)."""
+    return tgsw_external_product(tgsw_transform(tgsw, transform), tlwe, transform)
+
+
+def tgsw_cmux(
+    selector: TransformedTgswSample,
+    if_true: TlweSample,
+    if_false: TlweSample,
+    transform: NegacyclicTransform,
+) -> TlweSample:
+    """Homomorphic multiplexer: returns ``if_true`` when the selector encrypts 1.
+
+    ``CMux(C, d1, d0) = C ⊡ (d1 - d0) + d0``.  The classical (non-unrolled)
+    blind rotation is a chain of CMux operations.
+    """
+    from repro.tfhe.tlwe import tlwe_add, tlwe_sub
+
+    difference = tlwe_sub(if_true, if_false)
+    product = tgsw_external_product(selector, difference, transform)
+    return tlwe_add(product, if_false)

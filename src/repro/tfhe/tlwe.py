@@ -1,0 +1,184 @@
+"""Ring TLWE (TRLWE) encryption.
+
+A TLWE sample in the ring setting encrypts a polynomial message
+``mu ∈ T_N[X]`` under a key of ``k`` binary polynomials: the sample is
+``(a_1..a_k, b)`` with ``b = Σ a_j·s_j + mu + e``.  The paper fixes ``k = 1``
+so a sample is a pair of torus polynomials (a Ring-LWE sample).
+
+The blind-rotation accumulator ``ACC`` of Algorithm 1 is a TLWE sample, and
+the final ``SampleExtract`` step turns its constant coefficient into a scalar
+LWE sample under the *extracted* key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.tfhe.lwe import LweKey, LweSample
+from repro.tfhe.params import LweParams, TlweParams
+from repro.tfhe.polynomial import poly_add, poly_mul_by_xk, poly_sub
+from repro.tfhe.torus import gaussian_torus32, torus32_from_int64, uniform_torus32
+from repro.tfhe.transform import NegacyclicTransform
+from repro.utils.rng import SeedLike, make_rng
+
+
+@dataclass
+class TlweSample:
+    """A ring TLWE ciphertext: ``k`` mask polynomials plus the body polynomial.
+
+    ``data`` has shape ``(k + 1, N)``; rows ``0..k-1`` are the mask ``a`` and
+    row ``k`` is the body ``b``.
+    """
+
+    data: np.ndarray  # int32[(k+1), N]
+
+    @property
+    def mask_count(self) -> int:
+        return int(self.data.shape[0]) - 1
+
+    @property
+    def degree(self) -> int:
+        return int(self.data.shape[1])
+
+    @property
+    def a(self) -> np.ndarray:
+        return self.data[:-1]
+
+    @property
+    def b(self) -> np.ndarray:
+        return self.data[-1]
+
+    def copy(self) -> "TlweSample":
+        return TlweSample(self.data.copy())
+
+
+@dataclass
+class TlweKey:
+    """A ring TLWE secret key: ``k`` binary polynomials."""
+
+    params: TlweParams
+    key: np.ndarray  # int32[k, N] with entries in {0, 1}
+
+    @property
+    def degree(self) -> int:
+        return int(self.key.shape[1])
+
+    @property
+    def mask_count(self) -> int:
+        return int(self.key.shape[0])
+
+
+def tlwe_key_generate(params: TlweParams, rng: SeedLike = None) -> TlweKey:
+    """Sample a ring key of ``k`` uniform binary polynomials."""
+    rng = make_rng(rng)
+    key = rng.integers(
+        0, 2, size=(params.mask_count, params.degree), dtype=np.int64
+    ).astype(np.int32)
+    return TlweKey(params=params, key=key)
+
+
+def tlwe_zero(params: TlweParams) -> TlweSample:
+    """The all-zero (trivial, noiseless) sample."""
+    return TlweSample(np.zeros((params.mask_count + 1, params.degree), dtype=np.int32))
+
+
+def tlwe_trivial(message: np.ndarray, mask_count: int) -> TlweSample:
+    """Trivial (noiseless, keyless) encryption of a polynomial message."""
+    message = np.asarray(message, dtype=np.int32)
+    data = np.zeros((mask_count + 1, message.shape[0]), dtype=np.int32)
+    data[-1] = message
+    return TlweSample(data)
+
+
+def tlwe_encrypt(
+    key: TlweKey,
+    message: np.ndarray,
+    transform: NegacyclicTransform,
+    noise_stddev: float | None = None,
+    rng: SeedLike = None,
+) -> TlweSample:
+    """Encrypt a torus polynomial message."""
+    rng = make_rng(rng)
+    params = key.params
+    stddev = params.noise_stddev if noise_stddev is None else noise_stddev
+    data = np.zeros((params.mask_count + 1, params.degree), dtype=np.int32)
+    body = gaussian_torus32(stddev, size=params.degree, rng=rng).astype(np.int64)
+    for j in range(params.mask_count):
+        a_j = uniform_torus32(params.degree, rng)
+        data[j] = a_j
+        body += transform.multiply(key.key[j], a_j).astype(np.int64)
+    body += np.asarray(message, dtype=np.int32).astype(np.int64)
+    data[-1] = torus32_from_int64(body)
+    return TlweSample(data)
+
+
+def tlwe_phase(
+    key: TlweKey, sample: TlweSample, transform: NegacyclicTransform
+) -> np.ndarray:
+    """The phase polynomial ``b - Σ a_j·s_j`` (message plus noise)."""
+    phase = sample.b.astype(np.int64)
+    for j in range(key.mask_count):
+        phase -= transform.multiply(key.key[j], sample.a[j]).astype(np.int64)
+    return torus32_from_int64(phase)
+
+
+def tlwe_add(x: TlweSample, y: TlweSample) -> TlweSample:
+    """Homomorphic addition of two ring samples."""
+    return TlweSample(poly_add(x.data, y.data))
+
+
+def tlwe_sub(x: TlweSample, y: TlweSample) -> TlweSample:
+    """Homomorphic subtraction of two ring samples."""
+    return TlweSample(poly_sub(x.data, y.data))
+
+
+def tlwe_rotate(sample: TlweSample, power: int) -> TlweSample:
+    """Multiply every polynomial of the sample by ``X^power`` (mod ``X^N+1``).
+
+    Rotating a sample rotates its message; this is the ``X^{b̄}·(0, testv)``
+    initialisation and the per-iteration rotation of Algorithm 1.
+    """
+    rotated = np.stack(
+        [poly_mul_by_xk(sample.data[row], power) for row in range(sample.data.shape[0])]
+    )
+    return TlweSample(rotated.astype(np.int32))
+
+
+def tlwe_extract_lwe_key(key: TlweKey) -> LweKey:
+    """Extract the scalar LWE key corresponding to a ring key (KeyExtract).
+
+    The extracted key is simply the concatenation of the polynomial key
+    coefficients; it has dimension ``k·N``.
+    """
+    flat = key.key.reshape(-1).astype(np.int32)
+    params = LweParams(
+        dimension=int(flat.shape[0]), noise_stddev=key.params.noise_stddev
+    )
+    return LweKey(params=params, key=flat)
+
+
+def tlwe_sample_extract(sample: TlweSample, index: int = 0) -> LweSample:
+    """Extract the coefficient ``index`` of the message as a scalar LWE sample.
+
+    This is the ``SampleExtract`` step of Algorithm 1: the constant (or
+    ``index``-th) coefficient of the accumulator's message becomes a scalar
+    LWE ciphertext under the extracted key.
+    """
+    k = sample.mask_count
+    degree = sample.degree
+    if not 0 <= index < degree:
+        raise ValueError("extraction index out of range")
+    a = np.zeros(k * degree, dtype=np.int32)
+    for j in range(k):
+        row = sample.a[j].astype(np.int64)
+        extracted = np.empty(degree, dtype=np.int64)
+        # coefficient of s_j[t] in the phase of coefficient `index` is
+        # a_j[index - t] for t <= index and -a_j[N + index - t] for t > index.
+        extracted[: index + 1] = row[index::-1]
+        if index + 1 < degree:
+            extracted[index + 1 :] = -row[:index:-1]
+        a[j * degree : (j + 1) * degree] = torus32_from_int64(extracted)
+    return LweSample(a=a, b=np.int32(sample.b[index]))

@@ -1,0 +1,222 @@
+"""Negacyclic polynomial-multiplication engines (the FFT/IFFT substrate).
+
+TFHE stores a polynomial mod ``X^N + 1`` either as a list of ``N``
+coefficients or in the *Lagrange half-complex* representation: the complex
+evaluations of the polynomial at ``N/2`` odd roots of unity (Section 3 of the
+paper).  Converting between the two representations is exactly the FFT/IFFT
+work that dominates a bootstrapping, so the multiplication engine is a
+pluggable interface:
+
+* :class:`NaiveNegacyclicTransform` — exact schoolbook products (ground truth,
+  fast for the tiny test rings);
+* :class:`DoubleFFTNegacyclicTransform` — double-precision floating point FFT,
+  the approach of the reference TFHE library and of the paper's CPU/GPU/FPGA
+  baselines;
+* :class:`repro.core.integer_fft.ApproximateNegacyclicTransform` — MATCHA's
+  approximate multiplication-less integer FFT (the paper's contribution).
+
+Naming note: following the TFHE library (and the paper's Figure 1), the
+*forward* direction (coefficients → Lagrange) is the "IFFT" kernel and the
+*backward* direction (Lagrange → coefficients) is the "FFT" kernel.  The
+instrumentation counters therefore expose ``forward``/``backward`` counts that
+map onto the paper's IFFT/FFT counts.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.tfhe.polynomial import negacyclic_convolution_int64
+from repro.tfhe.torus import torus32_from_int64
+
+Spectrum = Any
+
+
+@dataclass
+class TransformStats:
+    """Invocation counters used by the latency-breakdown experiment (Fig. 1)."""
+
+    forward_calls: int = 0
+    backward_calls: int = 0
+    pointwise_ops: int = 0
+
+    def reset(self) -> None:
+        self.forward_calls = 0
+        self.backward_calls = 0
+        self.pointwise_ops = 0
+
+    def snapshot(self) -> "TransformStats":
+        return TransformStats(self.forward_calls, self.backward_calls, self.pointwise_ops)
+
+
+class NegacyclicTransform(abc.ABC):
+    """Common interface of every polynomial-multiplication engine.
+
+    A *spectrum* is an opaque per-engine representation of a polynomial in
+    which addition and multiplication are cheap (pointwise for the FFT-based
+    engines, plain coefficients for the naive engine).
+    """
+
+    def __init__(self, degree: int) -> None:
+        if degree <= 0 or degree & (degree - 1):
+            raise ValueError("ring degree must be a power of two")
+        self.degree = degree
+        self.stats = TransformStats()
+
+    # -- conversions ------------------------------------------------------
+    @abc.abstractmethod
+    def forward(self, coeffs: np.ndarray) -> Spectrum:
+        """Coefficients → Lagrange representation (the paper's IFFT kernel)."""
+
+    @abc.abstractmethod
+    def backward(self, spectrum: Spectrum) -> np.ndarray:
+        """Lagrange representation → int64 coefficients (the paper's FFT kernel)."""
+
+    # -- spectrum algebra --------------------------------------------------
+    @abc.abstractmethod
+    def spectrum_zero(self) -> Spectrum:
+        """The spectrum of the zero polynomial."""
+
+    @abc.abstractmethod
+    def spectrum_add(self, a: Spectrum, b: Spectrum) -> Spectrum:
+        """Pointwise addition of two spectra."""
+
+    @abc.abstractmethod
+    def spectrum_mul(self, a: Spectrum, b: Spectrum) -> Spectrum:
+        """Pointwise multiplication of two spectra (ring product)."""
+
+    def spectrum_copy(self, a: Spectrum) -> Spectrum:
+        """An independent copy of a spectrum."""
+        return np.array(a, copy=True)
+
+    # -- convenience -------------------------------------------------------
+    def multiply(self, int_poly: np.ndarray, torus_poly: np.ndarray) -> np.ndarray:
+        """Negacyclic product reduced onto the 32-bit torus."""
+        product = self.spectrum_mul(self.forward(int_poly), self.forward(torus_poly))
+        return torus32_from_int64(self.backward(product))
+
+    def multiply_accumulate(
+        self,
+        int_polys: Sequence[np.ndarray],
+        spectra: Sequence[Spectrum],
+    ) -> np.ndarray:
+        """Compute ``sum_j int_polys[j] * spectra[j]`` reduced onto the torus.
+
+        This is the inner loop of the external product: the decomposed
+        accumulator rows are transformed, multiplied with the pre-transformed
+        TGSW rows and accumulated in the Lagrange domain, and a single
+        backward transform produces the result polynomial.
+        """
+        if len(int_polys) != len(spectra):
+            raise ValueError("operand counts do not match")
+        acc = self.spectrum_zero()
+        for poly, spec in zip(int_polys, spectra):
+            acc = self.spectrum_add(acc, self.spectrum_mul(self.forward(poly), spec))
+        return torus32_from_int64(self.backward(acc))
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+
+
+class NaiveNegacyclicTransform(NegacyclicTransform):
+    """Exact engine: the "spectrum" is the coefficient vector itself.
+
+    Spectrum multiplication is the exact negacyclic convolution, so this
+    engine introduces no error at all.  It is quadratic in ``N`` and is only
+    practical for the reduced test rings, where it serves as the ground truth
+    for both FFT engines.
+    """
+
+    def forward(self, coeffs: np.ndarray) -> np.ndarray:
+        self.stats.forward_calls += 1
+        coeffs = np.asarray(coeffs, dtype=np.int64)
+        if coeffs.shape[0] != self.degree:
+            raise ValueError("polynomial degree mismatch")
+        return coeffs.copy()
+
+    def backward(self, spectrum: np.ndarray) -> np.ndarray:
+        self.stats.backward_calls += 1
+        return np.asarray(spectrum, dtype=np.int64).copy()
+
+    def spectrum_zero(self) -> np.ndarray:
+        return np.zeros(self.degree, dtype=np.int64)
+
+    def spectrum_add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        self.stats.pointwise_ops += 1
+        return a + b
+
+    def spectrum_mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        self.stats.pointwise_ops += 1
+        return negacyclic_convolution_int64(a, b)
+
+
+class DoubleFFTNegacyclicTransform(NegacyclicTransform):
+    """Double-precision floating-point FFT engine (the TFHE-library baseline).
+
+    A real polynomial of degree ``N`` is folded into ``N/2`` complex samples
+    ``q_s = p_s + i p_{s + N/2}``, twisted by ``exp(i pi s / N)`` and run
+    through an ``N/2``-point complex transform; the result holds the
+    evaluations of the polynomial at the odd roots of unity
+    ``exp(i pi (4u + 1) / N)``.  Pointwise products of these evaluations
+    correspond exactly to negacyclic polynomial products.
+    """
+
+    def __init__(self, degree: int) -> None:
+        super().__init__(degree)
+        half = degree // 2
+        self._half = half
+        s = np.arange(half)
+        self._twist = np.exp(1j * np.pi * s / degree)
+        self._untwist = np.exp(-1j * np.pi * s / degree)
+
+    def forward(self, coeffs: np.ndarray) -> np.ndarray:
+        self.stats.forward_calls += 1
+        coeffs = np.asarray(coeffs, dtype=np.float64)
+        if coeffs.shape[0] != self.degree:
+            raise ValueError("polynomial degree mismatch")
+        half = self._half
+        folded = (coeffs[:half] + 1j * coeffs[half:]) * self._twist
+        # Unnormalised inverse-sign DFT: S_u = sum_s folded_s e^{+2 pi i u s / half}
+        return np.fft.ifft(folded) * half
+
+    def backward(self, spectrum: np.ndarray) -> np.ndarray:
+        self.stats.backward_calls += 1
+        half = self._half
+        folded = np.fft.fft(np.asarray(spectrum, dtype=np.complex128)) / half
+        folded = folded * self._untwist
+        coeffs = np.empty(self.degree, dtype=np.float64)
+        coeffs[:half] = folded.real
+        coeffs[half:] = folded.imag
+        return np.round(coeffs).astype(np.int64)
+
+    def spectrum_zero(self) -> np.ndarray:
+        return np.zeros(self._half, dtype=np.complex128)
+
+    def spectrum_add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        self.stats.pointwise_ops += 1
+        return a + b
+
+    def spectrum_mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        self.stats.pointwise_ops += 1
+        return a * b
+
+
+def make_transform(kind: str, degree: int, **kwargs) -> NegacyclicTransform:
+    """Factory for the engines defined in this module and in ``repro.core``.
+
+    ``kind`` is one of ``"naive"``, ``"double"`` or ``"approx"``; extra keyword
+    arguments (e.g. ``twiddle_bits``) are forwarded to the approximate engine.
+    """
+    if kind == "naive":
+        return NaiveNegacyclicTransform(degree)
+    if kind == "double":
+        return DoubleFFTNegacyclicTransform(degree)
+    if kind == "approx":
+        from repro.core.integer_fft import ApproximateNegacyclicTransform
+
+        return ApproximateNegacyclicTransform(degree, **kwargs)
+    raise ValueError(f"unknown transform kind: {kind!r}")

@@ -1,0 +1,21 @@
+"""Shared utilities: bit manipulation, deterministic RNG and text tables."""
+
+from repro.utils.bits import (
+    bit_length,
+    is_power_of_two,
+    signed_digit_expansion,
+    to_signed_32,
+    to_signed_64,
+)
+from repro.utils.rng import make_rng
+from repro.utils.tables import format_table
+
+__all__ = [
+    "bit_length",
+    "is_power_of_two",
+    "signed_digit_expansion",
+    "to_signed_32",
+    "to_signed_64",
+    "make_rng",
+    "format_table",
+]

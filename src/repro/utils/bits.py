@@ -1,0 +1,105 @@
+"""Bit-level helpers used across the TFHE substrate and the hardware models.
+
+The approximate multiplication-less FFT replaces every twiddle-factor
+multiplication with additions and binary shifts.  The helpers in this module
+convert dyadic coefficients into the shift/add schedule actually executed by a
+MATCHA butterfly core, and provide the 32/64-bit wrap-around conversions that
+the torus arithmetic relies on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+_MASK32 = 0xFFFFFFFF
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return ``True`` when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def bit_length(value: int) -> int:
+    """Number of bits needed to represent ``abs(value)``."""
+    return int(abs(int(value))).bit_length()
+
+
+def to_signed_32(value: int) -> int:
+    """Reduce an integer modulo 2^32 into the signed int32 range."""
+    value &= _MASK32
+    if value >= 1 << 31:
+        value -= 1 << 32
+    return value
+
+
+def to_signed_64(value: int) -> int:
+    """Reduce an integer modulo 2^64 into the signed int64 range."""
+    value &= _MASK64
+    if value >= 1 << 63:
+        value -= 1 << 64
+    return value
+
+
+def signed_digit_expansion(numerator: int, beta: int) -> List[Tuple[int, int]]:
+    """Expand a dyadic coefficient ``numerator / 2**beta`` into shift/add terms.
+
+    Returns a list of ``(sign, shift)`` pairs such that::
+
+        numerator / 2**beta == sum(sign * 2**-shift for sign, shift in terms)
+
+    The expansion uses the canonical non-adjacent form (NAF) of ``numerator``,
+    which minimises the number of non-zero digits and therefore the number of
+    adders a butterfly core needs (the paper's example 9/128 = 1/2^4 + 1/2^7
+    is exactly the NAF expansion).
+    """
+    if beta < 0:
+        raise ValueError("beta must be non-negative")
+    terms: List[Tuple[int, int]] = []
+    n = int(numerator)
+    position = 0
+    while n != 0:
+        if n & 1:
+            digit = 2 - (n & 3)  # +1 if n % 4 == 1, -1 if n % 4 == 3
+            n -= digit
+            shift = beta - position
+            terms.append((digit, shift))
+        n >>= 1
+        position += 1
+    terms.reverse()
+    return terms
+
+
+def evaluate_signed_digits(terms: List[Tuple[int, int]]) -> float:
+    """Evaluate a signed-digit expansion back into a float (for testing)."""
+    return float(sum(sign * 2.0 ** (-shift) for sign, shift in terms))
+
+
+def shift_add_apply(value: int, terms: List[Tuple[int, int]]) -> int:
+    """Apply a signed-digit (shift/add) schedule to an integer operand.
+
+    This is the scalar, bit-exact model of what a MATCHA butterfly core does:
+    ``value * (numerator / 2**beta)`` computed as a sum of arithmetic right
+    shifts.  Shifts use floor semantics, matching a hardware arithmetic
+    shifter; the accumulated result is the integer the hardware would produce
+    before any final rounding.
+    """
+    accumulator = 0
+    for sign, shift in terms:
+        if shift >= 0:
+            accumulator += sign * (int(value) >> shift)
+        else:
+            accumulator += sign * (int(value) << (-shift))
+    return accumulator
+
+
+def wrap_int32(array: np.ndarray) -> np.ndarray:
+    """Wrap an integer array into int32 with modulo-2^32 semantics."""
+    return np.asarray(array, dtype=np.int64).astype(np.uint32).astype(np.int32)
+
+
+def wrap_int64(array: np.ndarray) -> np.ndarray:
+    """Wrap an integer array into int64 with modulo-2^64 semantics."""
+    return np.asarray(array).astype(np.uint64).astype(np.int64)

@@ -1,0 +1,73 @@
+"""Shared fixtures.
+
+Key generation is the expensive part of the functional tests, so the fixtures
+that build keys are session-scoped and deterministic (fixed seeds); individual
+tests must not mutate them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.integer_fft import ApproximateNegacyclicTransform
+from repro.tfhe.gates import TFHEGateEvaluator
+from repro.tfhe.keys import generate_keys
+from repro.tfhe.params import TEST_SMALL, TEST_TINY
+from repro.tfhe.transform import DoubleFFTNegacyclicTransform, NaiveNegacyclicTransform
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic RNG per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_keys_naive():
+    """TEST_TINY keys with the exact (naive) transform, classical rotation."""
+    transform = NaiveNegacyclicTransform(TEST_TINY.N)
+    secret, cloud = generate_keys(TEST_TINY, transform, unroll_factor=1, rng=1)
+    return secret, cloud
+
+
+@pytest.fixture(scope="session")
+def tiny_keys_naive_m2():
+    """TEST_TINY keys with the exact transform and BKU factor m = 2."""
+    transform = NaiveNegacyclicTransform(TEST_TINY.N)
+    secret, cloud = generate_keys(TEST_TINY, transform, unroll_factor=2, rng=2)
+    return secret, cloud
+
+
+@pytest.fixture(scope="session")
+def small_keys_double():
+    """TEST_SMALL keys with the double-precision FFT transform."""
+    transform = DoubleFFTNegacyclicTransform(TEST_SMALL.N)
+    secret, cloud = generate_keys(TEST_SMALL, transform, unroll_factor=1, rng=3)
+    return secret, cloud
+
+
+@pytest.fixture(scope="session")
+def small_keys_approx_m2():
+    """TEST_SMALL keys with MATCHA's approximate integer transform and m = 2."""
+    transform = ApproximateNegacyclicTransform(TEST_SMALL.N, twiddle_bits=64)
+    secret, cloud = generate_keys(TEST_SMALL, transform, unroll_factor=2, rng=4)
+    return secret, cloud
+
+
+@pytest.fixture(scope="session")
+def small_evaluator_double(small_keys_double):
+    _, cloud = small_keys_double
+    return TFHEGateEvaluator(cloud)
+
+
+@pytest.fixture(scope="session")
+def small_evaluator_approx(small_keys_approx_m2):
+    _, cloud = small_keys_approx_m2
+    return TFHEGateEvaluator(cloud)
+
+
+@pytest.fixture(scope="session")
+def tiny_evaluator(tiny_keys_naive):
+    _, cloud = tiny_keys_naive
+    return TFHEGateEvaluator(cloud)

@@ -1,0 +1,81 @@
+"""Tests for architecture descriptions and the Figure 7 MATCHA instance."""
+
+import pytest
+
+from repro.arch.architecture import (
+    ArchitectureDescription,
+    FunctionalUnitSpec,
+    matcha_architecture,
+)
+from repro.arch.ops import OpType
+
+
+class TestFunctionalUnitSpec:
+    def test_cycles_for_includes_startup(self):
+        unit = FunctionalUnitSpec("fft", 1, frozenset({OpType.FFT}), 128.0, startup_cycles=16.0)
+        assert unit.cycles_for(2304) == pytest.approx(16.0 + 18.0)
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError):
+            FunctionalUnitSpec("x", 0, frozenset({OpType.FFT}), 1.0)
+        with pytest.raises(ValueError):
+            FunctionalUnitSpec("x", 1, frozenset({OpType.FFT}), 0.0)
+
+
+class TestArchitectureDescription:
+    def test_duplicate_unit_names_rejected(self):
+        unit = FunctionalUnitSpec("a", 1, frozenset({OpType.FFT}), 1.0)
+        with pytest.raises(ValueError):
+            ArchitectureDescription(name="x", clock_hz=1e9, units=(unit, unit))
+
+    def test_unit_lookup(self):
+        arch = matcha_architecture()
+        assert OpType.IFFT in arch.unit_for_op(OpType.IFFT).ops
+        assert arch.supports(OpType.KEYSWITCH)
+
+    def test_unknown_op_raises(self):
+        unit = FunctionalUnitSpec("a", 1, frozenset({OpType.FFT}), 1.0)
+        arch = ArchitectureDescription(name="x", clock_hz=1e9, units=(unit,))
+        with pytest.raises(KeyError):
+            arch.unit_for_op(OpType.KEYSWITCH)
+
+    def test_seconds_conversion(self):
+        arch = matcha_architecture(clock_hz=2.0e9)
+        assert arch.seconds(2.0e9) == pytest.approx(1.0)
+
+
+class TestMatchaInstance:
+    def test_figure7_unit_counts_single_slice(self):
+        arch = matcha_architecture(pipeline_slices=1)
+        units = arch.unit_map()
+        assert units["ifft_core"].count == 4
+        assert units["fft_core"].count == 1
+        assert units["tgsw_cluster"].count == 1
+        assert units["ep_mac"].count == 1
+
+    def test_slices_scale_per_pipeline_units_only(self):
+        arch = matcha_architecture(pipeline_slices=8)
+        units = arch.unit_map()
+        assert units["ifft_core"].count == 32
+        assert units["fft_core"].count == 8
+        assert units["poly_unit"].count == 1
+        assert units["hbm"].count == 1
+
+    def test_hbm_throughput_matches_bandwidth(self):
+        arch = matcha_architecture(clock_hz=2.0e9, hbm_bandwidth_bytes_per_s=640.0e9)
+        hbm = arch.unit_map()["hbm"]
+        assert hbm.throughput_per_cycle == pytest.approx(320.0)
+
+    def test_every_gate_op_is_supported(self):
+        arch = matcha_architecture()
+        for op in OpType:
+            assert arch.supports(op), op
+
+    def test_invalid_slice_count_rejected(self):
+        with pytest.raises(ValueError):
+            matcha_architecture(pipeline_slices=0)
+
+    def test_throughput_scale_scales_lanes(self):
+        base = matcha_architecture(throughput_scale=1.0).unit_map()["ep_mac"]
+        doubled = matcha_architecture(throughput_scale=2.0).unit_map()["ep_mac"]
+        assert doubled.throughput_per_cycle == pytest.approx(2 * base.throughput_per_cycle)

@@ -1,0 +1,91 @@
+"""Tests for the data-flow-graph substrate."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.dfg import DataFlowGraph
+from repro.arch.ops import OpType
+
+
+def linear_chain(lengths):
+    dfg = DataFlowGraph()
+    previous = None
+    for work in lengths:
+        preds = [previous] if previous is not None else []
+        previous = dfg.add_node(OpType.POLY_LINEAR, work, predecessors=preds)
+    return dfg
+
+
+class TestConstruction:
+    def test_node_ids_are_sequential(self):
+        dfg = DataFlowGraph()
+        ids = [dfg.add_node(OpType.IFFT, 1.0) for _ in range(5)]
+        assert ids == [0, 1, 2, 3, 4]
+
+    def test_negative_work_rejected(self):
+        dfg = DataFlowGraph()
+        with pytest.raises(ValueError):
+            dfg.add_node(OpType.FFT, -1.0)
+
+    def test_edge_requires_existing_nodes(self):
+        dfg = DataFlowGraph()
+        a = dfg.add_node(OpType.FFT, 1.0)
+        with pytest.raises(KeyError):
+            dfg.add_edge(a, 99)
+
+    def test_self_loop_rejected(self):
+        dfg = DataFlowGraph()
+        a = dfg.add_node(OpType.FFT, 1.0)
+        with pytest.raises(ValueError):
+            dfg.add_edge(a, a)
+
+    def test_len_counts_nodes(self):
+        assert len(linear_chain([1, 2, 3])) == 3
+
+
+class TestTopology:
+    def test_topological_order_respects_edges(self):
+        dfg = linear_chain([1, 1, 1, 1])
+        order = dfg.topological_order()
+        assert order == sorted(order)
+
+    def test_cycle_detection(self):
+        dfg = DataFlowGraph()
+        a = dfg.add_node(OpType.FFT, 1.0)
+        b = dfg.add_node(OpType.IFFT, 1.0, predecessors=[a])
+        dfg.add_edge(b, a)
+        with pytest.raises(ValueError):
+            dfg.topological_order()
+
+    def test_validate_passes_for_acyclic_graph(self):
+        linear_chain([1, 2]).validate()
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=20))
+    def test_critical_path_of_chain_is_total_work(self, works):
+        dfg = linear_chain(works)
+        assert dfg.critical_path_work() == pytest.approx(sum(works))
+
+    def test_critical_path_of_diamond(self):
+        dfg = DataFlowGraph()
+        src = dfg.add_node(OpType.POLY_LINEAR, 1.0)
+        left = dfg.add_node(OpType.IFFT, 10.0, predecessors=[src])
+        right = dfg.add_node(OpType.IFFT, 3.0, predecessors=[src])
+        dfg.add_node(OpType.FFT, 1.0, predecessors=[left, right])
+        assert dfg.critical_path_work() == pytest.approx(12.0)
+
+
+class TestAggregation:
+    def test_work_by_op(self):
+        dfg = DataFlowGraph()
+        dfg.add_node(OpType.IFFT, 5.0)
+        dfg.add_node(OpType.IFFT, 7.0)
+        dfg.add_node(OpType.FFT, 2.0)
+        totals = dfg.work_by_op()
+        assert totals[OpType.IFFT] == 12.0
+        assert totals[OpType.FFT] == 2.0
+
+    def test_count_by_op(self):
+        dfg = DataFlowGraph()
+        dfg.add_node(OpType.KEYSWITCH, 5.0)
+        dfg.add_node(OpType.KEYSWITCH, 5.0)
+        assert dfg.count_by_op()[OpType.KEYSWITCH] == 2

@@ -1,0 +1,72 @@
+"""Tests for the power/area models (Table 2)."""
+
+import pytest
+
+from repro.arch.energy import (
+    EP_CORE,
+    SPM,
+    TGSW_CLUSTER,
+    gate_energy_joules,
+    logic_power_area,
+    matcha_area_power_table,
+    sram_power_area,
+)
+
+
+class TestTable2:
+    def test_total_power_matches_paper(self):
+        envelope = matcha_area_power_table()
+        assert envelope.total_power_w == pytest.approx(39.98, abs=0.02)
+
+    def test_total_area_matches_paper(self):
+        envelope = matcha_area_power_table()
+        assert envelope.total_area_mm2 == pytest.approx(36.96, abs=0.05)
+
+    def test_subtotal_of_pipelines_matches_paper(self):
+        per_pipeline = TGSW_CLUSTER.power_w + EP_CORE.power_w
+        assert 8 * per_pipeline == pytest.approx(30.8, abs=0.01)
+        per_pipeline_area = TGSW_CLUSTER.area_mm2 + EP_CORE.area_mm2
+        assert 8 * per_pipeline_area == pytest.approx(18.06, abs=0.01)
+
+    def test_component_rows_include_total(self):
+        rows = matcha_area_power_table().as_rows()
+        assert rows[-1][0] == "Total"
+        assert len(rows) == 7
+
+    def test_scaling_ep_cores_scales_power(self):
+        full = matcha_area_power_table(ep_cores=8, tgsw_clusters=8)
+        half = matcha_area_power_table(ep_cores=4, tgsw_clusters=4)
+        assert half.total_power_w < full.total_power_w
+        # Shared components do not scale away entirely.
+        assert half.total_power_w > 0.4 * full.total_power_w
+
+
+class TestEstimators:
+    def test_sram_estimator_anchored_to_spm(self):
+        estimate = sram_power_area(4096, 32)
+        assert estimate["power_w"] == pytest.approx(SPM.power_w)
+        assert estimate["area_mm2"] == pytest.approx(SPM.area_mm2)
+
+    def test_sram_scales_with_capacity(self):
+        small = sram_power_area(1024, 32)
+        large = sram_power_area(8192, 32)
+        assert large["power_w"] > small["power_w"]
+        assert large["area_mm2"] > small["area_mm2"]
+
+    def test_sram_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            sram_power_area(0, 32)
+
+    def test_logic_estimator_scales_linearly(self):
+        base = logic_power_area(16, 16, TGSW_CLUSTER)
+        double = logic_power_area(32, 16, TGSW_CLUSTER)
+        assert double["power_w"] == pytest.approx(2 * base["power_w"])
+
+    def test_logic_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            logic_power_area(0, 16, TGSW_CLUSTER)
+
+    def test_gate_energy(self):
+        assert gate_energy_joules(40.0, 0.2e-3) == pytest.approx(8.0e-3)
+        with pytest.raises(ValueError):
+            gate_energy_joules(-1.0, 0.1)

@@ -1,0 +1,77 @@
+"""Tests for the TFHE-gate-to-DFG compiler."""
+
+import pytest
+
+from repro.arch.gate_compiler import compile_gate_dfg, gate_workloads
+from repro.arch.ops import OpType
+from repro.tfhe.params import PAPER_110BIT, TEST_SMALL
+
+
+class TestWorkloads:
+    def test_iteration_count(self):
+        assert gate_workloads(PAPER_110BIT, 1).iterations == 630
+        assert gate_workloads(PAPER_110BIT, 2).iterations == 315
+        assert gate_workloads(PAPER_110BIT, 3).iterations == 210
+
+    def test_bundle_patterns(self):
+        assert gate_workloads(PAPER_110BIT, 1).bundle_patterns == 1
+        assert gate_workloads(PAPER_110BIT, 4).bundle_patterns == 15
+
+    def test_transform_butterflies_match_formula(self):
+        # N/2 = 512-point transform: 256 butterflies per stage, 9 stages.
+        assert gate_workloads(PAPER_110BIT, 1).transform_butterflies == 256 * 9
+
+    def test_bk_bytes_grow_with_m(self):
+        w1 = gate_workloads(PAPER_110BIT, 1)
+        w3 = gate_workloads(PAPER_110BIT, 3)
+        assert w3.bk_bytes_per_iteration > w1.bk_bytes_per_iteration
+
+    def test_invalid_unroll_rejected(self):
+        with pytest.raises(ValueError):
+            gate_workloads(PAPER_110BIT, 0)
+
+
+class TestCompiledGraph:
+    @pytest.mark.parametrize("m", [1, 2, 3])
+    def test_graph_is_acyclic_and_consistent(self, m):
+        dfg = compile_gate_dfg(TEST_SMALL, unroll_factor=m)
+        dfg.validate()
+
+    def test_transform_counts_per_iteration(self):
+        params = TEST_SMALL
+        dfg = compile_gate_dfg(params, unroll_factor=1)
+        counts = dfg.count_by_op()
+        iterations = params.n
+        assert counts[OpType.IFFT] == iterations * (params.k + 1) * params.l
+        assert counts[OpType.FFT] == iterations * (params.k + 1)
+
+    def test_forward_to_backward_ratio_matches_paper(self):
+        """The paper quotes an FFT:IFFT invocation ratio of roughly 1:3-4."""
+        counts = compile_gate_dfg(PAPER_110BIT, unroll_factor=1).count_by_op()
+        ratio = counts[OpType.IFFT] / counts[OpType.FFT]
+        assert 2.5 <= ratio <= 4.5
+
+    def test_bundle_nodes_scale_with_m(self):
+        c2 = compile_gate_dfg(TEST_SMALL, unroll_factor=2).count_by_op()
+        c3 = compile_gate_dfg(TEST_SMALL, unroll_factor=3).count_by_op()
+        per_iter_2 = c2[OpType.TGSW_SCALE] / gate_workloads(TEST_SMALL, 2).iterations
+        per_iter_3 = c3[OpType.TGSW_SCALE] / gate_workloads(TEST_SMALL, 3).iterations
+        assert per_iter_2 == 3
+        assert per_iter_3 == 7
+
+    def test_keyswitch_optional(self):
+        with_ks = compile_gate_dfg(TEST_SMALL, include_keyswitch=True).count_by_op()
+        without_ks = compile_gate_dfg(TEST_SMALL, include_keyswitch=False).count_by_op()
+        assert OpType.KEYSWITCH in with_ks
+        assert OpType.KEYSWITCH not in without_ks
+
+    def test_memory_traffic_optional(self):
+        with_mem = compile_gate_dfg(TEST_SMALL, include_memory_traffic=True).count_by_op()
+        without_mem = compile_gate_dfg(TEST_SMALL, include_memory_traffic=False).count_by_op()
+        assert OpType.HBM_TRANSFER in with_mem
+        assert OpType.HBM_TRANSFER not in without_mem
+
+    def test_node_count_shrinks_with_m_initially(self):
+        n1 = len(compile_gate_dfg(PAPER_110BIT, unroll_factor=1))
+        n2 = len(compile_gate_dfg(PAPER_110BIT, unroll_factor=2))
+        assert n2 < n1

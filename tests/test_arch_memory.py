@@ -1,0 +1,101 @@
+"""Tests for the memory-system models."""
+
+import pytest
+
+from repro.arch.memory import (
+    BankConflictModel,
+    CrossbarModel,
+    bootstrapping_key_bytes,
+    fits_in_spm,
+    hbm_stream_seconds,
+    keyswitch_key_bytes,
+    matcha_crossbars,
+    tgsw_ciphertext_bytes,
+)
+from repro.tfhe.params import PAPER_110BIT, TEST_TINY
+
+
+class TestFootprints:
+    def test_coefficient_domain_tgsw_size(self):
+        # (k+1) l (k+1) N 32-bit words = 12 * 1024 * 4 bytes.
+        assert tgsw_ciphertext_bytes(PAPER_110BIT, transformed=False) == 12 * 1024 * 4
+
+    def test_transformed_tgsw_is_twice_as_large(self):
+        plain = tgsw_ciphertext_bytes(PAPER_110BIT, transformed=False)
+        transformed = tgsw_ciphertext_bytes(PAPER_110BIT, transformed=True)
+        assert transformed == 2 * plain
+
+    def test_bootstrapping_key_exceeds_spm(self):
+        """The BK never fits in the 4 MB scratchpad -> it must stream from HBM."""
+        for m in (1, 2, 3, 4):
+            assert not fits_in_spm(bootstrapping_key_bytes(PAPER_110BIT, m))
+
+    def test_bootstrapping_key_growth(self):
+        sizes = [bootstrapping_key_bytes(PAPER_110BIT, m) for m in (1, 2, 3, 4)]
+        assert sizes == sorted(sizes)
+        assert sizes[3] > 3 * sizes[0]
+
+    def test_remainder_group_counted(self):
+        # 630 % 4 = 2 -> one extra group with 2^2 - 1 keys.
+        m = 4
+        full_groups = PAPER_110BIT.n // m
+        expected_keys = full_groups * 15 + 3
+        expected = expected_keys * tgsw_ciphertext_bytes(PAPER_110BIT)
+        assert bootstrapping_key_bytes(PAPER_110BIT, m) == expected
+
+    def test_keyswitch_key_size_positive(self):
+        assert keyswitch_key_bytes(PAPER_110BIT) > 0
+
+    def test_invalid_unroll_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrapping_key_bytes(TEST_TINY, 0)
+
+
+class TestHbmStream:
+    def test_stream_time_is_linear(self):
+        assert hbm_stream_seconds(640e9, 640e9) == pytest.approx(1.0)
+        assert hbm_stream_seconds(64e9, 640e9) == pytest.approx(0.1)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            hbm_stream_seconds(1.0, 0.0)
+
+
+class TestBankConflicts:
+    def test_sequential_access_has_no_conflicts(self):
+        model = BankConflictModel(banks=2, accesses_per_cycle=16, sequential=True)
+        assert model.expected_conflict_factor() == 1.0
+
+    def test_random_access_conflicts_grow_with_pressure(self):
+        light = BankConflictModel(banks=8, accesses_per_cycle=4)
+        heavy = BankConflictModel(banks=8, accesses_per_cycle=64)
+        assert heavy.expected_conflict_factor() >= 1.0
+        assert light.expected_conflict_factor() >= 1.0
+        assert heavy.expected_conflict_factor() <= light.expected_conflict_factor() * 10
+
+    def test_more_banks_reduce_service_time(self):
+        few = BankConflictModel(banks=2, accesses_per_cycle=16)
+        many = BankConflictModel(banks=8, accesses_per_cycle=16)
+        assert many.service_cycles() < few.service_cycles()
+
+    def test_sequential_service_time_is_ideal(self):
+        model = BankConflictModel(banks=2, accesses_per_cycle=16, sequential=True)
+        assert model.service_cycles() == 8.0
+
+    def test_invalid_banks(self):
+        with pytest.raises(ValueError):
+            BankConflictModel(banks=0, accesses_per_cycle=4).expected_conflict_factor()
+
+
+class TestCrossbar:
+    def test_bandwidth_formula(self):
+        xbar = CrossbarModel(ports_in=8, ports_out=32, width_bits=256, clock_hz=2.0e9)
+        assert xbar.bandwidth_bytes_per_s == pytest.approx(32 * 32 * 2.0e9)
+
+    def test_transfer_time(self):
+        xbar = CrossbarModel(ports_in=8, ports_out=8, width_bits=256, clock_hz=2.0e9)
+        assert xbar.transfer_seconds(xbar.bandwidth_bytes_per_s) == pytest.approx(1.0)
+
+    def test_matcha_has_three_crossbars(self):
+        xbars = matcha_crossbars()
+        assert set(xbars) == {"spm_to_cores", "cores_to_spm", "core_to_core"}

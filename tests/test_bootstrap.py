@@ -1,0 +1,106 @@
+"""Tests for gate bootstrapping (Algorithm 1): blind rotation, extract, key switch."""
+
+import numpy as np
+import pytest
+
+from repro.tfhe.bootstrap import (
+    blind_rotate_and_extract,
+    bootstrap_without_keyswitch,
+    gate_bootstrap,
+    make_test_vector,
+    modswitch_sample,
+)
+from repro.tfhe.gates import MU
+from repro.tfhe.lwe import (
+    gate_message,
+    lwe_decrypt_bit,
+    lwe_encrypt,
+    lwe_encrypt_trivial,
+    lwe_phase,
+    lwe_noise,
+)
+from repro.tfhe.params import TEST_TINY
+from repro.tfhe.tlwe import tlwe_extract_lwe_key
+from repro.tfhe.torus import torus_distance
+
+
+class TestTestVector:
+    def test_all_coefficients_equal_mu(self):
+        testv = make_test_vector(TEST_TINY, 77)
+        assert (testv == 77).all()
+        assert testv.shape == (TEST_TINY.N,)
+
+
+class TestModSwitch:
+    def test_rescales_to_2n(self, tiny_keys_naive):
+        secret, _ = tiny_keys_naive
+        sample = lwe_encrypt(secret.lwe_key, gate_message(1), rng=70)
+        barb, bara = modswitch_sample(sample, TEST_TINY.N)
+        assert 0 <= barb < 2 * TEST_TINY.N
+        assert bara.shape == (TEST_TINY.n,)
+        assert bara.min() >= 0 and bara.max() < 2 * TEST_TINY.N
+
+    def test_trivial_sample_maps_message(self):
+        sample = lwe_encrypt_trivial(TEST_TINY.n, gate_message(1))
+        barb, bara = modswitch_sample(sample, TEST_TINY.N)
+        # +1/8 of the torus is N/4 in Z_{2N}.
+        assert barb == TEST_TINY.N // 4
+        assert not bara.any()
+
+
+class TestBlindRotateAndExtract:
+    @pytest.mark.parametrize("bit", [0, 1])
+    def test_extracted_phase_has_correct_sign(self, tiny_keys_naive, bit):
+        secret, cloud = tiny_keys_naive
+        sample = lwe_encrypt(secret.lwe_key, gate_message(bit), rng=71 + bit)
+        extracted = bootstrap_without_keyswitch(
+            sample, int(MU), cloud.blind_rotator, TEST_TINY
+        )
+        phase = lwe_phase(secret.extracted_key, extracted)
+        assert (int(phase) > 0) == bool(bit)
+
+    def test_output_noise_is_fresh(self, tiny_keys_naive):
+        """Bootstrapping must produce a sample whose noise is input-independent."""
+        secret, cloud = tiny_keys_naive
+        sample = lwe_encrypt(secret.lwe_key, gate_message(1), rng=73)
+        extracted = bootstrap_without_keyswitch(
+            sample, int(MU), cloud.blind_rotator, TEST_TINY
+        )
+        noise = lwe_noise(secret.extracted_key, extracted, MU)
+        assert abs(noise) < 1.0 / 16.0
+
+    def test_trivial_input_rotates_to_plus_mu(self, tiny_keys_naive):
+        secret, cloud = tiny_keys_naive
+        sample = lwe_encrypt_trivial(TEST_TINY.n, gate_message(1))
+        extracted = bootstrap_without_keyswitch(
+            sample, int(MU), cloud.blind_rotator, TEST_TINY
+        )
+        phase = lwe_phase(secret.extracted_key, extracted)
+        assert float(torus_distance(phase, MU)) < 1.0 / 16.0
+
+
+class TestGateBootstrap:
+    @pytest.mark.parametrize("bit", [0, 1])
+    def test_full_bootstrap_returns_to_original_key(self, tiny_keys_naive, bit):
+        secret, cloud = tiny_keys_naive
+        sample = lwe_encrypt(secret.lwe_key, gate_message(bit), rng=75 + bit)
+        refreshed = gate_bootstrap(
+            sample, int(MU), cloud.blind_rotator, cloud.keyswitch_key, TEST_TINY
+        )
+        assert refreshed.dimension == TEST_TINY.n
+        assert lwe_decrypt_bit(secret.lwe_key, refreshed) == bit
+
+    def test_bootstrap_is_idempotent_on_messages(self, tiny_keys_naive):
+        secret, cloud = tiny_keys_naive
+        sample = lwe_encrypt(secret.lwe_key, gate_message(1), rng=77)
+        once = gate_bootstrap(
+            sample, int(MU), cloud.blind_rotator, cloud.keyswitch_key, TEST_TINY
+        )
+        twice = gate_bootstrap(
+            once, int(MU), cloud.blind_rotator, cloud.keyswitch_key, TEST_TINY
+        )
+        assert lwe_decrypt_bit(secret.lwe_key, twice) == 1
+
+    def test_rotator_counts_external_products(self, tiny_keys_naive):
+        _, cloud = tiny_keys_naive
+        assert cloud.blind_rotator.external_products_per_bootstrap == TEST_TINY.n

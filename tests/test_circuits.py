@@ -1,0 +1,107 @@
+"""Tests for the reusable encrypted-circuit building blocks."""
+
+import pytest
+
+from repro.tfhe.circuits import (
+    add,
+    bits_to_int,
+    decrypt_integer,
+    encrypt_integer,
+    equal,
+    greater_than,
+    int_to_bits,
+    maximum,
+    negate,
+    select,
+    subtract,
+)
+from repro.tfhe.gates import TFHEGateEvaluator, decrypt_bit
+
+
+@pytest.fixture(scope="module")
+def circuit_env(tiny_keys_naive):
+    secret, cloud = tiny_keys_naive
+    return secret, TFHEGateEvaluator(cloud)
+
+
+class TestBitHelpers:
+    def test_roundtrip(self):
+        for value in (0, 1, 5, 12, 255):
+            assert bits_to_int(int_to_bits(value, 8)) == value
+
+    def test_width_truncates(self):
+        assert bits_to_int(int_to_bits(9, 2)) == 1
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            int_to_bits(3, 0)
+
+    def test_encrypt_decrypt_integer(self, circuit_env):
+        secret, _ = circuit_env
+        cipher = encrypt_integer(secret, 11, 4, rng=1)
+        assert decrypt_integer(secret, cipher) == 11
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("a,b", [(0, 0), (1, 2), (3, 3), (2, 1)])
+    def test_addition(self, circuit_env, a, b):
+        secret, evaluator = circuit_env
+        ca = encrypt_integer(secret, a, 2, rng=10 + a)
+        cb = encrypt_integer(secret, b, 2, rng=20 + b)
+        assert decrypt_integer(secret, add(evaluator, ca, cb)) == a + b
+
+    def test_negate_is_twos_complement(self, circuit_env):
+        secret, evaluator = circuit_env
+        cipher = encrypt_integer(secret, 3, 3, rng=30)
+        assert decrypt_integer(secret, negate(evaluator, cipher)) == (-3) % 8
+
+    @pytest.mark.parametrize("a,b", [(3, 1), (2, 2), (1, 3)])
+    def test_subtraction_mod_width(self, circuit_env, a, b):
+        secret, evaluator = circuit_env
+        ca = encrypt_integer(secret, a, 2, rng=40 + a)
+        cb = encrypt_integer(secret, b, 2, rng=50 + b)
+        assert decrypt_integer(secret, subtract(evaluator, ca, cb)) == (a - b) % 4
+
+    def test_width_mismatch_rejected(self, circuit_env):
+        secret, evaluator = circuit_env
+        ca = encrypt_integer(secret, 1, 2, rng=60)
+        cb = encrypt_integer(secret, 1, 3, rng=61)
+        with pytest.raises(ValueError):
+            add(evaluator, ca, cb)
+
+    def test_empty_operands_rejected(self, circuit_env):
+        _, evaluator = circuit_env
+        with pytest.raises(ValueError):
+            add(evaluator, [], [])
+
+
+class TestComparisonsAndSelection:
+    @pytest.mark.parametrize("a,b", [(0, 0), (2, 2), (1, 2), (3, 0)])
+    def test_equality(self, circuit_env, a, b):
+        secret, evaluator = circuit_env
+        ca = encrypt_integer(secret, a, 2, rng=70 + a)
+        cb = encrypt_integer(secret, b, 2, rng=80 + b)
+        assert decrypt_bit(secret, equal(evaluator, ca, cb)) == int(a == b)
+
+    @pytest.mark.parametrize("a,b", [(0, 0), (2, 1), (1, 2), (3, 3)])
+    def test_greater_than(self, circuit_env, a, b):
+        secret, evaluator = circuit_env
+        ca = encrypt_integer(secret, a, 2, rng=90 + a)
+        cb = encrypt_integer(secret, b, 2, rng=100 + b)
+        assert decrypt_bit(secret, greater_than(evaluator, ca, cb)) == int(a > b)
+
+    def test_select_picks_branch(self, circuit_env):
+        secret, evaluator = circuit_env
+        high = encrypt_integer(secret, 3, 2, rng=110)
+        low = encrypt_integer(secret, 1, 2, rng=111)
+        chosen = select(evaluator, evaluator.constant(1), high, low)
+        assert decrypt_integer(secret, chosen) == 3
+        chosen = select(evaluator, evaluator.constant(0), high, low)
+        assert decrypt_integer(secret, chosen) == 1
+
+    @pytest.mark.parametrize("a,b", [(2, 1), (1, 3), (2, 2)])
+    def test_maximum(self, circuit_env, a, b):
+        secret, evaluator = circuit_env
+        ca = encrypt_integer(secret, a, 2, rng=120 + a)
+        cb = encrypt_integer(secret, b, 2, rng=130 + b)
+        assert decrypt_integer(secret, maximum(evaluator, ca, cb)) == max(a, b)

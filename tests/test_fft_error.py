@@ -1,0 +1,65 @@
+"""Tests for the Figure 8 error-measurement harness."""
+
+import math
+
+import pytest
+
+from repro.core.fft_error import (
+    FftErrorSample,
+    error_floor_db,
+    polynomial_product_error,
+    sweep_twiddle_bits,
+)
+from repro.core.integer_fft import ApproximateNegacyclicTransform
+from repro.tfhe.transform import DoubleFFTNegacyclicTransform, NaiveNegacyclicTransform
+
+DEGREE = 256
+
+
+class TestErrorMeasurement:
+    def test_exact_transform_has_zero_error(self):
+        error = polynomial_product_error(NaiveNegacyclicTransform(DEGREE), DEGREE, trials=1, rng=0)
+        assert error == 0.0
+
+    def test_double_transform_error_is_tiny(self):
+        error = polynomial_product_error(DoubleFFTNegacyclicTransform(DEGREE), DEGREE, trials=1, rng=0)
+        assert error < 1e-9
+
+    def test_approximate_error_larger_than_double(self):
+        double = polynomial_product_error(DoubleFFTNegacyclicTransform(DEGREE), DEGREE, trials=1, rng=1)
+        approx = polynomial_product_error(
+            ApproximateNegacyclicTransform(DEGREE, twiddle_bits=64), DEGREE, trials=1, rng=1
+        )
+        assert approx > double
+
+    def test_error_db_conversion(self):
+        sample = FftErrorSample(label="x", twiddle_bits=16, rms_torus_error=1e-5)
+        assert sample.error_db == pytest.approx(-100.0)
+
+    def test_zero_error_maps_to_minus_infinity(self):
+        sample = FftErrorSample(label="exact", twiddle_bits=None, rms_torus_error=0.0)
+        assert sample.error_db == -math.inf
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return sweep_twiddle_bits(degree=DEGREE, twiddle_bits=(12, 20, 32, 50), trials=1, rng=0)
+
+    def test_sweep_contains_double_baseline(self, sweep):
+        assert sweep[-1].twiddle_bits is None
+
+    def test_error_decreases_with_bits(self, sweep):
+        approx = [s for s in sweep if s.twiddle_bits is not None]
+        dbs = [s.error_db for s in approx]
+        assert dbs[0] > dbs[1] > dbs[2]
+
+    def test_floor_is_above_double_precision(self, sweep):
+        """Figure 8: the approximate transform saturates above the double line."""
+        floor = error_floor_db(sweep)
+        double_db = sweep[-1].error_db
+        assert floor > double_db
+
+    def test_floor_helper_requires_approx_samples(self):
+        with pytest.raises(ValueError):
+            error_floor_db([FftErrorSample("double", None, 1e-9)])

@@ -1,0 +1,99 @@
+"""Tests for LWE key switching."""
+
+import numpy as np
+import pytest
+
+from repro.tfhe.keyswitch import keyswitch_apply, keyswitch_key_generate
+from repro.tfhe.lwe import (
+    gate_message,
+    lwe_decrypt_bit,
+    lwe_encrypt,
+    lwe_key_generate,
+    lwe_noise,
+    lwe_phase,
+)
+from repro.tfhe.params import TEST_SMALL, TEST_TINY
+from repro.tfhe.torus import torus_distance
+
+
+@pytest.fixture(scope="module")
+def keys():
+    params = TEST_SMALL
+    input_key = lwe_key_generate(
+        type(params.lwe)(dimension=params.N, noise_stddev=params.lwe.noise_stddev), rng=51
+    )
+    output_key = lwe_key_generate(params.lwe, rng=52)
+    ks = keyswitch_key_generate(input_key, output_key, params.keyswitch, rng=53)
+    return params, input_key, output_key, ks
+
+
+class TestKeyGeneration:
+    def test_key_shape(self, keys):
+        params, input_key, output_key, ks = keys
+        base = params.keyswitch.base
+        assert ks.data.shape == (
+            input_key.dimension,
+            params.keyswitch.length,
+            base,
+            output_key.dimension + 1,
+        )
+
+    def test_dimensions_recorded(self, keys):
+        _, input_key, output_key, ks = keys
+        assert ks.input_dimension == input_key.dimension
+        assert ks.output_dimension == output_key.dimension
+
+    def test_zero_digit_rows_encrypt_zero(self, keys):
+        """The v = 0 entries must encrypt 0 so skipped digits add only noise."""
+        _, _, output_key, ks = keys
+        row = ks.data[0, 0, 0]
+        from repro.tfhe.lwe import LweSample
+
+        sample = LweSample(a=row[:-1], b=np.int32(row[-1]))
+        assert float(torus_distance(lwe_phase(output_key, sample), 0)) < 1e-3
+
+
+class TestKeySwitching:
+    @pytest.mark.parametrize("bit", [0, 1])
+    def test_switched_sample_decrypts_under_new_key(self, keys, bit):
+        _, input_key, output_key, ks = keys
+        sample = lwe_encrypt(input_key, gate_message(bit), rng=54 + bit)
+        switched = keyswitch_apply(ks, sample)
+        assert switched.dimension == output_key.dimension
+        assert lwe_decrypt_bit(output_key, switched) == bit
+
+    def test_keyswitch_noise_is_bounded(self, keys):
+        _, input_key, output_key, ks = keys
+        mu = gate_message(1)
+        sample = lwe_encrypt(input_key, mu, rng=60)
+        switched = keyswitch_apply(ks, sample)
+        assert abs(lwe_noise(output_key, switched, mu)) < 1.0 / 32.0
+
+    def test_dimension_mismatch_rejected(self, keys):
+        _, _, output_key, ks = keys
+        bad = lwe_encrypt(output_key, gate_message(0), rng=61)
+        with pytest.raises(ValueError):
+            keyswitch_apply(ks, bad)
+
+    def test_many_samples_roundtrip(self, keys):
+        _, input_key, output_key, ks = keys
+        rng = np.random.default_rng(62)
+        failures = 0
+        for i in range(20):
+            bit = int(rng.integers(0, 2))
+            sample = lwe_encrypt(input_key, gate_message(bit), rng=rng)
+            if lwe_decrypt_bit(output_key, keyswitch_apply(ks, sample)) != bit:
+                failures += 1
+        assert failures == 0
+
+
+class TestTinyParameters:
+    def test_keyswitch_with_tiny_parameters(self):
+        params = TEST_TINY
+        input_key = lwe_key_generate(
+            type(params.lwe)(dimension=params.N, noise_stddev=params.lwe.noise_stddev), rng=63
+        )
+        output_key = lwe_key_generate(params.lwe, rng=64)
+        ks = keyswitch_key_generate(input_key, output_key, params.keyswitch, rng=65)
+        sample = lwe_encrypt(input_key, gate_message(1), rng=66)
+        assert lwe_decrypt_bit(output_key, keyswitch_apply(ks, sample)) == 1

@@ -1,0 +1,125 @@
+"""Tests for scalar LWE encryption and its homomorphic linear operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tfhe.lwe import (
+    gate_message,
+    lwe_add,
+    lwe_add_constant,
+    lwe_decrypt_bit,
+    lwe_encrypt,
+    lwe_encrypt_trivial,
+    lwe_key_generate,
+    lwe_negate,
+    lwe_noise,
+    lwe_phase,
+    lwe_scale,
+    lwe_sub,
+)
+from repro.tfhe.params import TEST_SMALL, TEST_TINY
+from repro.tfhe.torus import double_to_torus32, torus32_from_int64, torus_distance
+
+
+@pytest.fixture(scope="module")
+def key():
+    return lwe_key_generate(TEST_SMALL.lwe, rng=11)
+
+
+class TestKeyGeneration:
+    def test_key_is_binary(self, key):
+        assert set(np.unique(key.key)).issubset({0, 1})
+
+    def test_key_dimension(self, key):
+        assert key.dimension == TEST_SMALL.n
+
+    def test_different_seeds_differ(self):
+        k1 = lwe_key_generate(TEST_TINY.lwe, rng=1)
+        k2 = lwe_key_generate(TEST_TINY.lwe, rng=2)
+        assert not np.array_equal(k1.key, k2.key)
+
+
+class TestEncryptDecrypt:
+    @pytest.mark.parametrize("bit", [0, 1])
+    def test_bit_roundtrip(self, key, bit):
+        sample = lwe_encrypt(key, gate_message(bit), rng=3)
+        assert lwe_decrypt_bit(key, sample) == bit
+
+    def test_noise_is_small(self, key):
+        mu = gate_message(1)
+        sample = lwe_encrypt(key, mu, rng=4)
+        assert abs(lwe_noise(key, sample, mu)) < 1e-3
+
+    def test_trivial_sample_has_no_mask(self):
+        sample = lwe_encrypt_trivial(16, np.int32(123))
+        assert not sample.a.any()
+        assert sample.b == 123
+
+    def test_trivial_sample_decrypts_without_key_interaction(self, key):
+        mu = gate_message(1)
+        sample = lwe_encrypt_trivial(key.dimension, mu)
+        assert lwe_decrypt_bit(key, sample) == 1
+
+    def test_phase_equals_message_plus_noise(self, key):
+        mu = gate_message(0)
+        sample = lwe_encrypt(key, mu, rng=5)
+        phase = lwe_phase(key, sample)
+        assert float(torus_distance(phase, mu)) < 1e-3
+
+    def test_encryptions_are_randomised(self, key):
+        mu = gate_message(1)
+        s1 = lwe_encrypt(key, mu, rng=6)
+        s2 = lwe_encrypt(key, mu, rng=7)
+        assert not np.array_equal(s1.a, s2.a)
+
+
+class TestHomomorphicLinearOps:
+    def test_add_sums_messages(self, key):
+        eighth = int(double_to_torus32(0.125))
+        c1 = lwe_encrypt(key, np.int32(eighth), rng=8)
+        c2 = lwe_encrypt(key, np.int32(eighth), rng=9)
+        total = lwe_add(c1, c2)
+        assert float(torus_distance(lwe_phase(key, total), np.int32(2 * eighth))) < 1e-3
+
+    def test_sub_cancels(self, key):
+        mu = gate_message(1)
+        c1 = lwe_encrypt(key, mu, rng=10)
+        diff = lwe_sub(c1, c1)
+        assert float(torus_distance(lwe_phase(key, diff), 0)) < 1e-9
+
+    def test_negate_flips_sign(self, key):
+        mu = gate_message(1)
+        sample = lwe_encrypt(key, mu, rng=12)
+        assert lwe_decrypt_bit(key, lwe_negate(sample)) == 0
+
+    @given(st.integers(min_value=-3, max_value=3))
+    @settings(max_examples=10, deadline=None)
+    def test_scale_scales_phase(self, scalar):
+        key = lwe_key_generate(TEST_TINY.lwe, rng=13)
+        eighth = int(double_to_torus32(0.125))
+        sample = lwe_encrypt(key, np.int32(eighth), noise_stddev=2.0**-25, rng=14)
+        scaled = lwe_scale(scalar, sample)
+        expected = torus32_from_int64(scalar * eighth)
+        assert float(torus_distance(lwe_phase(key, scaled), expected)) < 1e-3
+
+    def test_add_constant_shifts_body_only(self, key):
+        mu = gate_message(0)
+        sample = lwe_encrypt(key, mu, rng=15)
+        shifted = lwe_add_constant(sample, gate_message(1))
+        assert np.array_equal(shifted.a, sample.a)
+        assert shifted.b != sample.b
+
+    def test_copy_is_independent(self, key):
+        sample = lwe_encrypt(key, gate_message(1), rng=16)
+        clone = sample.copy()
+        clone.a[0] += 1
+        assert clone.a[0] != sample.a[0]
+
+
+class TestGateMessage:
+    def test_messages_are_opposite(self):
+        assert int(gate_message(1)) == -int(gate_message(0))
+
+    def test_message_is_one_eighth(self):
+        assert int(gate_message(1)) == int(double_to_torus32(0.125))

@@ -1,0 +1,118 @@
+"""Tests for the analytic noise model (Table 3 / Section 4.3)."""
+
+import math
+
+import pytest
+
+from repro.tfhe.noise import (
+    GATE_DECISION_MARGIN,
+    NoiseBudget,
+    TfheNoiseModel,
+    max_safe_fft_error,
+)
+from repro.tfhe.params import PAPER_110BIT, TEST_SMALL
+
+
+class TestBudgetArithmetic:
+    def test_total_is_sum_of_sources(self):
+        budget = NoiseBudget(0.0, 1e-6, 2e-6, 3e-6, 4e-6)
+        assert budget.total_variance == pytest.approx(1e-5)
+        assert budget.total_stddev == pytest.approx(math.sqrt(1e-5))
+
+    def test_failure_probability_monotone_in_noise(self):
+        quiet = NoiseBudget(0, 1e-8, 1e-8, 0, 1e-8)
+        loud = NoiseBudget(0, 1e-4, 1e-4, 0, 1e-4)
+        assert quiet.failure_probability() < loud.failure_probability()
+
+    def test_zero_noise_never_fails(self):
+        assert NoiseBudget(0, 0, 0, 0, 0).failure_probability() == 0.0
+
+    def test_expected_failures_scale_with_gate_count(self):
+        budget = NoiseBudget(0, 1e-4, 1e-4, 0, 1e-4)
+        assert budget.expected_failures(2e8) == pytest.approx(2 * budget.expected_failures(1e8))
+
+
+class TestModelStructure:
+    def test_iterations_shrink_with_m(self):
+        assert TfheNoiseModel(PAPER_110BIT, 1).iterations == 630
+        assert TfheNoiseModel(PAPER_110BIT, 2).iterations == 315
+        assert TfheNoiseModel(PAPER_110BIT, 3).iterations == 210
+
+    def test_keys_per_group_grow_exponentially(self):
+        assert [TfheNoiseModel(PAPER_110BIT, m).keys_per_group for m in (1, 2, 3, 4, 5)] == [
+            1,
+            3,
+            7,
+            15,
+            31,
+        ]
+
+    def test_invalid_unroll_rejected(self):
+        with pytest.raises(ValueError):
+            TfheNoiseModel(PAPER_110BIT, 0)
+
+    def test_paper_parameters_decrypt_reliably(self):
+        """Without FFT error the 110-bit parameters practically never fail."""
+        for m in (1, 2, 3, 4):
+            budget = TfheNoiseModel(PAPER_110BIT, m).gate_budget()
+            assert budget.expected_failures(1.0e8) < 1e-3
+
+    def test_total_noise_grows_with_m(self):
+        """Table 3: the exponentially growing BK term dominates at large m."""
+        sigmas = [TfheNoiseModel(PAPER_110BIT, m).gate_budget().total_stddev for m in (1, 2, 3, 4, 5)]
+        assert sigmas == sorted(sigmas)
+
+    def test_pre_bootstrap_margin_holds_for_gates(self):
+        model = TfheNoiseModel(PAPER_110BIT, 2)
+        assert model.pre_bootstrap_margin_ok(operand_count=2, scale=1)
+        assert model.pre_bootstrap_margin_ok(operand_count=2, scale=2)
+
+    def test_fft_variance_adds_to_budget(self):
+        clean = TfheNoiseModel(PAPER_110BIT, 2).gate_budget().total_variance
+        noisy = TfheNoiseModel(PAPER_110BIT, 2, fft_error_stddev=1e-5).gate_budget().total_variance
+        assert noisy > clean
+
+
+class TestTable3Metrics:
+    def test_relative_scalings(self):
+        metrics = TfheNoiseModel(PAPER_110BIT, 4).table3_relative_metrics()
+        assert metrics["external_product_noise_scale"] == pytest.approx(0.25)
+        assert metrics["rounding_noise_scale"] == pytest.approx(0.25)
+        assert metrics["bootstrapping_keys_per_group"] == 15
+
+    def test_fft_error_db_conversion(self):
+        metrics = TfheNoiseModel(PAPER_110BIT, 2, fft_error_stddev=1e-7).table3_relative_metrics()
+        assert metrics["fft_error_db"] == pytest.approx(-140.0, abs=0.1)
+
+    def test_zero_fft_error_reports_minus_infinity(self):
+        metrics = TfheNoiseModel(PAPER_110BIT, 2).table3_relative_metrics()
+        assert metrics["fft_error_db"] == float("-inf")
+
+
+class TestFftErrorBudget:
+    def test_budget_shrinks_with_m(self):
+        """Section 4.3: the exponentially growing bootstrapping-key noise eats
+        the total error headroom left for the approximate FFT as m grows."""
+        headrooms = []
+        for m in (2, 3, 4, 5):
+            per_product = max_safe_fft_error(PAPER_110BIT, m)
+            model = TfheNoiseModel(PAPER_110BIT, m)
+            headrooms.append(per_product**2 * model.iterations * (PAPER_110BIT.k + 1))
+        assert all(h > 0 for h in headrooms)
+        assert headrooms == sorted(headrooms, reverse=True)
+
+    def test_budget_is_respected_by_model(self):
+        budget = max_safe_fft_error(PAPER_110BIT, 2, target_failures=1.0, gates=1e8)
+        model = TfheNoiseModel(PAPER_110BIT, 2, fft_error_stddev=budget * 0.99)
+        assert model.gate_budget().expected_failures(1e8) <= 1.1
+
+    def test_exceeding_budget_causes_failures(self):
+        budget = max_safe_fft_error(PAPER_110BIT, 2, target_failures=1.0, gates=1e8)
+        model = TfheNoiseModel(PAPER_110BIT, 2, fft_error_stddev=budget * 5.0)
+        assert model.gate_budget().expected_failures(1e8) > 1.0
+
+    def test_margin_constant(self):
+        assert GATE_DECISION_MARGIN == pytest.approx(1.0 / 16.0)
+
+    def test_small_parameters_have_budget_too(self):
+        assert max_safe_fft_error(TEST_SMALL, 2) > 0

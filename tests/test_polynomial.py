@@ -1,0 +1,125 @@
+"""Unit and property tests for negacyclic polynomial arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tfhe.polynomial import (
+    constant_torus_polynomial,
+    negacyclic_convolution,
+    negacyclic_convolution_int64,
+    poly_add,
+    poly_equal,
+    poly_mul_by_xk,
+    poly_mul_by_xk_minus_one,
+    poly_neg,
+    poly_scale,
+    poly_sub,
+    zero_torus_polynomial,
+)
+
+DEGREE = 16
+
+coeff_arrays = st.lists(
+    st.integers(min_value=-(2**31), max_value=2**31 - 1), min_size=DEGREE, max_size=DEGREE
+).map(lambda xs: np.array(xs, dtype=np.int32))
+
+small_arrays = st.lists(
+    st.integers(min_value=-512, max_value=512), min_size=DEGREE, max_size=DEGREE
+).map(lambda xs: np.array(xs, dtype=np.int64))
+
+
+class TestLinearOps:
+    @given(coeff_arrays, coeff_arrays)
+    def test_add_sub_roundtrip(self, a, b):
+        assert poly_equal(poly_sub(poly_add(a, b), b), a)
+
+    @given(coeff_arrays)
+    def test_neg_is_sub_from_zero(self, a):
+        zero = zero_torus_polynomial(DEGREE)
+        assert poly_equal(poly_neg(a), poly_sub(zero, a))
+
+    @given(coeff_arrays, st.integers(min_value=-4, max_value=4))
+    def test_scale_matches_repeated_add(self, a, k):
+        acc = zero_torus_polynomial(DEGREE)
+        for _ in range(abs(k)):
+            acc = poly_add(acc, a)
+        if k < 0:
+            acc = poly_neg(acc)
+        assert poly_equal(poly_scale(k, a), acc)
+
+    def test_constant_polynomial(self):
+        poly = constant_torus_polynomial(8, 42)
+        assert poly[0] == 42
+        assert not poly[1:].any()
+
+
+class TestRotation:
+    @given(coeff_arrays, st.integers(min_value=0, max_value=4 * DEGREE))
+    def test_rotation_by_2n_is_identity(self, a, k):
+        rotated = poly_mul_by_xk(poly_mul_by_xk(a, k), 2 * DEGREE - (k % (2 * DEGREE)))
+        assert poly_equal(rotated, a)
+
+    @given(coeff_arrays)
+    def test_rotation_by_n_negates(self, a):
+        assert poly_equal(poly_mul_by_xk(a, DEGREE), poly_neg(a))
+
+    @given(coeff_arrays, st.integers(min_value=0, max_value=2 * DEGREE), st.integers(min_value=0, max_value=2 * DEGREE))
+    def test_rotation_composes_additively(self, a, j, k):
+        both = poly_mul_by_xk(a, j + k)
+        sequential = poly_mul_by_xk(poly_mul_by_xk(a, j), k)
+        assert poly_equal(both, sequential)
+
+    def test_rotation_moves_coefficients_negacyclically(self):
+        poly = np.zeros(4, dtype=np.int32)
+        poly[3] = 7
+        rotated = poly_mul_by_xk(poly, 1)  # X * X^3 = X^4 = -1
+        assert rotated[0] == -7
+        assert not rotated[1:].any()
+
+    @given(coeff_arrays, st.integers(min_value=0, max_value=2 * DEGREE))
+    def test_xk_minus_one_matches_definition(self, a, k):
+        expected = poly_sub(poly_mul_by_xk(a, k), a)
+        assert poly_equal(poly_mul_by_xk_minus_one(a, k), expected)
+
+
+class TestConvolution:
+    def test_multiply_by_one(self):
+        one = np.zeros(DEGREE, dtype=np.int64)
+        one[0] = 1
+        b = np.arange(DEGREE, dtype=np.int32)
+        assert poly_equal(negacyclic_convolution(one, b), b)
+
+    def test_multiply_by_x_equals_rotation(self):
+        x = np.zeros(DEGREE, dtype=np.int64)
+        x[1] = 1
+        b = np.arange(1, DEGREE + 1, dtype=np.int32)
+        assert poly_equal(negacyclic_convolution(x, b), poly_mul_by_xk(b, 1))
+
+    @given(small_arrays, coeff_arrays, coeff_arrays)
+    @settings(max_examples=25)
+    def test_distributes_over_addition(self, a, b, c):
+        left = negacyclic_convolution(a, poly_add(b, c))
+        right = poly_add(negacyclic_convolution(a, b), negacyclic_convolution(a, c))
+        assert poly_equal(left, right)
+
+    @given(small_arrays, small_arrays)
+    @settings(max_examples=25)
+    def test_int64_variant_is_commutative(self, a, b):
+        assert np.array_equal(
+            negacyclic_convolution_int64(a, b), negacyclic_convolution_int64(b, a)
+        )
+
+    def test_degree_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            negacyclic_convolution(np.zeros(8, dtype=np.int64), np.zeros(16, dtype=np.int32))
+
+    def test_negacyclic_wraparound_sign(self):
+        # (X^{N-1}) * (X) = X^N = -1
+        a = np.zeros(DEGREE, dtype=np.int64)
+        a[DEGREE - 1] = 1
+        b = np.zeros(DEGREE, dtype=np.int32)
+        b[1] = 1
+        result = negacyclic_convolution(a, b)
+        assert result[0] == -1
+        assert not result[1:].any()

@@ -1,0 +1,52 @@
+"""Slow tests on the paper's full 110-bit parameter set.
+
+These exercise the exact configuration the paper evaluates (N = 1024, n = 630,
+Bg = 1024, l = 3) end to end in the functional simulator.  They take minutes in
+pure Python and are therefore marked ``slow``; run them with
+
+    pytest -m slow tests/test_slow_paper_params.py
+"""
+
+import pytest
+
+from repro.core.integer_fft import ApproximateNegacyclicTransform
+from repro.tfhe.gates import PLAINTEXT_GATES, TFHEGateEvaluator, decrypt_bit, encrypt_bit
+from repro.tfhe.keys import generate_keys
+from repro.tfhe.params import PAPER_110BIT
+from repro.tfhe.transform import DoubleFFTNegacyclicTransform
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def paper_keys_double():
+    transform = DoubleFFTNegacyclicTransform(PAPER_110BIT.N)
+    return generate_keys(PAPER_110BIT, transform, unroll_factor=1, rng=1)
+
+
+@pytest.fixture(scope="module")
+def paper_keys_matcha():
+    transform = ApproximateNegacyclicTransform(PAPER_110BIT.N, twiddle_bits=64)
+    return generate_keys(PAPER_110BIT, transform, unroll_factor=2, rng=2)
+
+
+class TestPaperParametersDouble:
+    def test_nand_gate(self, paper_keys_double):
+        secret, cloud = paper_keys_double
+        evaluator = TFHEGateEvaluator(cloud)
+        for a, b in ((0, 0), (1, 1)):
+            ca = encrypt_bit(secret, a, rng=10 + a)
+            cb = encrypt_bit(secret, b, rng=20 + b)
+            assert decrypt_bit(secret, evaluator.nand(ca, cb)) == PLAINTEXT_GATES["nand"](a, b)
+
+
+class TestPaperParametersMatcha:
+    def test_nand_gate_with_approximate_fft_and_bku(self, paper_keys_matcha):
+        """The headline functional claim at full parameters: 64-bit DVQTFs plus
+        BKU do not cause decryption errors."""
+        secret, cloud = paper_keys_matcha
+        evaluator = TFHEGateEvaluator(cloud)
+        for a, b in ((0, 1), (1, 1)):
+            ca = encrypt_bit(secret, a, rng=30 + a)
+            cb = encrypt_bit(secret, b, rng=40 + b)
+            assert decrypt_bit(secret, evaluator.nand(ca, cb)) == PLAINTEXT_GATES["nand"](a, b)

@@ -1,0 +1,159 @@
+"""Tests for TGSW: gadget decomposition, external product and CMux."""
+
+import numpy as np
+import pytest
+
+from repro.tfhe.params import TEST_TINY
+from repro.tfhe.polynomial import poly_mul_by_xk
+from repro.tfhe.tgsw import (
+    decomposition_offset,
+    gadget_decompose,
+    gadget_recompose,
+    gadget_values,
+    tgsw_cmux,
+    tgsw_encrypt,
+    tgsw_encrypt_zero,
+    tgsw_external_product,
+    tgsw_external_product_plain,
+    tgsw_identity,
+    tgsw_transform,
+)
+from repro.tfhe.tlwe import (
+    tlwe_encrypt,
+    tlwe_key_generate,
+    tlwe_phase,
+    tlwe_trivial,
+)
+from repro.tfhe.torus import double_to_torus32, torus_distance
+from repro.tfhe.transform import NaiveNegacyclicTransform
+
+PARAMS = TEST_TINY
+
+
+@pytest.fixture(scope="module")
+def setup():
+    transform = NaiveNegacyclicTransform(PARAMS.N)
+    key = tlwe_key_generate(PARAMS.tlwe, rng=31)
+    return transform, key
+
+
+def message_poly(value=0.125):
+    return np.full(PARAMS.N, double_to_torus32(value), dtype=np.int32)
+
+
+class TestGadgetDecomposition:
+    def test_gadget_values_are_descending_powers(self):
+        values = gadget_values(PARAMS.tgsw)
+        assert len(values) == PARAMS.l
+        for j in range(PARAMS.l):
+            assert int(values[j]) == 2 ** (32 - PARAMS.tgsw.decomp_base_bits * (j + 1))
+
+    def test_offset_is_half_base_in_every_level(self):
+        offset = decomposition_offset(PARAMS.tgsw)
+        assert offset > 0
+
+    def test_digits_are_bounded(self):
+        rng = np.random.default_rng(32)
+        poly = rng.integers(-(2**31), 2**31, PARAMS.N).astype(np.int32)
+        digits = gadget_decompose(poly, PARAMS.tgsw)
+        half_base = PARAMS.Bg // 2
+        assert digits.min() >= -half_base
+        assert digits.max() < half_base
+
+    def test_recomposition_error_is_bounded(self):
+        rng = np.random.default_rng(33)
+        poly = rng.integers(-(2**31), 2**31, PARAMS.N).astype(np.int32)
+        digits = gadget_decompose(poly, PARAMS.tgsw)
+        recomposed = gadget_recompose(digits, PARAMS.tgsw)
+        max_error = torus_distance(recomposed, poly).max()
+        # The decomposition drops the bits below the last digit (floor
+        # semantics, like the reference library), so the error is below one
+        # unit of the last digit.
+        bound = float(PARAMS.Bg) ** (-PARAMS.l)
+        assert max_error <= bound + 2.0**-31
+
+    def test_decompose_shape(self):
+        poly = np.zeros(PARAMS.N, dtype=np.int32)
+        assert gadget_decompose(poly, PARAMS.tgsw).shape == (PARAMS.l, PARAMS.N)
+
+
+class TestTgswStructure:
+    def test_zero_encryption_shape(self, setup):
+        transform, key = setup
+        sample = tgsw_encrypt_zero(key, PARAMS.tgsw, transform, rng=34)
+        assert sample.rows == (PARAMS.k + 1) * PARAMS.l
+        assert sample.degree == PARAMS.N
+
+    def test_identity_is_noiseless_gadget(self):
+        identity = tgsw_identity(PARAMS.tlwe, PARAMS.tgsw)
+        gadget = gadget_values(PARAMS.tgsw)
+        for block in range(PARAMS.k + 1):
+            for j in range(PARAMS.l):
+                row = block * PARAMS.l + j
+                assert identity.data[row, block, 0] == gadget[j]
+
+    def test_transform_preserves_shape(self, setup):
+        transform, key = setup
+        sample = tgsw_encrypt(key, 1, PARAMS.tgsw, transform, rng=35)
+        transformed = tgsw_transform(sample, transform)
+        assert transformed.rows == sample.rows
+        assert transformed.mask_count == sample.mask_count
+
+
+class TestExternalProduct:
+    @pytest.mark.parametrize("bit", [0, 1])
+    def test_external_product_multiplies_message(self, setup, bit):
+        transform, key = setup
+        tgsw = tgsw_encrypt(key, bit, PARAMS.tgsw, transform, rng=36 + bit)
+        message = message_poly()
+        tlwe = tlwe_encrypt(key, message, transform, rng=38)
+        product = tgsw_external_product_plain(tgsw, tlwe, transform)
+        phase = tlwe_phase(key, product, transform)
+        expected = message if bit else np.zeros_like(message)
+        assert torus_distance(phase, expected).max() < 2e-2
+
+    def test_external_product_with_identity_keeps_message(self, setup):
+        transform, key = setup
+        identity = tgsw_transform(tgsw_identity(PARAMS.tlwe, PARAMS.tgsw), transform)
+        message = message_poly()
+        trivial = tlwe_trivial(message, PARAMS.k)
+        product = tgsw_external_product(identity, trivial, transform)
+        phase = tlwe_phase(key, product, transform)
+        assert torus_distance(phase, message).max() < 1e-3
+
+    def test_incompatible_operands_raise(self, setup):
+        transform, key = setup
+        tgsw = tgsw_transform(tgsw_identity(PARAMS.tlwe, PARAMS.tgsw), transform)
+        bad = tlwe_trivial(np.zeros(PARAMS.N * 2, dtype=np.int32), PARAMS.k)
+        with pytest.raises(ValueError):
+            tgsw_external_product(tgsw, bad, transform)
+
+
+class TestCMux:
+    @pytest.mark.parametrize("selector_bit", [0, 1])
+    def test_cmux_selects_branch(self, setup, selector_bit):
+        transform, key = setup
+        selector = tgsw_transform(
+            tgsw_encrypt(key, selector_bit, PARAMS.tgsw, transform, rng=40 + selector_bit),
+            transform,
+        )
+        if_true = tlwe_trivial(message_poly(0.25), PARAMS.k)
+        if_false = tlwe_trivial(message_poly(-0.25), PARAMS.k)
+        result = tgsw_cmux(selector, if_true, if_false, transform)
+        phase = tlwe_phase(key, result, transform)
+        expected = message_poly(0.25) if selector_bit else message_poly(-0.25)
+        assert torus_distance(phase, expected).max() < 2e-2
+
+    def test_cmux_on_rotated_accumulator(self, setup):
+        """The exact CMux use of the blind rotation: select X^a * ACC or ACC."""
+        transform, key = setup
+        selector = tgsw_transform(
+            tgsw_encrypt(key, 1, PARAMS.tgsw, transform, rng=42), transform
+        )
+        testv = message_poly(0.125)
+        acc = tlwe_trivial(testv, PARAMS.k)
+        from repro.tfhe.tlwe import tlwe_rotate
+
+        result = tgsw_cmux(selector, tlwe_rotate(acc, 5), acc, transform)
+        phase = tlwe_phase(key, result, transform)
+        assert torus_distance(phase, poly_mul_by_xk(testv, 5)).max() < 2e-2

@@ -1,0 +1,143 @@
+"""Tests for ring TLWE encryption, rotation and sample extraction."""
+
+import numpy as np
+import pytest
+
+from repro.tfhe.lwe import lwe_phase
+from repro.tfhe.params import TEST_SMALL, TEST_TINY
+from repro.tfhe.polynomial import poly_mul_by_xk
+from repro.tfhe.tlwe import (
+    TlweSample,
+    tlwe_add,
+    tlwe_encrypt,
+    tlwe_extract_lwe_key,
+    tlwe_key_generate,
+    tlwe_phase,
+    tlwe_rotate,
+    tlwe_sample_extract,
+    tlwe_sub,
+    tlwe_trivial,
+    tlwe_zero,
+)
+from repro.tfhe.torus import double_to_torus32, torus_distance
+from repro.tfhe.transform import NaiveNegacyclicTransform
+
+
+@pytest.fixture(scope="module")
+def setup():
+    params = TEST_TINY.tlwe
+    transform = NaiveNegacyclicTransform(params.degree)
+    key = tlwe_key_generate(params, rng=21)
+    return params, transform, key
+
+
+def message_poly(degree, value=0.125):
+    return np.full(degree, double_to_torus32(value), dtype=np.int32)
+
+
+class TestKeyAndStructure:
+    def test_key_shape_and_binarity(self, setup):
+        params, _, key = setup
+        assert key.key.shape == (params.mask_count, params.degree)
+        assert set(np.unique(key.key)).issubset({0, 1})
+
+    def test_zero_sample_shape(self, setup):
+        params, _, _ = setup
+        sample = tlwe_zero(params)
+        assert sample.data.shape == (params.mask_count + 1, params.degree)
+        assert not sample.data.any()
+
+    def test_trivial_sample_stores_message_in_body(self, setup):
+        params, _, _ = setup
+        msg = message_poly(params.degree)
+        sample = tlwe_trivial(msg, params.mask_count)
+        assert np.array_equal(sample.b, msg)
+        assert not sample.a.any()
+
+    def test_accessors(self, setup):
+        params, _, _ = setup
+        sample = tlwe_zero(params)
+        assert sample.mask_count == params.mask_count
+        assert sample.degree == params.degree
+
+
+class TestEncryption:
+    def test_phase_recovers_message(self, setup):
+        params, transform, key = setup
+        msg = message_poly(params.degree)
+        ct = tlwe_encrypt(key, msg, transform, rng=22)
+        phase = tlwe_phase(key, ct, transform)
+        assert torus_distance(phase, msg).max() < 1e-3
+
+    def test_homomorphic_add(self, setup):
+        params, transform, key = setup
+        msg = message_poly(params.degree)
+        c1 = tlwe_encrypt(key, msg, transform, rng=23)
+        c2 = tlwe_encrypt(key, msg, transform, rng=24)
+        total_phase = tlwe_phase(key, tlwe_add(c1, c2), transform)
+        expected = np.full(params.degree, 2 * int(double_to_torus32(0.125)), dtype=np.int64)
+        assert torus_distance(total_phase, expected.astype(np.int32)).max() < 1e-3
+
+    def test_homomorphic_sub_cancels(self, setup):
+        params, transform, key = setup
+        msg = message_poly(params.degree)
+        c1 = tlwe_encrypt(key, msg, transform, rng=25)
+        diff_phase = tlwe_phase(key, tlwe_sub(c1, c1), transform)
+        assert torus_distance(diff_phase, np.zeros(params.degree, dtype=np.int32)).max() == 0
+
+    def test_trivial_phase_is_message(self, setup):
+        params, transform, key = setup
+        msg = message_poly(params.degree)
+        sample = tlwe_trivial(msg, params.mask_count)
+        assert np.array_equal(tlwe_phase(key, sample, transform), msg)
+
+
+class TestRotation:
+    def test_rotation_rotates_message(self, setup):
+        params, transform, key = setup
+        msg = np.zeros(params.degree, dtype=np.int32)
+        msg[0] = double_to_torus32(0.125)
+        ct = tlwe_encrypt(key, msg, transform, rng=26)
+        rotated_phase = tlwe_phase(key, tlwe_rotate(ct, 3), transform)
+        assert torus_distance(rotated_phase, poly_mul_by_xk(msg, 3)).max() < 1e-3
+
+    def test_rotation_by_zero_is_identity(self, setup):
+        params, _, _ = setup
+        sample = tlwe_trivial(message_poly(params.degree), params.mask_count)
+        assert np.array_equal(tlwe_rotate(sample, 0).data, sample.data)
+
+    def test_rotation_by_2n_is_identity(self, setup):
+        params, _, _ = setup
+        sample = tlwe_trivial(message_poly(params.degree), params.mask_count)
+        assert np.array_equal(tlwe_rotate(sample, 2 * params.degree).data, sample.data)
+
+
+class TestSampleExtract:
+    def test_extract_matches_polynomial_phase(self, setup):
+        params, transform, key = setup
+        rng = np.random.default_rng(27)
+        msg = rng.integers(-(2**28), 2**28, params.degree).astype(np.int32)
+        ct = tlwe_encrypt(key, msg, transform, rng=28)
+        poly_phase = tlwe_phase(key, ct, transform)
+        extracted_key = tlwe_extract_lwe_key(key)
+        for index in (0, 1, params.degree // 2, params.degree - 1):
+            extracted = tlwe_sample_extract(ct, index)
+            scalar_phase = lwe_phase(extracted_key, extracted)
+            assert float(torus_distance(scalar_phase, poly_phase[index])) == 0.0
+
+    def test_extracted_key_dimension(self, setup):
+        params, _, key = setup
+        assert tlwe_extract_lwe_key(key).dimension == params.extracted_lwe_dimension
+
+    def test_extract_index_out_of_range(self, setup):
+        params, _, _ = setup
+        sample = tlwe_zero(params)
+        with pytest.raises(ValueError):
+            tlwe_sample_extract(sample, params.degree)
+
+    def test_copy_is_independent(self, setup):
+        params, _, _ = setup
+        sample = tlwe_zero(params)
+        clone = sample.copy()
+        clone.data[0, 0] = 5
+        assert sample.data[0, 0] == 0

@@ -1,0 +1,108 @@
+"""Tests for the reference polynomial-multiplication engines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tfhe.polynomial import negacyclic_convolution
+from repro.tfhe.transform import (
+    DoubleFFTNegacyclicTransform,
+    NaiveNegacyclicTransform,
+    make_transform,
+)
+
+DEGREE = 64
+
+
+def random_polys(seed=0, degree=DEGREE):
+    rng = np.random.default_rng(seed)
+    int_poly = rng.integers(-512, 512, degree)
+    torus_poly = rng.integers(-(2**31), 2**31, degree).astype(np.int32)
+    return int_poly, torus_poly
+
+
+class TestNaiveTransform:
+    def test_multiply_matches_ground_truth(self):
+        a, b = random_polys()
+        transform = NaiveNegacyclicTransform(DEGREE)
+        assert np.array_equal(transform.multiply(a, b), negacyclic_convolution(a, b))
+
+    def test_stats_count_calls(self):
+        a, b = random_polys()
+        transform = NaiveNegacyclicTransform(DEGREE)
+        transform.multiply(a, b)
+        assert transform.stats.forward_calls == 2
+        assert transform.stats.backward_calls == 1
+        transform.reset_stats()
+        assert transform.stats.forward_calls == 0
+
+    def test_degree_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            NaiveNegacyclicTransform(100)
+
+    def test_wrong_length_input_rejected(self):
+        transform = NaiveNegacyclicTransform(DEGREE)
+        with pytest.raises(ValueError):
+            transform.forward(np.zeros(DEGREE * 2, dtype=np.int64))
+
+
+class TestDoubleTransform:
+    def test_multiply_matches_ground_truth_exactly(self):
+        a, b = random_polys()
+        transform = DoubleFFTNegacyclicTransform(DEGREE)
+        assert np.array_equal(transform.multiply(a, b), negacyclic_convolution(a, b))
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20)
+    def test_forward_backward_roundtrip(self, fill):
+        transform = DoubleFFTNegacyclicTransform(DEGREE)
+        poly = np.full(DEGREE, np.int32(fill - 2**30), dtype=np.int32)
+        recovered = transform.backward(transform.forward(poly))
+        assert np.array_equal(recovered, poly.astype(np.int64))
+
+    def test_spectrum_length_is_half_degree(self):
+        transform = DoubleFFTNegacyclicTransform(DEGREE)
+        spectrum = transform.forward(np.zeros(DEGREE, dtype=np.int32))
+        assert spectrum.shape == (DEGREE // 2,)
+
+    def test_spectrum_add_is_pointwise(self):
+        a, b = random_polys()
+        transform = DoubleFFTNegacyclicTransform(DEGREE)
+        sa, sb = transform.forward(a), transform.forward(b)
+        merged = transform.backward(transform.spectrum_add(sa, sb))
+        assert np.array_equal(merged, a.astype(np.int64) + b.astype(np.int64))
+
+    def test_multiply_accumulate_matches_sum_of_products(self):
+        rng = np.random.default_rng(3)
+        transform = DoubleFFTNegacyclicTransform(DEGREE)
+        ints = [rng.integers(-512, 512, DEGREE) for _ in range(3)]
+        toruses = [rng.integers(-(2**31), 2**31, DEGREE).astype(np.int32) for _ in range(3)]
+        spectra = [transform.forward(t) for t in toruses]
+        got = transform.multiply_accumulate(ints, spectra)
+        expected = np.zeros(DEGREE, dtype=np.int64)
+        for i, t in zip(ints, toruses):
+            expected += negacyclic_convolution(i, t).astype(np.int64)
+        expected = (expected & 0xFFFFFFFF).astype(np.uint32).astype(np.int32)
+        assert np.array_equal(got, expected)
+
+    def test_mismatched_accumulate_lengths_raise(self):
+        transform = DoubleFFTNegacyclicTransform(DEGREE)
+        with pytest.raises(ValueError):
+            transform.multiply_accumulate([np.zeros(DEGREE)], [])
+
+
+class TestFactory:
+    def test_known_kinds(self):
+        assert isinstance(make_transform("naive", DEGREE), NaiveNegacyclicTransform)
+        assert isinstance(make_transform("double", DEGREE), DoubleFFTNegacyclicTransform)
+
+    def test_approx_kind_builds_integer_transform(self):
+        from repro.core.integer_fft import ApproximateNegacyclicTransform
+
+        transform = make_transform("approx", DEGREE, twiddle_bits=32)
+        assert isinstance(transform, ApproximateNegacyclicTransform)
+        assert transform.twiddle_bits == 32
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            make_transform("ntt", DEGREE)

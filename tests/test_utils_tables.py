@@ -1,0 +1,34 @@
+"""Tests for the text-table renderer."""
+
+import pytest
+
+from repro.utils.tables import format_table
+
+
+def test_simple_table_alignment():
+    text = format_table(["a", "bb"], [[1, 2], [33, 4]])
+    lines = text.splitlines()
+    assert lines[0].startswith("a ")
+    assert "-+-" in lines[1]
+    assert len(lines) == 4
+
+
+def test_title_is_first_line():
+    text = format_table(["x"], [[1]], title="My title")
+    assert text.splitlines()[0] == "My title"
+
+
+def test_floats_are_compacted():
+    text = format_table(["v"], [[1.23456789]])
+    assert "1.235" in text
+
+
+def test_row_width_mismatch_raises():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])
+
+
+def test_column_width_follows_longest_cell():
+    text = format_table(["h"], [["short"], ["a-much-longer-cell"]])
+    header_line = text.splitlines()[0]
+    assert len(header_line) >= len("a-much-longer-cell")
