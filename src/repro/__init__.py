@@ -19,28 +19,36 @@ from repro.tfhe import (
     TEST_MEDIUM,
     TEST_SMALL,
     TEST_TINY,
+    BatchGateEvaluator,
+    LweBatch,
     TFHEGateEvaluator,
     TFHEParameters,
     decrypt_bit,
+    decrypt_bit_batch,
     decrypt_bits,
     encrypt_bit,
+    encrypt_bit_batch,
     encrypt_bits,
     generate_keys,
     make_transform,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "PAPER_110BIT",
     "TEST_MEDIUM",
     "TEST_SMALL",
     "TEST_TINY",
+    "BatchGateEvaluator",
+    "LweBatch",
     "TFHEGateEvaluator",
     "TFHEParameters",
     "decrypt_bit",
+    "decrypt_bit_batch",
     "decrypt_bits",
     "encrypt_bit",
+    "encrypt_bit_batch",
     "encrypt_bits",
     "generate_keys",
     "make_transform",

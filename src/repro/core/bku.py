@@ -31,12 +31,13 @@ from repro.tfhe.params import TFHEParameters
 from repro.tfhe.tgsw import (
     TgswSample,
     TransformedTgswSample,
+    tgsw_batch_external_product,
     tgsw_encrypt,
     tgsw_external_product,
     tgsw_identity,
     tgsw_transform,
 )
-from repro.tfhe.tlwe import TlweSample
+from repro.tfhe.tlwe import TlweBatch, TlweSample
 from repro.tfhe.transform import NegacyclicTransform, Spectrum
 from repro.utils.rng import SeedLike, make_rng
 
@@ -76,6 +77,21 @@ def x_power_minus_one_polynomial(degree: int, power: int) -> np.ndarray:
     sign = 1 if power < degree else -1
     poly[power % degree] += sign
     return poly
+
+
+def x_power_minus_one_polynomials(degree: int, powers: np.ndarray) -> np.ndarray:
+    """A stack of ``X^power − 1`` polynomials, one row per entry of ``powers``.
+
+    Rows with ``power ≡ 0 (mod 2N)`` come out as the zero polynomial — the
+    vanishing bundle term the sequential path skips explicitly.
+    """
+    powers = np.asarray(powers, dtype=np.int64) % (2 * degree)
+    polys = np.zeros(powers.shape + (degree,), dtype=np.int64)
+    polys[..., 0] -= 1
+    sign = np.where(powers < degree, np.int64(1), np.int64(-1))
+    flat = polys.reshape(-1, degree)
+    flat[np.arange(powers.size), powers.reshape(-1) % degree] += sign.reshape(-1)
+    return polys
 
 
 @dataclass
@@ -179,10 +195,18 @@ class UnrolledBlindRotator:
         return self.key.external_products_per_bootstrap
 
     # -- pipeline stage 1: the TGSW cluster --------------------------------
-    def build_bundle(
+    def _build_bundle_core(
         self, group: UnrolledKeyGroup, bara: np.ndarray
     ) -> TransformedTgswSample:
-        """Construct the bootstrapping key bundle ``BKB`` for one group."""
+        """Construct the ``BKB`` bundle(s) for one group.
+
+        ``bara`` has shape ``(n,)`` for a single bootstrapping or ``(B, n)``
+        for a batch (the returned sample's spectra then carry the leading
+        batch axis).  A per-ciphertext exponent that reduces to zero yields an
+        exactly-zero factor polynomial, so the term vanishes for that
+        ciphertext alone — bit-identical to skipping it; the explicit skip
+        below only fires when the term vanishes for the *whole* stack.
+        """
         self.bundles_built += 1
         transform = self.transform
         rows = self._identity_spectra.rows
@@ -192,13 +216,15 @@ class UnrolledBlindRotator:
             for r in range(rows)
         ]
         degree = self.key.params.N
+        group_bara = bara[..., group.indices].astype(np.int64)  # (..., size)
         for pattern in range(1, (1 << group.size)):
-            exponent = pattern_exponent(bara, group.indices, pattern)
-            if exponent % (2 * degree) == 0:
-                # X^0 − 1 = 0: the term vanishes.
+            bits = ((pattern >> np.arange(group.size)) & 1).astype(np.int64)
+            exponents = group_bara @ bits  # scalar or (B,)
+            if not np.any(exponents % (2 * degree)):
+                # X^0 − 1 = 0 everywhere: the term vanishes.
                 continue
-            factor = x_power_minus_one_polynomial(degree, exponent)
-            factor_spec = transform.forward(factor)
+            factors = x_power_minus_one_polynomials(degree, exponents)
+            factor_spec = transform.forward(factors)
             bk = group.keys[pattern - 1]
             for r in range(rows):
                 for c in range(cols):
@@ -213,12 +239,33 @@ class UnrolledBlindRotator:
             degree=degree,
         )
 
+    def build_bundle(
+        self, group: UnrolledKeyGroup, bara: np.ndarray
+    ) -> TransformedTgswSample:
+        """Construct the bootstrapping key bundle ``BKB`` for one group."""
+        return self._build_bundle_core(group, np.asarray(bara))
+
+    def build_bundle_batch(
+        self, group: UnrolledKeyGroup, bara: np.ndarray
+    ) -> TransformedTgswSample:
+        """Construct the ``BKB`` bundles for one group of a whole batch (``(B, n)``)."""
+        return self._build_bundle_core(group, np.asarray(bara))
+
     # -- pipeline stage 2: the EP core --------------------------------------
     def rotate(self, accumulator: TlweSample, bara: np.ndarray) -> TlweSample:
         acc = accumulator
         for group in self.key.groups:
             bundle = self.build_bundle(group, bara)
             acc = tgsw_external_product(bundle, acc, self.transform)
+            self.external_products += 1
+        return acc
+
+    def rotate_batch(self, accumulators: TlweBatch, bara: np.ndarray) -> TlweBatch:
+        """Batched BKU blind rotation: per-group batched bundles + batched EP."""
+        acc = accumulators
+        for group in self.key.groups:
+            bundle = self.build_bundle_batch(group, bara)
+            acc = tgsw_batch_external_product(bundle, acc, self.transform)
             self.external_products += 1
         return acc
 

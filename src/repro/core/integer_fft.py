@@ -61,13 +61,21 @@ class IntegerSpectrum:
 
     ``values`` hold integers (stored in a complex128 array); the represented
     spectrum is ``values / 2**scale_bits``.
+
+    ``values`` may be a *stack* of spectra of shape ``(..., N/2)``; then
+    ``scale_bits`` is an int64 array of the batch shape ``values.shape[:-1]``
+    carrying one fixed-point scale per stacked spectrum, so batched transforms
+    stay bit-identical to transforming each polynomial on its own.
     """
 
     values: np.ndarray
-    scale_bits: int
+    scale_bits: "int | np.ndarray"
 
     def copy(self) -> "IntegerSpectrum":
-        return IntegerSpectrum(self.values.copy(), self.scale_bits)
+        scale = self.scale_bits
+        if isinstance(scale, np.ndarray):
+            scale = scale.copy()
+        return IntegerSpectrum(self.values.copy(), scale)
 
 
 class ApproximateNegacyclicTransform(NegacyclicTransform):
@@ -123,38 +131,41 @@ class ApproximateNegacyclicTransform(NegacyclicTransform):
     # ------------------------------------------------------------------ #
     # conversions                                                         #
     # ------------------------------------------------------------------ #
-    def _choose_scale(self, coeffs: np.ndarray) -> int:
-        peak = float(np.max(np.abs(coeffs))) if coeffs.size else 0.0
-        if peak < 1.0:
-            peak = 1.0
-        msb = int(math.ceil(math.log2(peak + 1.0)))
-        return max(0, self.target_msb - msb)
+    def _choose_scale(self, coeffs: np.ndarray) -> "int | np.ndarray":
+        """Per-polynomial fixed-point scale (an int64 array for stacked input)."""
+        peak = np.maximum(np.max(np.abs(coeffs), axis=-1), 1.0)
+        msb = np.ceil(np.log2(peak + 1.0)).astype(np.int64)
+        scale = np.maximum(np.int64(0), np.int64(self.target_msb) - msb)
+        return int(scale) if scale.ndim == 0 else scale
 
     def forward(self, coeffs: np.ndarray) -> IntegerSpectrum:
         """Coefficients → Lagrange domain (the paper's IFFT kernel)."""
         self.stats.forward_calls += 1
         coeffs = np.asarray(coeffs, dtype=np.float64)
-        if coeffs.shape[0] != self.degree:
+        if coeffs.shape[-1] != self.degree:
             raise ValueError("polynomial degree mismatch")
         half = self._half
+        batch = coeffs.shape[:-1]
         scale_bits = self._choose_scale(coeffs)
-        scaled = coeffs * float(1 << scale_bits)
+        # Multiplication by an exact power of two — exact in float64, so the
+        # per-polynomial scales keep batched results bit-identical to looping.
+        scaled = coeffs * np.exp2(np.asarray(scale_bits, dtype=np.float64))[..., None]
 
-        re = scaled[:half].copy()
-        im = scaled[half:].copy()
+        re = scaled[..., :half].copy()
+        im = scaled[..., half:].copy()
         re, im = self._twist.forward(re, im)
 
         for length, rotation in self._dif_stages:
-            re = re.reshape(half // length, length)
-            im = im.reshape(half // length, length)
+            re = re.reshape(batch + (half // length, length))
+            im = im.reshape(batch + (half // length, length))
             half_length = length // 2
-            top_re, bot_re = re[:, :half_length], re[:, half_length:]
-            top_im, bot_im = im[:, :half_length], im[:, half_length:]
+            top_re, bot_re = re[..., :half_length], re[..., half_length:]
+            top_im, bot_im = im[..., :half_length], im[..., half_length:]
             sum_re, sum_im = top_re + bot_re, top_im + bot_im
             diff_re, diff_im = top_re - bot_re, top_im - bot_im
             rot_re, rot_im = rotation.forward(diff_re, diff_im)
-            re = np.concatenate([sum_re, rot_re], axis=1).reshape(half)
-            im = np.concatenate([sum_im, rot_im], axis=1).reshape(half)
+            re = np.concatenate([sum_re, rot_re], axis=-1).reshape(batch + (half,))
+            im = np.concatenate([sum_im, rot_im], axis=-1).reshape(batch + (half,))
 
         return IntegerSpectrum(values=re + 1j * im, scale_bits=scale_bits)
 
@@ -163,17 +174,18 @@ class ApproximateNegacyclicTransform(NegacyclicTransform):
         self.stats.backward_calls += 1
         half = self._half
         values = np.asarray(spectrum.values, dtype=np.complex128)
-        if values.shape[0] != half:
+        if values.shape[-1] != half:
             raise ValueError("spectrum length mismatch")
+        batch = values.shape[:-1]
         re = values.real.copy()
         im = values.imag.copy()
 
         for length, rotation in self._dit_stages:
-            re = re.reshape(half // length, length)
-            im = im.reshape(half // length, length)
+            re = re.reshape(batch + (half // length, length))
+            im = im.reshape(batch + (half // length, length))
             half_length = length // 2
-            top_re, bot_re = re[:, :half_length], re[:, half_length:]
-            top_im, bot_im = im[:, :half_length], im[:, half_length:]
+            top_re, bot_re = re[..., :half_length], re[..., half_length:]
+            top_im, bot_im = im[..., :half_length], im[..., half_length:]
             rot_re, rot_im = rotation.forward(bot_re, bot_im)
             # Halve each stage output: log2(half) halvings realise the 1/(N/2)
             # normalisation of the inverse transform.
@@ -181,15 +193,15 @@ class ApproximateNegacyclicTransform(NegacyclicTransform):
             new_top_im = np.round((top_im + rot_im) * 0.5)
             new_bot_re = np.round((top_re - rot_re) * 0.5)
             new_bot_im = np.round((top_im - rot_im) * 0.5)
-            re = np.concatenate([new_top_re, new_bot_re], axis=1).reshape(half)
-            im = np.concatenate([new_top_im, new_bot_im], axis=1).reshape(half)
+            re = np.concatenate([new_top_re, new_bot_re], axis=-1).reshape(batch + (half,))
+            im = np.concatenate([new_top_im, new_bot_im], axis=-1).reshape(batch + (half,))
 
         re, im = self._twist.inverse(re, im)
 
-        descale = float(1 << spectrum.scale_bits)
-        coeffs = np.empty(self.degree, dtype=np.float64)
-        coeffs[:half] = re
-        coeffs[half:] = im
+        descale = np.exp2(np.asarray(spectrum.scale_bits, dtype=np.float64))[..., None]
+        coeffs = np.empty(batch + (self.degree,), dtype=np.float64)
+        coeffs[..., :half] = re
+        coeffs[..., half:] = im
         return np.round(coeffs / descale).astype(np.int64)
 
     # ------------------------------------------------------------------ #
@@ -200,25 +212,62 @@ class ApproximateNegacyclicTransform(NegacyclicTransform):
 
     def spectrum_add(self, a: IntegerSpectrum, b: IntegerSpectrum) -> IntegerSpectrum:
         self.stats.pointwise_ops += 1
-        # The all-zero spectrum is the exact additive identity regardless of scale.
-        if not np.any(a.values):
-            return b.copy()
-        if not np.any(b.values):
-            return a.copy()
-        if a.scale_bits == b.scale_bits:
-            return IntegerSpectrum(a.values + b.values, a.scale_bits)
-        target = min(a.scale_bits, b.scale_bits)
-        a_vals = np.round(a.values / float(1 << (a.scale_bits - target)))
-        b_vals = np.round(b.values / float(1 << (b.scale_bits - target)))
-        return IntegerSpectrum(a_vals + b_vals, target)
+        if a.values.ndim == 1 and b.values.ndim == 1:
+            # The all-zero spectrum is the exact additive identity regardless
+            # of scale.
+            if not np.any(a.values):
+                return b.copy()
+            if not np.any(b.values):
+                return a.copy()
+            if a.scale_bits == b.scale_bits:
+                return IntegerSpectrum(a.values + b.values, a.scale_bits)
+            target = min(a.scale_bits, b.scale_bits)
+            a_vals = np.round(a.values / float(1 << (a.scale_bits - target)))
+            b_vals = np.round(b.values / float(1 << (b.scale_bits - target)))
+            return IntegerSpectrum(a_vals + b_vals, target)
+        return self._spectrum_add_batched(a, b)
+
+    def _spectrum_add_batched(self, a: IntegerSpectrum, b: IntegerSpectrum) -> IntegerSpectrum:
+        """Stacked addition replicating the scalar semantics per batch element.
+
+        A zero element must not drag the common scale down (the scalar path
+        returns the other operand untouched), so zero elements take the other
+        operand's scale when the per-element target scale is computed.
+        """
+        half = self._half
+        shape = np.broadcast_shapes(a.values.shape, b.values.shape)
+        batch = shape[:-1]
+        a_vals = np.broadcast_to(a.values, shape)
+        b_vals = np.broadcast_to(b.values, shape)
+        a_scale = np.broadcast_to(np.asarray(a.scale_bits, dtype=np.int64), batch)
+        b_scale = np.broadcast_to(np.asarray(b.scale_bits, dtype=np.int64), batch)
+
+        zero_a = ~np.any(a_vals, axis=-1)
+        zero_b = ~np.any(b_vals, axis=-1)
+        eff_a = np.where(zero_a, b_scale, a_scale)
+        eff_b = np.where(zero_b, a_scale, b_scale)
+        target = np.minimum(eff_a, eff_b)
+        # Division by an exact power of two; zero rows divide to zero, so a
+        # negative exponent for an all-zero row is harmless.
+        a_out = np.round(a_vals / np.exp2((a_scale - target).astype(np.float64))[..., None])
+        b_out = np.round(b_vals / np.exp2((b_scale - target).astype(np.float64))[..., None])
+        scale = np.where(zero_a & zero_b, b_scale, target)
+        return IntegerSpectrum(a_out + b_out, scale)
 
     def spectrum_mul(self, a: IntegerSpectrum, b: IntegerSpectrum) -> IntegerSpectrum:
         self.stats.pointwise_ops += 1
-        combined = a.scale_bits + b.scale_bits
         product = a.values * b.values
-        if combined:
-            product = product / float(1 << combined)
-        return IntegerSpectrum(np.round(product.real) + 1j * np.round(product.imag), 0)
+        if a.values.ndim == 1 and b.values.ndim == 1:
+            combined = a.scale_bits + b.scale_bits
+            if combined:
+                product = product / float(1 << combined)
+            return IntegerSpectrum(np.round(product.real) + 1j * np.round(product.imag), 0)
+        combined = np.asarray(a.scale_bits, dtype=np.int64) + np.asarray(
+            b.scale_bits, dtype=np.int64
+        )
+        product = product / np.exp2(combined.astype(np.float64))[..., None]
+        values = np.round(product.real) + 1j * np.round(product.imag)
+        return IntegerSpectrum(values, np.zeros(values.shape[:-1], dtype=np.int64))
 
     def spectrum_copy(self, a: IntegerSpectrum) -> IntegerSpectrum:
         return a.copy()

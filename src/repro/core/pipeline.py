@@ -11,6 +11,12 @@ by the architecture model (:mod:`repro.arch`); here we only reason about how
 the two stages overlap, how the pipeline fills and drains, and how well the
 stages balance as ``m`` grows — the paper's argument for why the workloads
 "can be approximately balanced by adjusting m".
+
+:func:`steady_state_throughput` additionally models *batched* serving: a
+pipeline pair that interleaves ``batch_width`` independent bootstrappings pays
+the pipeline-fill latency once per batch, mirroring how the functional
+simulator's :class:`repro.tfhe.gates.BatchGateEvaluator` amortises per-gate
+dispatch overhead across a batch of ciphertexts.
 """
 
 from __future__ import annotations
@@ -97,17 +103,40 @@ def steady_state_throughput(
     iterations: int,
     pipeline_count: int,
     clock_hz: float,
+    batch_width: int = 1,
 ) -> float:
     """Gates per second of ``pipeline_count`` independent bootstrapping pipelines.
 
     Each TGSW-cluster/EP-core pair processes a different gate (the blind
     rotation itself is sequential), so the accelerator throughput scales with
     the number of pairs.
+
+    ``batch_width`` models a pipeline pair that interleaves ``batch_width``
+    independent bootstrappings back to back (the hardware analogue of the
+    functional simulator's :class:`repro.tfhe.gates.BatchGateEvaluator`): the
+    pipeline-fill latency of the first stage is paid once per *batch* instead
+    of once per *gate*, so throughput approaches the bottleneck-stage bound
+    ``clock / (iterations · bottleneck)`` as the batch grows.
     """
     if pipeline_count <= 0 or clock_hz <= 0:
         raise ValueError("pipeline count and clock must be positive")
+    if batch_width <= 0:
+        raise ValueError("batch width must be positive")
     schedule = schedule_bootstrapping(iterations, stage_times, pipelined=True)
     if schedule.total_cycles == 0:
         return float("inf")
-    gate_seconds = schedule.total_cycles / clock_hz
+    # One fill of the first stage per batch, then the bottleneck stage paces
+    # all iterations of all batched gates (Figure 6(b), extended over gates).
+    steady = iterations * stage_times.bottleneck_cycles
+    batch_cycles = schedule.total_cycles + (batch_width - 1) * steady
+    gate_seconds = batch_cycles / (batch_width * clock_hz)
     return pipeline_count / gate_seconds
+
+
+def batching_speedup(
+    stage_times: PipelineStageTimes, iterations: int, batch_width: int
+) -> float:
+    """Throughput gain of batching ``batch_width`` gates per pipeline vs one."""
+    single = steady_state_throughput(stage_times, iterations, 1, 1.0, batch_width=1)
+    batched = steady_state_throughput(stage_times, iterations, 1, 1.0, batch_width=batch_width)
+    return batched / single

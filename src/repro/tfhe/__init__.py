@@ -27,12 +27,17 @@ from repro.tfhe.keys import (
     generate_secret_key,
 )
 from repro.tfhe.gates import (
+    BatchGateEvaluator,
     TFHEGateEvaluator,
     decrypt_bit,
+    decrypt_bit_batch,
     decrypt_bits,
     encrypt_bit,
+    encrypt_bit_batch,
     encrypt_bits,
 )
+from repro.tfhe.lwe import LweBatch, LweSample
+from repro.tfhe.tlwe import TlweBatch, TlweSample
 from repro.tfhe.transform import (
     DoubleFFTNegacyclicTransform,
     NaiveNegacyclicTransform,
@@ -53,10 +58,17 @@ __all__ = [
     "generate_cloud_key",
     "generate_keys",
     "generate_secret_key",
+    "BatchGateEvaluator",
     "TFHEGateEvaluator",
+    "LweBatch",
+    "LweSample",
+    "TlweBatch",
+    "TlweSample",
     "decrypt_bit",
+    "decrypt_bit_batch",
     "decrypt_bits",
     "encrypt_bit",
+    "encrypt_bit_batch",
     "encrypt_bits",
     "DoubleFFTNegacyclicTransform",
     "NaiveNegacyclicTransform",

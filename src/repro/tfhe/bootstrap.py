@@ -25,12 +25,16 @@ from typing import List, Protocol, Sequence
 
 import numpy as np
 
-from repro.tfhe.keyswitch import KeySwitchKey, keyswitch_apply
-from repro.tfhe.lwe import LweSample
+from repro.tfhe.keyswitch import KeySwitchKey, keyswitch_apply, keyswitch_apply_batch
+from repro.tfhe.lwe import LweBatch, LweSample
 from repro.tfhe.params import TFHEParameters
-from repro.tfhe.tgsw import TransformedTgswSample, tgsw_cmux
+from repro.tfhe.tgsw import TransformedTgswSample, tgsw_batch_cmux, tgsw_cmux
 from repro.tfhe.tlwe import (
+    TlweBatch,
     TlweSample,
+    tlwe_batch_rotate,
+    tlwe_batch_sample_extract,
+    tlwe_batch_trivial,
     tlwe_rotate,
     tlwe_sample_extract,
     tlwe_trivial,
@@ -68,6 +72,10 @@ class BlindRotator(Protocol):
         """Homomorphically multiply the accumulator by ``X^{Σ ā_i·s_i}``."""
         ...
 
+    def rotate_batch(self, accumulators: TlweBatch, bara: np.ndarray) -> TlweBatch:
+        """Blind-rotate a whole stack of accumulators, ``bara`` of shape ``(B, n)``."""
+        ...
+
     @property
     def external_products_per_bootstrap(self) -> int:
         """Number of external products one blind rotation performs."""
@@ -99,6 +107,23 @@ class CmuxBlindRotator:
             acc = tgsw_cmux(bk_i, rotated, acc, self.transform)
         return acc
 
+    def rotate_batch(self, accumulators: TlweBatch, bara: np.ndarray) -> TlweBatch:
+        """Rotate every in-flight accumulator in lockstep over the key bits.
+
+        A ciphertext whose rotation amount is zero at step ``i`` still passes
+        through the (vectorised) CMux, but ``CMux(BK, ACC, ACC)`` multiplies
+        the key with an exactly-zero difference, so its accumulator comes back
+        bit-identical to the sequential path's skip.
+        """
+        acc = accumulators
+        for i, bk_i in enumerate(self.bootstrapping_key):
+            powers = bara[:, i]
+            if not powers.any():
+                continue
+            rotated = tlwe_batch_rotate(acc, powers)
+            acc = tgsw_batch_cmux(bk_i, rotated, acc, self.transform)
+        return acc
+
 
 def make_test_vector(params: TFHEParameters, mu: int) -> np.ndarray:
     """The all-``mu`` test polynomial used by gate bootstrapping.
@@ -121,6 +146,14 @@ def modswitch_sample(sample: LweSample, degree: int) -> tuple[int, np.ndarray]:
     return barb, bara
 
 
+def modswitch_batch(batch: LweBatch, degree: int) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised rounding of a batch: returns ``(b̄ (B,), ā (B, n))``."""
+    space = 2 * degree
+    barb = np.asarray(modswitch_from_torus32(batch.b, space), dtype=np.int64)
+    bara = np.asarray(modswitch_from_torus32(batch.a, space), dtype=np.int64)
+    return barb, bara
+
+
 def blind_rotate_and_extract(
     sample: LweSample,
     test_vector: np.ndarray,
@@ -135,6 +168,25 @@ def blind_rotate_and_extract(
         accumulator = tlwe_rotate(accumulator, -barb)
     accumulator = rotator.rotate(accumulator, bara)
     return tlwe_sample_extract(accumulator, index=0)
+
+
+def blind_rotate_and_extract_batch(
+    batch: LweBatch,
+    test_vector: np.ndarray,
+    rotator: BlindRotator,
+    params: TFHEParameters,
+) -> LweBatch:
+    """Batched lines 2–8 of Algorithm 1: one vectorised pass over the batch.
+
+    Bit-identical to looping :func:`blind_rotate_and_extract` over the rows;
+    only the NumPy dispatch overhead is amortised across the batch.
+    """
+    degree = params.N
+    barb, bara = modswitch_batch(batch, degree)
+    accumulators = tlwe_batch_trivial(test_vector, params.k, batch.batch_size)
+    accumulators = tlwe_batch_rotate(accumulators, -barb)
+    accumulators = rotator.rotate_batch(accumulators, bara)
+    return tlwe_batch_sample_extract(accumulators, index=0)
 
 
 def bootstrap_without_keyswitch(
@@ -163,3 +215,31 @@ def gate_bootstrap(
     """
     extracted = bootstrap_without_keyswitch(sample, mu, rotator, params)
     return keyswitch_apply(keyswitch_key, extracted)
+
+
+def bootstrap_without_keyswitch_batch(
+    batch: LweBatch,
+    mu: int,
+    rotator: BlindRotator,
+    params: TFHEParameters,
+) -> LweBatch:
+    """Batched bootstrap to fresh samples of ``±mu`` under the extracted key."""
+    test_vector = make_test_vector(params, mu)
+    return blind_rotate_and_extract_batch(batch, test_vector, rotator, params)
+
+
+def gate_bootstrap_batch(
+    batch: LweBatch,
+    mu: int,
+    rotator: BlindRotator,
+    keyswitch_key: KeySwitchKey,
+    params: TFHEParameters,
+) -> LweBatch:
+    """Full gate bootstrapping of a whole batch of ciphertexts at once.
+
+    The blind rotation, sample extraction and key switch all run vectorised
+    over the batch axis; the output rows are bit-identical to calling
+    :func:`gate_bootstrap` on each input row.
+    """
+    extracted = bootstrap_without_keyswitch_batch(batch, mu, rotator, params)
+    return keyswitch_apply_batch(keyswitch_key, extracted)

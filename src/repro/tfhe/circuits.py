@@ -10,16 +10,32 @@ a multiplexer over bit vectors and an equality test.
 All functions take and return lists of LWE ciphertexts ordered LSB first, so
 they compose freely; every gate they emit is a bootstrapped TFHE gate, which
 keeps the depth unlimited.
+
+The blocks are polymorphic over the evaluator: pass a
+:class:`repro.tfhe.gates.TFHEGateEvaluator` and lists of scalar
+:class:`LweSample` bits to process one word, or a
+:class:`repro.tfhe.gates.BatchGateEvaluator` and lists of
+:class:`repro.tfhe.lwe.LweBatch` *bit planes* (plane ``i`` holds bit ``i`` of
+every word in the batch) to process ``batch_size`` independent words with the
+same number of — now batched — gate evaluations.  Use
+:func:`encrypt_integers` / :func:`decrypt_integers` to move between integer
+lists and bit planes.
 """
 
 from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
-from repro.tfhe.gates import TFHEGateEvaluator, decrypt_bits, encrypt_bits
+from repro.tfhe.gates import (
+    TFHEGateEvaluator,
+    decrypt_bit_batch,
+    decrypt_bits,
+    encrypt_bit_batch,
+    encrypt_bits,
+)
 from repro.tfhe.keys import TFHESecretKey
-from repro.tfhe.lwe import LweSample
-from repro.utils.rng import SeedLike
+from repro.tfhe.lwe import LweBatch, LweSample
+from repro.utils.rng import SeedLike, make_rng
 
 
 def int_to_bits(value: int, width: int) -> List[int]:
@@ -44,6 +60,33 @@ def encrypt_integer(
 def decrypt_integer(secret: TFHESecretKey, bits: Sequence[LweSample]) -> int:
     """Decrypt an encrypted integer produced by :func:`encrypt_integer`."""
     return bits_to_int(decrypt_bits(secret, list(bits)))
+
+
+def encrypt_integers(
+    secret: TFHESecretKey, values: Sequence[int], width: int, rng: SeedLike = None
+) -> List[LweBatch]:
+    """Encrypt a list of unsigned integers as ``width`` LSB-first *bit planes*.
+
+    Plane ``i`` is an :class:`LweBatch` whose row ``j`` encrypts bit ``i`` of
+    ``values[j]`` — the layout the batched circuit blocks consume: feeding the
+    planes to :func:`add` with a ``BatchGateEvaluator`` adds all ``len(values)``
+    pairs of integers at once.
+    """
+    if not values:
+        raise ValueError("at least one value is required")
+    rng = make_rng(rng)
+    bit_rows = [int_to_bits(int(v), width) for v in values]
+    return [
+        encrypt_bit_batch(secret, [row[i] for row in bit_rows], rng)
+        for i in range(width)
+    ]
+
+
+def decrypt_integers(secret: TFHESecretKey, planes: Sequence[LweBatch]) -> List[int]:
+    """Decrypt LSB-first bit planes back to one integer per batch row."""
+    plane_bits = [decrypt_bit_batch(secret, plane) for plane in planes]
+    batch = len(plane_bits[0])
+    return [bits_to_int([plane[j] for plane in plane_bits]) for j in range(batch)]
 
 
 def _check_widths(a: Sequence[LweSample], b: Sequence[LweSample]) -> None:

@@ -4,11 +4,17 @@ A TLWE sample under a binary secret key ``s ∈ B^n`` is a pair ``(a, b)`` with
 ``a`` uniform in ``T^n`` and ``b = a·s + e + m`` where ``e`` is Gaussian noise
 and ``m`` the torus-encoded message (Section 2 of the paper).  Gate
 bootstrapping encodes Boolean messages at the torus points ``±1/8``.
+
+Besides the scalar :class:`LweSample` this module provides :class:`LweBatch`,
+a stack of ``B`` independent ciphertexts stored as contiguous arrays, plus the
+matching vectorised linear operations (``lwe_batch_*``).  Batched results are
+bit-identical to applying the scalar operation to each element of the stack.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, List
 
 import numpy as np
 
@@ -36,6 +42,49 @@ class LweSample:
 
     def copy(self) -> "LweSample":
         return LweSample(self.a.copy(), np.int32(self.b))
+
+
+@dataclass
+class LweBatch:
+    """A batch of ``B`` independent LWE ciphertexts under one key.
+
+    ``a`` has shape ``(B, n)`` and ``b`` shape ``(B,)``; row ``i`` is the
+    ciphertext ``(a[i], b[i])``.  The batch axis only amortises dispatch
+    overhead — every batched operation is bit-identical to looping the scalar
+    one over the rows.
+    """
+
+    a: np.ndarray  # int32[B, n]
+    b: np.ndarray  # int32[B]
+
+    @property
+    def batch_size(self) -> int:
+        return int(self.a.shape[0])
+
+    @property
+    def dimension(self) -> int:
+        return int(self.a.shape[1])
+
+    def __len__(self) -> int:
+        return self.batch_size
+
+    def __getitem__(self, index: int) -> LweSample:
+        return LweSample(a=self.a[index].copy(), b=np.int32(self.b[index]))
+
+    def copy(self) -> "LweBatch":
+        return LweBatch(self.a.copy(), self.b.copy())
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[LweSample]) -> "LweBatch":
+        samples = list(samples)
+        if not samples:
+            raise ValueError("cannot build an empty batch")
+        a = np.stack([s.a for s in samples]).astype(np.int32)
+        b = np.array([np.int32(s.b) for s in samples], dtype=np.int32)
+        return cls(a=a, b=b)
+
+    def to_samples(self) -> List[LweSample]:
+        return [self[i] for i in range(self.batch_size)]
 
 
 @dataclass
@@ -142,3 +191,83 @@ def gate_message(bit: int) -> np.int32:
     """Torus encoding of a Boolean for gate bootstrapping: ``±1/8``."""
     mu = double_to_torus32(0.125)
     return np.int32(mu if bit else -mu)
+
+
+# --------------------------------------------------------------------------- #
+# batched linear algebra                                                      #
+# --------------------------------------------------------------------------- #
+
+
+def lwe_batch_trivial(batch_size: int, dimension: int, message) -> LweBatch:
+    """A batch of trivial encryptions; ``message`` is a scalar or a ``(B,)`` array."""
+    if batch_size <= 0:
+        raise ValueError("batch size must be positive")
+    a = np.zeros((batch_size, dimension), dtype=np.int32)
+    b = np.broadcast_to(np.asarray(message, dtype=np.int32), (batch_size,)).copy()
+    return LweBatch(a=a, b=b)
+
+
+def lwe_batch_encrypt(
+    key: LweKey,
+    messages: np.ndarray,
+    noise_stddev: float | None = None,
+    rng: SeedLike = None,
+) -> LweBatch:
+    """Encrypt a vector of torus messages as one batch (vectorised sampling)."""
+    rng = make_rng(rng)
+    messages = np.asarray(messages, dtype=np.int32)
+    if messages.ndim != 1:
+        raise ValueError("messages must be a 1-D array of torus values")
+    stddev = key.params.noise_stddev if noise_stddev is None else noise_stddev
+    batch = messages.shape[0]
+    a = uniform_torus32((batch, key.dimension), rng)
+    noise = gaussian_torus32(stddev, size=batch, rng=rng)
+    phase = a.astype(np.int64) @ key.key.astype(np.int64)
+    b = torus32_from_int64(phase + noise.astype(np.int64) + messages.astype(np.int64))
+    return LweBatch(a=a, b=b.astype(np.int32))
+
+
+def lwe_batch_phase(key: LweKey, batch: LweBatch) -> np.ndarray:
+    """The per-ciphertext phases ``b - a·s`` of a batch, shape ``(B,)``."""
+    dot = batch.a.astype(np.int64) @ key.key.astype(np.int64)
+    return torus32_from_int64(batch.b.astype(np.int64) - dot)
+
+
+def lwe_batch_decrypt_bits(key: LweKey, batch: LweBatch) -> np.ndarray:
+    """Decrypt a batch of gate-bootstrapping ciphertexts to a ``(B,)`` bit array."""
+    return (lwe_batch_phase(key, batch) > 0).astype(np.int64)
+
+
+def lwe_batch_add(x: LweBatch, y: LweBatch) -> LweBatch:
+    """Elementwise homomorphic addition of two batches."""
+    a = torus32_from_int64(x.a.astype(np.int64) + y.a.astype(np.int64))
+    b = torus32_from_int64(x.b.astype(np.int64) + y.b.astype(np.int64))
+    return LweBatch(a=a, b=b)
+
+
+def lwe_batch_sub(x: LweBatch, y: LweBatch) -> LweBatch:
+    """Elementwise homomorphic subtraction of two batches."""
+    a = torus32_from_int64(x.a.astype(np.int64) - y.a.astype(np.int64))
+    b = torus32_from_int64(x.b.astype(np.int64) - y.b.astype(np.int64))
+    return LweBatch(a=a, b=b)
+
+
+def lwe_batch_negate(x: LweBatch) -> LweBatch:
+    """Elementwise homomorphic negation of a batch."""
+    return LweBatch(
+        a=torus32_from_int64(-x.a.astype(np.int64)),
+        b=torus32_from_int64(-x.b.astype(np.int64)),
+    )
+
+
+def lwe_batch_scale(scalar: int, x: LweBatch) -> LweBatch:
+    """Multiply every ciphertext of a batch by a small public integer."""
+    a = torus32_from_int64(int(scalar) * x.a.astype(np.int64))
+    b = torus32_from_int64(int(scalar) * x.b.astype(np.int64))
+    return LweBatch(a=a, b=b)
+
+
+def lwe_batch_add_constant(x: LweBatch, constant) -> LweBatch:
+    """Add a public torus constant (scalar or ``(B,)``) to a batch's messages."""
+    b = torus32_from_int64(x.b.astype(np.int64) + np.asarray(constant, dtype=np.int64))
+    return LweBatch(a=x.a.copy(), b=b)

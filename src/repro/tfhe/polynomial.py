@@ -57,23 +57,71 @@ def poly_mul_by_xk(poly: np.ndarray, power: int) -> np.ndarray:
     ``power`` may be any integer; it is reduced modulo ``2N`` because
     ``X^{2N} = 1`` in the quotient ring.  Coefficients that wrap past the
     degree boundary are negated (negacyclic rotation).
+
+    ``poly`` may be a stack of polynomials of shape ``(..., N)`` — every
+    polynomial in the stack is rotated by the same ``power``.  The dtype is
+    preserved: ``int32`` inputs are treated as torus polynomials (wrap-around
+    reduction), ``int64`` inputs as plain integer polynomials (no reduction);
+    other dtypes are rejected.
     """
+    poly = np.asarray(poly)
+    if poly.dtype == np.int32:
+        wrap = True
+    elif poly.dtype == np.int64:
+        wrap = False
+    else:
+        raise TypeError(f"poly_mul_by_xk expects int32 or int64 input, got {poly.dtype}")
     degree = poly.shape[-1]
     power = int(power) % (2 * degree)
     negate_all = power >= degree
     shift = power % degree
 
-    rotated = np.empty(poly.shape, dtype=np.int32)
+    rotated = np.empty(poly.shape, dtype=np.int64)
     if shift == 0:
         rotated[...] = poly
     else:
         rotated[..., shift:] = poly[..., : degree - shift]
-        rotated[..., :shift] = torus32_from_int64(
-            -poly[..., degree - shift :].astype(np.int64)
-        )
+        rotated[..., :shift] = -poly[..., degree - shift :].astype(np.int64)
     if negate_all:
-        rotated = torus32_from_int64(-rotated.astype(np.int64))
-    return rotated.astype(np.int32)
+        rotated = -rotated
+    return torus32_from_int64(rotated) if wrap else rotated
+
+
+def poly_mul_by_xk_powers(polys: np.ndarray, powers: np.ndarray) -> np.ndarray:
+    """Rotate a stack of torus polynomials, each by its *own* power of ``X``.
+
+    ``polys`` has shape ``(..., N)`` and ``powers`` must broadcast against the
+    leading (batch) axes ``polys.shape[:-1]`` — e.g. rotate a batched TLWE
+    sample of shape ``(B, k+1, N)`` with per-ciphertext powers of shape
+    ``(B, 1)``.  Bit-identical to calling :func:`poly_mul_by_xk` on every
+    batch element with its own power, with the same dtype contract: ``int32``
+    stacks are torus polynomials (wrap-around), ``int64`` stacks are plain
+    integer polynomials, anything else is rejected.
+    """
+    polys = np.asarray(polys)
+    if polys.dtype == np.int32:
+        wrap = True
+    elif polys.dtype == np.int64:
+        wrap = False
+    else:
+        raise TypeError(
+            f"poly_mul_by_xk_powers expects int32 or int64 input, got {polys.dtype}"
+        )
+    degree = polys.shape[-1]
+    powers = np.asarray(powers, dtype=np.int64) % (2 * degree)
+    negate_all = powers >= degree
+    shift = powers % degree
+
+    col = np.arange(degree, dtype=np.int64)
+    src = (col - shift[..., None]) % degree
+    wrapped = col < shift[..., None]
+    sign = np.where(wrapped ^ negate_all[..., None], np.int64(-1), np.int64(1))
+    shape = np.broadcast_shapes(polys.shape, src.shape)
+    rotated = np.take_along_axis(
+        np.broadcast_to(polys, shape), np.broadcast_to(src, shape), axis=-1
+    )
+    product = sign * rotated.astype(np.int64)
+    return torus32_from_int64(product) if wrap else product
 
 
 def poly_mul_by_xk_minus_one(poly: np.ndarray, power: int) -> np.ndarray:
@@ -93,20 +141,11 @@ def negacyclic_convolution(int_poly: np.ndarray, torus_poly: np.ndarray) -> np.n
     are validated against, and as the polynomial-multiplication backend for the
     tiny test parameter sets where it is actually faster than an FFT.
 
-    The result is reduced onto the 32-bit torus.
+    Both operands may carry leading batch axes ``(..., N)`` (broadcast against
+    each other); the product is taken along the last axis.  The result is
+    reduced onto the 32-bit torus.
     """
-    int_poly = np.asarray(int_poly, dtype=np.int64)
-    torus_poly = np.asarray(torus_poly, dtype=np.int64)
-    degree = int_poly.shape[0]
-    if torus_poly.shape[0] != degree:
-        raise ValueError("polynomial degrees do not match")
-
-    # Full linear convolution, then fold the upper half back in with negation
-    # (X^N = -1).
-    full = np.convolve(int_poly, torus_poly)
-    folded = full[:degree].copy()
-    folded[: degree - 1] -= full[degree:]
-    return torus32_from_int64(folded)
+    return torus32_from_int64(negacyclic_convolution_int64(int_poly, torus_poly))
 
 
 def negacyclic_convolution_int64(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -115,15 +154,24 @@ def negacyclic_convolution_int64(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     Unlike :func:`negacyclic_convolution` the result is *not* reduced onto the
     torus; the FFT error-measurement harness (Figure 8) needs the full-width
     integer reference to express the approximation error in dB.
+
+    Operands may be stacks of polynomials ``(..., N)`` whose batch axes
+    broadcast; the batched result is bit-identical to looping over the stack.
     """
     a = np.asarray(a, dtype=np.int64)
     b = np.asarray(b, dtype=np.int64)
-    degree = a.shape[0]
-    if b.shape[0] != degree:
+    degree = a.shape[-1]
+    if b.shape[-1] != degree:
         raise ValueError("polynomial degrees do not match")
-    full = np.convolve(a, b)
-    folded = full[:degree].copy()
-    folded[: degree - 1] -= full[degree:]
+    if a.ndim == 1 and b.ndim == 1:
+        full = np.convolve(a, b)
+    else:
+        batch = np.broadcast_shapes(a.shape[:-1], b.shape[:-1])
+        full = np.zeros(batch + (2 * degree - 1,), dtype=np.int64)
+        for i in range(degree):
+            full[..., i : i + degree] += a[..., i : i + 1] * b
+    folded = full[..., :degree].copy()
+    folded[..., : degree - 1] -= full[..., degree:]
     return folded
 
 

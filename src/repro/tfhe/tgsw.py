@@ -21,7 +21,7 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.tfhe.params import TgswParams, TlweParams
-from repro.tfhe.tlwe import TlweKey, TlweSample, tlwe_encrypt, tlwe_zero
+from repro.tfhe.tlwe import TlweBatch, TlweKey, TlweSample, tlwe_encrypt, tlwe_zero
 from repro.tfhe.torus import torus32_from_int64
 from repro.tfhe.transform import NegacyclicTransform, Spectrum
 from repro.utils.rng import SeedLike, make_rng
@@ -101,14 +101,19 @@ def gadget_decompose(
     Returns an ``(l, N)`` int32 array of digits in ``[-Bg/2, Bg/2)`` such that
     ``Σ_j digits[j]·Bg^{-j-1}`` approximates every coefficient of ``poly`` up
     to the decomposition rounding error ``<= Bg^{-l}/2``.
+
+    ``poly`` may be a stack ``(..., N)``; the digit array then has shape
+    ``(l, ..., N)`` so ``digits[j]`` is the ``j``-th digit plane of the whole
+    stack.
     """
     base_bits = params.decomp_base_bits
     mask = (1 << base_bits) - 1
     half_base = 1 << (base_bits - 1)
     offset = decomposition_offset(params)
 
-    shifted = (np.asarray(poly, dtype=np.int64) & 0xFFFFFFFF) + offset
-    digits = np.empty((params.decomp_length, poly.shape[-1]), dtype=np.int32)
+    poly = np.asarray(poly)
+    shifted = (poly.astype(np.int64) & 0xFFFFFFFF) + offset
+    digits = np.empty((params.decomp_length,) + poly.shape, dtype=np.int32)
     for j in range(params.decomp_length):
         shift = 32 - (j + 1) * base_bits
         digits[j] = (((shifted >> shift) & mask) - half_base).astype(np.int32)
@@ -118,7 +123,7 @@ def gadget_decompose(
 def gadget_recompose(digits: np.ndarray, params: TgswParams) -> np.ndarray:
     """Recompose decomposition digits back onto the torus (for testing)."""
     gadget = gadget_values(params).astype(np.int64)
-    total = np.zeros(digits.shape[-1], dtype=np.int64)
+    total = np.zeros(digits.shape[1:], dtype=np.int64)
     for j in range(params.decomp_length):
         total += digits[j].astype(np.int64) * gadget[j]
     return torus32_from_int64(total)
@@ -214,6 +219,39 @@ def tgsw_transform(
     )
 
 
+def _external_product_data(
+    tgsw: TransformedTgswSample,
+    data: np.ndarray,
+    transform: NegacyclicTransform,
+) -> np.ndarray:
+    """Shared external-product core on raw TLWE coefficient arrays.
+
+    ``data`` has shape ``(..., k+1, N)`` — a single sample or a batch.  The
+    TGSW operand's spectra may themselves carry batch axes (a batched BKU
+    bundle); operand batch axes broadcast inside the spectrum algebra.
+    """
+    params = tgsw.params
+    k = tgsw.mask_count
+    degree = tgsw.degree
+
+    decomposed: List[np.ndarray] = []
+    for block in range(k + 1):
+        digits = gadget_decompose(data[..., block, :], params)
+        decomposed.extend(digits[j] for j in range(params.decomp_length))
+
+    dec_spectra = [transform.forward(d) for d in decomposed]
+
+    result = np.zeros(data.shape[:-2] + (k + 1, degree), dtype=np.int32)
+    for col in range(k + 1):
+        acc = transform.spectrum_zero()
+        for row in range(tgsw.rows):
+            acc = transform.spectrum_add(
+                acc, transform.spectrum_mul(dec_spectra[row], tgsw.spectra[row][col])
+            )
+        result[..., col, :] = torus32_from_int64(transform.backward(acc))
+    return result
+
+
 def tgsw_external_product(
     tgsw: TransformedTgswSample,
     tlwe: TlweSample,
@@ -226,30 +264,27 @@ def tgsw_external_product(
     the (pre-transformed) TGSW operand and accumulated in the Lagrange domain;
     one backward transform per output polynomial produces the result.
     """
-    from repro.tfhe.tgsw import gadget_decompose  # local alias for clarity
-
-    params = tgsw.params
     k = tgsw.mask_count
-    degree = tgsw.degree
-    if tlwe.degree != degree or tlwe.mask_count != k:
+    if tlwe.degree != tgsw.degree or tlwe.mask_count != k:
         raise ValueError("TGSW and TLWE operands are incompatible")
+    return TlweSample(_external_product_data(tgsw, tlwe.data, transform))
 
-    decomposed: List[np.ndarray] = []
-    for block in range(k + 1):
-        digits = gadget_decompose(tlwe.data[block], params)
-        decomposed.extend(digits[j] for j in range(params.decomp_length))
 
-    dec_spectra = [transform.forward(d) for d in decomposed]
+def tgsw_batch_external_product(
+    tgsw: TransformedTgswSample,
+    tlwe: TlweBatch,
+    transform: NegacyclicTransform,
+) -> TlweBatch:
+    """Batched external product: one call covers a whole stack of accumulators.
 
-    result = np.zeros((k + 1, degree), dtype=np.int32)
-    for col in range(k + 1):
-        acc = transform.spectrum_zero()
-        for row in range(tgsw.rows):
-            acc = transform.spectrum_add(
-                acc, transform.spectrum_mul(dec_spectra[row], tgsw.spectra[row][col])
-            )
-        result[col] = torus32_from_int64(transform.backward(acc))
-    return TlweSample(result)
+    The decomposition, forward transforms, Lagrange-domain accumulation and
+    backward transforms all run once over the batch axis; the result is
+    bit-identical to applying :func:`tgsw_external_product` per ciphertext.
+    """
+    k = tgsw.mask_count
+    if tlwe.degree != tgsw.degree or tlwe.mask_count != k:
+        raise ValueError("TGSW and TLWE operands are incompatible")
+    return TlweBatch(_external_product_data(tgsw, tlwe.data, transform))
 
 
 def tgsw_external_product_plain(
@@ -277,3 +312,17 @@ def tgsw_cmux(
     difference = tlwe_sub(if_true, if_false)
     product = tgsw_external_product(selector, difference, transform)
     return tlwe_add(product, if_false)
+
+
+def tgsw_batch_cmux(
+    selector: TransformedTgswSample,
+    if_true: TlweBatch,
+    if_false: TlweBatch,
+    transform: NegacyclicTransform,
+) -> TlweBatch:
+    """Batched CMux over stacks of TLWE ciphertexts (one selector for all rows)."""
+    from repro.tfhe.tlwe import tlwe_batch_add, tlwe_batch_sub
+
+    difference = tlwe_batch_sub(if_true, if_false)
+    product = tgsw_batch_external_product(selector, difference, transform)
+    return tlwe_batch_add(product, if_false)

@@ -17,9 +17,9 @@ from typing import List
 
 import numpy as np
 
-from repro.tfhe.lwe import LweKey, LweSample
+from repro.tfhe.lwe import LweBatch, LweKey, LweSample
 from repro.tfhe.params import LweParams, TlweParams
-from repro.tfhe.polynomial import poly_add, poly_mul_by_xk, poly_sub
+from repro.tfhe.polynomial import poly_add, poly_mul_by_xk, poly_mul_by_xk_powers, poly_sub
 from repro.tfhe.torus import gaussian_torus32, torus32_from_int64, uniform_torus32
 from repro.tfhe.transform import NegacyclicTransform
 from repro.utils.rng import SeedLike, make_rng
@@ -53,6 +53,49 @@ class TlweSample:
 
     def copy(self) -> "TlweSample":
         return TlweSample(self.data.copy())
+
+
+@dataclass
+class TlweBatch:
+    """A batch of ``B`` ring TLWE ciphertexts: ``data`` has shape ``(B, k+1, N)``.
+
+    The batched blind rotation carries one accumulator per in-flight
+    bootstrapping; all batched operations are bit-identical to looping the
+    scalar :class:`TlweSample` path over the rows.
+    """
+
+    data: np.ndarray  # int32[B, (k+1), N]
+
+    @property
+    def batch_size(self) -> int:
+        return int(self.data.shape[0])
+
+    @property
+    def mask_count(self) -> int:
+        return int(self.data.shape[1]) - 1
+
+    @property
+    def degree(self) -> int:
+        return int(self.data.shape[2])
+
+    def __len__(self) -> int:
+        return self.batch_size
+
+    def __getitem__(self, index: int) -> TlweSample:
+        return TlweSample(self.data[index].copy())
+
+    def copy(self) -> "TlweBatch":
+        return TlweBatch(self.data.copy())
+
+    @classmethod
+    def from_samples(cls, samples) -> "TlweBatch":
+        samples = list(samples)
+        if not samples:
+            raise ValueError("cannot build an empty batch")
+        return cls(np.stack([s.data for s in samples]).astype(np.int32))
+
+    def to_samples(self) -> List[TlweSample]:
+        return [self[i] for i in range(self.batch_size)]
 
 
 @dataclass
@@ -182,3 +225,60 @@ def tlwe_sample_extract(sample: TlweSample, index: int = 0) -> LweSample:
             extracted[index + 1 :] = -row[:index:-1]
         a[j * degree : (j + 1) * degree] = torus32_from_int64(extracted)
     return LweSample(a=a, b=np.int32(sample.b[index]))
+
+
+# --------------------------------------------------------------------------- #
+# batched operations                                                          #
+# --------------------------------------------------------------------------- #
+
+
+def tlwe_batch_trivial(message: np.ndarray, mask_count: int, batch_size: int) -> TlweBatch:
+    """A batch of trivial encryptions of ``message`` (shape ``(N,)`` or ``(B, N)``)."""
+    if batch_size <= 0:
+        raise ValueError("batch size must be positive")
+    message = np.asarray(message, dtype=np.int32)
+    degree = message.shape[-1]
+    data = np.zeros((batch_size, mask_count + 1, degree), dtype=np.int32)
+    data[:, -1, :] = message
+    return TlweBatch(data)
+
+
+def tlwe_batch_add(x: TlweBatch, y: TlweBatch) -> TlweBatch:
+    """Elementwise homomorphic addition of two batches."""
+    return TlweBatch(poly_add(x.data, y.data))
+
+
+def tlwe_batch_sub(x: TlweBatch, y: TlweBatch) -> TlweBatch:
+    """Elementwise homomorphic subtraction of two batches."""
+    return TlweBatch(poly_sub(x.data, y.data))
+
+
+def tlwe_batch_rotate(batch: TlweBatch, powers: np.ndarray) -> TlweBatch:
+    """Multiply ciphertext ``i`` of the batch by ``X^{powers[i]}`` (mod ``X^N+1``).
+
+    Unlike :func:`tlwe_rotate` every ciphertext gets its *own* power — this is
+    the per-gate rotation amount of a batched blind rotation.  Bit-identical
+    to rotating each sample separately.
+    """
+    powers = np.asarray(powers, dtype=np.int64)
+    if powers.shape != (batch.batch_size,):
+        raise ValueError("one rotation power per batched ciphertext is required")
+    rotated = poly_mul_by_xk_powers(batch.data, powers[:, None])
+    return TlweBatch(rotated.astype(np.int32))
+
+
+def tlwe_batch_sample_extract(batch: TlweBatch, index: int = 0) -> LweBatch:
+    """Vectorised ``SampleExtract``: coefficient ``index`` of every ciphertext."""
+    k = batch.mask_count
+    degree = batch.degree
+    if not 0 <= index < degree:
+        raise ValueError("extraction index out of range")
+    a = np.zeros((batch.batch_size, k * degree), dtype=np.int32)
+    for j in range(k):
+        row = batch.data[:, j, :].astype(np.int64)
+        extracted = np.empty((batch.batch_size, degree), dtype=np.int64)
+        extracted[:, : index + 1] = row[:, index::-1]
+        if index + 1 < degree:
+            extracted[:, index + 1 :] = -row[:, :index:-1]
+        a[:, j * degree : (j + 1) * degree] = torus32_from_int64(extracted)
+    return LweBatch(a=a, b=batch.data[:, -1, index].copy())

@@ -20,6 +20,21 @@ Naming note: following the TFHE library (and the paper's Figure 1), the
 *backward* direction (Lagrange → coefficients) is the "FFT" kernel.  The
 instrumentation counters therefore expose ``forward``/``backward`` counts that
 map onto the paper's IFFT/FFT counts.
+
+Batch semantics
+---------------
+
+Every engine is *batch-vectorised*: ``forward``/``backward`` and the
+``spectrum_*`` algebra accept stacks of polynomials/spectra of shape
+``(..., N)`` / ``(..., N/2)`` and transform them along the **last axis** in a
+single vectorised call (one ``np.fft`` invocation for the double-precision
+engine).  Leading batch axes of two spectrum operands broadcast against each
+other, so a batched accumulator can be combined with a single pre-transformed
+bootstrapping-key spectrum.  Batched results are bit-identical to looping the
+corresponding single-polynomial calls — the batch axis only amortises the
+Python/NumPy dispatch overhead, it never changes the arithmetic.  The
+invocation counters count *calls*, not batch elements; callers that need
+per-ciphertext operation counts multiply by the batch width.
 """
 
 from __future__ import annotations
@@ -134,7 +149,7 @@ class NaiveNegacyclicTransform(NegacyclicTransform):
     def forward(self, coeffs: np.ndarray) -> np.ndarray:
         self.stats.forward_calls += 1
         coeffs = np.asarray(coeffs, dtype=np.int64)
-        if coeffs.shape[0] != self.degree:
+        if coeffs.shape[-1] != self.degree:
             raise ValueError("polynomial degree mismatch")
         return coeffs.copy()
 
@@ -176,21 +191,22 @@ class DoubleFFTNegacyclicTransform(NegacyclicTransform):
     def forward(self, coeffs: np.ndarray) -> np.ndarray:
         self.stats.forward_calls += 1
         coeffs = np.asarray(coeffs, dtype=np.float64)
-        if coeffs.shape[0] != self.degree:
+        if coeffs.shape[-1] != self.degree:
             raise ValueError("polynomial degree mismatch")
         half = self._half
-        folded = (coeffs[:half] + 1j * coeffs[half:]) * self._twist
+        folded = (coeffs[..., :half] + 1j * coeffs[..., half:]) * self._twist
         # Unnormalised inverse-sign DFT: S_u = sum_s folded_s e^{+2 pi i u s / half}
-        return np.fft.ifft(folded) * half
+        return np.fft.ifft(folded, axis=-1) * half
 
     def backward(self, spectrum: np.ndarray) -> np.ndarray:
         self.stats.backward_calls += 1
         half = self._half
-        folded = np.fft.fft(np.asarray(spectrum, dtype=np.complex128)) / half
+        spectrum = np.asarray(spectrum, dtype=np.complex128)
+        folded = np.fft.fft(spectrum, axis=-1) / half
         folded = folded * self._untwist
-        coeffs = np.empty(self.degree, dtype=np.float64)
-        coeffs[:half] = folded.real
-        coeffs[half:] = folded.imag
+        coeffs = np.empty(spectrum.shape[:-1] + (self.degree,), dtype=np.float64)
+        coeffs[..., :half] = folded.real
+        coeffs[..., half:] = folded.imag
         return np.round(coeffs).astype(np.int64)
 
     def spectrum_zero(self) -> np.ndarray:

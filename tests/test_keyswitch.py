@@ -87,6 +87,70 @@ class TestKeySwitching:
         assert failures == 0
 
 
+class TestWrapAroundMasks:
+    """Regression: mask coefficients near the torus wrap-around.
+
+    ``keyswitch_apply`` adds a rounding offset to the unsigned mask
+    coefficients; for ``a ≈ 2^32 − 1`` the sum carries into bit 32 and must be
+    reduced back onto the 32-bit torus before digit extraction.
+    """
+
+    def _reference_apply(self, ks, sample):
+        """Digit-by-digit scalar reference with explicit mod-2^32 arithmetic."""
+        params = ks.params
+        t = params.length
+        base_bits = params.base_bits
+        n_out = ks.output_dimension
+        rounding = 1 << (32 - base_bits * t - 1) if 32 - base_bits * t - 1 >= 0 else 0
+        totals = np.zeros(n_out + 1, dtype=np.int64)
+        for i in range(ks.input_dimension):
+            a_in = ((int(np.int64(sample.a[i])) & 0xFFFFFFFF) + rounding) % (1 << 32)
+            for j in range(t):
+                digit = (a_in >> (32 - base_bits * (j + 1))) & (params.base - 1)
+                totals += ks.data[i, j, digit].astype(np.int64)
+        from repro.tfhe.torus import torus32_from_int64
+        from repro.tfhe.lwe import LweSample
+
+        a_out = torus32_from_int64(-totals[:n_out])
+        b_out = torus32_from_int64(int(np.int64(sample.b)) - int(totals[n_out]))
+        return LweSample(a=a_out, b=np.int32(b_out))
+
+    def test_wraparound_sample_matches_reference(self, keys):
+        from repro.tfhe.lwe import LweSample
+
+        _, input_key, _, ks = keys
+        n_in = input_key.dimension
+        # Every mask coefficient sits right at the wrap-around boundary, so the
+        # rounding offset carries out of 32 bits for all of them.
+        a = np.full(n_in, -1, dtype=np.int32)  # unsigned 0xFFFFFFFF
+        a[::3] = np.int32(2**31 - 1)
+        a[1::3] = np.int32(-(2**31))
+        sample = LweSample(a=a, b=np.int32(1234567))
+        switched = keyswitch_apply(ks, sample)
+        reference = self._reference_apply(ks, sample)
+        assert np.array_equal(switched.a, reference.a)
+        assert int(switched.b) == int(reference.b)
+
+    def test_wraparound_sample_still_decrypts(self, keys):
+        """An honest encryption whose mask is forced near the wrap-around."""
+        _, input_key, output_key, ks = keys
+        rng = np.random.default_rng(77)
+        for bit in (0, 1):
+            sample = lwe_encrypt(input_key, gate_message(bit), rng=rng)
+            # Push a few coefficients to the boundary and patch b to keep the
+            # phase: adding delta to a_i adds delta * s_i to a·s.
+            delta_total = 0
+            for idx in (0, 1, 2):
+                target = np.int32(-1)
+                delta = int(np.int64(target) - np.int64(sample.a[idx]))
+                delta_total += delta * int(input_key.key[idx])
+                sample.a[idx] = target
+            from repro.tfhe.torus import torus32_from_int64
+
+            sample.b = np.int32(torus32_from_int64(int(np.int64(sample.b)) + delta_total))
+            assert lwe_decrypt_bit(output_key, keyswitch_apply(ks, sample)) == bit
+
+
 class TestTinyParameters:
     def test_keyswitch_with_tiny_parameters(self):
         params = TEST_TINY

@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.pipeline import (
     PipelineStageTimes,
+    batching_speedup,
     schedule_bootstrapping,
     steady_state_throughput,
 )
@@ -70,3 +71,40 @@ class TestThroughput:
             steady_state_throughput(PipelineStageTimes(1, 1), 10, 0, 2.0e9)
         with pytest.raises(ValueError):
             steady_state_throughput(PipelineStageTimes(1, 1), 10, 1, 0.0)
+        with pytest.raises(ValueError):
+            steady_state_throughput(PipelineStageTimes(1, 1), 10, 1, 2.0e9, batch_width=0)
+
+
+class TestBatchedThroughput:
+    TIMES = PipelineStageTimes(tgsw_cluster_cycles=100, ep_core_cycles=80)
+
+    def test_batch_width_one_matches_unbatched_model(self):
+        single = steady_state_throughput(self.TIMES, 100, 4, 2.0e9)
+        explicit = steady_state_throughput(self.TIMES, 100, 4, 2.0e9, batch_width=1)
+        assert explicit == pytest.approx(single)
+
+    def test_throughput_grows_monotonically_with_batch_width(self):
+        rates = [
+            steady_state_throughput(self.TIMES, 100, 1, 2.0e9, batch_width=w)
+            for w in (1, 8, 64, 256)
+        ]
+        assert all(lo < hi for lo, hi in zip(rates, rates[1:]))
+
+    def test_batched_throughput_approaches_bottleneck_bound(self):
+        """As the batch grows the fill cost vanishes and only the bottleneck paces."""
+        clock = 2.0e9
+        iterations = 100
+        bound = clock / (iterations * self.TIMES.bottleneck_cycles)
+        big = steady_state_throughput(self.TIMES, iterations, 1, clock, batch_width=4096)
+        assert big < bound
+        assert big == pytest.approx(bound, rel=0.01)
+
+    def test_batching_speedup_is_fill_amortisation(self):
+        # fill = 100 cycles, steady = 100 * 100 cycles: speedup is tiny when
+        # the fill is already negligible per gate.
+        assert batching_speedup(self.TIMES, 100, 64) == pytest.approx(
+            (100 + 100 * 100) / (100 / 64 + 100 * 100), rel=1e-9
+        )
+        # With a single iteration the fill dominates and batching nearly
+        # doubles the rate (fill ≈ bottleneck here).
+        assert batching_speedup(self.TIMES, 1, 4096) > 1.9
