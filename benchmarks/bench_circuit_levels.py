@@ -1,0 +1,170 @@
+"""Level-parallel circuit execution: gates/level profile and wall-clock.
+
+PR 1's batched bootstrapping engine only paid off when the *caller* supplied
+a batch; multi-gate circuits evaluated gate by gate fed it rows one at a
+time.  This bench measures what the level scheduler recovers: for 8/16/32-bit
+encrypted adds it reports the gates-per-level histogram, then the wall-clock
+of the levelized executor at batch widths 1–64 words against the eager
+scalar gate-by-gate path (the historical behaviour — one bootstrapping per
+gate per word).
+
+Alongside the measurements the table prints the accelerator-model prediction
+(:func:`repro.core.pipeline.circuit_levelized_speedup` with MATCHA stage
+times): on hardware the recovered cost is the per-gate pipeline fill, in the
+functional simulator it is the per-call NumPy dispatch overhead — the same
+amortisation argument at two different scales.
+
+Acceptance gate: a 32-bit encrypted add at batch width 16 must run >= 4x
+faster per word through the levelized executor than eagerly (override the
+bar with CIRCUIT_SPEEDUP_MIN, as CI shared runners are timing-noisy).
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_circuit_levels.py -q -s
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.arch.ops import OpType
+from repro.core.pipeline import PipelineStageTimes, circuit_levelized_speedup
+from repro.platforms.matcha import MatchaPlatform
+from repro.tfhe.circuits import add, decrypt_integers, encrypt_integer, encrypt_integers
+from repro.tfhe.executor import CircuitExecutor, schedule_circuit
+from repro.tfhe.gates import BatchGateEvaluator, TFHEGateEvaluator
+from repro.tfhe.keys import generate_keys
+from repro.tfhe.netlist import adder_netlist
+from repro.tfhe.params import PAPER_110BIT, TEST_TINY
+from repro.tfhe.transform import DoubleFFTNegacyclicTransform
+
+WIDTHS = (8, 16, 32)
+BATCH_WIDTHS = (1, 4, 16, 64)
+GATE_WIDTH, GATE_BATCH = 32, 16
+
+
+@pytest.fixture(scope="module")
+def backend():
+    params = TEST_TINY
+    transform = DoubleFFTNegacyclicTransform(params.N)
+    secret, cloud = generate_keys(params, transform, unroll_factor=1, rng=21)
+    return params, secret, cloud
+
+
+def _matcha_stage_times(m: int = 2):
+    """MATCHA per-iteration stage times (same derivation as the Fig. 6 bench)."""
+    platform = MatchaPlatform(PAPER_110BIT)
+    schedule = platform.schedule(m)
+    iterations = -(-PAPER_110BIT.n // m)
+    tgsw = (
+        schedule.cycles_by_op.get(OpType.TGSW_SCALE, 0.0)
+        + schedule.cycles_by_op.get(OpType.TGSW_ADD, 0.0)
+    ) / iterations
+    ep = (
+        schedule.cycles_by_op.get(OpType.IFFT, 0.0)
+        + schedule.cycles_by_op.get(OpType.FFT, 0.0)
+        + schedule.cycles_by_op.get(OpType.POINTWISE_MAC, 0.0)
+        + schedule.cycles_by_op.get(OpType.DECOMPOSE, 0.0)
+    ) / iterations
+    return PipelineStageTimes(tgsw_cluster_cycles=tgsw, ep_core_cycles=ep), iterations
+
+
+def test_circuit_level_speedup(backend, record_result):
+    params, secret, cloud = backend
+    rng = np.random.default_rng(22)
+    stage_times, iterations = _matcha_stage_times()
+
+    lines = [
+        "Level-parallel circuit execution, double-FFT engine, "
+        f"{params.name} (n={params.n}, N={params.N})",
+        "",
+    ]
+
+    # -- gates/level profile per adder width --------------------------------
+    schedules = {}
+    for width in WIDTHS:
+        schedule = schedule_circuit(adder_netlist(width))
+        schedules[width] = schedule
+        histogram = ", ".join(
+            f"{levels}x w{w}" for w, levels in schedule.width_histogram().items()
+        )
+        lines.append(
+            f"add{width}: {schedule.gate_count} gates in {schedule.depth} levels "
+            f"(mean width {schedule.mean_width:.2f}, max {schedule.max_width}) "
+            f"| levels: {histogram}"
+        )
+    lines.append("")
+
+    # -- eager gate-by-gate baseline (one word, scalar evaluator) -----------
+    eager_per_word = {}
+    for width in WIDTHS:
+        mask = (1 << width) - 1
+        a = encrypt_integer(secret, int(rng.integers(0, mask + 1)), width, rng=rng)
+        b = encrypt_integer(secret, int(rng.integers(0, mask + 1)), width, rng=rng)
+        evaluator = TFHEGateEvaluator(cloud)
+        start = time.perf_counter()
+        add(evaluator, a, b)
+        eager_per_word[width] = time.perf_counter() - start
+
+    # -- levelized executor at growing word batches -------------------------
+    lines.append(
+        f"{'width':>6} {'batch':>6} {'eager s/word':>13} {'level s/word':>13} "
+        f"{'speedup':>8} {'model (MATCHA)':>15}"
+    )
+    measured = {}
+    for width in WIDTHS:
+        mask = (1 << width) - 1
+        circuit = adder_netlist(width)
+        schedule = schedules[width]
+        for batch in BATCH_WIDTHS:
+            a_vals = [int(v) for v in rng.integers(0, mask + 1, batch)]
+            b_vals = [int(v) for v in rng.integers(0, mask + 1, batch)]
+            inputs = {
+                "a": encrypt_integers(secret, a_vals, width, rng=rng),
+                "b": encrypt_integers(secret, b_vals, width, rng=rng),
+            }
+            executor = CircuitExecutor(BatchGateEvaluator(cloud, batch_size=batch))
+            start = time.perf_counter()
+            sums = executor.run(circuit, inputs, schedule=schedule)["sum"]
+            per_word = (time.perf_counter() - start) / batch
+            assert decrypt_integers(secret, sums) == [
+                x + y for x, y in zip(a_vals, b_vals)
+            ]
+            speedup = eager_per_word[width] / per_word
+            measured[(width, batch)] = speedup
+            model = circuit_levelized_speedup(
+                schedule.level_widths,
+                stage_times,
+                iterations,
+                batch_width=batch,
+                pipeline_count=8,  # the paper's slice count
+            )
+            lines.append(
+                f"{width:>6} {batch:>6} {eager_per_word[width]:>13.3f} "
+                f"{per_word:>13.3f} {speedup:>7.1f}x {model:>14.2f}x"
+            )
+    lines.append("")
+    lines.append(
+        "eager = scalar gate-by-gate (one bootstrapping per gate per word); "
+        "level = one mixed-gate batched bootstrapping per dependency level "
+        "over all words; model = predicted on-accelerator gain for 8-slice "
+        "MATCHA (m=2): each level's independent bootstrappings spread over "
+        "the slices the eager dependency chain leaves idle."
+    )
+    record_result("circuit_levels", "\n".join(lines))
+
+    # Acceptance criterion: >= 4x on a 32-bit add at batch width 16.  CI
+    # shared runners are timing-noisy, so the gate is env-overridable
+    # (locally the full bar applies; typical local speedup is >> 4x).
+    minimum = float(os.environ.get("CIRCUIT_SPEEDUP_MIN", "4.0"))
+    assert measured[(GATE_WIDTH, GATE_BATCH)] >= minimum, (
+        f"levelized 32-bit add at batch 16 is only "
+        f"{measured[(GATE_WIDTH, GATE_BATCH)]:.1f}x the eager path "
+        f"(required {minimum}x)"
+    )
+    # Level parallelism alone (batch 1) must never make things slower
+    # (same noisy-runner override story as the main bar).
+    batch1_minimum = float(os.environ.get("CIRCUIT_BATCH1_MIN", "0.9"))
+    assert measured[(GATE_WIDTH, 1)] >= batch1_minimum

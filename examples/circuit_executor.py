@@ -1,0 +1,96 @@
+"""Level-parallel encrypted circuits: the netlist executor end to end.
+
+A multi-gate circuit evaluated gate by gate feeds the batched bootstrapping
+engine one wavefront row at a time; the netlist subsystem recovers the
+parallelism the dependency structure allows.  This demo:
+
+1. builds the ripple-carry adder and the maximum circuit as
+   :class:`repro.tfhe.netlist.Circuit` netlists,
+2. levelizes them with :func:`repro.tfhe.executor.schedule_circuit` and
+   prints the gates-per-level profile (the paper's compile-to-DFG /
+   solve-dependencies flow, applied to whole circuits),
+3. runs them over a batch of encrypted words with
+   :class:`repro.tfhe.executor.CircuitExecutor` — one mixed-gate batched
+   bootstrapping per dependency level — and compares the wall-clock with the
+   eager gate-by-gate path on the same inputs.
+
+Outputs are bit-identical between the two paths; only the schedule differs.
+
+Run:  PYTHONPATH=src python examples/circuit_executor.py [--width 8] [--batch 16]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro import TEST_TINY, BatchGateEvaluator, CircuitExecutor, generate_keys
+from repro.tfhe.circuits import decrypt_integers, encrypt_integers
+from repro.tfhe.executor import execute, schedule_circuit
+from repro.tfhe.netlist import adder_netlist, maximum_netlist
+from repro.tfhe.transform import DoubleFFTNegacyclicTransform
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--width", type=int, default=8, help="operand width in bits")
+    parser.add_argument("--batch", type=int, default=16, help="words per run")
+    args = parser.parse_args()
+    width, batch = args.width, args.batch
+
+    params = TEST_TINY
+    transform = DoubleFFTNegacyclicTransform(params.N)
+    secret, cloud = generate_keys(params, transform, rng=1)
+    print(f"Parameter set : {params.describe()}")
+    print(f"Circuit width : {width} bits   word batch: {batch}")
+
+    rng = np.random.default_rng(2)
+    mask = (1 << width) - 1
+    a_vals = [int(v) for v in rng.integers(0, mask + 1, batch)]
+    b_vals = [int(v) for v in rng.integers(0, mask + 1, batch)]
+    inputs = {
+        "a": encrypt_integers(secret, a_vals, width, rng=3),
+        "b": encrypt_integers(secret, b_vals, width, rng=4),
+    }
+
+    for circuit, output, expect in (
+        (adder_netlist(width), "sum", [x + y for x, y in zip(a_vals, b_vals)]),
+        (maximum_netlist(width), "max", [max(x, y) for x, y in zip(a_vals, b_vals)]),
+    ):
+        schedule = schedule_circuit(circuit)
+        print(
+            f"\n{circuit.name}: {schedule.gate_count} bootstrapped gates in "
+            f"{schedule.depth} levels (mean width {schedule.mean_width:.2f}, "
+            f"max {schedule.max_width})"
+        )
+
+        eager_eval = BatchGateEvaluator(cloud, batch_size=batch)
+        start = time.perf_counter()
+        eager = execute(circuit, eager_eval, inputs)[output]
+        eager_s = time.perf_counter() - start
+
+        executor = CircuitExecutor(BatchGateEvaluator(cloud, batch_size=batch))
+        start = time.perf_counter()
+        levelized = executor.run(circuit, inputs, schedule=schedule)[output]
+        level_s = time.perf_counter() - start
+
+        identical = all(
+            np.array_equal(e.a, l.a) and np.array_equal(e.b, l.b)
+            for e, l in zip(eager, levelized)
+        )
+        results = decrypt_integers(secret, levelized)
+        print(
+            f"  eager     : {schedule.gate_count} batched calls  {eager_s:6.2f} s"
+        )
+        print(
+            f"  levelized : {executor.level_calls} batched calls  {level_s:6.2f} s"
+            f"   speedup {eager_s / level_s:4.1f}x"
+        )
+        print(f"  bit-identical: {identical}   decrypts correctly: {results == expect}")
+        assert identical and results == expect
+
+
+if __name__ == "__main__":
+    main()

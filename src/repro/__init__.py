@@ -20,6 +20,8 @@ from repro.tfhe import (
     TEST_SMALL,
     TEST_TINY,
     BatchGateEvaluator,
+    Circuit,
+    CircuitExecutor,
     LweBatch,
     TFHEGateEvaluator,
     TFHEParameters,
@@ -31,9 +33,10 @@ from repro.tfhe import (
     encrypt_bits,
     generate_keys,
     make_transform,
+    schedule_circuit,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "PAPER_110BIT",
@@ -41,6 +44,8 @@ __all__ = [
     "TEST_SMALL",
     "TEST_TINY",
     "BatchGateEvaluator",
+    "Circuit",
+    "CircuitExecutor",
     "LweBatch",
     "TFHEGateEvaluator",
     "TFHEParameters",
@@ -52,5 +57,6 @@ __all__ = [
     "encrypt_bits",
     "generate_keys",
     "make_transform",
+    "schedule_circuit",
     "__version__",
 ]

@@ -187,6 +187,20 @@ def matcha_architecture(
             startup_cycles=32.0,
             energy_per_work_pj=7.0,
         ),
+        FunctionalUnitSpec(
+            name="gate_engine",
+            count=pipeline_slices,
+            # Circuit-level scheduling: one node is a *whole* bootstrapped
+            # gate (work 1.0) retired by one pipeline slice, or a bootstrap-
+            # free linear node (work 0.0).  The rate folds the slice's entire
+            # blind rotation (~20k cycles/gate at the paper's operating
+            # point) into a single-number throughput so circuit DFGs from
+            # repro.tfhe.netlist can be list-scheduled like gate DFGs.
+            ops=frozenset({OpType.BOOTSTRAPPED_GATE, OpType.LINEAR_GATE}),
+            throughput_per_cycle=(1.0 / 20000.0) * scale,
+            startup_cycles=0.0,
+            energy_per_work_pj=1.0e6,
+        ),
     )
     return ArchitectureDescription(
         name=f"matcha-{pipeline_slices}slice",

@@ -42,6 +42,11 @@ class OpType(Enum):
     SPM_TRANSFER = "spm_transfer"
     #: HBM -> scratchpad transfer (bootstrapping-key streaming).
     HBM_TRANSFER = "hbm_transfer"
+    #: One whole bootstrapped Boolean gate (circuit-level DFGs, where the
+    #: schedulable unit is a gate rather than a step inside one).
+    BOOTSTRAPPED_GATE = "bootstrapped_gate"
+    #: A bootstrap-free circuit node: input, constant, NOT or copy.
+    LINEAR_GATE = "linear_gate"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

@@ -140,3 +140,73 @@ def batching_speedup(
     single = steady_state_throughput(stage_times, iterations, 1, 1.0, batch_width=1)
     batched = steady_state_throughput(stage_times, iterations, 1, 1.0, batch_width=batch_width)
     return batched / single
+
+
+def circuit_level_cycles(
+    level_widths,
+    stage_times: PipelineStageTimes,
+    iterations: int,
+    batch_width: int = 1,
+    pipeline_count: int = 1,
+) -> float:
+    """Predicted cycles to run a levelized circuit on the accelerator.
+
+    ``level_widths`` is the gates-per-level profile of a
+    :class:`repro.tfhe.executor.LevelSchedule` (``schedule.level_widths``).
+    The gates of one level are independent, so their ``width × batch_width``
+    bootstrappings spread over ``pipeline_count`` TGSW-cluster/EP-core pairs
+    (the paper's pipeline slices) and stream back to back within each pair —
+    one pipeline fill per level, then ``ceil(rows / pipeline_count)``
+    bootstrappings at the bottleneck-stage rate.  Levels are serialised on
+    their data dependencies.  This is the analytic counterpart of the
+    functional executor's one-batched-call-per-level strategy.
+    """
+    if batch_width <= 0:
+        raise ValueError("batch width must be positive")
+    if pipeline_count <= 0:
+        raise ValueError("pipeline count must be positive")
+    fill = schedule_bootstrapping(iterations, stage_times, pipelined=True).total_cycles
+    steady = iterations * stage_times.bottleneck_cycles
+    fill -= steady  # total_cycles = fill of the first stage + one steady pass
+    total = 0.0
+    for width in level_widths:
+        if width < 0:
+            raise ValueError("level widths must be non-negative")
+        rows = width * batch_width
+        if rows:
+            per_slice = -(-rows // pipeline_count)
+            total += fill + per_slice * steady
+    return total
+
+
+def circuit_levelized_speedup(
+    level_widths,
+    stage_times: PipelineStageTimes,
+    iterations: int,
+    batch_width: int = 1,
+    pipeline_count: int = 1,
+) -> float:
+    """Predicted gain of level-parallel execution over eager gate-by-gate.
+
+    The eager baseline follows the dependency-chained single-stream
+    execution of the historical circuit helpers: every gate of every word
+    bootstraps separately on one pipeline pair, paying the pipeline fill
+    ``sum(level_widths) × batch_width`` times and leaving the other slices
+    idle.  The levelized executor pays one fill per dependency level and
+    spreads each level's independent bootstrappings over all
+    ``pipeline_count`` slices — the wider the level (and the larger the word
+    batch), the closer the gain gets to ``pipeline_count`` times the fill
+    amortisation.
+    """
+    gates = sum(level_widths)
+    if gates == 0:
+        return 1.0
+    eager = (
+        gates
+        * batch_width
+        * schedule_bootstrapping(iterations, stage_times, pipelined=True).total_cycles
+    )
+    levelized = circuit_level_cycles(
+        level_widths, stage_times, iterations, batch_width, pipeline_count
+    )
+    return eager / levelized if levelized else 1.0

@@ -37,6 +37,22 @@ from repro.tfhe.gates import (
     encrypt_bits,
 )
 from repro.tfhe.lwe import LweBatch, LweSample
+from repro.tfhe.netlist import (
+    Circuit,
+    adder_netlist,
+    equal_netlist,
+    greater_than_netlist,
+    maximum_netlist,
+    negate_netlist,
+    select_netlist,
+    subtractor_netlist,
+)
+from repro.tfhe.executor import (
+    CircuitExecutor,
+    LevelSchedule,
+    execute,
+    schedule_circuit,
+)
 from repro.tfhe.tlwe import TlweBatch, TlweSample
 from repro.tfhe.transform import (
     DoubleFFTNegacyclicTransform,
@@ -46,6 +62,18 @@ from repro.tfhe.transform import (
 )
 
 __all__ = [
+    "Circuit",
+    "CircuitExecutor",
+    "LevelSchedule",
+    "adder_netlist",
+    "equal_netlist",
+    "execute",
+    "greater_than_netlist",
+    "maximum_netlist",
+    "negate_netlist",
+    "schedule_circuit",
+    "select_netlist",
+    "subtractor_netlist",
     "PAPER_110BIT",
     "PARAMETER_SETS",
     "TEST_MEDIUM",

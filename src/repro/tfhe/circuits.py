@@ -20,12 +20,23 @@ every word in the batch) to process ``batch_size`` independent words with the
 same number of — now batched — gate evaluations.  Use
 :func:`encrypt_integers` / :func:`decrypt_integers` to move between integer
 lists and bit planes.
+
+Since PR 2 each helper is a thin wrapper over the netlist subsystem: the
+block is built once per width as a :class:`repro.tfhe.netlist.Circuit`
+(memoised) and evaluated gate by gate with
+:func:`repro.tfhe.executor.execute`, which emits exactly the historical gate
+sequence — outputs are bit-identical to the pre-netlist implementation.  To
+run the *same* circuits level-parallel (one batched bootstrapping per
+dependency level instead of per gate), hand the netlist to
+:class:`repro.tfhe.executor.CircuitExecutor` instead.
 """
 
 from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
+from repro.tfhe import netlist
+from repro.tfhe.executor import execute
 from repro.tfhe.gates import (
     TFHEGateEvaluator,
     decrypt_bit_batch,
@@ -113,20 +124,16 @@ def add(
 ) -> List[LweSample]:
     """Ripple-carry addition; returns ``width + 1`` bits (the last is the carry)."""
     _check_widths(a, b)
-    carry = evaluator.constant(0)
-    out: List[LweSample] = []
-    for bit_a, bit_b in zip(a, b):
-        total, carry = full_adder(evaluator, bit_a, bit_b, carry)
-        out.append(total)
-    out.append(carry)
-    return out
+    circuit = netlist.adder_netlist(len(a))
+    return execute(circuit, evaluator, {"a": a, "b": b})["sum"]
 
 
 def negate(evaluator: TFHEGateEvaluator, a: Sequence[LweSample]) -> List[LweSample]:
     """Two's-complement negation (invert and add one), same width as the input."""
-    inverted = [evaluator.not_(bit) for bit in a]
-    one = [evaluator.constant(1)] + [evaluator.constant(0)] * (len(a) - 1)
-    return add(evaluator, inverted, one)[: len(a)]
+    if not a:
+        raise ValueError("operands must have at least one bit")
+    circuit = netlist.negate_netlist(len(a))
+    return execute(circuit, evaluator, {"a": a})["neg"]
 
 
 def subtract(
@@ -136,7 +143,8 @@ def subtract(
 ) -> List[LweSample]:
     """Two's-complement subtraction ``a - b`` truncated to the operand width."""
     _check_widths(a, b)
-    return add(evaluator, list(a), negate(evaluator, b))[: len(a)]
+    circuit = netlist.subtractor_netlist(len(a))
+    return execute(circuit, evaluator, {"a": a, "b": b})["diff"]
 
 
 def equal(
@@ -146,10 +154,8 @@ def equal(
 ) -> LweSample:
     """Encrypted equality test (AND of per-bit XNORs)."""
     _check_widths(a, b)
-    result = evaluator.constant(1)
-    for bit_a, bit_b in zip(a, b):
-        result = evaluator.and_(result, evaluator.xnor(bit_a, bit_b))
-    return result
+    circuit = netlist.equal_netlist(len(a))
+    return execute(circuit, evaluator, {"a": a, "b": b})["eq"][0]
 
 
 def greater_than(
@@ -159,12 +165,8 @@ def greater_than(
 ) -> LweSample:
     """Encrypted unsigned comparison ``a > b`` (bit-serial, LSB to MSB)."""
     _check_widths(a, b)
-    result = evaluator.constant(0)
-    for bit_a, bit_b in zip(a, b):
-        bits_equal = evaluator.xnor(bit_a, bit_b)
-        a_wins_here = evaluator.andyn(bit_a, bit_b)
-        result = evaluator.mux(bits_equal, result, a_wins_here)
-    return result
+    circuit = netlist.greater_than_netlist(len(a))
+    return execute(circuit, evaluator, {"a": a, "b": b})["gt"][0]
 
 
 def select(
@@ -175,7 +177,12 @@ def select(
 ) -> List[LweSample]:
     """Vector multiplexer: returns ``if_true`` when ``condition`` encrypts 1."""
     _check_widths(if_true, if_false)
-    return [evaluator.mux(condition, t, f) for t, f in zip(if_true, if_false)]
+    circuit = netlist.select_netlist(len(if_true))
+    return execute(
+        circuit,
+        evaluator,
+        {"cond": [condition], "if_true": if_true, "if_false": if_false},
+    )["out"]
 
 
 def maximum(
@@ -184,4 +191,6 @@ def maximum(
     b: Sequence[LweSample],
 ) -> List[LweSample]:
     """Encrypted unsigned maximum of two integers."""
-    return select(evaluator, greater_than(evaluator, a, b), a, b)
+    _check_widths(a, b)
+    circuit = netlist.maximum_netlist(len(a))
+    return execute(circuit, evaluator, {"a": a, "b": b})["max"]

@@ -1,0 +1,300 @@
+"""Level-parallel execution of circuit netlists.
+
+The scheduler half of this module turns a :class:`repro.tfhe.netlist.Circuit`
+into a :class:`LevelSchedule`: the netlist is exported to the architecture
+package's :class:`repro.arch.dfg.DataFlowGraph` and levelized with its ASAP
+machinery — bootstrapped gates advance the level, linear nodes (inputs,
+constants, NOT, copy) are free — so every level is a set of mutually
+independent bootstrapped gates.  This is the paper's compile-to-DFG /
+solve-dependencies flow (Section 5) applied to whole circuits instead of the
+inside of one gate.
+
+The executor half then *feeds the batched bootstrapping engine*: each level's
+gates, over all words of the data batch, become **one**
+:meth:`repro.tfhe.gates.BatchGateEvaluator.gate_rows` call — a single mixed
+affine combination, blind rotation, extraction and key switch over
+``gates_in_level × words`` rows.  Against the eager gate-by-gate path the
+executor therefore wins twice: the level width multiplies the row count of
+every batched call (level parallelism), and the data batch multiplies it
+again (word parallelism); :func:`repro.core.pipeline.circuit_level_cycles`
+is the analytic counterpart on the accelerator model.
+
+Both paths are bit-identical: :func:`execute` is the eager reference (works
+with the scalar and the batched evaluator alike) and
+:class:`CircuitExecutor.run` is the levelized engine; the test-suite
+property-checks that their output ciphertexts match bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.arch.ops import OpType
+from repro.tfhe.gates import BatchGateEvaluator
+from repro.tfhe.lwe import LweBatch, LweSample, lwe_batch_concat
+from repro.tfhe.netlist import Circuit
+
+
+@dataclass(frozen=True)
+class LevelSchedule:
+    """A levelized execution plan for one circuit.
+
+    ``waves[k]`` holds the bootstrapped gates of dependency level ``k + 1``;
+    the gates of one wave are mutually independent, so the executor issues
+    each wave as a single batched bootstrapping call.  ``linear[k]`` holds
+    the live bootstrap-free nodes (inputs, constants, NOT, copy) resolved
+    after wave ``k`` (``linear[0]`` before any wave), in SSA order.
+    """
+
+    circuit: Circuit
+    output_names: Tuple[str, ...]
+    waves: Tuple[Tuple[int, ...], ...]
+    linear: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def depth(self) -> int:
+        """Number of bootstrapped dependency levels (the gate critical path)."""
+        return len(self.waves)
+
+    @property
+    def gate_count(self) -> int:
+        """Total live bootstrapped gates in the plan."""
+        return sum(len(wave) for wave in self.waves)
+
+    @property
+    def level_widths(self) -> List[int]:
+        """Gates per level, in execution order (the gates/level histogram)."""
+        return [len(wave) for wave in self.waves]
+
+    @property
+    def mean_width(self) -> float:
+        """Average gates per level — the level-parallelism of the circuit."""
+        return self.gate_count / self.depth if self.depth else 0.0
+
+    @property
+    def max_width(self) -> int:
+        """Widest level (peak number of concurrent bootstrappings)."""
+        return max(self.level_widths, default=0)
+
+    def width_histogram(self) -> Dict[int, int]:
+        """``width → number of levels with that many gates``."""
+        histogram: Dict[int, int] = {}
+        for width in self.level_widths:
+            histogram[width] = histogram.get(width, 0) + 1
+        return dict(sorted(histogram.items()))
+
+
+def schedule_circuit(
+    circuit: Circuit, outputs: Sequence[str] | None = None
+) -> LevelSchedule:
+    """Levelize the output cone of ``circuit`` into a :class:`LevelSchedule`.
+
+    The netlist is exported to a :class:`repro.arch.dfg.DataFlowGraph` and
+    bucketed with its ASAP ``levelize``; only bootstrapped gates carry level
+    cost, so NOT/copy/constant chains never lengthen the schedule.  Dead
+    nodes (outside the cone of the requested outputs) are dropped entirely.
+    """
+    output_names = tuple(outputs) if outputs is not None else tuple(circuit.output_wires)
+    live = circuit.live_nodes(output_names)
+    dfg = circuit.to_dfg(output_names)
+    cost = lambda node: 1 if node.op is OpType.BOOTSTRAPPED_GATE else 0  # noqa: E731
+    buckets = dfg.levelize(cost)
+    waves: List[Tuple[int, ...]] = []
+    linear: List[Tuple[int, ...]] = []
+    for level, bucket in enumerate(buckets):
+        bucket = [nid for nid in bucket if nid in live]
+        waves_here = tuple(n for n in bucket if circuit.node(n).is_bootstrapped)
+        linear_here = tuple(n for n in bucket if not circuit.node(n).is_bootstrapped)
+        if level > 0:
+            waves.append(waves_here)
+        linear.append(linear_here)
+    # Drop trailing all-empty levels (possible when the deepest live node is
+    # linear); keep `linear` exactly one entry longer than `waves`.
+    while waves and not waves[-1] and not linear[len(waves)]:
+        waves.pop()
+        linear.pop()
+    return LevelSchedule(
+        circuit=circuit,
+        output_names=output_names,
+        waves=tuple(waves),
+        linear=tuple(linear),
+    )
+
+
+def _gather_inputs(
+    circuit: Circuit,
+    inputs: Mapping[str, Sequence],
+    live: set,
+) -> Dict[int, object]:
+    """Map live input wires to the caller-provided ciphertexts."""
+    values: Dict[int, object] = {}
+    for name, wires in circuit.input_wires.items():
+        if not any(w in live for w in wires):
+            continue
+        if name not in inputs:
+            raise ValueError(f"missing circuit input {name!r}")
+        provided = list(inputs[name])
+        if len(provided) != len(wires):
+            raise ValueError(
+                f"input {name!r} expects {len(wires)} bits, got {len(provided)}"
+            )
+        for wire, value in zip(wires, provided):
+            values[wire] = value
+    return values
+
+
+def execute(
+    circuit: Circuit,
+    evaluator,
+    inputs: Mapping[str, Sequence],
+    outputs: Sequence[str] | None = None,
+) -> Dict[str, List]:
+    """Eager gate-by-gate evaluation of a netlist (the reference path).
+
+    ``evaluator`` may be a :class:`repro.tfhe.gates.TFHEGateEvaluator` with
+    scalar :class:`LweSample` input bits or a
+    :class:`repro.tfhe.gates.BatchGateEvaluator` with :class:`LweBatch` bit
+    planes — the netlist only invokes the shared evaluator surface
+    (``gate``/``not_``/``copy``/``constant``).  Gates are issued one at a
+    time in SSA order, exactly like the historical helpers of
+    :mod:`repro.tfhe.circuits`; only the live cone of the requested outputs
+    is evaluated.  Returns ``{output name: list of bit ciphertexts}``.
+    """
+    output_names = tuple(outputs) if outputs is not None else tuple(circuit.output_wires)
+    live = circuit.live_nodes(output_names)
+    values = _gather_inputs(circuit, inputs, live)
+    for node in circuit.nodes:
+        if node.node_id not in live or node.op == "input":
+            continue
+        if node.op == "const":
+            values[node.node_id] = evaluator.constant(node.value)
+        elif node.op == "not":
+            values[node.node_id] = evaluator.not_(values[node.args[0]])
+        elif node.op == "copy":
+            values[node.node_id] = evaluator.copy(values[node.args[0]])
+        else:
+            values[node.node_id] = evaluator.gate(
+                node.op, values[node.args[0]], values[node.args[1]]
+            )
+    return {
+        name: [values[w] for w in circuit.output_wires[name]] for name in output_names
+    }
+
+
+class CircuitExecutor:
+    """Runs levelized circuits on the batched bootstrapping engine.
+
+    The executor owns a :class:`repro.tfhe.gates.BatchGateEvaluator` whose
+    ``batch_size`` is the number of *words* processed per run (wires carry
+    :class:`LweBatch` bit planes of that width; use ``batch_size=1`` with
+    :meth:`run_samples` for plain single-word circuits).  Every dependency
+    level of the schedule becomes one
+    :meth:`~repro.tfhe.gates.BatchGateEvaluator.gate_rows` call of
+    ``level width × batch_size`` rows::
+
+        executor = CircuitExecutor(BatchGateEvaluator(cloud, batch_size=16))
+        planes = executor.run(adder_netlist(32), {"a": a_planes, "b": b_planes})
+
+    ``evaluator.counters`` tracks gates/bootstraps as usual;
+    ``executor.level_calls`` counts the batched bootstrapping calls issued,
+    i.e. the schedule depth summed over runs.
+    """
+
+    def __init__(self, evaluator: BatchGateEvaluator) -> None:
+        self.evaluator = evaluator
+        self.level_calls = 0
+
+    @property
+    def batch_size(self) -> int:
+        """Words processed per run (the evaluator's batch width)."""
+        return self.evaluator.batch_size
+
+    def run(
+        self,
+        circuit: Circuit,
+        inputs: Mapping[str, Sequence[LweBatch]],
+        outputs: Sequence[str] | None = None,
+        schedule: LevelSchedule | None = None,
+    ) -> Dict[str, List[LweBatch]]:
+        """Execute ``circuit`` level-parallel over ``batch_size`` words.
+
+        ``inputs`` maps input names to LSB-first lists of ``batch_size``-row
+        bit planes (see :func:`repro.tfhe.circuits.encrypt_integers`).  Pass
+        a precomputed ``schedule`` to amortise scheduling across runs.
+        Results are bit-identical to :func:`execute` on the same inputs.
+        """
+        if schedule is None:
+            schedule = schedule_circuit(circuit, outputs)
+        elif schedule.circuit is not circuit:
+            raise ValueError("schedule was built for a different circuit")
+        elif outputs is not None and tuple(outputs) != schedule.output_names:
+            raise ValueError(
+                f"schedule was built for outputs {schedule.output_names}, "
+                f"not {tuple(outputs)}; reschedule or drop the outputs argument"
+            )
+        words = self.batch_size
+        live = circuit.live_nodes(schedule.output_names)
+        for name in circuit.input_wires:
+            for plane in inputs.get(name, ()):
+                if plane.batch_size != words:
+                    raise ValueError(
+                        f"input {name!r} has batch width {plane.batch_size}, "
+                        f"executor expects {words}"
+                    )
+        values = _gather_inputs(circuit, inputs, live)
+
+        def resolve_linear(node_ids: Sequence[int]) -> None:
+            for nid in node_ids:
+                node = circuit.node(nid)
+                if node.op == "input":
+                    continue  # already gathered
+                if node.op == "const":
+                    values[nid] = self.evaluator.constant(node.value)
+                elif node.op == "not":
+                    values[nid] = self.evaluator.not_(values[node.args[0]])
+                elif node.op == "copy":
+                    values[nid] = self.evaluator.copy(values[node.args[0]])
+
+        resolve_linear(schedule.linear[0])
+        for level, wave in enumerate(schedule.waves, start=1):
+            if wave:
+                names: List[str] = []
+                for nid in wave:
+                    names.extend([circuit.node(nid).op] * words)
+                ca = lwe_batch_concat(values[circuit.node(n).args[0]] for n in wave)
+                cb = lwe_batch_concat(values[circuit.node(n).args[1]] for n in wave)
+                out = self.evaluator.gate_rows(names, ca, cb)
+                self.level_calls += 1
+                for i, nid in enumerate(wave):
+                    values[nid] = out.rows(i * words, (i + 1) * words)
+            resolve_linear(schedule.linear[level])
+        return {
+            name: [values[w] for w in circuit.output_wires[name]]
+            for name in schedule.output_names
+        }
+
+    def run_samples(
+        self,
+        circuit: Circuit,
+        inputs: Mapping[str, Sequence[LweSample]],
+        outputs: Sequence[str] | None = None,
+        schedule: LevelSchedule | None = None,
+    ) -> Dict[str, List[LweSample]]:
+        """Single-word convenience: scalar bits in, scalar bits out.
+
+        Requires ``batch_size == 1``; each sample is lifted to a one-row
+        batch so the level packing still merges all gates of a level into
+        one call — this is the pure level-parallelism mode (no word batch).
+        """
+        if self.batch_size != 1:
+            raise ValueError("run_samples requires an executor of batch size 1")
+        lifted = {
+            name: [LweBatch.from_samples([bit]) for bit in bits]
+            for name, bits in inputs.items()
+        }
+        planes = self.run(circuit, lifted, outputs, schedule)
+        return {
+            name: [plane[0] for plane in plane_list]
+            for name, plane_list in planes.items()
+        }

@@ -39,7 +39,7 @@ from repro.tfhe.lwe import (
     lwe_scale,
     lwe_sub,
 )
-from repro.tfhe.torus import double_to_torus32
+from repro.tfhe.torus import double_to_torus32, torus32_from_int64
 from repro.utils.rng import SeedLike, make_rng
 
 #: Gate-bootstrapping message: 1/8 on the torus.
@@ -59,6 +59,19 @@ BINARY_GATE_SPECS: Dict[str, Tuple[int, int, int]] = {
     "oryn": (1, 1, -1),
 }
 
+#: Every two-input bootstrapped gate as ``name → (offset in eighths of the
+#: torus, coefficient of ca, coefficient of cb)``.  XOR/XNOR fit the same
+#: affine shape with coefficient ±2 (``(0, 1/4) + 2·(ca + cb)`` and its
+#: negation), so a *mixed* batch of rows — each row evaluating a possibly
+#: different gate — is still one affine combination followed by one batched
+#: bootstrapping.  This is what lets the level-parallel circuit executor
+#: issue a whole dependency level as a single call.
+MIXED_GATE_SPECS: Dict[str, Tuple[int, int, int]] = {
+    **BINARY_GATE_SPECS,
+    "xor": (2, 2, 2),
+    "xnor": (-2, -2, -2),
+}
+
 
 @dataclass
 class GateCounters:
@@ -68,6 +81,7 @@ class GateCounters:
     bootstraps: int = 0
 
     def reset(self) -> None:
+        """Zero both counters (start of a measurement window)."""
         self.gates = 0
         self.bootstraps = 0
 
@@ -375,6 +389,47 @@ class BatchGateEvaluator:
         if name == "xnor":
             return self.xnor(ca, cb)
         raise ValueError(f"unknown gate {name!r}")
+
+    def gate_rows(self, names, ca: LweBatch, cb: LweBatch) -> LweBatch:
+        """Evaluate a possibly *different* gate on every row — one bootstrapping.
+
+        ``names[i]`` picks the gate applied to row ``i`` of ``ca``/``cb``
+        (any key of :data:`MIXED_GATE_SPECS`, i.e. every two-input
+        bootstrapped gate including XOR/XNOR).  The per-row affine
+        combinations are a single vectorised pass and the whole mixed batch
+        shares one batched bootstrapping, so a dependency level of a circuit
+        — whose gates are independent but heterogeneous — costs the same as a
+        homogeneous batch of equal width.
+
+        Unlike the homogeneous methods this entry point accepts **any** row
+        count, not just ``self.batch_size``: the level-parallel executor
+        packs ``gates_in_level × words`` rows per call, which varies level to
+        level.  Row ``i`` of the result is bit-identical to calling the
+        scalar evaluator's gate ``names[i]`` on row ``i`` of the inputs.
+        """
+        names = list(names)
+        if ca.batch_size != cb.batch_size:
+            raise ValueError("operand batches must have the same width")
+        if len(names) != ca.batch_size:
+            raise ValueError("one gate name per row is required")
+        try:
+            specs = [MIXED_GATE_SPECS[name] for name in names]
+        except KeyError as exc:
+            raise ValueError(f"unknown gate {exc.args[0]!r}") from None
+        offsets = np.array([s[0] for s in specs], dtype=np.int64)
+        coef_a = np.array([s[1] for s in specs], dtype=np.int64)
+        coef_b = np.array([s[2] for s in specs], dtype=np.int64)
+        a = torus32_from_int64(
+            coef_a[:, None] * ca.a.astype(np.int64)
+            + coef_b[:, None] * cb.a.astype(np.int64)
+        )
+        b = torus32_from_int64(
+            offsets * np.int64(MU)
+            + coef_a * ca.b.astype(np.int64)
+            + coef_b * cb.b.astype(np.int64)
+        )
+        self.counters.gates += ca.batch_size
+        return self._bootstrap(LweBatch(a=a, b=b))
 
 
 def encrypt_bit(secret: TFHESecretKey, bit: int, rng: SeedLike = None) -> LweSample:

@@ -41,6 +41,7 @@ class LweSample:
         return int(self.a.shape[0])
 
     def copy(self) -> "LweSample":
+        """A deep copy (fresh arrays, same ciphertext value)."""
         return LweSample(self.a.copy(), np.int32(self.b))
 
 
@@ -72,6 +73,7 @@ class LweBatch:
         return LweSample(a=self.a[index].copy(), b=np.int32(self.b[index]))
 
     def copy(self) -> "LweBatch":
+        """A deep copy of the whole batch."""
         return LweBatch(self.a.copy(), self.b.copy())
 
     @classmethod
@@ -84,7 +86,14 @@ class LweBatch:
         return cls(a=a, b=b)
 
     def to_samples(self) -> List[LweSample]:
+        """Unpack the batch into independent scalar samples (row order)."""
         return [self[i] for i in range(self.batch_size)]
+
+    def rows(self, start: int, stop: int) -> "LweBatch":
+        """A copy of rows ``[start, stop)`` as a new, independent batch."""
+        if not (0 <= start < stop <= self.batch_size):
+            raise ValueError("row range out of bounds")
+        return LweBatch(a=self.a[start:stop].copy(), b=self.b[start:stop].copy())
 
 
 @dataclass
@@ -265,6 +274,25 @@ def lwe_batch_scale(scalar: int, x: LweBatch) -> LweBatch:
     a = torus32_from_int64(int(scalar) * x.a.astype(np.int64))
     b = torus32_from_int64(int(scalar) * x.b.astype(np.int64))
     return LweBatch(a=a, b=b)
+
+
+def lwe_batch_concat(batches) -> LweBatch:
+    """Stack several batches (same dimension) into one along the batch axis.
+
+    The level-parallel circuit executor uses this to pack the operands of all
+    gates in one dependency level — ``gates × words`` rows — into the single
+    mixed-gate bootstrapping call of that level.
+    """
+    batches = list(batches)
+    if not batches:
+        raise ValueError("cannot concatenate zero batches")
+    dimension = batches[0].dimension
+    if any(batch.dimension != dimension for batch in batches):
+        raise ValueError("all batches must share the LWE dimension")
+    return LweBatch(
+        a=np.concatenate([batch.a for batch in batches], axis=0),
+        b=np.concatenate([batch.b for batch in batches], axis=0),
+    )
 
 
 def lwe_batch_add_constant(x: LweBatch, constant) -> LweBatch:

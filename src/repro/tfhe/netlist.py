@@ -1,0 +1,379 @@
+"""Circuit netlists: a gate-level IR for multi-gate encrypted circuits.
+
+PR 1 gave the repository a batched bootstrapping engine
+(:class:`repro.tfhe.gates.BatchGateEvaluator`), but the circuit helpers of
+:mod:`repro.tfhe.circuits` still *emitted* gates strictly one after another,
+so only the data-parallel batch axis (many words) ever reached the engine.
+This module adds the missing representation: a :class:`Circuit` is a small
+SSA-style netlist — every node is one Boolean operation producing one named
+wire — that a scheduler can analyse *before* anything is evaluated.
+
+The flow mirrors the paper's compilation pipeline (Section 5: "OpenCGRA first
+compiles a TFHE logic operation into a data flow graph, solves its
+dependencies, and removes structural hazards"), lifted one level up: instead
+of compiling the inside of one bootstrapped gate, we compile a whole circuit
+of bootstrapped gates, export it to :class:`repro.arch.dfg.DataFlowGraph`,
+and let :mod:`repro.tfhe.executor` pack every dependency level into a single
+batched bootstrapping call.
+
+Construction is explicit and cheap::
+
+    c = Circuit("adder2")
+    a = c.inputs("a", 2)
+    b = c.inputs("b", 2)
+    s0 = c.gate("xor", a[0], b[0])
+    ...
+    c.output("sum", [s0, ...])
+
+Word-level constructors (:func:`adder_netlist`, :func:`subtractor_netlist`,
+:func:`equal_netlist`, :func:`greater_than_netlist`, :func:`select_netlist`,
+:func:`maximum_netlist`, :func:`negate_netlist`) re-express the classic
+helpers of :mod:`repro.tfhe.circuits` gate-for-gate, so evaluating a netlist
+is bit-identical to the historical eager path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.arch.dfg import DataFlowGraph
+from repro.arch.ops import OpType
+from repro.tfhe.gates import BINARY_GATE_SPECS
+
+#: Two-input ops that require a gate bootstrapping when evaluated.
+BOOTSTRAPPED_OPS: Tuple[str, ...] = tuple(BINARY_GATE_SPECS) + ("xor", "xnor")
+
+#: Ops that are purely linear over ciphertexts (no bootstrapping, ~free).
+LINEAR_OPS: Tuple[str, ...] = ("not", "copy")
+
+#: Source ops that produce wires without consuming any.
+SOURCE_OPS: Tuple[str, ...] = ("input", "const")
+
+#: Arity of every recognised op (sources take no wire arguments).
+OP_ARITY: Dict[str, int] = {
+    **{name: 2 for name in BOOTSTRAPPED_OPS},
+    "not": 1,
+    "copy": 1,
+    "input": 0,
+    "const": 0,
+}
+
+
+@dataclass(frozen=True)
+class Node:
+    """One netlist node: an operation producing exactly one wire.
+
+    ``node_id`` doubles as the wire id of the produced value (SSA form).
+    ``args`` are the wire ids consumed; ``value`` is only meaningful for
+    ``const`` nodes (the public bit) and ``name``/``bit`` only for ``input``
+    nodes (which input word and which bit position the wire belongs to).
+    """
+
+    node_id: int
+    op: str
+    args: Tuple[int, ...] = ()
+    value: int = 0
+    name: str = ""
+    bit: int = -1
+
+    @property
+    def is_bootstrapped(self) -> bool:
+        """Whether evaluating this node costs one gate bootstrapping."""
+        return self.op in BOOTSTRAPPED_OPS
+
+
+class Circuit:
+    """A Boolean circuit netlist over named multi-bit inputs and outputs.
+
+    The class is its own builder: :meth:`inputs`, :meth:`constant`,
+    :meth:`gate`, :meth:`not_`, :meth:`mux` and :meth:`output` append nodes
+    and return wire ids.  Wires are integers; words are LSB-first lists of
+    wires, matching the convention of :mod:`repro.tfhe.circuits`.
+
+    The structure is evaluation-free — nothing here touches ciphertexts.
+    :func:`repro.tfhe.executor.execute` runs a circuit gate by gate with any
+    evaluator, and :class:`repro.tfhe.executor.CircuitExecutor` runs it level
+    by level through the batched bootstrapping engine.
+    """
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.name = name
+        self.nodes: List[Node] = []
+        self.input_wires: Dict[str, Tuple[int, ...]] = {}
+        self.output_wires: Dict[str, Tuple[int, ...]] = {}
+
+    # -- builder API ---------------------------------------------------------
+    def _add(self, node: Node) -> int:
+        self.nodes.append(node)
+        return node.node_id
+
+    def _new_id(self) -> int:
+        return len(self.nodes)
+
+    def _check_wires(self, wires: Iterable[int]) -> None:
+        for wire in wires:
+            if not (0 <= int(wire) < len(self.nodes)):
+                raise ValueError(f"unknown wire {wire!r}")
+
+    def inputs(self, name: str, width: int) -> List[int]:
+        """Declare a ``width``-bit named input word; returns its wires, LSB first."""
+        if width <= 0:
+            raise ValueError("width must be positive")
+        if name in self.input_wires:
+            raise ValueError(f"duplicate input {name!r}")
+        wires = [
+            self._add(Node(self._new_id(), "input", name=name, bit=i))
+            for i in range(width)
+        ]
+        self.input_wires[name] = tuple(wires)
+        return wires
+
+    def constant(self, bit: int) -> int:
+        """A public constant bit (evaluates to a trivial encryption)."""
+        return self._add(Node(self._new_id(), "const", value=int(bool(bit))))
+
+    def gate(self, op: str, a: int, b: int) -> int:
+        """A two-input bootstrapped gate (``"nand"``, ``"xor"``, ...)."""
+        if op not in BOOTSTRAPPED_OPS:
+            raise ValueError(f"unknown gate {op!r}")
+        self._check_wires((a, b))
+        return self._add(Node(self._new_id(), op, args=(int(a), int(b))))
+
+    def not_(self, a: int) -> int:
+        """Linear NOT of a wire (no bootstrapping)."""
+        self._check_wires((a,))
+        return self._add(Node(self._new_id(), "not", args=(int(a),)))
+
+    def copy(self, a: int) -> int:
+        """Identity node (used to alias a wire into an output)."""
+        self._check_wires((a,))
+        return self._add(Node(self._new_id(), "copy", args=(int(a),)))
+
+    def mux(self, sel: int, if_true: int, if_false: int) -> int:
+        """Multiplexer ``sel ? if_true : if_false``, lowered to three gates.
+
+        The lowering — ``OR(AND(sel, t), ANDNY(sel, f))`` — matches the
+        evaluators' ``mux`` composition exactly, but exposes the two AND legs
+        as *independent* gates, so the level scheduler can run them in the
+        same batched bootstrapping call.
+        """
+        picked_true = self.gate("and", sel, if_true)
+        picked_false = self.gate("andny", sel, if_false)
+        return self.gate("or", picked_true, picked_false)
+
+    def output(self, name: str, wires: Sequence[int]) -> None:
+        """Declare a named output word (LSB first)."""
+        if name in self.output_wires:
+            raise ValueError(f"duplicate output {name!r}")
+        wires = [int(w) for w in wires]
+        if not wires:
+            raise ValueError("an output needs at least one wire")
+        self._check_wires(wires)
+        self.output_wires[name] = tuple(wires)
+
+    # -- queries -------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node(self, node_id: int) -> Node:
+        """The node that produces wire ``node_id``."""
+        return self.nodes[node_id]
+
+    @property
+    def gate_count(self) -> int:
+        """Number of bootstrapped gates in the netlist."""
+        return sum(1 for n in self.nodes if n.is_bootstrapped)
+
+    @property
+    def linear_count(self) -> int:
+        """Number of linear (bootstrap-free) nodes."""
+        return sum(1 for n in self.nodes if n.op in LINEAR_OPS)
+
+    def input_width(self, name: str) -> int:
+        """Bit width of a declared input word."""
+        return len(self.input_wires[name])
+
+    def live_nodes(self, outputs: Sequence[str] | None = None) -> Set[int]:
+        """Wire ids in the transitive fan-in ("cone") of the given outputs.
+
+        Dead nodes — e.g. the discarded carry chain of a truncated
+        subtraction — are excluded, so neither executor wastes bootstrappings
+        on values nobody reads.
+        """
+        names = list(outputs) if outputs is not None else list(self.output_wires)
+        stack: List[int] = []
+        for name in names:
+            if name not in self.output_wires:
+                raise KeyError(f"unknown output {name!r}")
+            stack.extend(self.output_wires[name])
+        live: Set[int] = set()
+        while stack:
+            nid = stack.pop()
+            if nid in live:
+                continue
+            live.add(nid)
+            stack.extend(self.nodes[nid].args)
+        return live
+
+    def validate(self) -> None:
+        """Structural checks: known ops, arities, and SSA (args precede uses)."""
+        for node in self.nodes:
+            if node.op not in OP_ARITY:
+                raise ValueError(f"unknown op {node.op!r}")
+            if len(node.args) != OP_ARITY[node.op]:
+                raise ValueError(f"op {node.op!r} expects {OP_ARITY[node.op]} args")
+            for arg in node.args:
+                if arg >= node.node_id:
+                    raise ValueError("netlist is not in SSA order")
+
+    def to_dfg(self, outputs: Sequence[str] | None = None) -> DataFlowGraph:
+        """Export the output cone as a :class:`repro.arch.dfg.DataFlowGraph`.
+
+        Bootstrapped gates become :data:`OpType.BOOTSTRAPPED_GATE` nodes with
+        unit work; sources and linear ops become zero-work
+        :data:`OpType.LINEAR_GATE` nodes.  Node ids are preserved (the DFG is
+        built over all netlist nodes in SSA order), so levels computed on the
+        DFG index straight back into the netlist; dead nodes simply have no
+        path to any live output.
+        """
+        self.validate()
+        dfg = DataFlowGraph()
+        for node in self.nodes:
+            op = OpType.BOOTSTRAPPED_GATE if node.is_bootstrapped else OpType.LINEAR_GATE
+            work = 1.0 if node.is_bootstrapped else 0.0
+            nid = dfg.add_node(op, work, tag=node.op, predecessors=node.args)
+            assert nid == node.node_id
+        return dfg
+
+
+# --------------------------------------------------------------------------- #
+# word-level constructors (gate-for-gate ports of repro.tfhe.circuits)        #
+# --------------------------------------------------------------------------- #
+
+
+def full_adder_into(c: Circuit, a: int, b: int, carry: int) -> Tuple[int, int]:
+    """Append one full-adder stage; returns ``(sum, carry_out)`` wires."""
+    a_xor_b = c.gate("xor", a, b)
+    total = c.gate("xor", a_xor_b, carry)
+    carry_out = c.gate("or", c.gate("and", a, b), c.gate("and", a_xor_b, carry))
+    return total, carry_out
+
+
+def ripple_add_into(
+    c: Circuit, a: Sequence[int], b: Sequence[int]
+) -> List[int]:
+    """Append a ripple-carry adder; returns ``width + 1`` wires (carry last)."""
+    if len(a) != len(b):
+        raise ValueError("operand widths differ")
+    carry = c.constant(0)
+    out: List[int] = []
+    for wire_a, wire_b in zip(a, b):
+        total, carry = full_adder_into(c, wire_a, wire_b, carry)
+        out.append(total)
+    out.append(carry)
+    return out
+
+
+def negate_into(c: Circuit, a: Sequence[int]) -> List[int]:
+    """Append a two's-complement negation; returns ``len(a)`` wires."""
+    inverted = [c.not_(wire) for wire in a]
+    one = [c.constant(1)] + [c.constant(0)] * (len(a) - 1)
+    return ripple_add_into(c, inverted, one)[: len(a)]
+
+
+def greater_than_into(c: Circuit, a: Sequence[int], b: Sequence[int]) -> int:
+    """Append an unsigned ``a > b`` comparator (bit-serial, LSB to MSB)."""
+    result = c.constant(0)
+    for wire_a, wire_b in zip(a, b):
+        bits_equal = c.gate("xnor", wire_a, wire_b)
+        a_wins_here = c.gate("andyn", wire_a, wire_b)
+        result = c.mux(bits_equal, result, a_wins_here)
+    return result
+
+
+def _require_width(width: int) -> None:
+    if width <= 0:
+        raise ValueError("width must be positive")
+
+
+@lru_cache(maxsize=None)
+def adder_netlist(width: int) -> Circuit:
+    """Ripple-carry adder: inputs ``a``/``b``, output ``sum`` (``width + 1`` bits)."""
+    _require_width(width)
+    c = Circuit(f"add{width}")
+    a = c.inputs("a", width)
+    b = c.inputs("b", width)
+    c.output("sum", ripple_add_into(c, a, b))
+    return c
+
+
+@lru_cache(maxsize=None)
+def negate_netlist(width: int) -> Circuit:
+    """Two's-complement negation: input ``a``, output ``neg`` (same width)."""
+    _require_width(width)
+    c = Circuit(f"neg{width}")
+    a = c.inputs("a", width)
+    c.output("neg", negate_into(c, a))
+    return c
+
+
+@lru_cache(maxsize=None)
+def subtractor_netlist(width: int) -> Circuit:
+    """Two's-complement subtraction ``a - b`` truncated to ``width`` bits."""
+    _require_width(width)
+    c = Circuit(f"sub{width}")
+    a = c.inputs("a", width)
+    b = c.inputs("b", width)
+    c.output("diff", ripple_add_into(c, a, negate_into(c, b))[:width])
+    return c
+
+
+@lru_cache(maxsize=None)
+def equal_netlist(width: int) -> Circuit:
+    """Equality comparator: inputs ``a``/``b``, one-bit output ``eq``."""
+    _require_width(width)
+    c = Circuit(f"eq{width}")
+    a = c.inputs("a", width)
+    b = c.inputs("b", width)
+    result = c.constant(1)
+    for wire_a, wire_b in zip(a, b):
+        result = c.gate("and", result, c.gate("xnor", wire_a, wire_b))
+    c.output("eq", [result])
+    return c
+
+
+@lru_cache(maxsize=None)
+def greater_than_netlist(width: int) -> Circuit:
+    """Unsigned ``a > b`` comparator (bit-serial, LSB to MSB), output ``gt``."""
+    _require_width(width)
+    c = Circuit(f"gt{width}")
+    a = c.inputs("a", width)
+    b = c.inputs("b", width)
+    c.output("gt", [greater_than_into(c, a, b)])
+    return c
+
+
+@lru_cache(maxsize=None)
+def select_netlist(width: int) -> Circuit:
+    """Vector multiplexer: one-bit ``cond`` picks ``if_true`` or ``if_false``."""
+    _require_width(width)
+    c = Circuit(f"select{width}")
+    cond = c.inputs("cond", 1)[0]
+    if_true = c.inputs("if_true", width)
+    if_false = c.inputs("if_false", width)
+    c.output("out", [c.mux(cond, t, f) for t, f in zip(if_true, if_false)])
+    return c
+
+
+@lru_cache(maxsize=None)
+def maximum_netlist(width: int) -> Circuit:
+    """Unsigned maximum of ``a`` and ``b`` (comparator feeding a multiplexer)."""
+    _require_width(width)
+    c = Circuit(f"max{width}")
+    a = c.inputs("a", width)
+    b = c.inputs("b", width)
+    a_greater = greater_than_into(c, a, b)
+    c.output("max", [c.mux(a_greater, t, f) for t, f in zip(a, b)])
+    return c

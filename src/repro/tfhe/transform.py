@@ -60,11 +60,13 @@ class TransformStats:
     pointwise_ops: int = 0
 
     def reset(self) -> None:
+        """Zero all counters (start of a measurement window)."""
         self.forward_calls = 0
         self.backward_calls = 0
         self.pointwise_ops = 0
 
     def snapshot(self) -> "TransformStats":
+        """An independent copy of the current counter values."""
         return TransformStats(self.forward_calls, self.backward_calls, self.pointwise_ops)
 
 
@@ -134,6 +136,7 @@ class NegacyclicTransform(abc.ABC):
         return torus32_from_int64(self.backward(acc))
 
     def reset_stats(self) -> None:
+        """Reset the engine's invocation counters."""
         self.stats.reset()
 
 

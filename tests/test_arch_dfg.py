@@ -89,3 +89,51 @@ class TestAggregation:
         dfg.add_node(OpType.KEYSWITCH, 5.0)
         dfg.add_node(OpType.KEYSWITCH, 5.0)
         assert dfg.count_by_op()[OpType.KEYSWITCH] == 2
+
+
+class TestLevelize:
+    def diamond(self):
+        # a -> b, c -> d (b and c independent)
+        dfg = DataFlowGraph()
+        a = dfg.add_node(OpType.FFT, 1.0)
+        b = dfg.add_node(OpType.FFT, 1.0, predecessors=[a])
+        c = dfg.add_node(OpType.FFT, 1.0, predecessors=[a])
+        d = dfg.add_node(OpType.FFT, 1.0, predecessors=[b, c])
+        return dfg, (a, b, c, d)
+
+    def test_diamond_levels(self):
+        dfg, (a, b, c, d) = self.diamond()
+        buckets = dfg.levelize()
+        assert buckets[1] == [a]
+        assert buckets[2] == [b, c]
+        assert buckets[3] == [d]
+        assert dfg.depth() == 3
+
+    def test_zero_cost_nodes_share_predecessor_level(self):
+        dfg = DataFlowGraph()
+        src = dfg.add_node(OpType.LINEAR_GATE, 0.0)
+        gate = dfg.add_node(OpType.BOOTSTRAPPED_GATE, 1.0, predecessors=[src])
+        inv = dfg.add_node(OpType.LINEAR_GATE, 0.0, predecessors=[gate])
+        cost = lambda n: 1 if n.op is OpType.BOOTSTRAPPED_GATE else 0
+        levels = dfg.node_levels(cost)
+        assert levels[src] == 0
+        assert levels[gate] == 1
+        assert levels[inv] == 1  # NOT rides along with its producer's level
+        assert dfg.depth(cost) == 1
+
+    def test_level_buckets_partition_all_nodes(self):
+        dfg, _ = self.diamond()
+        buckets = dfg.levelize()
+        flattened = [nid for bucket in buckets for nid in bucket]
+        assert sorted(flattened) == [n.node_id for n in dfg.nodes()]
+
+    def test_empty_graph(self):
+        dfg = DataFlowGraph()
+        assert dfg.levelize() == [[]]
+        assert dfg.depth() == 0
+
+    def test_within_level_nodes_are_independent(self):
+        dfg, _ = self.diamond()
+        for bucket in dfg.levelize():
+            for nid in bucket:
+                assert not (set(dfg.node(nid).predecessors) & set(bucket))

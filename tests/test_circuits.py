@@ -1,6 +1,8 @@
 """Tests for the reusable encrypted-circuit building blocks."""
 
+import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.tfhe.circuits import (
     add,
@@ -15,7 +17,9 @@ from repro.tfhe.circuits import (
     select,
     subtract,
 )
-from repro.tfhe.gates import TFHEGateEvaluator, decrypt_bit
+from repro.tfhe.executor import CircuitExecutor
+from repro.tfhe.gates import BatchGateEvaluator, TFHEGateEvaluator, decrypt_bit
+from repro.tfhe import netlist
 
 
 @pytest.fixture(scope="module")
@@ -105,3 +109,91 @@ class TestComparisonsAndSelection:
         ca = encrypt_integer(secret, a, 2, rng=120 + a)
         cb = encrypt_integer(secret, b, 2, rng=130 + b)
         assert decrypt_integer(secret, maximum(evaluator, ca, cb)) == max(a, b)
+
+
+class TestEdgeCases:
+    """Width-mismatch errors and degenerate (zero/one-bit) operand shapes."""
+
+    @pytest.mark.parametrize(
+        "block", [add, subtract, equal, greater_than, maximum]
+    )
+    def test_width_mismatch_rejected_everywhere(self, circuit_env, block):
+        secret, evaluator = circuit_env
+        ca = encrypt_integer(secret, 1, 2, rng=140)
+        cb = encrypt_integer(secret, 1, 3, rng=141)
+        with pytest.raises(ValueError):
+            block(evaluator, ca, cb)
+
+    def test_select_width_mismatch_rejected(self, circuit_env):
+        secret, evaluator = circuit_env
+        ca = encrypt_integer(secret, 1, 2, rng=142)
+        cb = encrypt_integer(secret, 1, 3, rng=143)
+        with pytest.raises(ValueError):
+            select(evaluator, evaluator.constant(1), ca, cb)
+
+    @pytest.mark.parametrize(
+        "block", [add, subtract, equal, greater_than, maximum]
+    )
+    def test_zero_bit_operands_rejected_everywhere(self, circuit_env, block):
+        _, evaluator = circuit_env
+        with pytest.raises(ValueError):
+            block(evaluator, [], [])
+
+    def test_negate_zero_bits_rejected(self, circuit_env):
+        _, evaluator = circuit_env
+        with pytest.raises(ValueError):
+            negate(evaluator, [])
+
+    @pytest.mark.parametrize("a,b", [(0, 0), (0, 1), (1, 0), (1, 1)])
+    def test_one_bit_operands(self, circuit_env, a, b):
+        secret, evaluator = circuit_env
+        ca = encrypt_integer(secret, a, 1, rng=150 + 2 * a + b)
+        cb = encrypt_integer(secret, b, 1, rng=160 + 2 * a + b)
+        assert decrypt_integer(secret, add(evaluator, ca, cb)) == a + b
+        assert decrypt_bit(secret, equal(evaluator, ca, cb)) == int(a == b)
+        assert decrypt_bit(secret, greater_than(evaluator, ca, cb)) == int(a > b)
+        assert decrypt_integer(secret, maximum(evaluator, ca, cb)) == max(a, b)
+
+    def test_one_bit_negate_is_identity_mod_two(self, circuit_env):
+        secret, evaluator = circuit_env
+        for value in (0, 1):
+            cipher = encrypt_integer(secret, value, 1, rng=170 + value)
+            assert decrypt_integer(secret, negate(evaluator, cipher)) == value
+
+
+class TestNetlistEagerEquivalence:
+    """The eager helpers and the levelized executor agree on random integers.
+
+    Equivalence is checked at the strongest possible level: the output
+    *ciphertexts* must match bit for bit, not just their decryptions.
+    """
+
+    @settings(max_examples=5, deadline=None)
+    @given(data=st.data())
+    def test_helpers_match_levelized_executor(self, tiny_keys_naive, data):
+        secret, cloud = tiny_keys_naive
+        width = data.draw(st.integers(1, 4))
+        a = data.draw(st.integers(0, 2**width - 1))
+        b = data.draw(st.integers(0, 2**width - 1))
+        seed = data.draw(st.integers(0, 2**16))
+        rng = np.random.default_rng(seed)
+        ca = encrypt_integer(secret, a, width, rng=rng)
+        cb = encrypt_integer(secret, b, width, rng=rng)
+
+        evaluator = TFHEGateEvaluator(cloud)
+        executor = CircuitExecutor(BatchGateEvaluator(cloud, batch_size=1))
+        cases = [
+            (add, netlist.adder_netlist(width), "sum", True),
+            (subtract, netlist.subtractor_netlist(width), "diff", True),
+            (greater_than, netlist.greater_than_netlist(width), "gt", False),
+            (maximum, netlist.maximum_netlist(width), "max", True),
+        ]
+        for block, circuit, output, is_vector in cases:
+            eager = block(evaluator, ca, cb)
+            if not is_vector:
+                eager = [eager]
+            levelized = executor.run_samples(circuit, {"a": ca, "b": cb})[output]
+            assert len(eager) == len(levelized)
+            for bit_eager, bit_level in zip(eager, levelized):
+                assert np.array_equal(bit_eager.a, bit_level.a), (block, a, b)
+                assert int(bit_eager.b) == int(bit_level.b), (block, a, b)

@@ -1,0 +1,181 @@
+"""Tests for the circuit netlist IR and its word-level constructors."""
+
+import pytest
+
+from repro.arch.ops import OpType
+from repro.tfhe.netlist import (
+    BOOTSTRAPPED_OPS,
+    Circuit,
+    adder_netlist,
+    equal_netlist,
+    greater_than_netlist,
+    maximum_netlist,
+    negate_netlist,
+    select_netlist,
+    subtractor_netlist,
+)
+
+
+class TestBuilder:
+    def test_inputs_are_lsb_first_wires(self):
+        c = Circuit()
+        wires = c.inputs("a", 3)
+        assert wires == [0, 1, 2]
+        assert c.input_wires["a"] == (0, 1, 2)
+        assert [c.node(w).bit for w in wires] == [0, 1, 2]
+
+    def test_zero_width_input_rejected(self):
+        with pytest.raises(ValueError):
+            Circuit().inputs("a", 0)
+
+    def test_duplicate_input_rejected(self):
+        c = Circuit()
+        c.inputs("a", 1)
+        with pytest.raises(ValueError):
+            c.inputs("a", 2)
+
+    def test_unknown_gate_rejected(self):
+        c = Circuit()
+        a = c.inputs("a", 2)
+        with pytest.raises(ValueError):
+            c.gate("mystery", a[0], a[1])
+
+    def test_unknown_wire_rejected(self):
+        c = Circuit()
+        a = c.inputs("a", 1)
+        with pytest.raises(ValueError):
+            c.gate("and", a[0], 99)
+
+    def test_duplicate_output_rejected(self):
+        c = Circuit()
+        a = c.inputs("a", 1)
+        c.output("out", a)
+        with pytest.raises(ValueError):
+            c.output("out", a)
+
+    def test_empty_output_rejected(self):
+        c = Circuit()
+        c.inputs("a", 1)
+        with pytest.raises(ValueError):
+            c.output("out", [])
+
+    def test_mux_lowers_to_three_gates(self):
+        c = Circuit()
+        s = c.inputs("s", 1)[0]
+        t = c.inputs("t", 1)[0]
+        f = c.inputs("f", 1)[0]
+        out = c.mux(s, t, f)
+        ops = [c.node(n).op for n in range(3, len(c))]
+        assert ops == ["and", "andny", "or"]
+        assert c.node(out).op == "or"
+
+    def test_gate_and_linear_counts(self):
+        c = Circuit()
+        a = c.inputs("a", 1)[0]
+        b = c.inputs("b", 1)[0]
+        c.output("out", [c.gate("xor", c.not_(a), b)])
+        assert c.gate_count == 1
+        assert c.linear_count == 1
+
+    def test_validate_accepts_builder_output(self):
+        adder_netlist(3).validate()
+
+
+class TestDfgExport:
+    def test_ops_and_work_split_by_kind(self):
+        c = Circuit()
+        a = c.inputs("a", 1)[0]
+        b = c.inputs("b", 1)[0]
+        g = c.gate("and", a, c.not_(b))
+        c.output("out", [g])
+        dfg = c.to_dfg()
+        assert len(dfg) == len(c)
+        assert dfg.node(g).op is OpType.BOOTSTRAPPED_GATE
+        assert dfg.node(g).work == 1.0
+        linear = [n for n in dfg.nodes() if n.op is OpType.LINEAR_GATE]
+        assert all(n.work == 0.0 for n in linear)
+
+    def test_node_ids_are_preserved(self):
+        c = adder_netlist(2)
+        dfg = c.to_dfg()
+        for node in c.nodes:
+            assert dfg.node(node.node_id).tag == node.op
+
+
+class TestLiveCone:
+    def test_truncated_subtractor_drops_dead_carry_gates(self):
+        width = 4
+        sub = subtractor_netlist(width)
+        live_gates = sum(
+            1 for n in sub.live_nodes() if sub.node(n).is_bootstrapped
+        )
+        # Two ripple adders of `width` stages = 2 * 5 * width gates, but the
+        # discarded final carries make the last OR (and its private ANDs)
+        # dead in both chains.
+        assert live_gates < sub.gate_count
+
+    def test_unknown_output_rejected(self):
+        with pytest.raises(KeyError):
+            adder_netlist(2).live_nodes(["nope"])
+
+    def test_full_cone_of_adder_is_everything_reachable(self):
+        c = adder_netlist(3)
+        live = c.live_nodes()
+        assert all(n.node_id in live for n in c.nodes if n.is_bootstrapped)
+
+
+class TestConstructors:
+    @pytest.mark.parametrize("width", [1, 2, 5])
+    def test_adder_shape(self, width):
+        c = adder_netlist(width)
+        assert c.input_width("a") == width
+        assert c.input_width("b") == width
+        assert len(c.output_wires["sum"]) == width + 1
+        assert c.gate_count == 5 * width
+
+    @pytest.mark.parametrize(
+        "factory,output,bits",
+        [
+            (equal_netlist, "eq", 1),
+            (greater_than_netlist, "gt", 1),
+            (negate_netlist, "neg", 3),
+            (subtractor_netlist, "diff", 3),
+            (maximum_netlist, "max", 3),
+        ],
+    )
+    def test_word_constructors_shapes(self, factory, output, bits):
+        c = factory(3)
+        assert list(c.output_wires) == [output]
+        assert len(c.output_wires[output]) == bits
+
+    def test_select_has_one_bit_condition(self):
+        c = select_netlist(4)
+        assert c.input_width("cond") == 1
+        assert len(c.output_wires["out"]) == 4
+        assert c.gate_count == 3 * 4  # one lowered mux per bit
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            adder_netlist,
+            negate_netlist,
+            subtractor_netlist,
+            equal_netlist,
+            greater_than_netlist,
+            select_netlist,
+            maximum_netlist,
+        ],
+    )
+    def test_zero_width_rejected(self, factory):
+        with pytest.raises(ValueError):
+            factory(0)
+
+    def test_constructors_are_memoised(self):
+        assert adder_netlist(4) is adder_netlist(4)
+
+    def test_only_known_bootstrapped_ops_are_emitted(self):
+        for factory in (adder_netlist, greater_than_netlist, maximum_netlist):
+            c = factory(3)
+            for node in c.nodes:
+                if node.is_bootstrapped:
+                    assert node.op in BOOTSTRAPPED_OPS

@@ -5,6 +5,8 @@ import pytest
 from repro.core.pipeline import (
     PipelineStageTimes,
     batching_speedup,
+    circuit_level_cycles,
+    circuit_levelized_speedup,
     schedule_bootstrapping,
     steady_state_throughput,
 )
@@ -108,3 +110,76 @@ class TestBatchedThroughput:
         # With a single iteration the fill dominates and batching nearly
         # doubles the rate (fill ≈ bottleneck here).
         assert batching_speedup(self.TIMES, 1, 4096) > 1.9
+
+
+class TestCircuitLevelModel:
+    """Analytic model of the level-parallel circuit executor."""
+
+    TIMES = PipelineStageTimes(tgsw_cluster_cycles=100, ep_core_cycles=100)
+
+    def test_one_level_one_gate_is_single_bootstrap(self):
+        single = schedule_bootstrapping(10, self.TIMES).total_cycles
+        assert circuit_level_cycles([1], self.TIMES, 10) == pytest.approx(single)
+
+    def test_levels_pay_one_fill_each(self):
+        fill = self.TIMES.tgsw_cluster_cycles
+        steady = 10 * self.TIMES.bottleneck_cycles
+        # Two levels of widths 3 and 1: 4 gates pace at the steady rate but
+        # only 2 pipeline fills are paid (one per level).
+        assert circuit_level_cycles([3, 1], self.TIMES, 10) == pytest.approx(
+            2 * fill + 4 * steady
+        )
+
+    def test_empty_levels_cost_nothing(self):
+        assert circuit_level_cycles([0, 0], self.TIMES, 10) == 0.0
+        assert circuit_level_cycles([], self.TIMES, 10) == 0.0
+
+    def test_batch_width_multiplies_rows_not_fills(self):
+        one = circuit_level_cycles([2], self.TIMES, 10, batch_width=1)
+        four = circuit_level_cycles([2], self.TIMES, 10, batch_width=4)
+        steady = 10 * self.TIMES.bottleneck_cycles
+        assert four - one == pytest.approx((8 - 2) * steady)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            circuit_level_cycles([1], self.TIMES, 10, batch_width=0)
+        with pytest.raises(ValueError):
+            circuit_level_cycles([-1], self.TIMES, 10)
+
+    def test_speedup_grows_with_level_width(self):
+        narrow = circuit_levelized_speedup([1] * 8, self.TIMES, 4)
+        wide = circuit_levelized_speedup([8], self.TIMES, 4)
+        assert wide > narrow >= 1.0
+
+    def test_speedup_compounds_with_batch_width(self):
+        widths = [16, 2, 1] * 10
+        lo = circuit_levelized_speedup(widths, self.TIMES, 4, batch_width=1)
+        hi = circuit_levelized_speedup(widths, self.TIMES, 4, batch_width=16)
+        assert hi > lo
+
+    def test_empty_circuit_has_unit_speedup(self):
+        assert circuit_levelized_speedup([], self.TIMES, 10) == 1.0
+
+    def test_speedup_bounded_by_fill_over_steady_recovery(self):
+        # Speedup can never exceed the all-in-one-level bound.
+        widths = [4, 4, 4]
+        best = circuit_levelized_speedup([12], self.TIMES, 3)
+        actual = circuit_levelized_speedup(widths, self.TIMES, 3)
+        assert 1.0 <= actual <= best
+
+    def test_pipeline_count_spreads_levels(self):
+        # A width-8 level on 8 slices paces like a width-1 level on one.
+        spread = circuit_level_cycles([8], self.TIMES, 10, pipeline_count=8)
+        single = circuit_level_cycles([1], self.TIMES, 10, pipeline_count=1)
+        assert spread == pytest.approx(single)
+
+    def test_pipeline_count_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            circuit_level_cycles([1], self.TIMES, 10, pipeline_count=0)
+
+    def test_wide_levels_approach_slice_count_speedup(self):
+        # Very wide levels + negligible fill: speedup tends to pipeline_count.
+        speedup = circuit_levelized_speedup(
+            [512] * 4, self.TIMES, 100, pipeline_count=8
+        )
+        assert speedup == pytest.approx(8.0, rel=0.05)

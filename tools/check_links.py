@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo Markdown links.
+
+Scans every tracked ``*.md`` file for inline links and checks that relative
+targets exist on disk (anchors and external ``http(s)``/``mailto`` links are
+ignored).  Used by the docs/examples CI job so README and docs pages can't
+silently drift from the file layout.
+
+Run:  python tools/check_links.py [root]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+#: Inline Markdown links: [text](target) — images share the same syntax.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+SKIP_DIRS = {".git", ".pytest_cache", "__pycache__", ".hypothesis", "node_modules"}
+#: Auto-generated paper/snippet dumps reference figures that were never part
+#: of the retrieval; only hand-written docs are link-checked.
+SKIP_FILES = {"PAPER.md", "PAPERS.md", "SNIPPETS.md"}
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def iter_markdown(root: pathlib.Path):
+    for path in sorted(root.rglob("*.md")):
+        if path.name in SKIP_FILES:
+            continue
+        if not any(part in SKIP_DIRS for part in path.parts):
+            yield path
+
+
+def check_file(path: pathlib.Path, root: pathlib.Path) -> list:
+    errors = []
+    for match in LINK_RE.finditer(path.read_text(encoding="utf-8")):
+        target = match.group(1)
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        try:
+            resolved.relative_to(root.resolve())
+        except ValueError:
+            errors.append(f"{path}: link escapes the repository: {target}")
+            continue
+        if not resolved.exists():
+            errors.append(f"{path}: broken link: {target}")
+    return errors
+
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else pathlib.Path(".")
+    errors = []
+    checked = 0
+    for path in iter_markdown(root):
+        checked += 1
+        errors.extend(check_file(path, root))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {checked} markdown files: {len(errors)} broken link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Run every ``examples/*.py`` as a smoke test (the docs/examples CI job).
+
+Each example is executed in a subprocess with ``PYTHONPATH=src`` and — where
+the script accepts them — reduced arguments, so the whole sweep finishes in
+about a minute while still exercising real key generation, encryption and
+gate evaluation.  A non-zero exit code from any example fails the run.
+
+Run:  python tools/run_examples.py [--timeout 300]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import subprocess
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Reduced command-line arguments per example (keeps CI wall-clock small).
+SMOKE_ARGS = {
+    "encrypted_adder.py": ["--width", "4", "--a", "9", "--b", "5"],
+    "encrypted_comparator.py": ["--width", "4"],
+    "batched_gates.py": ["--batch", "16"],
+    "circuit_executor.py": ["--width", "6", "--batch", "8"],
+}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--timeout", type=float, default=300.0, help="per-example timeout (s)"
+    )
+    args = parser.parse_args()
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+
+    examples = sorted((ROOT / "examples").glob("*.py"))
+    if not examples:
+        print("no examples found", file=sys.stderr)
+        return 1
+
+    failures = []
+    for example in examples:
+        command = [sys.executable, str(example), *SMOKE_ARGS.get(example.name, [])]
+        print(f"==> {example.name} {' '.join(SMOKE_ARGS.get(example.name, []))}")
+        start = time.perf_counter()
+        try:
+            result = subprocess.run(
+                command, cwd=ROOT, env=env, timeout=args.timeout
+            )
+        except subprocess.TimeoutExpired:
+            print(f"    TIMEOUT after {args.timeout:.0f}s")
+            failures.append(example.name)
+            continue
+        elapsed = time.perf_counter() - start
+        if result.returncode != 0:
+            print(f"    FAILED (exit {result.returncode})")
+            failures.append(example.name)
+        else:
+            print(f"    ok ({elapsed:.1f}s)")
+
+    if failures:
+        print(f"\n{len(failures)} example(s) failed: {', '.join(failures)}")
+        return 1
+    print(f"\nall {len(examples)} examples passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
