@@ -1,0 +1,235 @@
+"""Cross-session scheduler throughput: coalesced vs per-session sequential.
+
+PR 1 made the batch axis cheap and PR 2 filled it from inside one circuit;
+the runtime scheduler fills it from *across sessions*: sixteen clients
+submitting one gate each become one mixed-gate batched bootstrapping instead
+of sixteen scalar ones.  This bench measures exactly that:
+
+* **sequential** — every session evaluates its own job immediately through
+  the shared context's scalar evaluator (one bootstrapping per job, the
+  pre-scheduler serving model);
+* **coalesced** — the same jobs are submitted to a :class:`BatchScheduler`
+  and flushed once (same-key jobs share mixed-gate batched bootstraps).
+
+Both paths share one cloud key and one spectrum cache, so the delta is purely
+the cross-session coalescing.  A second table repeats the experiment with
+whole adder-circuit jobs, whose dependency levels advance in lockstep across
+sessions.
+
+Acceptance gate: 16 coalesced single-gate sessions must reach >= 4x the
+sequential bootstraps/sec (override with RUNTIME_SPEEDUP_MIN; CI shared
+runners are timing-noisy).  Alongside ``results/runtime_scheduler.txt`` the
+bench writes machine-readable ``results/BENCH_runtime.json``.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_runtime_scheduler.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.runtime import BatchScheduler, FheContext
+from repro.tfhe.circuits import bits_to_int, encrypt_integer
+from repro.tfhe.executor import schedule_circuit
+from repro.tfhe.gates import PLAINTEXT_GATES, decrypt_bit, decrypt_bits, encrypt_bit
+from repro.tfhe.keys import generate_keys
+from repro.tfhe.netlist import adder_netlist
+from repro.tfhe.params import TEST_TINY
+from repro.tfhe.transform import DoubleFFTNegacyclicTransform
+
+SESSION_COUNTS = (2, 4, 8, 16, 32)
+GATE_SESSIONS = 16  # the acceptance-gate point
+CIRCUIT_SESSIONS = (2, 8)
+CIRCUIT_WIDTH = 8
+GATE_MIX = ("nand", "and", "or", "xor", "xnor", "nor", "andyn", "orny")
+
+
+@pytest.fixture(scope="module")
+def backend():
+    params = TEST_TINY
+    transform = DoubleFFTNegacyclicTransform(params.N)
+    secret, cloud = generate_keys(params, transform, unroll_factor=1, rng=33)
+    context = cloud.default_context()
+    _ = context.rotator  # warm the spectrum cache for both measured paths
+    return params, secret, context
+
+
+def _gate_jobs(secret, count, seed):
+    rng = np.random.default_rng(seed)
+    jobs = []
+    for i in range(count):
+        name = GATE_MIX[i % len(GATE_MIX)]
+        bit_a, bit_b = int(rng.integers(0, 2)), int(rng.integers(0, 2))
+        jobs.append(
+            (
+                name,
+                bit_a,
+                bit_b,
+                encrypt_bit(secret, bit_a, rng=1000 + 2 * i),
+                encrypt_bit(secret, bit_b, rng=1001 + 2 * i),
+            )
+        )
+    return jobs
+
+
+def test_scheduler_coalescing_speedup(backend, record_result):
+    params, secret, context = backend
+    lines = [
+        "Cross-session batch scheduler, double-FFT engine, "
+        f"{params.name} (n={params.n}, N={params.N})",
+        "",
+        "single-gate sessions (one job per session, one flush):",
+        f"{'sessions':>8} {'seq s':>9} {'coal s':>9} {'seq bs/s':>9} "
+        f"{'coal bs/s':>10} {'speedup':>8} {'calls':>6}",
+    ]
+    metrics = {
+        "params": params.name,
+        "engine": "double",
+        "gate_sessions": {},
+        "circuit_sessions": {},
+    }
+
+    measured = {}
+    for count in SESSION_COUNTS:
+        jobs = _gate_jobs(secret, count, seed=count)
+
+        # -- sequential: each session evaluates its job on its own ----------
+        evaluator = context.evaluator()
+        start = time.perf_counter()
+        seq_out = [evaluator.gate(name, ca, cb) for name, _, _, ca, cb in jobs]
+        seq_seconds = time.perf_counter() - start
+
+        # -- coalesced: same jobs through the scheduler, one flush ----------
+        scheduler = BatchScheduler()
+        scheduler.register_client("tenant", context)
+        sessions = [scheduler.session("tenant") for _ in jobs]
+        handles = [
+            session.submit_gate(name, ca, cb)
+            for session, (name, _, _, ca, cb) in zip(sessions, jobs)
+        ]
+        start = time.perf_counter()
+        scheduler.flush()
+        coal_seconds = time.perf_counter() - start
+
+        for (name, bit_a, bit_b, _, _), handle, reference in zip(
+            jobs, handles, seq_out
+        ):
+            out = handle.result()
+            assert np.array_equal(out.a, reference.a)  # bit-identical rows
+            assert decrypt_bit(secret, out) == PLAINTEXT_GATES[name](bit_a, bit_b)
+
+        speedup = seq_seconds / coal_seconds
+        measured[count] = speedup
+        metrics["gate_sessions"][str(count)] = {
+            "sequential_seconds": seq_seconds,
+            "coalesced_seconds": coal_seconds,
+            "sequential_bootstraps_per_s": count / seq_seconds,
+            "coalesced_bootstraps_per_s": count / coal_seconds,
+            "speedup": speedup,
+            "batched_calls": scheduler.stats.batched_calls,
+        }
+        lines.append(
+            f"{count:>8} {seq_seconds:>9.3f} {coal_seconds:>9.3f} "
+            f"{count / seq_seconds:>9.1f} {count / coal_seconds:>10.1f} "
+            f"{speedup:>7.1f}x {scheduler.stats.batched_calls:>6}"
+        )
+
+    # -- circuit jobs: levels advance in lockstep across sessions -----------
+    circuit = adder_netlist(CIRCUIT_WIDTH)
+    schedule = schedule_circuit(circuit)
+    lines += [
+        "",
+        f"adder-circuit sessions ({CIRCUIT_WIDTH}-bit add, "
+        f"{schedule.gate_count} gates in {schedule.depth} levels per job):",
+        f"{'sessions':>8} {'seq s':>9} {'coal s':>9} {'speedup':>8} "
+        f"{'calls':>6} {'rows/call':>10}",
+    ]
+    for count in CIRCUIT_SESSIONS:
+        rng = np.random.default_rng(100 + count)
+        mask = (1 << CIRCUIT_WIDTH) - 1
+        cases = [
+            (int(rng.integers(0, mask + 1)), int(rng.integers(0, mask + 1)))
+            for _ in range(count)
+        ]
+        inputs = [
+            (
+                encrypt_integer(secret, a, CIRCUIT_WIDTH, rng=2000 + i),
+                encrypt_integer(secret, b, CIRCUIT_WIDTH, rng=3000 + i),
+            )
+            for i, (a, b) in enumerate(cases)
+        ]
+
+        evaluator = context.evaluator()
+        start = time.perf_counter()
+        from repro.tfhe.executor import execute
+
+        seq_results = [
+            execute(circuit, evaluator, {"a": a_bits, "b": b_bits})["sum"]
+            for a_bits, b_bits in inputs
+        ]
+        seq_seconds = time.perf_counter() - start
+
+        scheduler = BatchScheduler()
+        scheduler.register_client("tenant", context)
+        handles = [
+            scheduler.session("tenant").submit_circuit(
+                circuit, {"a": a_bits, "b": b_bits}, schedule=schedule
+            )
+            for a_bits, b_bits in inputs
+        ]
+        start = time.perf_counter()
+        scheduler.flush()
+        coal_seconds = time.perf_counter() - start
+
+        for (a_val, b_val), handle, reference in zip(cases, handles, seq_results):
+            got_bits = handle.result()["sum"]
+            assert bits_to_int(decrypt_bits(secret, got_bits)) == a_val + b_val
+            for got, ref in zip(got_bits, reference):
+                assert np.array_equal(got.a, ref.a)
+
+        speedup = seq_seconds / coal_seconds
+        stats = scheduler.stats
+        metrics["circuit_sessions"][str(count)] = {
+            "sequential_seconds": seq_seconds,
+            "coalesced_seconds": coal_seconds,
+            "speedup": speedup,
+            "batched_calls": stats.batched_calls,
+            "mean_rows_per_call": stats.mean_rows_per_call,
+        }
+        lines.append(
+            f"{count:>8} {seq_seconds:>9.3f} {coal_seconds:>9.3f} "
+            f"{speedup:>7.1f}x {stats.batched_calls:>6} "
+            f"{stats.mean_rows_per_call:>10.1f}"
+        )
+
+    lines += [
+        "",
+        "seq = each session bootstraps its own jobs through the shared "
+        "context's scalar evaluator; coal = same jobs submitted to the "
+        "BatchScheduler and flushed once, same-key jobs sharing mixed-gate "
+        "batched bootstrappings (circuit jobs advance level-by-level in "
+        "lockstep).  Both paths share one spectrum-cached cloud key.",
+    ]
+    record_result("runtime_scheduler", "\n".join(lines))
+
+    results_dir = os.path.join(os.path.dirname(__file__), "..", "results")
+    json_path = os.path.join(results_dir, "BENCH_runtime.json")
+    with open(json_path, "w") as handle:
+        json.dump(metrics, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"[written to {os.path.normpath(json_path)}]")
+
+    # Acceptance criterion: >= 4x bootstraps/sec for 16 coalesced single-gate
+    # sessions vs the same jobs run sequentially per session (CI runners are
+    # timing-noisy, so the bar is env-overridable like the PR1/PR2 gates).
+    minimum = float(os.environ.get("RUNTIME_SPEEDUP_MIN", "4.0"))
+    assert measured[GATE_SESSIONS] >= minimum, (
+        f"coalescing {GATE_SESSIONS} single-gate sessions is only "
+        f"{measured[GATE_SESSIONS]:.1f}x the sequential path "
+        f"(required {minimum}x)"
+    )

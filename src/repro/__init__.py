@@ -11,7 +11,9 @@ The package is organised as:
   power/area models (the stand-in for the paper's OpenCGRA methodology);
 * :mod:`repro.platforms` — CPU / GPU / FPGA / ASIC / MATCHA platform models
   used by the evaluation;
-* :mod:`repro.analysis` — generators for every table and figure of the paper.
+* :mod:`repro.analysis` — generators for every table and figure of the paper;
+* :mod:`repro.runtime` — the serving layer: :class:`FheContext` (engine +
+  spectrum-cached cloud keys) and the cross-session :class:`BatchScheduler`.
 """
 
 from repro.tfhe import (
@@ -35,10 +37,14 @@ from repro.tfhe import (
     make_transform,
     schedule_circuit,
 )
+from repro.runtime import BatchScheduler, EvaluationSession, FheContext
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
+    "BatchScheduler",
+    "EvaluationSession",
+    "FheContext",
     "PAPER_110BIT",
     "TEST_MEDIUM",
     "TEST_SMALL",

@@ -26,7 +26,7 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro.tfhe.keys import TFHESecretKey
+from repro.tfhe.keys import RawUnrolledGroup, TFHESecretKey
 from repro.tfhe.params import TFHEParameters
 from repro.tfhe.tgsw import (
     TgswSample,
@@ -130,35 +130,74 @@ class UnrolledBootstrappingKey:
         return len(self.groups)
 
 
+def generate_unrolled_key_material(
+    secret: TFHESecretKey,
+    transform: NegacyclicTransform,
+    unroll_factor: int,
+    rng: SeedLike = None,
+) -> List[RawUnrolledGroup]:
+    """Encrypt the ``(2^m − 1)·⌈n/m⌉`` indicator products of Figure 5.
+
+    Returns the coefficient-domain TGSW samples (what a cloud key stores and
+    :mod:`repro.tfhe.serialize` writes); :func:`transform_unrolled_key` moves
+    them into the Lagrange domain for evaluation.
+    """
+    rng = make_rng(rng)
+    params = secret.params
+    key_bits = secret.lwe_key.key
+    groups: List[RawUnrolledGroup] = []
+    for indices in group_indices(params.n, unroll_factor):
+        bits = [int(key_bits[i]) for i in indices]
+        samples: List[TgswSample] = []
+        for pattern in range(1, 1 << len(indices)):
+            message = indicator_message(bits, pattern)
+            samples.append(
+                tgsw_encrypt(
+                    secret.tlwe_key,
+                    message,
+                    params.tgsw,
+                    transform,
+                    noise_stddev=params.tlwe.noise_stddev,
+                    rng=rng,
+                )
+            )
+        groups.append(RawUnrolledGroup(indices=indices, samples=samples))
+    return groups
+
+
+def transform_unrolled_key(
+    raw_groups: Sequence[RawUnrolledGroup],
+    params: TFHEParameters,
+    unroll_factor: int,
+    transform: NegacyclicTransform,
+) -> UnrolledBootstrappingKey:
+    """Forward-transform raw BKU key material into an evaluation-ready key.
+
+    Each TGSW sample goes through :func:`repro.tfhe.tgsw.tgsw_transform`
+    exactly once — this is the spectrum-cache step an
+    :class:`repro.runtime.context.FheContext` runs once per context.
+    """
+    groups = [
+        UnrolledKeyGroup(
+            indices=list(raw.indices),
+            keys=[tgsw_transform(sample, transform) for sample in raw.samples],
+        )
+        for raw in raw_groups
+    ]
+    return UnrolledBootstrappingKey(
+        params=params, unroll_factor=unroll_factor, groups=groups
+    )
+
+
 def generate_unrolled_bootstrapping_key(
     secret: TFHESecretKey,
     transform: NegacyclicTransform,
     unroll_factor: int,
     rng: SeedLike = None,
 ) -> UnrolledBootstrappingKey:
-    """Encrypt the ``(2^m − 1)·⌈n/m⌉`` indicator products of Figure 5."""
-    rng = make_rng(rng)
-    params = secret.params
-    key_bits = secret.lwe_key.key
-    groups: List[UnrolledKeyGroup] = []
-    for indices in group_indices(params.n, unroll_factor):
-        bits = [int(key_bits[i]) for i in indices]
-        keys: List[TransformedTgswSample] = []
-        for pattern in range(1, 1 << len(indices)):
-            message = indicator_message(bits, pattern)
-            sample = tgsw_encrypt(
-                secret.tlwe_key,
-                message,
-                params.tgsw,
-                transform,
-                noise_stddev=params.tlwe.noise_stddev,
-                rng=rng,
-            )
-            keys.append(tgsw_transform(sample, transform))
-        groups.append(UnrolledKeyGroup(indices=indices, keys=keys))
-    return UnrolledBootstrappingKey(
-        params=params, unroll_factor=unroll_factor, groups=groups
-    )
+    """Generate and forward-transform the unrolled key in one call."""
+    raw = generate_unrolled_key_material(secret, transform, unroll_factor, rng)
+    return transform_unrolled_key(raw, secret.params, unroll_factor, transform)
 
 
 class UnrolledBlindRotator:

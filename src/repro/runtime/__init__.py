@@ -1,0 +1,35 @@
+"""The serving runtime: evaluation contexts and cross-session batch scheduling.
+
+This layer turns the TFHE substrate into something a server can run:
+
+* :class:`repro.runtime.context.FheContext` — owns the parameter set, the
+  transform engine (resolved from the engine registry), the key-switching key
+  and the **cloud-key spectrum cache**: every bootstrapping-key row is
+  forward-transformed into the Lagrange domain exactly once per context, then
+  kept resident — the software analogue of the paper's accelerator keeping
+  the bootstrapping key next to the datapath.
+* :class:`repro.runtime.scheduler.BatchScheduler` /
+  :class:`repro.runtime.scheduler.EvaluationSession` — aggregate gate and
+  circuit jobs from many independent sessions and coalesce same-key work
+  into single mixed-gate batched bootstrappings, turning the batch axis into
+  a multi-tenant throughput mechanism.
+
+Keys and ciphertexts move between clients and a scheduler-running server via
+:mod:`repro.tfhe.serialize`.
+"""
+
+from repro.runtime.context import FheContext
+from repro.runtime.scheduler import (
+    BatchScheduler,
+    EvaluationSession,
+    JobHandle,
+    SchedulerStats,
+)
+
+__all__ = [
+    "BatchScheduler",
+    "EvaluationSession",
+    "FheContext",
+    "JobHandle",
+    "SchedulerStats",
+]

@@ -1,0 +1,185 @@
+"""The FHE evaluation context: resolved engine + spectrum-cached cloud key.
+
+A :class:`repro.tfhe.keys.TFHECloudKey` is pure data — coefficient-domain
+TGSW samples, the key-switching key and a
+:class:`repro.tfhe.transform.TransformSpec`.  An :class:`FheContext` turns
+that data into evaluation state, the way the paper's accelerator keeps the
+bootstrapping key resident next to the datapath and streams ciphertexts past
+it:
+
+* the transform engine is resolved from the engine registry (or supplied
+  explicitly, e.g. to evaluate a ``double``-generated key with the ``approx``
+  engine for error studies);
+* every bootstrapping-key row is ``forward()``-transformed into the Lagrange
+  domain **exactly once per context** and cached inside the blind rotator —
+  the *cloud-key spectrum cache*.  Gates only ever transform the small
+  decomposed accumulator polynomials;
+* evaluators, batch evaluators and circuit executors hang off the context and
+  share the cache, so scalar gates, batched gates and level-parallel circuit
+  runs all hit the same resident key spectra.
+
+The historical free functions remain thin wrappers: ``cloud.blind_rotator``
+lazily builds a *default* context (memoised on the key), so pre-runtime code
+keeps working bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.tfhe.bootstrap import BlindRotator, CmuxBlindRotator
+from repro.tfhe.gates import MU, BatchGateEvaluator, TFHEGateEvaluator
+from repro.tfhe.keys import (
+    TFHECloudKey,
+    TFHEParameters,
+    TFHESecretKey,
+    generate_cloud_key,
+    generate_secret_key,
+)
+from repro.tfhe.keyswitch import KeySwitchKey, keyswitch_apply, keyswitch_apply_batch
+from repro.tfhe.lwe import LweBatch, LweSample
+from repro.tfhe.tgsw import tgsw_transform
+from repro.tfhe.transform import NegacyclicTransform
+from repro.utils.rng import SeedLike, make_rng
+
+
+class FheContext:
+    """Owns the evaluation state derived from one cloud key.
+
+    ``engine`` defaults to the engine recorded in the key's
+    ``transform_spec`` (rebuilt through the registry); pass an instance to
+    override it.  The blind rotator — and with it the spectrum cache — is
+    built lazily on first use and then reused for the lifetime of the
+    context, so each bootstrapping-key row is forward-transformed at most
+    once per context.
+    """
+
+    def __init__(
+        self,
+        cloud_key: TFHECloudKey,
+        engine: Optional[NegacyclicTransform] = None,
+    ) -> None:
+        self.cloud_key = cloud_key
+        self.params: TFHEParameters = cloud_key.params
+        if engine is None:
+            spec = cloud_key.transform_spec
+            if spec is None:
+                raise ValueError(
+                    "cloud key records no transform spec (ad-hoc engine); "
+                    "pass an engine instance explicitly"
+                )
+            engine = spec.create(self.params.N)
+        if engine.degree != self.params.N:
+            raise ValueError(
+                f"engine degree {engine.degree} does not match the "
+                f"parameter set's ring degree {self.params.N}"
+            )
+        self.engine = engine
+        self._rotator: Optional[BlindRotator] = None
+        self._scalar_evaluator: Optional[TFHEGateEvaluator] = None
+        self._batch_evaluators: Dict[int, BatchGateEvaluator] = {}
+        #: TGSW samples held in the spectrum cache (0 until first use).
+        self.cached_tgsw_samples = 0
+
+    # -- construction helpers ----------------------------------------------
+    @classmethod
+    def generate(
+        cls,
+        params: TFHEParameters,
+        transform: Optional[NegacyclicTransform] = None,
+        unroll_factor: int = 1,
+        rng: SeedLike = None,
+    ) -> Tuple[TFHESecretKey, "FheContext"]:
+        """Generate a fresh keypair and return ``(secret key, context)``."""
+        rng = make_rng(rng)
+        secret = generate_secret_key(params, rng)
+        cloud = generate_cloud_key(secret, transform, unroll_factor, rng, eager=False)
+        return secret, cloud.default_context()
+
+    # -- owned state ---------------------------------------------------------
+    @property
+    def keyswitch_key(self) -> KeySwitchKey:
+        return self.cloud_key.keyswitch_key
+
+    @property
+    def unroll_factor(self) -> int:
+        return self.cloud_key.unroll_factor
+
+    @property
+    def rotator(self) -> BlindRotator:
+        """The blind rotator over the spectrum-cached bootstrapping key."""
+        if self._rotator is None:
+            self._rotator = self._build_rotator()
+        return self._rotator
+
+    @property
+    def spectra_cached(self) -> bool:
+        """Whether the cloud-key spectrum cache has been built yet."""
+        return self._rotator is not None
+
+    def _build_rotator(self) -> BlindRotator:
+        cloud = self.cloud_key
+        if cloud.unroll_factor == 1:
+            if cloud.bootstrapping_key is None:
+                raise ValueError("cloud key carries no bootstrapping key material")
+            transformed = [
+                tgsw_transform(sample, self.engine)
+                for sample in cloud.bootstrapping_key
+            ]
+            self.cached_tgsw_samples = len(transformed)
+            return CmuxBlindRotator(transformed, self.engine)
+        if cloud.unrolled_groups is None:
+            raise ValueError("cloud key carries no unrolled key material")
+        # Imported lazily: repro.core builds on repro.tfhe, not the reverse.
+        from repro.core.bku import UnrolledBlindRotator, transform_unrolled_key
+
+        key = transform_unrolled_key(
+            cloud.unrolled_groups, self.params, cloud.unroll_factor, self.engine
+        )
+        self.cached_tgsw_samples = key.tgsw_key_count
+        return UnrolledBlindRotator(key, self.engine)
+
+    # -- evaluation entry points ---------------------------------------------
+    def evaluator(self) -> TFHEGateEvaluator:
+        """The (memoised) scalar gate evaluator bound to this context."""
+        if self._scalar_evaluator is None:
+            self._scalar_evaluator = TFHEGateEvaluator(self)
+        return self._scalar_evaluator
+
+    def batch_evaluator(self, batch_size: int) -> BatchGateEvaluator:
+        """The (memoised, per-width) batched gate evaluator of this context."""
+        if batch_size not in self._batch_evaluators:
+            self._batch_evaluators[batch_size] = BatchGateEvaluator(self, batch_size)
+        return self._batch_evaluators[batch_size]
+
+    def executor(self, batch_size: int):
+        """A level-parallel circuit executor over ``batch_size`` words."""
+        from repro.tfhe.executor import CircuitExecutor
+
+        return CircuitExecutor(self.batch_evaluator(batch_size))
+
+    def bootstrap(self, sample: LweSample, mu: Optional[int] = None) -> LweSample:
+        """Gate-bootstrap one sample with this context's cached key state."""
+        from repro.tfhe.bootstrap import bootstrap_without_keyswitch
+
+        extracted = bootstrap_without_keyswitch(
+            sample, int(MU) if mu is None else int(mu), self.rotator, self.params
+        )
+        return keyswitch_apply(self.keyswitch_key, extracted)
+
+    def bootstrap_batch(self, batch: LweBatch, mu: Optional[int] = None) -> LweBatch:
+        """Gate-bootstrap a whole batch with this context's cached key state."""
+        from repro.tfhe.bootstrap import bootstrap_without_keyswitch_batch
+
+        extracted = bootstrap_without_keyswitch_batch(
+            batch, int(MU) if mu is None else int(mu), self.rotator, self.params
+        )
+        return keyswitch_apply_batch(self.keyswitch_key, extracted)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FheContext(params={self.params.name!r}, "
+            f"engine={type(self.engine).__name__}, "
+            f"unroll_factor={self.unroll_factor}, "
+            f"cached={self.spectra_cached})"
+        )

@@ -1,0 +1,416 @@
+"""Cross-session batch scheduling of gate and circuit jobs.
+
+PR 1 made one *caller's* batch cheap and PR 2 packed one *circuit's*
+dependency levels; this module turns the batch axis into a **multi-tenant
+throughput mechanism**, the way the paper's accelerator keeps the
+bootstrapping key resident and streams independent ciphertexts past it.  A
+:class:`BatchScheduler` accepts jobs from many independent
+:class:`EvaluationSession` objects and coalesces every job that shares a
+cloud key into single mixed-gate batched bootstrappings
+(:meth:`repro.tfhe.gates.BatchGateEvaluator.gate_rows` — the PR 2 path), so
+sixteen clients submitting one NAND each cost one blind rotation sweep
+instead of sixteen.
+
+Model
+-----
+
+* ``register_client(client_id, cloud_key)`` installs a client's key and
+  builds (lazily, once) its :class:`repro.runtime.context.FheContext` —
+  one resident spectrum cache per client key.
+* ``session(client_id)`` opens an :class:`EvaluationSession`; any number of
+  sessions may share a client id (e.g. concurrent connections of one
+  tenant).  Only jobs under the **same** client key can share a bootstrap —
+  ciphertexts of different keys are algebraically incompatible — so the
+  scheduler groups work per client.
+* ``submit_gate``/``submit_circuit`` enqueue work and return handles
+  (futures); linear operations (NOT/constant) resolve immediately, they
+  never cost a bootstrap.  Gate operands may be *handles* of earlier jobs of
+  the same session, so chains of gates schedule like circuit levels.
+* ``flush()`` drains the queue in rounds: each round gathers, per client,
+  every row every ready job wants bootstrapped next — single gates are one
+  row, a circuit job contributes its current dependency level — and issues
+  them as one ``gate_rows`` call (optionally chunked by
+  ``max_rows_per_call``).  Jobs whose operands resolved in an earlier round
+  become ready in the next, so chained work schedules level-by-level across
+  all sessions in lockstep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.runtime.context import FheContext
+from repro.tfhe.executor import LevelSchedule, _gather_inputs, schedule_circuit
+from repro.tfhe.gates import MIXED_GATE_SPECS
+from repro.tfhe.keys import TFHECloudKey
+from repro.tfhe.lwe import (
+    LweBatch,
+    LweSample,
+    gate_message,
+    lwe_encrypt_trivial,
+    lwe_negate,
+)
+from repro.tfhe.netlist import Circuit
+
+
+class JobHandle:
+    """Future for one scheduled job; resolved by :meth:`BatchScheduler.flush`.
+
+    A handle remembers which client key its job runs under, so a handle of
+    one client can never be fed as an operand to another client's job —
+    ciphertexts of different keys are algebraically incompatible and would
+    silently decrypt to garbage.
+    """
+
+    __slots__ = ("_result", "_done", "client_id")
+
+    def __init__(self, client_id: Optional[str] = None) -> None:
+        self._result = None
+        self._done = False
+        self.client_id = client_id
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def result(self):
+        """The job's output; raises if the scheduler has not flushed it yet."""
+        if not self._done:
+            raise RuntimeError(
+                "job has not been executed yet; call BatchScheduler.flush()"
+            )
+        return self._result
+
+    def _resolve(self, value) -> None:
+        self._result = value
+        self._done = True
+
+
+Operand = Union[LweSample, JobHandle]
+
+
+def _resolve_operand(operand: Operand) -> Optional[LweSample]:
+    """The ciphertext behind an operand, or ``None`` if still pending."""
+    if isinstance(operand, JobHandle):
+        return operand.result() if operand.done else None
+    return operand
+
+
+class _GateJob:
+    """One two-input bootstrapped gate; contributes a single row when ready."""
+
+    def __init__(self, name: str, ca: Operand, cb: Operand, handle: JobHandle) -> None:
+        self.name = name
+        self.ca = ca
+        self.cb = cb
+        self.handle = handle
+
+    @property
+    def done(self) -> bool:
+        return self.handle.done
+
+    def pending_rows(self) -> List[Tuple[str, LweSample, LweSample]]:
+        ca = _resolve_operand(self.ca)
+        cb = _resolve_operand(self.cb)
+        if ca is None or cb is None:
+            return []  # blocked on an earlier job; retry next round
+        return [(self.name, ca, cb)]
+
+    def deliver(self, outputs: Sequence[LweSample]) -> None:
+        self.handle._resolve(outputs[0])
+
+
+class _CircuitJob:
+    """One netlist evaluated level-by-level; each round contributes one wave."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        schedule: LevelSchedule,
+        inputs: Mapping[str, Sequence[LweSample]],
+        dimension: int,
+        handle: JobHandle,
+    ) -> None:
+        self.circuit = circuit
+        self.schedule = schedule
+        self.handle = handle
+        self.dimension = dimension
+        self.level = 0
+        live = circuit.live_nodes(schedule.output_names)
+        self.values: Dict[int, LweSample] = {}
+        for wire, value in _gather_inputs(circuit, inputs, live).items():
+            resolved = _resolve_operand(value)
+            if resolved is None:
+                raise ValueError(
+                    "circuit inputs must be resolved ciphertexts, not "
+                    "pending job handles"
+                )
+            self.values[wire] = resolved
+        self._resolve_linear(self.schedule.linear[0])
+        if self.schedule.depth == 0:
+            self._finish()
+
+    @property
+    def done(self) -> bool:
+        return self.handle.done
+
+    def _resolve_linear(self, node_ids: Sequence[int]) -> None:
+        for nid in node_ids:
+            node = self.circuit.node(nid)
+            if node.op == "input":
+                continue
+            if node.op == "const":
+                self.values[nid] = lwe_encrypt_trivial(
+                    self.dimension, gate_message(node.value)
+                )
+            elif node.op == "not":
+                self.values[nid] = lwe_negate(self.values[node.args[0]])
+            elif node.op == "copy":
+                self.values[nid] = self.values[node.args[0]].copy()
+
+    def pending_rows(self) -> List[Tuple[str, LweSample, LweSample]]:
+        if self.done:
+            return []
+        wave = self.schedule.waves[self.level]
+        return [
+            (
+                self.circuit.node(nid).op,
+                self.values[self.circuit.node(nid).args[0]],
+                self.values[self.circuit.node(nid).args[1]],
+            )
+            for nid in wave
+        ]
+
+    def deliver(self, outputs: Sequence[LweSample]) -> None:
+        wave = self.schedule.waves[self.level]
+        for nid, out in zip(wave, outputs):
+            self.values[nid] = out
+        self.level += 1
+        self._resolve_linear(self.schedule.linear[self.level])
+        if self.level == self.schedule.depth:
+            self._finish()
+
+    def _finish(self) -> None:
+        self.handle._resolve(
+            {
+                name: [self.values[w] for w in self.circuit.output_wires[name]]
+                for name in self.schedule.output_names
+            }
+        )
+
+
+@dataclass
+class SchedulerStats:
+    """Aggregate throughput counters of one :class:`BatchScheduler`."""
+
+    flushes: int = 0
+    #: Mixed-gate batched bootstrapping calls issued (``gate_rows`` calls).
+    batched_calls: int = 0
+    #: Total ciphertext rows bootstrapped across all calls.
+    rows_bootstrapped: int = 0
+    #: Widest single batched call seen so far.
+    max_rows_per_call: int = 0
+    #: Jobs (single-gate or whole-circuit) fully completed.
+    jobs_completed: int = 0
+
+    @property
+    def mean_rows_per_call(self) -> float:
+        """Average coalesced batch width — the cross-session fill factor."""
+        if not self.batched_calls:
+            return 0.0
+        return self.rows_bootstrapped / self.batched_calls
+
+    def reset(self) -> None:
+        self.flushes = 0
+        self.batched_calls = 0
+        self.rows_bootstrapped = 0
+        self.max_rows_per_call = 0
+        self.jobs_completed = 0
+
+
+class EvaluationSession:
+    """One client connection submitting work to a shared :class:`BatchScheduler`."""
+
+    def __init__(self, scheduler: "BatchScheduler", client_id: str) -> None:
+        self.scheduler = scheduler
+        self.client_id = client_id
+
+    @property
+    def context(self) -> FheContext:
+        return self.scheduler.client_context(self.client_id)
+
+    # -- linear operations (resolved immediately, no bootstrap) -------------
+    def constant(self, bit: int) -> LweSample:
+        """A trivial encryption of a public bit (no bootstrap, no queue)."""
+        return lwe_encrypt_trivial(self.context.params.n, gate_message(bit))
+
+    def not_(self, ca: Operand) -> Operand:
+        """Homomorphic NOT; immediate on a ciphertext, queued after a handle."""
+        resolved = _resolve_operand(ca)
+        if resolved is not None:
+            return lwe_negate(resolved)
+        # Pending operand: express NOT(x) as the bootstrapped NAND(x, x) so it
+        # schedules with everything else.  (Costs a bootstrap — callers that
+        # care chain the NOT after a flush instead.)
+        return self.submit_gate("nand", ca, ca)
+
+    def _check_operand(self, operand: Operand) -> Operand:
+        if isinstance(operand, JobHandle) and operand.client_id != self.client_id:
+            raise ValueError(
+                f"operand handle belongs to client {operand.client_id!r}; "
+                f"ciphertexts of different clients' keys cannot be mixed "
+                f"(this session serves {self.client_id!r})"
+            )
+        return operand
+
+    # -- queued bootstrapped work -------------------------------------------
+    def submit_gate(self, name: str, ca: Operand, cb: Operand) -> JobHandle:
+        """Queue one two-input gate; operands may be earlier jobs' handles
+        of the **same** client."""
+        if name not in MIXED_GATE_SPECS:
+            raise ValueError(f"unknown gate {name!r}")
+        handle = JobHandle(self.client_id)
+        self.scheduler._enqueue(
+            self.client_id,
+            _GateJob(name, self._check_operand(ca), self._check_operand(cb), handle),
+        )
+        return handle
+
+    def submit_circuit(
+        self,
+        circuit: Circuit,
+        inputs: Mapping[str, Sequence[Operand]],
+        outputs: Optional[Sequence[str]] = None,
+        schedule: Optional[LevelSchedule] = None,
+    ) -> JobHandle:
+        """Queue a whole netlist (single word, scalar bits per input).
+
+        The job advances one dependency level per flush round, so its levels
+        coalesce with every other same-key job in flight.  The handle
+        resolves to ``{output name: list of bit ciphertexts}``.
+        """
+        if schedule is None:
+            schedule = schedule_circuit(circuit, outputs)
+        checked = {
+            name: [self._check_operand(bit) for bit in bits]
+            for name, bits in inputs.items()
+        }
+        handle = JobHandle(self.client_id)
+        job = _CircuitJob(
+            circuit, schedule, checked, self.context.params.n, handle
+        )
+        self.scheduler._enqueue(self.client_id, job)
+        return handle
+
+
+class BatchScheduler:
+    """Coalesces same-key jobs from many sessions into batched bootstrappings."""
+
+    def __init__(self, max_rows_per_call: Optional[int] = None) -> None:
+        if max_rows_per_call is not None and max_rows_per_call <= 0:
+            raise ValueError("max_rows_per_call must be positive")
+        self.max_rows_per_call = max_rows_per_call
+        self._contexts: Dict[str, FheContext] = {}
+        self._queues: Dict[str, List[object]] = {}
+        self.stats = SchedulerStats()
+
+    # -- client management ---------------------------------------------------
+    def register_client(
+        self, client_id: str, key: Union[TFHECloudKey, FheContext]
+    ) -> FheContext:
+        """Install a client's cloud key (or prebuilt context) under an id."""
+        if client_id in self._contexts:
+            raise ValueError(f"client {client_id!r} is already registered")
+        context = key if isinstance(key, FheContext) else FheContext(key)
+        self._contexts[client_id] = context
+        self._queues[client_id] = []
+        return context
+
+    def client_context(self, client_id: str) -> FheContext:
+        try:
+            return self._contexts[client_id]
+        except KeyError:
+            raise KeyError(f"unknown client {client_id!r}; register_client first") from None
+
+    def session(self, client_id: str) -> EvaluationSession:
+        """Open a new session for a registered client."""
+        self.client_context(client_id)  # validate
+        return EvaluationSession(self, client_id)
+
+    # -- queue ----------------------------------------------------------------
+    def _enqueue(self, client_id: str, job) -> None:
+        self._queues[client_id].append(job)
+
+    @property
+    def pending_jobs(self) -> int:
+        """Jobs enqueued and not yet fully resolved."""
+        return sum(
+            sum(1 for job in queue if not job.done) for queue in self._queues.values()
+        )
+
+    # -- execution -------------------------------------------------------------
+    def flush(self) -> int:
+        """Run every pending job to completion; returns the rows bootstrapped.
+
+        Each round issues, per client, **one** mixed-gate batched
+        bootstrapping over every row every ready job wants next (chunked by
+        ``max_rows_per_call`` when set).  Rounds repeat until no job makes
+        progress, i.e. chained handles resolve level-by-level.
+        """
+        self.stats.flushes += 1
+        total_rows = 0
+        while True:
+            progressed = False
+            for client_id, queue in self._queues.items():
+                jobs = [job for job in queue if not job.done]
+                contributions: List[Tuple[object, int]] = []
+                rows: List[Tuple[str, LweSample, LweSample]] = []
+                for job in jobs:
+                    job_rows = job.pending_rows()
+                    if job_rows:
+                        contributions.append((job, len(job_rows)))
+                        rows.extend(job_rows)
+                if not rows:
+                    continue
+                outputs = self._run_rows(self._contexts[client_id], rows)
+                cursor = 0
+                for job, count in contributions:
+                    job.deliver(outputs[cursor : cursor + count])
+                    cursor += count
+                    self.stats.jobs_completed += 1 if job.done else 0
+                total_rows += len(rows)
+                progressed = True
+            # Drop resolved jobs from the queues.
+            for client_id in self._queues:
+                self._queues[client_id] = [
+                    job for job in self._queues[client_id] if not job.done
+                ]
+            if not progressed:
+                break
+        if self.pending_jobs:
+            raise RuntimeError(
+                "scheduler deadlock: pending jobs depend on handles that "
+                "no queued job produces"
+            )
+        self.stats.rows_bootstrapped += total_rows
+        return total_rows
+
+    def _run_rows(
+        self, context: FheContext, rows: List[Tuple[str, LweSample, LweSample]]
+    ) -> List[LweSample]:
+        evaluator = context.batch_evaluator(1)  # gate_rows takes any row count
+        outputs: List[LweSample] = []
+        chunk = self.max_rows_per_call or len(rows)
+        for start in range(0, len(rows), chunk):
+            part = rows[start : start + chunk]
+            names = [name for name, _, _ in part]
+            ca = LweBatch.from_samples([a for _, a, _ in part])
+            cb = LweBatch.from_samples([b for _, _, b in part])
+            result = evaluator.gate_rows(names, ca, cb)
+            self.stats.batched_calls += 1
+            self.stats.max_rows_per_call = max(
+                self.stats.max_rows_per_call, len(part)
+            )
+            outputs.extend(result.to_samples())
+        return outputs

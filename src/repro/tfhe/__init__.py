@@ -53,12 +53,28 @@ from repro.tfhe.executor import (
     execute,
     schedule_circuit,
 )
+from repro.tfhe.serialize import (
+    SerializationError,
+    load,
+    load_cloud_key,
+    load_lwe_batch,
+    load_lwe_sample,
+    load_secret_key,
+    save,
+    save_cloud_key,
+    save_lwe_batch,
+    save_lwe_sample,
+    save_secret_key,
+)
 from repro.tfhe.tlwe import TlweBatch, TlweSample
 from repro.tfhe.transform import (
     DoubleFFTNegacyclicTransform,
     NaiveNegacyclicTransform,
     NegacyclicTransform,
+    TransformSpec,
+    available_engines,
     make_transform,
+    register_engine,
 )
 
 __all__ = [
@@ -101,5 +117,19 @@ __all__ = [
     "DoubleFFTNegacyclicTransform",
     "NaiveNegacyclicTransform",
     "NegacyclicTransform",
+    "TransformSpec",
+    "available_engines",
     "make_transform",
+    "register_engine",
+    "SerializationError",
+    "load",
+    "load_cloud_key",
+    "load_lwe_batch",
+    "load_lwe_sample",
+    "load_secret_key",
+    "save",
+    "save_cloud_key",
+    "save_lwe_batch",
+    "save_lwe_sample",
+    "save_secret_key",
 ]

@@ -243,3 +243,23 @@ def gate_bootstrap_batch(
     """
     extracted = bootstrap_without_keyswitch_batch(batch, mu, rotator, params)
     return keyswitch_apply_batch(keyswitch_key, extracted)
+
+
+def context_gate_bootstrap(context, sample: LweSample, mu: int) -> LweSample:
+    """Gate bootstrapping with all state pulled from an evaluation context.
+
+    ``context`` is anything exposing ``rotator`` / ``keyswitch_key`` /
+    ``params`` (an :class:`repro.runtime.context.FheContext`; duck-typed so
+    this module stays independent of the runtime layer).  Accessing
+    ``context.rotator`` is what builds — once — the cloud-key spectrum cache.
+    """
+    return gate_bootstrap(
+        sample, mu, context.rotator, context.keyswitch_key, context.params
+    )
+
+
+def context_gate_bootstrap_batch(context, batch: LweBatch, mu: int) -> LweBatch:
+    """Batched :func:`context_gate_bootstrap` (one vectorised pass per call)."""
+    return gate_bootstrap_batch(
+        batch, mu, context.rotator, context.keyswitch_key, context.params
+    )

@@ -49,6 +49,24 @@ from repro.tfhe.lwe import LweBatch, LweSample
 from repro.utils.rng import SeedLike, make_rng
 
 
+def _as_evaluator(evaluator):
+    """Accept an evaluator or an ``FheContext`` (coerced to its scalar evaluator).
+
+    Duck-typed on the context surface (``evaluator()`` + ``rotator``) so this
+    module stays independent of :mod:`repro.runtime`; gate evaluators pass
+    through unchanged, so batched evaluators keep working too.  ``rotator``
+    is probed on the *type* — it is a lazy property and a plain ``hasattr``
+    on the instance would build the spectrum cache as a side effect.
+    """
+    if hasattr(evaluator, "gate"):
+        return evaluator
+    if hasattr(type(evaluator), "evaluator") and hasattr(type(evaluator), "rotator"):
+        return evaluator.evaluator()
+    raise TypeError(
+        f"expected a gate evaluator or an FheContext, got {type(evaluator).__name__}"
+    )
+
+
 def int_to_bits(value: int, width: int) -> List[int]:
     """Two's-complement / unsigned bits of ``value``, LSB first."""
     if width <= 0:
@@ -111,6 +129,7 @@ def full_adder(
     evaluator: TFHEGateEvaluator, a: LweSample, b: LweSample, carry: LweSample
 ) -> Tuple[LweSample, LweSample]:
     """One full-adder stage; returns ``(sum, carry_out)`` (5 bootstrapped gates)."""
+    evaluator = _as_evaluator(evaluator)
     a_xor_b = evaluator.xor(a, b)
     total = evaluator.xor(a_xor_b, carry)
     carry_out = evaluator.or_(evaluator.and_(a, b), evaluator.and_(a_xor_b, carry))
@@ -125,7 +144,7 @@ def add(
     """Ripple-carry addition; returns ``width + 1`` bits (the last is the carry)."""
     _check_widths(a, b)
     circuit = netlist.adder_netlist(len(a))
-    return execute(circuit, evaluator, {"a": a, "b": b})["sum"]
+    return execute(circuit, _as_evaluator(evaluator), {"a": a, "b": b})["sum"]
 
 
 def negate(evaluator: TFHEGateEvaluator, a: Sequence[LweSample]) -> List[LweSample]:
@@ -133,7 +152,7 @@ def negate(evaluator: TFHEGateEvaluator, a: Sequence[LweSample]) -> List[LweSamp
     if not a:
         raise ValueError("operands must have at least one bit")
     circuit = netlist.negate_netlist(len(a))
-    return execute(circuit, evaluator, {"a": a})["neg"]
+    return execute(circuit, _as_evaluator(evaluator), {"a": a})["neg"]
 
 
 def subtract(
@@ -144,7 +163,7 @@ def subtract(
     """Two's-complement subtraction ``a - b`` truncated to the operand width."""
     _check_widths(a, b)
     circuit = netlist.subtractor_netlist(len(a))
-    return execute(circuit, evaluator, {"a": a, "b": b})["diff"]
+    return execute(circuit, _as_evaluator(evaluator), {"a": a, "b": b})["diff"]
 
 
 def equal(
@@ -155,7 +174,7 @@ def equal(
     """Encrypted equality test (AND of per-bit XNORs)."""
     _check_widths(a, b)
     circuit = netlist.equal_netlist(len(a))
-    return execute(circuit, evaluator, {"a": a, "b": b})["eq"][0]
+    return execute(circuit, _as_evaluator(evaluator), {"a": a, "b": b})["eq"][0]
 
 
 def greater_than(
@@ -166,7 +185,7 @@ def greater_than(
     """Encrypted unsigned comparison ``a > b`` (bit-serial, LSB to MSB)."""
     _check_widths(a, b)
     circuit = netlist.greater_than_netlist(len(a))
-    return execute(circuit, evaluator, {"a": a, "b": b})["gt"][0]
+    return execute(circuit, _as_evaluator(evaluator), {"a": a, "b": b})["gt"][0]
 
 
 def select(
@@ -180,7 +199,7 @@ def select(
     circuit = netlist.select_netlist(len(if_true))
     return execute(
         circuit,
-        evaluator,
+        _as_evaluator(evaluator),
         {"cond": [condition], "if_true": if_true, "if_false": if_false},
     )["out"]
 
@@ -193,4 +212,4 @@ def maximum(
     """Encrypted unsigned maximum of two integers."""
     _check_widths(a, b)
     circuit = netlist.maximum_netlist(len(a))
-    return execute(circuit, evaluator, {"a": a, "b": b})["max"]
+    return execute(circuit, _as_evaluator(evaluator), {"a": a, "b": b})["max"]

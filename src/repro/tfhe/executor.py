@@ -205,6 +205,16 @@ class CircuitExecutor:
         self.evaluator = evaluator
         self.level_calls = 0
 
+    @classmethod
+    def for_context(cls, context, batch_size: int) -> "CircuitExecutor":
+        """An executor over ``batch_size`` words bound to an ``FheContext``.
+
+        The evaluator comes from the context's per-width cache, so repeated
+        executors share both the batched evaluator and the context's
+        cloud-key spectrum cache.
+        """
+        return cls(context.batch_evaluator(batch_size))
+
     @property
     def batch_size(self) -> int:
         """Words processed per run (the evaluator's batch width)."""

@@ -18,7 +18,7 @@ from typing import Callable, Dict, Tuple
 
 import numpy as np
 
-from repro.tfhe.bootstrap import gate_bootstrap, gate_bootstrap_batch
+from repro.tfhe.bootstrap import context_gate_bootstrap, context_gate_bootstrap_batch
 from repro.tfhe.keys import TFHECloudKey, TFHESecretKey
 from repro.tfhe.lwe import (
     LweBatch,
@@ -73,6 +73,27 @@ MIXED_GATE_SPECS: Dict[str, Tuple[int, int, int]] = {
 }
 
 
+def _resolve_context(key):
+    """Coerce a :class:`TFHECloudKey` or an ``FheContext`` to a context.
+
+    Duck-typed (``rotator``/``keyswitch_key``/``params``) so this module does
+    not import :mod:`repro.runtime` — the runtime layer builds on the gates,
+    not the reverse.  The property-backed attributes are probed on the *type*
+    so the check never triggers a lazy spectrum-cache build.
+    """
+    if isinstance(key, TFHECloudKey):
+        return key.default_context()
+    if (
+        hasattr(type(key), "rotator")
+        and hasattr(type(key), "keyswitch_key")
+        and hasattr(key, "params")
+    ):
+        return key
+    raise TypeError(
+        f"expected a TFHECloudKey or an FheContext, got {type(key).__name__}"
+    )
+
+
 @dataclass
 class GateCounters:
     """Counts of evaluated gates and bootstrappings (for throughput reporting)."""
@@ -96,20 +117,15 @@ class TFHEGateEvaluator:
         c = evaluator.nand(encrypt_bit(secret, 1), encrypt_bit(secret, 0))
     """
 
-    def __init__(self, cloud_key: TFHECloudKey) -> None:
-        self.cloud_key = cloud_key
+    def __init__(self, cloud_key) -> None:
+        self.context = _resolve_context(cloud_key)
+        self.cloud_key = self.context.cloud_key
         self.counters = GateCounters()
 
     # -- internal helpers --------------------------------------------------
     def _bootstrap(self, sample: LweSample) -> LweSample:
         self.counters.bootstraps += 1
-        return gate_bootstrap(
-            sample,
-            int(MU),
-            self.cloud_key.blind_rotator,
-            self.cloud_key.keyswitch_key,
-            self.cloud_key.params,
-        )
+        return context_gate_bootstrap(self.context, sample, int(MU))
 
     def _binary_gate(
         self, offset_eighths: int, ca: LweSample, cb: LweSample, sign_a: int, sign_b: int
@@ -127,7 +143,7 @@ class TFHEGateEvaluator:
     def constant(self, bit: int) -> LweSample:
         """A trivial (noiseless) encryption of a public constant bit."""
         self.counters.gates += 1
-        return lwe_encrypt_trivial(self.cloud_key.params.n, gate_message(bit))
+        return lwe_encrypt_trivial(self.context.params.n, gate_message(bit))
 
     def not_(self, ca: LweSample) -> LweSample:
         """Homomorphic NOT: plain negation, no bootstrapping (Section 5)."""
@@ -248,10 +264,11 @@ class BatchGateEvaluator:
         sums = circuits.add(evaluator, a_bit_planes, b_bit_planes)
     """
 
-    def __init__(self, cloud_key: TFHECloudKey, batch_size: int) -> None:
+    def __init__(self, cloud_key, batch_size: int) -> None:
         if batch_size <= 0:
             raise ValueError("batch size must be positive")
-        self.cloud_key = cloud_key
+        self.context = _resolve_context(cloud_key)
+        self.cloud_key = self.context.cloud_key
         self.batch_size = int(batch_size)
         self.counters = GateCounters()
 
@@ -266,13 +283,7 @@ class BatchGateEvaluator:
 
     def _bootstrap(self, batch: LweBatch) -> LweBatch:
         self.counters.bootstraps += batch.batch_size
-        return gate_bootstrap_batch(
-            batch,
-            int(MU),
-            self.cloud_key.blind_rotator,
-            self.cloud_key.keyswitch_key,
-            self.cloud_key.params,
-        )
+        return context_gate_bootstrap_batch(self.context, batch, int(MU))
 
     def _binary_gate(
         self, offset_eighths: int, ca: LweBatch, cb: LweBatch, sign_a: int, sign_b: int
@@ -292,7 +303,7 @@ class BatchGateEvaluator:
         """A batch of trivial (noiseless) encryptions of a public constant bit."""
         self.counters.gates += self.batch_size
         return lwe_batch_trivial(
-            self.batch_size, self.cloud_key.params.n, gate_message(bit)
+            self.batch_size, self.context.params.n, gate_message(bit)
         )
 
     def constants(self, bits) -> LweBatch:
@@ -303,7 +314,7 @@ class BatchGateEvaluator:
         self.counters.gates += self.batch_size
         mu = np.int64(MU)
         messages = np.where(bits != 0, mu, -mu).astype(np.int32)
-        return lwe_batch_trivial(self.batch_size, self.cloud_key.params.n, messages)
+        return lwe_batch_trivial(self.batch_size, self.context.params.n, messages)
 
     def not_(self, ca: LweBatch) -> LweBatch:
         """Homomorphic NOT: plain negation, no bootstrapping."""

@@ -2,25 +2,36 @@
 
 The client generates a :class:`TFHESecretKey` and derives from it a
 :class:`TFHECloudKey` (bootstrapping key + key-switching key) which is shipped
-to the server.  The cloud key also fixes the *evaluation backend*: the
-polynomial-multiplication engine (double-precision FFT, approximate integer
-FFT, or exact) and the blind-rotation strategy (classical CMux or unrolled
-BKU with a chosen ``m``).
+to the server.  Since the runtime refactor the cloud key is *pure data*: it
+holds the coefficient-domain TGSW samples of the bootstrapping key, the
+key-switching key and a :class:`repro.tfhe.transform.TransformSpec` naming the
+engine it was generated for — everything a server needs to rebuild the
+evaluation state, and everything :mod:`repro.tfhe.serialize` writes to disk.
+
+The *evaluation* state — the resolved transform engine and the blind rotator
+whose TGSW rows are forward-transformed into the Lagrange domain — lives in a
+:class:`repro.runtime.context.FheContext`.  The context transforms each
+cloud-key row exactly once and caches the spectra, so gates never re-transform
+key material.  The historical surface is preserved: ``cloud.blind_rotator``
+and ``cloud.transform`` lazily build (and memoise) a default context, so code
+written against the pre-runtime API keeps working bit-for-bit.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional
 
-from repro.tfhe.bootstrap import BlindRotator, CmuxBlindRotator
 from repro.tfhe.keyswitch import KeySwitchKey, keyswitch_key_generate
 from repro.tfhe.lwe import LweKey, lwe_key_generate
 from repro.tfhe.params import TFHEParameters
-from repro.tfhe.tgsw import TransformedTgswSample, tgsw_encrypt, tgsw_transform
+from repro.tfhe.tgsw import TgswSample, TransformedTgswSample, tgsw_encrypt, tgsw_transform
 from repro.tfhe.tlwe import TlweKey, tlwe_extract_lwe_key, tlwe_key_generate
-from repro.tfhe.transform import NegacyclicTransform, make_transform
+from repro.tfhe.transform import NegacyclicTransform, TransformSpec, make_transform
 from repro.utils.rng import SeedLike, make_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runtime builds on keys)
+    from repro.runtime.context import FheContext
 
 
 @dataclass
@@ -34,19 +45,83 @@ class TFHESecretKey:
 
 
 @dataclass
-class TFHECloudKey:
-    """The server-side (public) evaluation key material.
+class RawUnrolledGroup:
+    """Coefficient-domain BKU key material of one group of secret-key bits.
 
-    ``blind_rotator`` encapsulates the bootstrapping key together with the
-    blind-rotation strategy; ``unroll_factor`` records the BKU factor ``m``
-    it was built for (1 = classical).
+    ``samples[pattern - 1]`` is the TGSW encryption of the indicator product
+    of ``pattern`` (patterns are ``1 .. 2^size − 1``), still in the
+    coefficient domain — the serializable counterpart of
+    :class:`repro.core.bku.UnrolledKeyGroup`.
+    """
+
+    indices: List[int]
+    samples: List[TgswSample]
+
+    @property
+    def size(self) -> int:
+        return len(self.indices)
+
+    @property
+    def pattern_count(self) -> int:
+        return (1 << self.size) - 1
+
+
+@dataclass
+class TFHECloudKey:
+    """The server-side (public) evaluation key material — pure data.
+
+    Exactly one of ``bootstrapping_key`` (classical, ``unroll_factor == 1``)
+    and ``unrolled_groups`` (BKU, ``unroll_factor >= 2``) is populated.
+    ``transform_spec`` records the engine the key was generated for (``None``
+    for ad-hoc engines, e.g. test proxies — such keys still evaluate through
+    the attached engine instance but cannot be serialized).
+
+    ``blind_rotator`` / ``transform`` are back-compat accessors that lazily
+    build a default :class:`repro.runtime.context.FheContext` around this key;
+    the context pre-transforms every bootstrapping-key row into the Lagrange
+    domain exactly once (the spectrum cache) and memoises the rotator.
     """
 
     params: TFHEParameters
-    blind_rotator: BlindRotator
     keyswitch_key: KeySwitchKey
-    transform: NegacyclicTransform
     unroll_factor: int
+    transform_spec: Optional[TransformSpec]
+    bootstrapping_key: Optional[List[TgswSample]] = None
+    unrolled_groups: Optional[List[RawUnrolledGroup]] = None
+    #: Engine instance the key was generated with (kept so the default
+    #: context reuses it — same counters, bit-identical behaviour); rebuilt
+    #: from ``transform_spec`` after deserialization.
+    _engine: Optional[NegacyclicTransform] = field(
+        default=None, repr=False, compare=False
+    )
+    _context: Optional["FheContext"] = field(default=None, repr=False, compare=False)
+
+    def default_context(self) -> "FheContext":
+        """The memoised default evaluation context of this key."""
+        if self._context is None:
+            from repro.runtime.context import FheContext
+
+            self._context = FheContext(self, engine=self._engine)
+        return self._context
+
+    @property
+    def blind_rotator(self):
+        """The default context's blind rotator (spectrum-cached key rows)."""
+        return self.default_context().rotator
+
+    @property
+    def transform(self) -> NegacyclicTransform:
+        """The default context's transform engine."""
+        return self.default_context().engine
+
+    @property
+    def tgsw_sample_count(self) -> int:
+        """Number of TGSW ciphertexts in the bootstrapping key material."""
+        if self.bootstrapping_key is not None:
+            return len(self.bootstrapping_key)
+        if self.unrolled_groups is not None:
+            return sum(group.pattern_count for group in self.unrolled_groups)
+        return 0
 
 
 def generate_secret_key(
@@ -62,18 +137,17 @@ def generate_secret_key(
     )
 
 
-def generate_standard_bootstrapping_key(
+def generate_bootstrapping_key_material(
     secret: TFHESecretKey,
     transform: NegacyclicTransform,
     rng: SeedLike = None,
-) -> List[TransformedTgswSample]:
-    """The classical bootstrapping key: one TGSW encryption of each LWE key bit."""
+) -> List[TgswSample]:
+    """The classical bootstrapping key, coefficient domain: one TGSW per key bit."""
     rng = make_rng(rng)
     params = secret.params
     key_bits = secret.lwe_key.key
-    bootstrapping_key = []
-    for i in range(params.n):
-        sample = tgsw_encrypt(
+    return [
+        tgsw_encrypt(
             secret.tlwe_key,
             int(key_bits[i]),
             params.tgsw,
@@ -81,8 +155,20 @@ def generate_standard_bootstrapping_key(
             noise_stddev=params.tlwe.noise_stddev,
             rng=rng,
         )
-        bootstrapping_key.append(tgsw_transform(sample, transform))
-    return bootstrapping_key
+        for i in range(params.n)
+    ]
+
+
+def generate_standard_bootstrapping_key(
+    secret: TFHESecretKey,
+    transform: NegacyclicTransform,
+    rng: SeedLike = None,
+) -> List[TransformedTgswSample]:
+    """The classical bootstrapping key, pre-transformed (historical surface)."""
+    return [
+        tgsw_transform(sample, transform)
+        for sample in generate_bootstrapping_key_material(secret, transform, rng)
+    ]
 
 
 def generate_cloud_key(
@@ -90,13 +176,18 @@ def generate_cloud_key(
     transform: Optional[NegacyclicTransform] = None,
     unroll_factor: int = 1,
     rng: SeedLike = None,
+    eager: bool = True,
 ) -> TFHECloudKey:
     """Derive the server-side evaluation key from a secret key.
 
-    ``unroll_factor`` selects the blind-rotation strategy: ``1`` builds the
-    classical CMux rotator, ``m >= 2`` builds the BKU rotator of
-    :mod:`repro.core.bku` with ``2^m − 1`` TGSW keys per group of ``m`` LWE
-    key bits.
+    ``unroll_factor`` selects the blind-rotation strategy: ``1`` generates the
+    classical per-bit key, ``m >= 2`` the BKU key material of
+    :mod:`repro.core.bku` with ``2^m − 1`` TGSW samples per group of ``m``
+    LWE key bits.  With ``eager=True`` (the default) the key's default
+    evaluation context is built immediately — the bootstrapping-key spectra
+    are transformed here, at key-generation time, exactly as the historical
+    code did; pass ``eager=False`` to defer the spectrum cache to first use
+    (what :func:`repro.tfhe.serialize.load_cloud_key` does).
     """
     rng = make_rng(rng)
     params = secret.params
@@ -106,27 +197,32 @@ def generate_cloud_key(
         raise ValueError("unroll factor must be >= 1")
 
     if unroll_factor == 1:
-        bootstrapping_key = generate_standard_bootstrapping_key(secret, transform, rng)
-        rotator: BlindRotator = CmuxBlindRotator(bootstrapping_key, transform)
+        bootstrapping_key = generate_bootstrapping_key_material(secret, transform, rng)
+        unrolled_groups = None
     else:
         # Imported lazily: repro.core builds on repro.tfhe, not the reverse.
-        from repro.core.bku import UnrolledBlindRotator, generate_unrolled_bootstrapping_key
+        from repro.core.bku import generate_unrolled_key_material
 
-        unrolled_key = generate_unrolled_bootstrapping_key(
+        unrolled_groups = generate_unrolled_key_material(
             secret, transform, unroll_factor, rng
         )
-        rotator = UnrolledBlindRotator(unrolled_key, transform)
+        bootstrapping_key = None
 
     keyswitch_key = keyswitch_key_generate(
         secret.extracted_key, secret.lwe_key, params.keyswitch, rng
     )
-    return TFHECloudKey(
+    cloud = TFHECloudKey(
         params=params,
-        blind_rotator=rotator,
         keyswitch_key=keyswitch_key,
-        transform=transform,
         unroll_factor=unroll_factor,
+        transform_spec=transform.spec(),
+        bootstrapping_key=bootstrapping_key,
+        unrolled_groups=unrolled_groups,
+        _engine=transform,
     )
+    if eager:
+        cloud.default_context().rotator  # build the spectrum cache now
+    return cloud
 
 
 def generate_keys(
@@ -134,9 +230,14 @@ def generate_keys(
     transform: Optional[NegacyclicTransform] = None,
     unroll_factor: int = 1,
     rng: SeedLike = None,
+    eager: bool = True,
 ) -> tuple[TFHESecretKey, TFHECloudKey]:
-    """Generate a matching (secret key, cloud key) pair in one call."""
+    """Generate a matching (secret key, cloud key) pair in one call.
+
+    ``eager=False`` skips building the spectrum cache — right for callers
+    that only serialize the key (the loading context rebuilds the cache).
+    """
     rng = make_rng(rng)
     secret = generate_secret_key(params, rng)
-    cloud = generate_cloud_key(secret, transform, unroll_factor, rng)
+    cloud = generate_cloud_key(secret, transform, unroll_factor, rng, eager=eager)
     return secret, cloud

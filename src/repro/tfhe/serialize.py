@@ -1,0 +1,381 @@
+"""Versioned on-disk serialization of keys and ciphertexts (npz format).
+
+This is the client/server story of the runtime layer: a client generates a
+keypair with :mod:`repro.tfhe.keys` (or ``tools/keygen.py``), ships the cloud
+key to a server, and exchanges ciphertexts as files or byte streams.  Every
+artifact is written as a NumPy ``.npz`` archive whose ``__meta__`` entry is a
+JSON header::
+
+    {"format": "repro-tfhe", "version": 1, "artifact": "cloud_key", ...}
+
+Loaders reject unknown formats and mismatched versions with
+:class:`SerializationError` before touching any array, so format evolution is
+explicit.  Cloud keys serialize their *coefficient-domain* TGSW material plus
+the :class:`repro.tfhe.transform.TransformSpec` of the engine they were
+generated for; the Lagrange-domain spectrum cache is deliberately **not**
+serialized — it is rebuilt (once) by the
+:class:`repro.runtime.context.FheContext` that loads the key, which also
+allows evaluating a loaded key under a different engine.
+
+Four artifact kinds are supported: ``secret_key``, ``cloud_key``,
+``lwe_sample`` and ``lwe_batch``.  :func:`save` / :func:`load` dispatch on
+the object / header; the per-artifact functions are also public.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pathlib
+from dataclasses import asdict
+from typing import Any, BinaryIO, Dict, List, Union
+
+import numpy as np
+
+from repro.tfhe.keys import (
+    RawUnrolledGroup,
+    TFHECloudKey,
+    TFHESecretKey,
+)
+from repro.tfhe.keyswitch import KeySwitchKey
+from repro.tfhe.lwe import LweBatch, LweKey, LweSample
+from repro.tfhe.params import (
+    KeySwitchParams,
+    LweParams,
+    TFHEParameters,
+    TgswParams,
+    TlweParams,
+)
+from repro.tfhe.tgsw import TgswSample
+from repro.tfhe.tlwe import TlweKey, tlwe_extract_lwe_key
+from repro.tfhe.transform import TransformSpec
+
+#: Magic string identifying the archive family.
+FORMAT = "repro-tfhe"
+#: Current on-disk format version; loaders reject any other version.
+FORMAT_VERSION = 1
+
+PathLike = Union[str, pathlib.Path, BinaryIO]
+
+
+class SerializationError(ValueError):
+    """Raised for malformed archives, version mismatches or unserializable keys."""
+
+
+# --------------------------------------------------------------------------- #
+# parameter (de)serialization                                                 #
+# --------------------------------------------------------------------------- #
+
+
+def _params_to_dict(params: TFHEParameters) -> Dict[str, Any]:
+    return asdict(params)
+
+
+def _params_from_dict(payload: Dict[str, Any]) -> TFHEParameters:
+    return TFHEParameters(
+        name=payload["name"],
+        security_bits=int(payload["security_bits"]),
+        lwe=LweParams(**payload["lwe"]),
+        tlwe=TlweParams(**payload["tlwe"]),
+        tgsw=TgswParams(**payload["tgsw"]),
+        keyswitch=KeySwitchParams(**payload["keyswitch"]),
+        message_space=int(payload.get("message_space", 8)),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# archive plumbing                                                            #
+# --------------------------------------------------------------------------- #
+
+
+def _write_archive(path: PathLike, meta: Dict[str, Any], arrays: Dict[str, np.ndarray]) -> None:
+    header = {"format": FORMAT, "version": FORMAT_VERSION, **meta}
+    payload = {"__meta__": np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8)}
+    payload.update(arrays)
+    if isinstance(path, (str, pathlib.Path)):
+        # Write exactly the requested name (np.savez appends ".npz" to bare
+        # string paths, which would break a later load by the same name).
+        with open(path, "wb") as handle:
+            np.savez(handle, **payload)
+    else:
+        np.savez(path, **payload)
+
+
+def _read_archive(path: PathLike, expected_artifact: str | None = None):
+    """Read and validate an archive, returning ``(meta, arrays)``.
+
+    Every array is materialized and the underlying NpzFile is closed before
+    returning, so no file handle outlives the call.
+    """
+    try:
+        archive = np.load(path, allow_pickle=False)
+    except Exception as exc:  # zipfile/ValueError: not an npz at all
+        raise SerializationError(f"not a readable npz archive: {exc}") from exc
+    try:
+        if "__meta__" not in archive.files:
+            raise SerializationError("archive has no __meta__ header")
+        try:
+            meta = json.loads(bytes(archive["__meta__"].tobytes()).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SerializationError(f"malformed __meta__ header: {exc}") from exc
+        if meta.get("format") != FORMAT:
+            raise SerializationError(
+                f"unknown archive format {meta.get('format')!r} (expected {FORMAT!r})"
+            )
+        if meta.get("version") != FORMAT_VERSION:
+            raise SerializationError(
+                f"unsupported format version {meta.get('version')!r} "
+                f"(this build reads version {FORMAT_VERSION})"
+            )
+        if expected_artifact is not None and meta.get("artifact") != expected_artifact:
+            raise SerializationError(
+                f"archive holds a {meta.get('artifact')!r}, "
+                f"expected {expected_artifact!r}"
+            )
+        arrays = {name: archive[name] for name in archive.files if name != "__meta__"}
+    finally:
+        archive.close()
+    return meta, arrays
+
+
+def _require(arrays: Dict[str, np.ndarray], name: str) -> np.ndarray:
+    try:
+        return arrays[name]
+    except KeyError:
+        raise SerializationError(f"archive is missing the {name!r} entry") from None
+
+
+# --------------------------------------------------------------------------- #
+# secret keys                                                                 #
+# --------------------------------------------------------------------------- #
+
+
+def save_secret_key(path: PathLike, secret: TFHESecretKey) -> None:
+    """Write a client secret key (LWE + ring key bits; extracted key is derived)."""
+    _write_archive(
+        path,
+        {"artifact": "secret_key", "params": _params_to_dict(secret.params)},
+        {
+            "lwe_key": secret.lwe_key.key.astype(np.int32),
+            "tlwe_key": secret.tlwe_key.key.astype(np.int32),
+        },
+    )
+
+
+def _secret_key_from_archive(meta, arrays) -> TFHESecretKey:
+    params = _params_from_dict(meta["params"])
+    lwe_key = LweKey(params=params.lwe, key=_require(arrays, "lwe_key").astype(np.int32))
+    tlwe_key = TlweKey(
+        params=params.tlwe, key=_require(arrays, "tlwe_key").astype(np.int32)
+    )
+    return TFHESecretKey(
+        params=params,
+        lwe_key=lwe_key,
+        tlwe_key=tlwe_key,
+        extracted_key=tlwe_extract_lwe_key(tlwe_key),
+    )
+
+
+def load_secret_key(path: PathLike) -> TFHESecretKey:
+    """Read a secret key; the extracted ring-LWE key is re-derived on load."""
+    return _secret_key_from_archive(*_read_archive(path, "secret_key"))
+
+
+# --------------------------------------------------------------------------- #
+# cloud keys                                                                  #
+# --------------------------------------------------------------------------- #
+
+
+def save_cloud_key(path: PathLike, cloud: TFHECloudKey) -> None:
+    """Write a cloud key: coefficient-domain TGSW material + transform spec.
+
+    Keys generated with an unregistered ad-hoc engine (``transform_spec`` is
+    ``None``) cannot be rebuilt elsewhere and are rejected.
+    """
+    if cloud.transform_spec is None:
+        raise SerializationError(
+            "cloud key was generated with an unregistered engine and cannot "
+            "be serialized; regenerate it with a registry engine "
+            "(see repro.tfhe.transform.available_engines)"
+        )
+    meta: Dict[str, Any] = {
+        "artifact": "cloud_key",
+        "params": _params_to_dict(cloud.params),
+        "unroll_factor": cloud.unroll_factor,
+        "transform": cloud.transform_spec.to_json(),
+    }
+    arrays: Dict[str, np.ndarray] = {
+        "keyswitch": cloud.keyswitch_key.data.astype(np.int32)
+    }
+    if cloud.unroll_factor == 1:
+        if cloud.bootstrapping_key is None:
+            raise SerializationError("cloud key carries no bootstrapping key material")
+        arrays["bootstrapping_key"] = np.stack(
+            [sample.data for sample in cloud.bootstrapping_key]
+        ).astype(np.int32)
+    else:
+        if cloud.unrolled_groups is None:
+            raise SerializationError("cloud key carries no unrolled key material")
+        # Group boundaries are deterministic (group_indices(n, m)), so the
+        # flat sample stack plus the unroll factor fully describe the key.
+        flat: List[np.ndarray] = []
+        for group in cloud.unrolled_groups:
+            flat.extend(sample.data for sample in group.samples)
+        arrays["unrolled_key"] = np.stack(flat).astype(np.int32)
+    _write_archive(path, meta, arrays)
+
+
+def _cloud_key_from_archive(meta, arrays) -> TFHECloudKey:
+    params = _params_from_dict(meta["params"])
+    unroll_factor = int(meta["unroll_factor"])
+    spec = TransformSpec.from_json(meta["transform"])
+    ks_data = _require(arrays, "keyswitch").astype(np.int32)
+    keyswitch_key = KeySwitchKey(
+        params=params.keyswitch,
+        data=ks_data,
+        input_dimension=int(ks_data.shape[0]),
+        output_dimension=int(ks_data.shape[-1]) - 1,
+    )
+    bootstrapping_key = None
+    unrolled_groups = None
+    if unroll_factor == 1:
+        stacked = _require(arrays, "bootstrapping_key").astype(np.int32)
+        if stacked.shape[0] != params.n:
+            raise SerializationError(
+                f"bootstrapping key holds {stacked.shape[0]} TGSW samples, "
+                f"expected {params.n} for n={params.n}"
+            )
+        bootstrapping_key = [
+            TgswSample(data=row, params=params.tgsw) for row in stacked
+        ]
+    else:
+        from repro.core.bku import group_indices
+
+        flat = _require(arrays, "unrolled_key").astype(np.int32)
+        groups = group_indices(params.n, unroll_factor)
+        expected = sum((1 << len(indices)) - 1 for indices in groups)
+        if flat.shape[0] != expected:
+            raise SerializationError(
+                f"unrolled key holds {flat.shape[0]} TGSW samples, "
+                f"expected {expected} for n={params.n}, m={unroll_factor}"
+            )
+        unrolled_groups = []
+        cursor = 0
+        for indices in groups:
+            count = (1 << len(indices)) - 1
+            samples = [
+                TgswSample(data=flat[cursor + j], params=params.tgsw)
+                for j in range(count)
+            ]
+            cursor += count
+            unrolled_groups.append(
+                RawUnrolledGroup(indices=list(indices), samples=samples)
+            )
+    return TFHECloudKey(
+        params=params,
+        keyswitch_key=keyswitch_key,
+        unroll_factor=unroll_factor,
+        transform_spec=spec,
+        bootstrapping_key=bootstrapping_key,
+        unrolled_groups=unrolled_groups,
+    )
+
+
+def load_cloud_key(path: PathLike) -> TFHECloudKey:
+    """Read a cloud key.  The spectrum cache is rebuilt lazily on first use."""
+    return _cloud_key_from_archive(*_read_archive(path, "cloud_key"))
+
+
+# --------------------------------------------------------------------------- #
+# ciphertexts                                                                 #
+# --------------------------------------------------------------------------- #
+
+
+def save_lwe_sample(path: PathLike, sample: LweSample) -> None:
+    """Write a single LWE ciphertext."""
+    _write_archive(
+        path,
+        {"artifact": "lwe_sample"},
+        {"a": sample.a.astype(np.int32), "b": np.asarray(sample.b, dtype=np.int32)},
+    )
+
+
+def _lwe_sample_from_archive(_meta, arrays) -> LweSample:
+    return LweSample(
+        a=_require(arrays, "a").astype(np.int32), b=np.int32(_require(arrays, "b"))
+    )
+
+
+def load_lwe_sample(path: PathLike) -> LweSample:
+    """Read a single LWE ciphertext."""
+    return _lwe_sample_from_archive(*_read_archive(path, "lwe_sample"))
+
+
+def save_lwe_batch(path: PathLike, batch: LweBatch) -> None:
+    """Write a batch of LWE ciphertexts."""
+    _write_archive(
+        path,
+        {"artifact": "lwe_batch"},
+        {"a": batch.a.astype(np.int32), "b": batch.b.astype(np.int32)},
+    )
+
+
+def _lwe_batch_from_archive(_meta, arrays) -> LweBatch:
+    return LweBatch(
+        a=_require(arrays, "a").astype(np.int32),
+        b=_require(arrays, "b").astype(np.int32),
+    )
+
+
+def load_lwe_batch(path: PathLike) -> LweBatch:
+    """Read a batch of LWE ciphertexts."""
+    return _lwe_batch_from_archive(*_read_archive(path, "lwe_batch"))
+
+
+# --------------------------------------------------------------------------- #
+# dispatching save/load                                                       #
+# --------------------------------------------------------------------------- #
+
+_SAVERS = (
+    (TFHESecretKey, save_secret_key),
+    (TFHECloudKey, save_cloud_key),
+    (LweBatch, save_lwe_batch),
+    (LweSample, save_lwe_sample),
+)
+
+_LOADERS = {
+    "secret_key": _secret_key_from_archive,
+    "cloud_key": _cloud_key_from_archive,
+    "lwe_sample": _lwe_sample_from_archive,
+    "lwe_batch": _lwe_batch_from_archive,
+}
+
+
+def save(path: PathLike, obj) -> None:
+    """Write any supported artifact, dispatching on its type."""
+    for cls, saver in _SAVERS:
+        if isinstance(obj, cls):
+            saver(path, obj)
+            return
+    raise SerializationError(f"cannot serialize objects of type {type(obj).__name__}")
+
+
+def load(path: PathLike):
+    """Read any supported artifact, dispatching on the archive header."""
+    meta, arrays = _read_archive(path)
+    artifact = meta.get("artifact")
+    if artifact not in _LOADERS:
+        raise SerializationError(f"unknown artifact kind {artifact!r}")
+    return _LOADERS[artifact](meta, arrays)
+
+
+def to_bytes(obj) -> bytes:
+    """Serialize any supported artifact to an in-memory byte string."""
+    buffer = io.BytesIO()
+    save(buffer, obj)
+    return buffer.getvalue()
+
+
+def from_bytes(data: bytes):
+    """Deserialize an artifact previously produced by :func:`to_bytes`."""
+    return load(io.BytesIO(data))

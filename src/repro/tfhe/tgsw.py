@@ -203,14 +203,23 @@ def tgsw_identity(
 def tgsw_transform(
     sample: TgswSample, transform: NegacyclicTransform
 ) -> TransformedTgswSample:
-    """Move every polynomial of a TGSW sample into the Lagrange domain."""
-    spectra: List[List[Spectrum]] = []
-    for row in range(sample.rows):
-        row_spectra = [
-            transform.forward(sample.data[row, col])
+    """Move every polynomial of a TGSW sample into the Lagrange domain.
+
+    The whole ``(rows, k+1, N)`` stack goes through **one** vectorised
+    ``forward`` call (one engine invocation per TGSW sample instead of one
+    per polynomial), then the stacked spectrum is sliced back into the
+    per-row/per-column layout the external product consumes.  Per-polynomial
+    results are bit-identical to transforming each polynomial on its own
+    (the engines' documented batch semantics).
+    """
+    stacked = transform.forward(sample.data)
+    spectra: List[List[Spectrum]] = [
+        [
+            transform.spectrum_index(stacked, (row, col))
             for col in range(sample.mask_count + 1)
         ]
-        spectra.append(row_spectra)
+        for row in range(sample.rows)
+    ]
     return TransformedTgswSample(
         spectra=spectra,
         params=sample.params,

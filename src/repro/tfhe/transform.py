@@ -41,7 +41,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any, Callable, ClassVar, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -70,6 +70,40 @@ class TransformStats:
         return TransformStats(self.forward_calls, self.backward_calls, self.pointwise_ops)
 
 
+@dataclass(frozen=True)
+class TransformSpec:
+    """A serializable description of a transform engine: kind + constructor options.
+
+    Cloud keys record the spec of the engine they were generated for, so a
+    deserialized key can rebuild an equivalent engine through the registry
+    (:func:`make_transform`) without shipping the engine object itself.
+    ``kwargs`` is a sorted tuple of ``(name, value)`` pairs so specs are
+    hashable and comparable.
+    """
+
+    kind: str
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def from_options(cls, kind: str, **kwargs: Any) -> "TransformSpec":
+        return cls(kind=kind, kwargs=tuple(sorted(kwargs.items())))
+
+    def options(self) -> Dict[str, Any]:
+        """The constructor keyword arguments as a plain dict."""
+        return dict(self.kwargs)
+
+    def create(self, degree: int) -> "NegacyclicTransform":
+        """Instantiate the described engine through the registry."""
+        return make_transform(self.kind, degree, **self.options())
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "kwargs": self.options()}
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "TransformSpec":
+        return cls.from_options(payload["kind"], **payload.get("kwargs", {}))
+
+
 class NegacyclicTransform(abc.ABC):
     """Common interface of every polynomial-multiplication engine.
 
@@ -78,11 +112,26 @@ class NegacyclicTransform(abc.ABC):
     engines, plain coefficients for the naive engine).
     """
 
+    #: Registry kind this engine class is constructed under (``None`` for
+    #: ad-hoc engines such as test proxies, which cannot be serialized).
+    engine_kind: ClassVar[Optional[str]] = None
+
     def __init__(self, degree: int) -> None:
         if degree <= 0 or degree & (degree - 1):
             raise ValueError("ring degree must be a power of two")
         self.degree = degree
         self.stats = TransformStats()
+
+    # -- registry identity -------------------------------------------------
+    def engine_options(self) -> Dict[str, Any]:
+        """The constructor options needed to rebuild an equivalent engine."""
+        return {}
+
+    def spec(self) -> Optional[TransformSpec]:
+        """A :class:`TransformSpec` for this engine, or ``None`` if unregistered."""
+        if self.engine_kind is None:
+            return None
+        return TransformSpec.from_options(self.engine_kind, **self.engine_options())
 
     # -- conversions ------------------------------------------------------
     @abc.abstractmethod
@@ -110,6 +159,33 @@ class NegacyclicTransform(abc.ABC):
         """An independent copy of a spectrum."""
         return np.array(a, copy=True)
 
+    # -- stacked-spectrum helpers ------------------------------------------
+    def spectrum_shape(self, spectrum: Spectrum) -> tuple:
+        """The array shape of a spectrum (batch axes + the spectral axis)."""
+        return np.asarray(spectrum).shape
+
+    def spectrum_index(self, spectrum: Spectrum, index) -> Spectrum:
+        """The sub-spectrum at ``index`` of a stacked spectrum.
+
+        ``forward`` over a stack of polynomials returns a stacked spectrum;
+        this accessor slices out one element (a view is fine — spectra are
+        treated as immutable).  Engines with non-array spectra override it.
+        """
+        return spectrum[index]
+
+    def spectrum_stack(self, spectra: Sequence[Spectrum]) -> Spectrum:
+        """Stack same-shape spectra along a new leading axis.
+
+        Raises ``ValueError`` when the operands cannot be stacked (e.g. the
+        shapes differ); callers fall back to the per-term loop in that case.
+        """
+        return np.stack([np.asarray(s) for s in spectra])
+
+    def spectrum_sum(self, spectrum: Spectrum) -> Spectrum:
+        """Reduce a stacked spectrum along its leading axis (one pointwise op)."""
+        self.stats.pointwise_ops += 1
+        return np.sum(np.asarray(spectrum), axis=0)
+
     # -- convenience -------------------------------------------------------
     def multiply(self, int_poly: np.ndarray, torus_poly: np.ndarray) -> np.ndarray:
         """Negacyclic product reduced onto the 32-bit torus."""
@@ -130,10 +206,33 @@ class NegacyclicTransform(abc.ABC):
         """
         if len(int_polys) != len(spectra):
             raise ValueError("operand counts do not match")
-        acc = self.spectrum_zero()
-        for poly, spec in zip(int_polys, spectra):
-            acc = self.spectrum_add(acc, self.spectrum_mul(self.forward(poly), spec))
-        return torus32_from_int64(self.backward(acc))
+        if not int_polys:
+            return torus32_from_int64(self.backward(self.spectrum_zero()))
+        polys = [np.asarray(p) for p in int_polys]
+        spectra = list(spectra)
+        # The vectorised path needs uniformly-shaped operands whose batch
+        # axes already agree pairwise; anything else (e.g. batched polys
+        # against scalar spectra, which the per-term loop handles through
+        # broadcasting) takes the reference loop.
+        poly_batch = polys[0].shape[:-1]
+        spec_batch = self.spectrum_shape(spectra[0])[:-1]
+        uniform = (
+            all(p.shape == polys[0].shape for p in polys)
+            and all(self.spectrum_shape(s)[:-1] == spec_batch for s in spectra)
+            and poly_batch == spec_batch
+        )
+        if not uniform:
+            acc = self.spectrum_zero()
+            for poly, spec in zip(polys, spectra):
+                acc = self.spectrum_add(acc, self.spectrum_mul(self.forward(poly), spec))
+            return torus32_from_int64(self.backward(acc))
+        # Vectorised path: one forward over the stacked rows, one stacked
+        # pointwise product, one reduction — instead of a fresh spectrum
+        # allocation per term.  Counters count calls (not stacked elements),
+        # consistent with the batch semantics documented above.
+        dec_spectra = self.forward(np.stack(polys))
+        products = self.spectrum_mul(dec_spectra, self.spectrum_stack(spectra))
+        return torus32_from_int64(self.backward(self.spectrum_sum(products)))
 
     def reset_stats(self) -> None:
         """Reset the engine's invocation counters."""
@@ -148,6 +247,8 @@ class NaiveNegacyclicTransform(NegacyclicTransform):
     practical for the reduced test rings, where it serves as the ground truth
     for both FFT engines.
     """
+
+    engine_kind = "naive"
 
     def forward(self, coeffs: np.ndarray) -> np.ndarray:
         self.stats.forward_calls += 1
@@ -182,6 +283,8 @@ class DoubleFFTNegacyclicTransform(NegacyclicTransform):
     ``exp(i pi (4u + 1) / N)``.  Pointwise products of these evaluations
     correspond exactly to negacyclic polynomial products.
     """
+
+    engine_kind = "double"
 
     def __init__(self, degree: int) -> None:
         super().__init__(degree)
@@ -224,18 +327,102 @@ class DoubleFFTNegacyclicTransform(NegacyclicTransform):
         return a * b
 
 
-def make_transform(kind: str, degree: int, **kwargs) -> NegacyclicTransform:
-    """Factory for the engines defined in this module and in ``repro.core``.
+# --------------------------------------------------------------------------- #
+# engine registry                                                             #
+# --------------------------------------------------------------------------- #
 
-    ``kind`` is one of ``"naive"``, ``"double"`` or ``"approx"``; extra keyword
-    arguments (e.g. ``twiddle_bits``) are forwarded to the approximate engine.
+
+@dataclass(frozen=True)
+class EngineEntry:
+    """One registered polynomial-multiplication engine."""
+
+    kind: str
+    factory: Callable[..., NegacyclicTransform]
+    valid_kwargs: frozenset
+    description: str = ""
+
+
+_ENGINE_REGISTRY: Dict[str, EngineEntry] = {}
+
+
+def register_engine(
+    kind: str,
+    factory: Callable[..., NegacyclicTransform],
+    valid_kwargs: Sequence[str] = (),
+    description: str = "",
+) -> None:
+    """Register a transform engine under ``kind``.
+
+    ``factory(degree, **kwargs)`` must return a :class:`NegacyclicTransform`;
+    ``valid_kwargs`` lists every keyword argument the factory accepts, so
+    :func:`make_transform` can reject typos instead of silently forwarding
+    bogus options.  Re-registering a kind replaces the previous entry.
     """
-    if kind == "naive":
-        return NaiveNegacyclicTransform(degree)
-    if kind == "double":
-        return DoubleFFTNegacyclicTransform(degree)
-    if kind == "approx":
-        from repro.core.integer_fft import ApproximateNegacyclicTransform
+    if not kind:
+        raise ValueError("engine kind must be a non-empty string")
+    _ENGINE_REGISTRY[kind] = EngineEntry(
+        kind=kind,
+        factory=factory,
+        valid_kwargs=frozenset(valid_kwargs),
+        description=description,
+    )
 
-        return ApproximateNegacyclicTransform(degree, **kwargs)
-    raise ValueError(f"unknown transform kind: {kind!r}")
+
+def available_engines() -> List[str]:
+    """The registered engine kinds, sorted."""
+    return sorted(_ENGINE_REGISTRY)
+
+
+def engine_entry(kind: str) -> EngineEntry:
+    """Look up a registry entry; unknown kinds list the valid alternatives."""
+    try:
+        return _ENGINE_REGISTRY[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown transform kind: {kind!r} (valid kinds: "
+            f"{', '.join(available_engines())})"
+        ) from None
+
+
+def make_transform(kind: str, degree: int, **kwargs) -> NegacyclicTransform:
+    """Instantiate a registered engine (``"naive"``, ``"double"``, ``"approx"``, ...).
+
+    Keyword arguments are validated against the engine's registered option
+    set before the factory runs, so a typo like ``twiddel_bits`` fails with
+    the list of valid options instead of being silently dropped or crashing
+    deep inside the engine constructor.
+    """
+    entry = engine_entry(kind)
+    unknown = sorted(set(kwargs) - entry.valid_kwargs)
+    if unknown:
+        valid = ", ".join(sorted(entry.valid_kwargs)) or "(none)"
+        raise ValueError(
+            f"unknown option(s) {unknown} for transform kind {kind!r}; "
+            f"valid options: {valid}"
+        )
+    return entry.factory(degree, **kwargs)
+
+
+def _approx_factory(degree: int, **kwargs) -> NegacyclicTransform:
+    # Imported lazily: repro.core builds on repro.tfhe, not the reverse.
+    from repro.core.integer_fft import ApproximateNegacyclicTransform
+
+    return ApproximateNegacyclicTransform(degree, **kwargs)
+
+
+register_engine(
+    "naive",
+    NaiveNegacyclicTransform,
+    description="exact schoolbook negacyclic products (ground truth)",
+)
+register_engine(
+    "double",
+    DoubleFFTNegacyclicTransform,
+    description="double-precision floating-point FFT (TFHE-library baseline)",
+)
+register_engine(
+    "approx",
+    _approx_factory,
+    valid_kwargs=("twiddle_bits", "target_msb"),
+    description="MATCHA's approximate multiplication-less integer FFT",
+)

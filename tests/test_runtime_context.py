@@ -1,0 +1,203 @@
+"""FheContext: spectrum-cached cloud keys and the context-backed evaluators.
+
+The two load-bearing properties of the runtime refactor:
+
+* gate outputs through a context (cached key spectra) are **bit-identical**
+  to the uncached reference path that re-transforms the bootstrapping key
+  from its coefficient-domain material for every gate — checked exhaustively
+  over all ten gate kinds and all four input combinations;
+* each cloud-key TGSW sample is ``forward()``-transformed **exactly once per
+  context**, proven by the engine's invocation counters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime import FheContext
+from repro.tfhe.bootstrap import CmuxBlindRotator, gate_bootstrap
+from repro.tfhe.circuits import add, decrypt_integer, encrypt_integer
+from repro.tfhe.executor import CircuitExecutor
+from repro.tfhe.gates import (
+    MU,
+    PLAINTEXT_GATES,
+    TFHEGateEvaluator,
+    decrypt_bit,
+    encrypt_bit,
+)
+from repro.tfhe.keys import generate_keys
+from repro.tfhe.lwe import lwe_add, lwe_encrypt_trivial, lwe_scale, lwe_sub
+from repro.tfhe.params import TEST_TINY
+from repro.tfhe.tgsw import tgsw_transform
+from repro.tfhe.transform import DoubleFFTNegacyclicTransform, NaiveNegacyclicTransform
+
+
+def _uncached_gate(cloud, name, ca, cb):
+    """Reference path: re-transform the key material and bootstrap directly."""
+    engine = NaiveNegacyclicTransform(cloud.params.N)
+    rotator = CmuxBlindRotator(
+        [tgsw_transform(sample, engine) for sample in cloud.bootstrapping_key],
+        engine,
+    )
+    from repro.tfhe.gates import MIXED_GATE_SPECS
+
+    offset, coef_a, coef_b = MIXED_GATE_SPECS[name]
+    combined = lwe_encrypt_trivial(ca.dimension, np.int32(offset * int(MU)))
+    combined = lwe_add(combined, lwe_scale(coef_a, ca))
+    combined = lwe_add(combined, lwe_scale(coef_b, cb))
+    return gate_bootstrap(
+        combined, int(MU), rotator, cloud.keyswitch_key, cloud.params
+    )
+
+
+class TestCachedSpectraBitIdentical:
+    @pytest.mark.parametrize("name", sorted(PLAINTEXT_GATES))
+    def test_all_gates_all_inputs_match_uncached_path(self, name, tiny_keys_naive):
+        secret, cloud = tiny_keys_naive
+        context = FheContext(cloud, engine=NaiveNegacyclicTransform(cloud.params.N))
+        evaluator = context.evaluator()
+        for bit_a in (0, 1):
+            for bit_b in (0, 1):
+                ca = encrypt_bit(secret, bit_a, rng=11 + bit_a)
+                cb = encrypt_bit(secret, bit_b, rng=17 + bit_b)
+                cached = evaluator.gate(name, ca, cb)
+                uncached = _uncached_gate(cloud, name, ca, cb)
+                assert np.array_equal(cached.a, uncached.a)
+                assert np.int32(cached.b) == np.int32(uncached.b)
+                assert decrypt_bit(secret, cached) == PLAINTEXT_GATES[name](
+                    bit_a, bit_b
+                )
+
+
+class TestSpectrumCacheCounters:
+    def test_classical_key_rows_transformed_exactly_once(self):
+        params = TEST_TINY
+        engine = DoubleFFTNegacyclicTransform(params.N)
+        secret, cloud = generate_keys(params, engine, unroll_factor=1, rng=31)
+
+        fresh = DoubleFFTNegacyclicTransform(params.N)
+        context = FheContext(cloud, engine=fresh)
+        assert fresh.stats.forward_calls == 0  # lazily built
+
+        _ = context.rotator
+        # One vectorised forward per TGSW sample: all n key rows cached now.
+        assert fresh.stats.forward_calls == params.n
+        assert context.cached_tgsw_samples == params.n
+
+        evaluator = context.evaluator()
+        per_gate = params.n * (params.k + 1) * params.l  # decomposition IFFTs
+        ca, cb = encrypt_bit(secret, 1, rng=1), encrypt_bit(secret, 0, rng=2)
+        evaluator.nand(ca, cb)
+        assert fresh.stats.forward_calls == params.n + per_gate
+        evaluator.xor(ca, cb)
+        # The second gate adds only its own decomposition transforms — the
+        # cloud-key rows were transformed exactly once for this context.
+        assert fresh.stats.forward_calls == params.n + 2 * per_gate
+
+    def test_unrolled_key_rows_transformed_exactly_once(self):
+        params = TEST_TINY
+        engine = NaiveNegacyclicTransform(params.N)
+        secret, cloud = generate_keys(params, engine, unroll_factor=2, rng=32)
+
+        fresh = NaiveNegacyclicTransform(params.N)
+        context = FheContext(cloud, engine=fresh)
+        _ = context.rotator
+        key_samples = cloud.tgsw_sample_count
+        assert key_samples == 3 * ((params.n + 1) // 2)  # (2^2-1) per group
+        # One forward per key sample plus one for the identity gadget h.
+        assert fresh.stats.forward_calls == key_samples + 1
+        baseline = fresh.stats.forward_calls
+
+        evaluator = context.evaluator()
+        ca, cb = encrypt_bit(secret, 1, rng=3), encrypt_bit(secret, 1, rng=4)
+        out = evaluator.and_(ca, cb)
+        first_gate = fresh.stats.forward_calls - baseline
+        out2 = evaluator.and_(ca, cb)
+        second_gate = fresh.stats.forward_calls - baseline - first_gate
+        assert first_gate == second_gate  # no hidden key re-transforms
+        assert decrypt_bit(secret, out) == 1
+        assert np.array_equal(out.a, out2.a)
+
+
+class TestContextSurface:
+    def test_default_context_is_memoised(self, tiny_keys_naive):
+        _, cloud = tiny_keys_naive
+        assert cloud.default_context() is cloud.default_context()
+        assert cloud.blind_rotator is cloud.blind_rotator
+        assert cloud.transform is cloud.default_context().engine
+
+    def test_evaluators_share_the_context(self, tiny_keys_naive):
+        _, cloud = tiny_keys_naive
+        context = cloud.default_context()
+        assert TFHEGateEvaluator(cloud).context is context
+        assert context.evaluator() is context.evaluator()
+        assert context.batch_evaluator(4) is context.batch_evaluator(4)
+        assert context.batch_evaluator(4) is not context.batch_evaluator(8)
+
+    def test_executor_for_context_uses_cached_evaluator(self, tiny_keys_naive):
+        _, cloud = tiny_keys_naive
+        context = cloud.default_context()
+        executor = CircuitExecutor.for_context(context, 4)
+        assert executor.evaluator is context.batch_evaluator(4)
+
+    def test_evaluator_dispatch_does_not_build_the_cache(self):
+        # Building evaluators (and circuit coercion) must stay free of the
+        # spectrum-cache side effect: a server doing only linear operations
+        # never pays the key-transform cost.
+        secret, context = FheContext.generate(
+            TEST_TINY, NaiveNegacyclicTransform(TEST_TINY.N), rng=8
+        )
+        evaluator = context.evaluator()
+        evaluator.not_(evaluator.constant(1))
+        from repro.tfhe.circuits import _as_evaluator
+
+        _as_evaluator(context)
+        assert not context.spectra_cached
+
+    def test_generate_classmethod(self):
+        secret, context = FheContext.generate(
+            TEST_TINY, NaiveNegacyclicTransform(TEST_TINY.N), rng=7
+        )
+        assert not context.spectra_cached  # lazy until first gate
+        out = context.evaluator().or_(
+            encrypt_bit(secret, 0, rng=1), encrypt_bit(secret, 1, rng=2)
+        )
+        assert context.spectra_cached
+        assert decrypt_bit(secret, out) == 1
+
+    def test_circuit_blocks_accept_a_context(self, tiny_keys_naive):
+        secret, cloud = tiny_keys_naive
+        context = cloud.default_context()
+        a = encrypt_integer(secret, 5, 4, rng=41)
+        b = encrypt_integer(secret, 6, 4, rng=42)
+        total = add(context, a, b)
+        assert decrypt_integer(secret, total) == 11
+
+    def test_context_bootstrap_matches_evaluator(self, tiny_keys_naive):
+        secret, cloud = tiny_keys_naive
+        context = cloud.default_context()
+        ca, cb = encrypt_bit(secret, 1, rng=5), encrypt_bit(secret, 1, rng=6)
+        combined = lwe_encrypt_trivial(ca.dimension, np.int32(int(MU)))
+        combined = lwe_sub(lwe_sub(combined, ca), cb)
+        direct = context.bootstrap(combined)
+        via_gate = context.evaluator().nand(ca, cb)
+        assert np.array_equal(direct.a, via_gate.a)
+        assert np.int32(direct.b) == np.int32(via_gate.b)
+
+    def test_engine_degree_mismatch_rejected(self, tiny_keys_naive):
+        _, cloud = tiny_keys_naive
+        with pytest.raises(ValueError, match="ring degree"):
+            FheContext(cloud, engine=NaiveNegacyclicTransform(2 * cloud.params.N))
+
+    def test_key_without_spec_needs_explicit_engine(self):
+        params = TEST_TINY
+        engine = NaiveNegacyclicTransform(params.N)
+        _, cloud = generate_keys(params, engine, rng=9)
+        cloud.transform_spec = None
+        cloud._engine = None
+        cloud._context = None
+        with pytest.raises(ValueError, match="transform spec"):
+            FheContext(cloud)
+        # but an explicit engine still works
+        FheContext(cloud, engine=engine)

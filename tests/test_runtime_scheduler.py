@@ -1,0 +1,239 @@
+"""BatchScheduler: cross-session coalescing of gate and circuit jobs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime import BatchScheduler, FheContext
+from repro.tfhe.circuits import bits_to_int, encrypt_integer
+from repro.tfhe.executor import schedule_circuit
+from repro.tfhe.gates import (
+    PLAINTEXT_GATES,
+    decrypt_bit,
+    decrypt_bits,
+    encrypt_bit,
+)
+from repro.tfhe.keys import generate_keys
+from repro.tfhe.netlist import adder_netlist
+from repro.tfhe.params import TEST_TINY
+from repro.tfhe.transform import NaiveNegacyclicTransform
+
+
+@pytest.fixture()
+def scheduler(tiny_keys_naive):
+    _, cloud = tiny_keys_naive
+    scheduler = BatchScheduler()
+    scheduler.register_client("alice", cloud)
+    return scheduler
+
+
+class TestGateCoalescing:
+    def test_one_flush_one_batched_call(self, scheduler, tiny_keys_naive):
+        secret, _ = tiny_keys_naive
+        names = ["nand", "and", "or", "xor", "nor", "xnor"]
+        sessions = [scheduler.session("alice") for _ in names]
+        cases = []
+        for i, (session, name) in enumerate(zip(sessions, names)):
+            bit_a, bit_b = i & 1, (i >> 1) & 1
+            handle = session.submit_gate(
+                name,
+                encrypt_bit(secret, bit_a, rng=100 + i),
+                encrypt_bit(secret, bit_b, rng=200 + i),
+            )
+            cases.append((name, bit_a, bit_b, handle))
+        assert scheduler.pending_jobs == len(names)
+        rows = scheduler.flush()
+        assert rows == len(names)
+        assert scheduler.stats.batched_calls == 1  # all six jobs, one sweep
+        assert scheduler.stats.max_rows_per_call == len(names)
+        assert scheduler.pending_jobs == 0
+        for name, bit_a, bit_b, handle in cases:
+            assert decrypt_bit(secret, handle.result()) == PLAINTEXT_GATES[name](
+                bit_a, bit_b
+            )
+
+    def test_coalesced_rows_bit_identical_to_scalar_evaluator(
+        self, scheduler, tiny_keys_naive
+    ):
+        secret, cloud = tiny_keys_naive
+        evaluator = cloud.default_context().evaluator()
+        session = scheduler.session("alice")
+        ca, cb = encrypt_bit(secret, 1, rng=31), encrypt_bit(secret, 0, rng=32)
+        handles = {
+            name: session.submit_gate(name, ca, cb) for name in ("nand", "xor", "oryn")
+        }
+        scheduler.flush()
+        for name, handle in handles.items():
+            expected = evaluator.gate(name, ca, cb)
+            got = handle.result()
+            assert np.array_equal(got.a, expected.a), name
+            assert np.int32(got.b) == np.int32(expected.b), name
+
+    def test_chained_handles_schedule_in_rounds(self, scheduler, tiny_keys_naive):
+        secret, _ = tiny_keys_naive
+        session = scheduler.session("alice")
+        ca, cb = encrypt_bit(secret, 1, rng=41), encrypt_bit(secret, 0, rng=42)
+        first = session.submit_gate("nand", ca, cb)  # = 1
+        second = session.submit_gate("and", first, ca)  # = 1
+        third = session.submit_gate("xor", second, first)  # = 0
+        with pytest.raises(RuntimeError, match="flush"):
+            first.result()
+        scheduler.flush()
+        # Three dependent gates cannot share a bootstrap: three rounds.
+        assert scheduler.stats.batched_calls == 3
+        assert decrypt_bit(secret, first.result()) == 1
+        assert decrypt_bit(secret, second.result()) == 1
+        assert decrypt_bit(secret, third.result()) == 0
+
+    def test_not_on_ciphertext_is_free(self, scheduler, tiny_keys_naive):
+        secret, _ = tiny_keys_naive
+        session = scheduler.session("alice")
+        flipped = session.not_(encrypt_bit(secret, 1, rng=43))
+        assert decrypt_bit(secret, flipped) == 0  # resolved without any flush
+        assert scheduler.stats.batched_calls == 0
+
+    def test_max_rows_per_call_chunks(self, tiny_keys_naive):
+        secret, cloud = tiny_keys_naive
+        scheduler = BatchScheduler(max_rows_per_call=2)
+        scheduler.register_client("alice", cloud)
+        session = scheduler.session("alice")
+        handles = [
+            session.submit_gate(
+                "nand",
+                encrypt_bit(secret, 1, rng=50 + i),
+                encrypt_bit(secret, 1, rng=60 + i),
+            )
+            for i in range(5)
+        ]
+        scheduler.flush()
+        assert scheduler.stats.batched_calls == 3  # ceil(5 / 2)
+        assert scheduler.stats.max_rows_per_call == 2
+        for handle in handles:
+            assert decrypt_bit(secret, handle.result()) == 0
+
+
+class TestMultiTenant:
+    def test_jobs_group_per_client_key(self, tiny_keys_naive):
+        secret_a, cloud_a = tiny_keys_naive
+        engine = NaiveNegacyclicTransform(TEST_TINY.N)
+        secret_b, cloud_b = generate_keys(TEST_TINY, engine, rng=77)
+        scheduler = BatchScheduler()
+        scheduler.register_client("alice", cloud_a)
+        scheduler.register_client("bob", FheContext(cloud_b))
+        ha = scheduler.session("alice").submit_gate(
+            "and",
+            encrypt_bit(secret_a, 1, rng=1),
+            encrypt_bit(secret_a, 1, rng=2),
+        )
+        hb = scheduler.session("bob").submit_gate(
+            "or",
+            encrypt_bit(secret_b, 0, rng=3),
+            encrypt_bit(secret_b, 1, rng=4),
+        )
+        scheduler.flush()
+        # Different keys can never share a bootstrapping call.
+        assert scheduler.stats.batched_calls == 2
+        assert decrypt_bit(secret_a, ha.result()) == 1
+        assert decrypt_bit(secret_b, hb.result()) == 1
+
+    def test_cross_client_handles_rejected(self, tiny_keys_naive):
+        secret_a, cloud_a = tiny_keys_naive
+        engine = NaiveNegacyclicTransform(TEST_TINY.N)
+        secret_b, cloud_b = generate_keys(TEST_TINY, engine, rng=78)
+        scheduler = BatchScheduler()
+        scheduler.register_client("alice", cloud_a)
+        scheduler.register_client("bob", cloud_b)
+        alice_handle = scheduler.session("alice").submit_gate(
+            "nand",
+            encrypt_bit(secret_a, 1, rng=1),
+            encrypt_bit(secret_a, 1, rng=2),
+        )
+        bob_session = scheduler.session("bob")
+        with pytest.raises(ValueError, match="different clients"):
+            bob_session.submit_gate(
+                "and", alice_handle, encrypt_bit(secret_b, 1, rng=3)
+            )
+        with pytest.raises(ValueError, match="different clients"):
+            bob_session.submit_circuit(
+                adder_netlist(1),
+                {"a": [alice_handle], "b": [encrypt_bit(secret_b, 1, rng=4)]},
+            )
+        scheduler.flush()
+        assert decrypt_bit(secret_a, alice_handle.result()) == 0
+
+    def test_register_and_lookup_validation(self, scheduler, tiny_keys_naive):
+        _, cloud = tiny_keys_naive
+        with pytest.raises(ValueError, match="already registered"):
+            scheduler.register_client("alice", cloud)
+        with pytest.raises(KeyError, match="unknown client"):
+            scheduler.session("mallory")
+
+    def test_unknown_gate_rejected(self, scheduler):
+        session = scheduler.session("alice")
+        with pytest.raises(ValueError, match="unknown gate"):
+            session.submit_gate("nandy", None, None)
+
+
+class TestCircuitJobs:
+    def test_sessions_advance_levels_in_lockstep(self, scheduler, tiny_keys_naive):
+        secret, _ = tiny_keys_naive
+        width = 4
+        circuit = adder_netlist(width)
+        depth = schedule_circuit(circuit).depth
+        cases = [(5, 7), (9, 3)]
+        handles = []
+        for i, (a_val, b_val) in enumerate(cases):
+            session = scheduler.session("alice")
+            handles.append(
+                session.submit_circuit(
+                    circuit,
+                    {
+                        "a": encrypt_integer(secret, a_val, width, rng=300 + i),
+                        "b": encrypt_integer(secret, b_val, width, rng=400 + i),
+                    },
+                )
+            )
+        scheduler.flush()
+        # Both jobs walk the same schedule, so each dependency level of the
+        # two adders shares one mixed-gate batched bootstrapping.
+        assert scheduler.stats.batched_calls == depth
+        for (a_val, b_val), handle in zip(cases, handles):
+            total = bits_to_int(decrypt_bits(secret, handle.result()["sum"]))
+            assert total == a_val + b_val
+
+    def test_gate_and_circuit_jobs_share_calls(self, scheduler, tiny_keys_naive):
+        secret, _ = tiny_keys_naive
+        width = 3
+        circuit = adder_netlist(width)
+        depth = schedule_circuit(circuit).depth
+        circuit_handle = scheduler.session("alice").submit_circuit(
+            circuit,
+            {
+                "a": encrypt_integer(secret, 3, width, rng=500),
+                "b": encrypt_integer(secret, 2, width, rng=501),
+            },
+        )
+        gate_handle = scheduler.session("alice").submit_gate(
+            "nand",
+            encrypt_bit(secret, 1, rng=502),
+            encrypt_bit(secret, 1, rng=503),
+        )
+        scheduler.flush()
+        # The single gate rode along with the circuit's first level.
+        assert scheduler.stats.batched_calls == depth
+        assert decrypt_bit(secret, gate_handle.result()) == 0
+        total = bits_to_int(decrypt_bits(secret, circuit_handle.result()["sum"]))
+        assert total == 5
+
+    def test_circuit_inputs_must_be_resolved(self, scheduler, tiny_keys_naive):
+        secret, _ = tiny_keys_naive
+        session = scheduler.session("alice")
+        pending = session.submit_gate(
+            "and", encrypt_bit(secret, 1, rng=1), encrypt_bit(secret, 1, rng=2)
+        )
+        with pytest.raises(ValueError, match="pending job handles"):
+            session.submit_circuit(
+                adder_netlist(1),
+                {"a": [pending], "b": [encrypt_bit(secret, 1, rng=3)]},
+            )

@@ -1,0 +1,184 @@
+"""Round-trip tests for the versioned npz serialization layer."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.runtime import FheContext
+from repro.tfhe import serialize
+from repro.tfhe.gates import PLAINTEXT_GATES, decrypt_bit, encrypt_bit, encrypt_bit_batch
+from repro.tfhe.keys import generate_keys
+from repro.tfhe.lwe import LweBatch, LweSample
+from repro.tfhe.params import TEST_TINY
+from repro.tfhe.serialize import SerializationError
+from repro.tfhe.transform import NaiveNegacyclicTransform
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestSecretKeyRoundTrip:
+    def test_fields_and_decryption_survive(self, tmp_path, tiny_keys_naive):
+        secret, _ = tiny_keys_naive
+        path = tmp_path / "secret.npz"
+        serialize.save_secret_key(path, secret)
+        loaded = serialize.load_secret_key(path)
+        assert loaded.params == secret.params
+        assert np.array_equal(loaded.lwe_key.key, secret.lwe_key.key)
+        assert np.array_equal(loaded.tlwe_key.key, secret.tlwe_key.key)
+        assert np.array_equal(loaded.extracted_key.key, secret.extracted_key.key)
+        ct = encrypt_bit(secret, 1, rng=3)
+        assert decrypt_bit(loaded, ct) == 1
+
+
+class TestCloudKeyRoundTrip:
+    def test_classical_key_evaluates_bit_identically(self, tmp_path, tiny_keys_naive):
+        secret, cloud = tiny_keys_naive
+        path = tmp_path / "cloud.npz"
+        serialize.save_cloud_key(path, cloud)
+        loaded = serialize.load_cloud_key(path)
+        assert loaded.params == cloud.params
+        assert loaded.unroll_factor == 1
+        assert loaded.transform_spec == cloud.transform_spec
+        context = FheContext(loaded)
+        ca, cb = encrypt_bit(secret, 1, rng=5), encrypt_bit(secret, 0, rng=6)
+        reference = cloud.default_context().evaluator()
+        evaluator = context.evaluator()
+        for name in sorted(PLAINTEXT_GATES):
+            expected = reference.gate(name, ca, cb)
+            got = evaluator.gate(name, ca, cb)
+            assert np.array_equal(got.a, expected.a), name
+            assert np.int32(got.b) == np.int32(expected.b), name
+
+    def test_unrolled_key_evaluates_bit_identically(self, tmp_path, tiny_keys_naive_m2):
+        secret, cloud = tiny_keys_naive_m2
+        path = tmp_path / "cloud-m2.npz"
+        serialize.save_cloud_key(path, cloud)
+        loaded = serialize.load_cloud_key(path)
+        assert loaded.unroll_factor == 2
+        assert loaded.tgsw_sample_count == cloud.tgsw_sample_count
+        ca, cb = encrypt_bit(secret, 1, rng=7), encrypt_bit(secret, 1, rng=8)
+        expected = cloud.default_context().evaluator().and_(ca, cb)
+        got = FheContext(loaded).evaluator().and_(ca, cb)
+        assert np.array_equal(got.a, expected.a)
+        assert np.int32(got.b) == np.int32(expected.b)
+        assert decrypt_bit(secret, got) == 1
+
+    def test_unserializable_adhoc_engine_rejected(self, tmp_path):
+        engine = NaiveNegacyclicTransform(TEST_TINY.N)
+        _, cloud = generate_keys(TEST_TINY, engine, rng=13)
+        cloud.transform_spec = None
+        with pytest.raises(SerializationError, match="unregistered engine"):
+            serialize.save_cloud_key(tmp_path / "bad.npz", cloud)
+
+
+class TestCiphertextRoundTrip:
+    def test_lwe_sample(self, tmp_path, tiny_keys_naive):
+        secret, _ = tiny_keys_naive
+        sample = encrypt_bit(secret, 1, rng=21)
+        path = tmp_path / "ct.npz"
+        serialize.save_lwe_sample(path, sample)
+        loaded = serialize.load_lwe_sample(path)
+        assert isinstance(loaded, LweSample)
+        assert np.array_equal(loaded.a, sample.a)
+        assert np.int32(loaded.b) == np.int32(sample.b)
+
+    def test_lwe_batch(self, tmp_path, tiny_keys_naive):
+        secret, _ = tiny_keys_naive
+        batch = encrypt_bit_batch(secret, [0, 1, 1, 0], rng=22)
+        path = tmp_path / "batch.npz"
+        serialize.save_lwe_batch(path, batch)
+        loaded = serialize.load_lwe_batch(path)
+        assert isinstance(loaded, LweBatch)
+        assert np.array_equal(loaded.a, batch.a)
+        assert np.array_equal(loaded.b, batch.b)
+
+
+class TestDispatchAndVersioning:
+    def test_save_load_dispatch_on_type_and_header(self, tmp_path, tiny_keys_naive):
+        secret, cloud = tiny_keys_naive
+        objs = {
+            "secret.npz": secret,
+            "cloud.npz": cloud,
+            "ct.npz": encrypt_bit(secret, 0, rng=23),
+            "batch.npz": encrypt_bit_batch(secret, [1, 0], rng=24),
+        }
+        for name, obj in objs.items():
+            path = tmp_path / name
+            serialize.save(path, obj)
+            assert type(serialize.load(path)) is type(obj)
+
+    def test_bytes_round_trip(self, tiny_keys_naive):
+        secret, _ = tiny_keys_naive
+        sample = encrypt_bit(secret, 1, rng=25)
+        loaded = serialize.from_bytes(serialize.to_bytes(sample))
+        assert np.array_equal(loaded.a, sample.a)
+
+    def test_version_mismatch_rejected(self, tmp_path, tiny_keys_naive, monkeypatch):
+        secret, _ = tiny_keys_naive
+        path = tmp_path / "future.npz"
+        monkeypatch.setattr(serialize, "FORMAT_VERSION", serialize.FORMAT_VERSION + 1)
+        serialize.save_lwe_sample(path, encrypt_bit(secret, 1, rng=26))
+        monkeypatch.undo()
+        with pytest.raises(SerializationError, match="version"):
+            serialize.load_lwe_sample(path)
+
+    def test_unknown_format_rejected(self, tmp_path, tiny_keys_naive, monkeypatch):
+        secret, _ = tiny_keys_naive
+        path = tmp_path / "alien.npz"
+        monkeypatch.setattr(serialize, "FORMAT", "someone-elses-format")
+        serialize.save_lwe_sample(path, encrypt_bit(secret, 1, rng=27))
+        monkeypatch.undo()
+        with pytest.raises(SerializationError, match="format"):
+            serialize.load(path)
+
+    def test_wrong_artifact_kind_rejected(self, tmp_path, tiny_keys_naive):
+        secret, _ = tiny_keys_naive
+        path = tmp_path / "ct.npz"
+        serialize.save_lwe_sample(path, encrypt_bit(secret, 1, rng=28))
+        with pytest.raises(SerializationError, match="expected"):
+            serialize.load_secret_key(path)
+
+    def test_not_an_archive_rejected(self, tmp_path):
+        path = tmp_path / "noise.npz"
+        path.write_bytes(b"this is not an npz archive")
+        with pytest.raises(SerializationError):
+            serialize.load(path)
+
+    def test_unsupported_object_rejected(self, tmp_path):
+        with pytest.raises(SerializationError, match="cannot serialize"):
+            serialize.save(tmp_path / "x.npz", object())
+
+
+class TestKeygenCli:
+    def test_generates_loadable_keypair(self, tmp_path):
+        result = subprocess.run(
+            [
+                sys.executable,
+                str(ROOT / "tools" / "keygen.py"),
+                "--params",
+                "test-tiny",
+                "--engine",
+                "naive",
+                "--seed",
+                "3",
+                "--out-dir",
+                str(tmp_path),
+                "--prefix",
+                "t",
+            ],
+            capture_output=True,
+            text=True,
+            cwd=ROOT,
+        )
+        assert result.returncode == 0, result.stderr
+        secret = serialize.load_secret_key(tmp_path / "t.secret.npz")
+        cloud = serialize.load_cloud_key(tmp_path / "t.cloud.npz")
+        # The pair matches: a fresh encryption survives a bootstrapped gate.
+        ca, cb = encrypt_bit(secret, 1, rng=1), encrypt_bit(secret, 1, rng=2)
+        out = FheContext(cloud).evaluator().and_(ca, cb)
+        assert decrypt_bit(secret, out) == 1

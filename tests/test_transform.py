@@ -8,7 +8,11 @@ from repro.tfhe.polynomial import negacyclic_convolution
 from repro.tfhe.transform import (
     DoubleFFTNegacyclicTransform,
     NaiveNegacyclicTransform,
+    TransformSpec,
+    available_engines,
+    engine_entry,
     make_transform,
+    register_engine,
 )
 
 DEGREE = 64
@@ -106,3 +110,111 @@ class TestFactory:
     def test_unknown_kind_raises(self):
         with pytest.raises(ValueError):
             make_transform("ntt", DEGREE)
+
+
+class TestEngineRegistry:
+    def test_builtin_kinds_registered(self):
+        assert {"naive", "double", "approx"} <= set(available_engines())
+
+    def test_unknown_kind_error_lists_valid_kinds(self):
+        with pytest.raises(ValueError, match="valid kinds:.*approx.*double.*naive"):
+            make_transform("ntt", DEGREE)
+
+    def test_bogus_kwarg_rejected_with_valid_options(self):
+        with pytest.raises(ValueError, match=r"twiddel_bits.*valid options:.*twiddle_bits"):
+            make_transform("approx", DEGREE, twiddel_bits=32)
+
+    def test_engine_without_options_rejects_any_kwarg(self):
+        # Historically silently-crashing deep in the constructor; now a
+        # registry-level error naming the engine.
+        with pytest.raises(ValueError, match="'double'"):
+            make_transform("double", DEGREE, twiddle_bits=32)
+
+    def test_register_custom_engine(self):
+        register_engine(
+            "naive-alias", NaiveNegacyclicTransform, description="test alias"
+        )
+        try:
+            assert isinstance(
+                make_transform("naive-alias", DEGREE), NaiveNegacyclicTransform
+            )
+            assert engine_entry("naive-alias").description == "test alias"
+        finally:
+            from repro.tfhe import transform as transform_module
+
+            del transform_module._ENGINE_REGISTRY["naive-alias"]
+
+    def test_spec_round_trip(self):
+        engine = make_transform("approx", DEGREE, twiddle_bits=24)
+        spec = engine.spec()
+        assert spec == TransformSpec.from_options(
+            "approx", twiddle_bits=24, target_msb=36
+        )
+        rebuilt = spec.create(DEGREE)
+        assert type(rebuilt) is type(engine)
+        assert rebuilt.twiddle_bits == 24
+        assert TransformSpec.from_json(spec.to_json()) == spec
+
+    def test_builtin_specs(self):
+        assert NaiveNegacyclicTransform(DEGREE).spec() == TransformSpec("naive")
+        assert DoubleFFTNegacyclicTransform(DEGREE).spec() == TransformSpec("double")
+
+
+class TestVectorisedMultiplyAccumulate:
+    @pytest.mark.parametrize("kind", ["naive", "double", "approx"])
+    def test_one_forward_call_per_accumulate(self, kind):
+        rng = np.random.default_rng(5)
+        transform = make_transform(kind, DEGREE)
+        ints = [rng.integers(-64, 64, DEGREE) for _ in range(4)]
+        toruses = [
+            rng.integers(-(2**31), 2**31, DEGREE).astype(np.int32) for _ in range(4)
+        ]
+        spectra = [transform.forward(t) for t in toruses]
+        transform.reset_stats()
+        got = transform.multiply_accumulate(ints, spectra)
+        # The decomposed rows are stacked into one forward and one stacked
+        # pointwise product + reduction, not one spectrum per term.
+        assert transform.stats.forward_calls == 1
+        assert transform.stats.backward_calls == 1
+        assert transform.stats.pointwise_ops == 2  # one mul + one reduction
+        # The result still matches the per-term reference.
+        reference = make_transform(kind, DEGREE)
+        acc = reference.spectrum_zero()
+        for poly, torus in zip(ints, toruses):
+            acc = reference.spectrum_add(
+                acc,
+                reference.spectrum_mul(
+                    reference.forward(poly), reference.forward(torus)
+                ),
+            )
+        from repro.tfhe.torus import torus32_from_int64
+
+        expected = torus32_from_int64(reference.backward(acc))
+        assert np.array_equal(got, expected)
+
+    def test_empty_accumulate_returns_zero(self):
+        transform = make_transform("naive", DEGREE)
+        assert np.array_equal(
+            transform.multiply_accumulate([], []), np.zeros(DEGREE, dtype=np.int32)
+        )
+
+    @pytest.mark.parametrize("kind", ["naive", "double", "approx"])
+    def test_batched_polys_broadcast_against_scalar_spectra(self, kind):
+        # Mixed batchiness (stacked polynomials, single-polynomial spectra)
+        # must keep broadcasting per term like the historical loop did.
+        rng = np.random.default_rng(6)
+        transform = make_transform(kind, DEGREE)
+        polys = [rng.integers(-64, 64, (4, DEGREE)) for _ in range(3)]
+        toruses = [
+            rng.integers(-(2**31), 2**31, DEGREE).astype(np.int32) for _ in range(3)
+        ]
+        spectra = [transform.forward(t) for t in toruses]
+        got = transform.multiply_accumulate(polys, spectra)
+        assert got.shape == (4, DEGREE)
+        reference = make_transform(kind, DEGREE)
+        for row in range(4):
+            row_spectra = [reference.forward(t) for t in toruses]
+            expected = reference.multiply_accumulate(
+                [p[row] for p in polys], row_spectra
+            )
+            assert np.array_equal(got[row], expected)
