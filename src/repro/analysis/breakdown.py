@@ -157,6 +157,15 @@ class _TimingTransformProxy(NegacyclicTransform):
     def spectrum_sum(self, spectrum):
         return self.inner.spectrum_sum(spectrum)
 
+    def spectrum_expand(self, spectrum, axis):
+        return self.inner.spectrum_expand(spectrum, axis)
+
+    def spectrum_take_col(self, spectrum, col):
+        return self.inner.spectrum_take_col(spectrum, col)
+
+    def spectrum_contract(self, stack, operand):
+        return self.inner.spectrum_contract(stack, operand)
+
 
 def measure_gate_breakdown(
     params: TFHEParameters = TEST_SMALL,

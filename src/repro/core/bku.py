@@ -29,8 +29,11 @@ import numpy as np
 from repro.tfhe.keys import RawUnrolledGroup, TFHESecretKey
 from repro.tfhe.params import TFHEParameters
 from repro.tfhe.tgsw import (
+    BootstrapWorkspace,
     TgswSample,
     TransformedTgswSample,
+    _external_product_rows_reference,
+    _reference_row_col,
     tgsw_batch_external_product,
     tgsw_encrypt,
     tgsw_external_product,
@@ -215,9 +218,11 @@ class UnrolledBlindRotator:
         self,
         key: UnrolledBootstrappingKey,
         transform: NegacyclicTransform,
+        workspace: BootstrapWorkspace | None = None,
     ) -> None:
         self.key = key
         self.transform = transform
+        self.workspace = workspace if workspace is not None else BootstrapWorkspace()
         params = key.params
         identity = tgsw_identity(params.tlwe, params.tgsw)
         self._identity_spectra = tgsw_transform(identity, transform)
@@ -237,30 +242,87 @@ class UnrolledBlindRotator:
     def _build_bundle_core(
         self, group: UnrolledKeyGroup, bara: np.ndarray
     ) -> TransformedTgswSample:
-        """Construct the ``BKB`` bundle(s) for one group.
+        """Construct the ``BKB`` bundle(s) for one group as one packed tensor.
 
         ``bara`` has shape ``(n,)`` for a single bootstrapping or ``(B, n)``
-        for a batch (the returned sample's spectra then carry the leading
-        batch axis).  A per-ciphertext exponent that reduces to zero yields an
-        exactly-zero factor polynomial, so the term vanishes for that
-        ciphertext alone — bit-identical to skipping it; the explicit skip
-        below only fires when the term vanishes for the *whole* stack.
+        for a batch (the returned tensor then carries the batch axis between
+        the row and column axes: ``(rows, B, k+1, N/2)``).  Each non-vanishing
+        pattern contributes **one** broadcast spectral multiply-add over the
+        whole ``rows × (k+1)`` key tensor instead of a per-polynomial Python
+        double loop; the engine counters are topped up to the logical
+        per-polynomial pointwise counts.  A per-ciphertext exponent that
+        reduces to zero yields an exactly-zero factor polynomial, so the term
+        vanishes for that ciphertext alone — bit-identical to skipping it; the
+        explicit skip below only fires when the term vanishes for the *whole*
+        stack.
         """
         self.bundles_built += 1
         transform = self.transform
-        rows = self._identity_spectra.rows
-        cols = self._identity_spectra.mask_count + 1
-        bundle: List[List[Spectrum]] = [
-            [transform.spectrum_copy(self._identity_spectra.spectra[r][c]) for c in range(cols)]
-            for r in range(rows)
-        ]
+        identity = self._identity_spectra
+        rows = identity.rows
+        cols = identity.mask_count + 1
+        bundle = transform.spectrum_copy(identity.tensor)
         degree = self.key.params.N
         group_bara = bara[..., group.indices].astype(np.int64)  # (..., size)
+        if group_bara.ndim > 1:
+            # Batched bundles: open the batch axis between rows and columns
+            # so the per-ciphertext pattern terms broadcast against it.
+            bundle = transform.spectrum_expand(bundle, 1)
         for pattern in range(1, (1 << group.size)):
             bits = ((pattern >> np.arange(group.size)) & 1).astype(np.int64)
             exponents = group_bara @ bits  # scalar or (B,)
             if not np.any(exponents % (2 * degree)):
                 # X^0 − 1 = 0 everywhere: the term vanishes.
+                continue
+            factors = x_power_minus_one_polynomials(degree, exponents)
+            # (H,) → (1, H) or (B, H) → (B, 1, H): broadcasts over the
+            # column axis of the key tensor.
+            factor_spec = transform.spectrum_expand(transform.forward(factors), -2)
+            key_tensor = group.keys[pattern - 1].tensor  # (rows, k+1, H)
+            if exponents.ndim:
+                # Batched exponents: open a batch axis between rows and cols.
+                key_tensor = transform.spectrum_expand(key_tensor, 1)
+            bundle = transform.spectrum_add(
+                bundle, transform.spectrum_mul(factor_spec, key_tensor)
+            )
+            # One broadcast mul + one add covered rows·cols polynomial pairs;
+            # top the counters up to the logical per-polynomial counts.
+            transform.stats.pointwise_ops += 2 * rows * cols - 2
+        return TransformedTgswSample(
+            tensor=bundle,
+            params=self.key.params.tgsw,
+            mask_count=cols - 1,
+            degree=degree,
+            rows=rows,
+        )
+
+    def _build_bundle_reference(
+        self, group: UnrolledKeyGroup, bara: np.ndarray
+    ) -> List[List[Spectrum]]:
+        """The pre-fusion per-(row, col) bundle build (ground truth).
+
+        Returns the historical per-row/per-column spectra list, consumed by
+        :func:`repro.tfhe.tgsw._external_product_rows_reference`.
+        """
+        transform = self.transform
+        identity = self._identity_spectra
+        rows = identity.rows
+        cols = identity.mask_count + 1
+        bundle: List[List[Spectrum]] = [
+            [
+                transform.spectrum_copy(
+                    _reference_row_col(identity, transform, r, c)
+                )
+                for c in range(cols)
+            ]
+            for r in range(rows)
+        ]
+        degree = self.key.params.N
+        group_bara = np.asarray(bara)[..., group.indices].astype(np.int64)
+        for pattern in range(1, (1 << group.size)):
+            bits = ((pattern >> np.arange(group.size)) & 1).astype(np.int64)
+            exponents = group_bara @ bits
+            if not np.any(exponents % (2 * degree)):
                 continue
             factors = x_power_minus_one_polynomials(degree, exponents)
             factor_spec = transform.forward(factors)
@@ -269,14 +331,11 @@ class UnrolledBlindRotator:
                 for c in range(cols):
                     bundle[r][c] = transform.spectrum_add(
                         bundle[r][c],
-                        transform.spectrum_mul(factor_spec, bk.spectra[r][c]),
+                        transform.spectrum_mul(
+                            factor_spec, _reference_row_col(bk, transform, r, c)
+                        ),
                     )
-        return TransformedTgswSample(
-            spectra=bundle,
-            params=self.key.params.tgsw,
-            mask_count=cols - 1,
-            degree=degree,
-        )
+        return bundle
 
     def build_bundle(
         self, group: UnrolledKeyGroup, bara: np.ndarray
@@ -295,7 +354,7 @@ class UnrolledBlindRotator:
         acc = accumulator
         for group in self.key.groups:
             bundle = self.build_bundle(group, bara)
-            acc = tgsw_external_product(bundle, acc, self.transform)
+            acc = tgsw_external_product(bundle, acc, self.transform, self.workspace)
             self.external_products += 1
         return acc
 
@@ -304,7 +363,40 @@ class UnrolledBlindRotator:
         acc = accumulators
         for group in self.key.groups:
             bundle = self.build_bundle_batch(group, bara)
-            acc = tgsw_batch_external_product(bundle, acc, self.transform)
+            acc = tgsw_batch_external_product(
+                bundle, acc, self.transform, self.workspace
+            )
+            self.external_products += 1
+        return acc
+
+    # -- pre-fusion ground truth (property tests / benchmark baseline) -------
+    def rotate_reference(self, accumulator: TlweSample, bara: np.ndarray) -> TlweSample:
+        """The historical rotation: per-(row, col) bundles + per-plane EP."""
+        params = self.key.params
+        acc = accumulator
+        for group in self.key.groups:
+            bundle = self._build_bundle_reference(group, np.asarray(bara))
+            acc = TlweSample(
+                _external_product_rows_reference(
+                    bundle, params.tgsw, params.k, params.N, acc.data, self.transform
+                )
+            )
+            self.external_products += 1
+        return acc
+
+    def rotate_batch_reference(
+        self, accumulators: TlweBatch, bara: np.ndarray
+    ) -> TlweBatch:
+        """Batched pre-fusion BKU blind rotation (ground truth)."""
+        params = self.key.params
+        acc = accumulators
+        for group in self.key.groups:
+            bundle = self._build_bundle_reference(group, np.asarray(bara))
+            acc = TlweBatch(
+                _external_product_rows_reference(
+                    bundle, params.tgsw, params.k, params.N, acc.data, self.transform
+                )
+            )
             self.external_products += 1
         return acc
 

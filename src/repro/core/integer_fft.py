@@ -288,6 +288,59 @@ class ApproximateNegacyclicTransform(NegacyclicTransform):
             scale = int(picked) if np.ndim(picked) == 0 else picked
         return IntegerSpectrum(spectrum.values[index], scale)
 
+    def spectrum_expand(self, spectrum: IntegerSpectrum, axis: int) -> IntegerSpectrum:
+        values = np.expand_dims(spectrum.values, axis)
+        scale = spectrum.scale_bits
+        if isinstance(scale, np.ndarray):
+            # The scale array tracks the batch axes only (no spectral axis),
+            # so a negative axis shifts by one.
+            scale = np.expand_dims(scale, axis + 1 if axis < 0 else axis)
+        return IntegerSpectrum(values, scale)
+
+    def spectrum_take_col(self, spectrum: IntegerSpectrum, col: int) -> IntegerSpectrum:
+        values = spectrum.values[..., col, :]
+        scale = spectrum.scale_bits
+        if isinstance(scale, np.ndarray):
+            picked = scale[..., col]
+            scale = int(picked) if np.ndim(picked) == 0 else picked
+        return IntegerSpectrum(values, scale)
+
+    def spectrum_contract(
+        self, stack: IntegerSpectrum, operand: IntegerSpectrum
+    ) -> IntegerSpectrum:
+        """Fused contraction: one stacked product + one reduction (two ops).
+
+        Every per-row product is normalised to scale 0 with the exact
+        rounding of :meth:`spectrum_mul` (division by an exact power of two,
+        then round-to-nearest per component), so the accumulator holds exact
+        integers in ``complex128`` and the reduction order cannot change a
+        single bit — matching the historical equal-scale ``spectrum_add``
+        fold of the external product.
+        """
+        self.stats.pointwise_ops += 2
+        s_vals = stack.values
+        o_vals = operand.values
+        if s_vals.shape[0] == 0:
+            raise ValueError("cannot contract an empty digit stack")
+        s_scale = np.asarray(stack.scale_bits, dtype=np.int64)
+        o_scale = np.asarray(operand.scale_bits, dtype=np.int64)
+        # A scalar scale applies to every stacked element uniformly.
+        if s_scale.ndim == 0:
+            s_scale = np.broadcast_to(s_scale, s_vals.shape[:1])
+        if o_scale.ndim == 0:
+            o_scale = np.broadcast_to(o_scale, o_vals.shape[:1])
+        from repro.tfhe.transform import _align_contraction_axes
+
+        expanded, o_vals = _align_contraction_axes(s_vals[..., None, :], o_vals)
+        exp_scale, o_scale = _align_contraction_axes(s_scale[..., None], o_scale)
+        combined = exp_scale + o_scale  # (rows, ..., k+1)
+        products = (expanded * o_vals) / np.exp2(
+            combined.astype(np.float64)
+        )[..., None]
+        values = np.round(products.real) + 1j * np.round(products.imag)
+        acc = np.add.reduce(values, axis=0)
+        return IntegerSpectrum(acc, np.zeros(acc.shape[:-1], dtype=np.int64))
+
     def spectrum_stack(self, spectra) -> IntegerSpectrum:
         values = np.stack([s.values for s in spectra])
         scales = np.stack(

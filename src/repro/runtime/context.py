@@ -38,7 +38,7 @@ from repro.tfhe.keys import (
 )
 from repro.tfhe.keyswitch import KeySwitchKey, keyswitch_apply, keyswitch_apply_batch
 from repro.tfhe.lwe import LweBatch, LweSample
-from repro.tfhe.tgsw import tgsw_transform
+from repro.tfhe.tgsw import BootstrapWorkspace, tgsw_transform
 from repro.tfhe.transform import NegacyclicTransform
 from repro.utils.rng import SeedLike, make_rng
 
@@ -80,6 +80,11 @@ class FheContext:
         self._batch_evaluators: Dict[int, BatchGateEvaluator] = {}
         #: TGSW samples held in the spectrum cache (0 until first use).
         self.cached_tgsw_samples = 0
+        #: Scratch buffers of the fused external-product kernel, shared by
+        #: every bootstrapping this context runs (all rotator steps, all
+        #: evaluators, every scheduler flush) — allocated once, reused for
+        #: the lifetime of the context.
+        self.workspace = BootstrapWorkspace()
 
     # -- construction helpers ----------------------------------------------
     @classmethod
@@ -127,7 +132,7 @@ class FheContext:
                 for sample in cloud.bootstrapping_key
             ]
             self.cached_tgsw_samples = len(transformed)
-            return CmuxBlindRotator(transformed, self.engine)
+            return CmuxBlindRotator(transformed, self.engine, workspace=self.workspace)
         if cloud.unrolled_groups is None:
             raise ValueError("cloud key carries no unrolled key material")
         # Imported lazily: repro.core builds on repro.tfhe, not the reverse.
@@ -137,7 +142,7 @@ class FheContext:
             cloud.unrolled_groups, self.params, cloud.unroll_factor, self.engine
         )
         self.cached_tgsw_samples = key.tgsw_key_count
-        return UnrolledBlindRotator(key, self.engine)
+        return UnrolledBlindRotator(key, self.engine, workspace=self.workspace)
 
     # -- evaluation entry points ---------------------------------------------
     def evaluator(self) -> TFHEGateEvaluator:

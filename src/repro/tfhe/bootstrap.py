@@ -21,6 +21,7 @@ Two blind-rotation strategies are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import List, Protocol, Sequence
 
 import numpy as np
@@ -28,7 +29,14 @@ import numpy as np
 from repro.tfhe.keyswitch import KeySwitchKey, keyswitch_apply, keyswitch_apply_batch
 from repro.tfhe.lwe import LweBatch, LweSample
 from repro.tfhe.params import TFHEParameters
-from repro.tfhe.tgsw import TransformedTgswSample, tgsw_batch_cmux, tgsw_cmux
+from repro.tfhe.tgsw import (
+    BootstrapWorkspace,
+    TransformedTgswSample,
+    _cmux_rotate_data,
+    tgsw_batch_cmux_reference,
+    tgsw_batch_cmux_rotate,
+    tgsw_cmux_reference,
+)
 from repro.tfhe.tlwe import (
     TlweBatch,
     TlweSample,
@@ -83,36 +91,53 @@ class BlindRotator(Protocol):
 
 
 class CmuxBlindRotator:
-    """Classical blind rotation: one CMux (external product) per key bit."""
+    """Classical blind rotation: one CMux (external product) per key bit.
+
+    Every step runs the fused kernel of :func:`repro.tfhe.tgsw.tgsw_cmux_rotate`
+    — the ``(X^{ā_i} − 1)·ACC`` difference is one gather-subtract, the
+    external product one stacked forward/contract/backward — staged through a
+    :class:`repro.tfhe.tgsw.BootstrapWorkspace` shared across all ``n`` steps
+    (and across every bootstrapping that reuses this rotator).  The pre-fusion
+    path is preserved as :meth:`rotate_reference` /
+    :meth:`rotate_batch_reference` for property tests and benchmarks.
+    """
 
     def __init__(
         self,
         bootstrapping_key: Sequence[TransformedTgswSample],
         transform: NegacyclicTransform,
+        workspace: BootstrapWorkspace | None = None,
     ) -> None:
         self.bootstrapping_key = list(bootstrapping_key)
         self.transform = transform
+        self.workspace = workspace if workspace is not None else BootstrapWorkspace()
 
     @property
     def external_products_per_bootstrap(self) -> int:
         return len(self.bootstrapping_key)
 
     def rotate(self, accumulator: TlweSample, bara: np.ndarray) -> TlweSample:
-        acc = accumulator
-        for i, bk_i in enumerate(self.bootstrapping_key):
-            power = int(bara[i])
+        data = accumulator.data
+        transform = self.transform
+        workspace = self.workspace
+        powers = np.asarray(bara).tolist()  # plain ints, hoisted out of the loop
+        if len(powers) < len(self.bootstrapping_key):
+            raise ValueError(
+                f"blind rotation needs one rotation amount per key bit: got "
+                f"{len(powers)} for {len(self.bootstrapping_key)} key bits"
+            )
+        for bk_i, power in zip(self.bootstrapping_key, powers):
             if power == 0:
                 continue
-            rotated = tlwe_rotate(acc, power)
-            acc = tgsw_cmux(bk_i, rotated, acc, self.transform)
-        return acc
+            data = _cmux_rotate_data(bk_i, data, power, transform, workspace)
+        return TlweSample(data)
 
     def rotate_batch(self, accumulators: TlweBatch, bara: np.ndarray) -> TlweBatch:
         """Rotate every in-flight accumulator in lockstep over the key bits.
 
         A ciphertext whose rotation amount is zero at step ``i`` still passes
-        through the (vectorised) CMux, but ``CMux(BK, ACC, ACC)`` multiplies
-        the key with an exactly-zero difference, so its accumulator comes back
+        through the (vectorised) fused CMux, but its ``(X^0 − 1)·ACC``
+        difference is exactly zero, so its accumulator comes back
         bit-identical to the sequential path's skip.
         """
         acc = accumulators
@@ -120,8 +145,49 @@ class CmuxBlindRotator:
             powers = bara[:, i]
             if not powers.any():
                 continue
+            acc = tgsw_batch_cmux_rotate(
+                bk_i, acc, powers, self.transform, self.workspace
+            )
+        return acc
+
+    # -- pre-fusion ground truth (property tests / benchmark baseline) -------
+    def rotate_reference(self, accumulator: TlweSample, bara: np.ndarray) -> TlweSample:
+        """The historical step: materialised rotation + per-digit-plane CMux.
+
+        Faithful to the pre-fusion implementation including its per-row
+        rotation loop, so the external-product benchmark's baseline measures
+        the path this PR replaced (the current :func:`tlwe_rotate` is
+        vectorised).
+        """
+        from repro.tfhe.polynomial import poly_mul_by_xk
+
+        acc = accumulator
+        for i, bk_i in enumerate(self.bootstrapping_key):
+            power = int(bara[i])
+            if power == 0:
+                continue
+            rotated = TlweSample(
+                np.stack(
+                    [
+                        poly_mul_by_xk(acc.data[row], power)
+                        for row in range(acc.data.shape[0])
+                    ]
+                ).astype(np.int32)
+            )
+            acc = tgsw_cmux_reference(bk_i, rotated, acc, self.transform)
+        return acc
+
+    def rotate_batch_reference(
+        self, accumulators: TlweBatch, bara: np.ndarray
+    ) -> TlweBatch:
+        """Batched pre-fusion blind rotation (ground truth)."""
+        acc = accumulators
+        for i, bk_i in enumerate(self.bootstrapping_key):
+            powers = bara[:, i]
+            if not powers.any():
+                continue
             rotated = tlwe_batch_rotate(acc, powers)
-            acc = tgsw_batch_cmux(bk_i, rotated, acc, self.transform)
+            acc = tgsw_batch_cmux_reference(bk_i, rotated, acc, self.transform)
         return acc
 
 
@@ -131,8 +197,17 @@ def make_test_vector(params: TFHEParameters, mu: int) -> np.ndarray:
     After the blind rotation by ``X^{-p̄}`` (where ``p̄`` is the rescaled phase
     of the input sample) the constant coefficient of the test polynomial is
     ``+mu`` when the phase is positive and ``-mu`` when it is negative.
+    Memoised (and write-protected) per ``(N, mu)`` — every gate bootstrapping
+    of a parameter set shares one constant vector.
     """
-    return np.full(params.N, np.int32(mu), dtype=np.int32)
+    return _make_test_vector_cached(params.N, int(np.int32(mu)))
+
+
+@lru_cache(maxsize=None)
+def _make_test_vector_cached(degree: int, mu: int) -> np.ndarray:
+    vector = np.full(degree, np.int32(mu), dtype=np.int32)
+    vector.setflags(write=False)
+    return vector
 
 
 def modswitch_sample(sample: LweSample, degree: int) -> tuple[int, np.ndarray]:

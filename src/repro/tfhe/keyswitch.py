@@ -14,7 +14,7 @@ key-switching samples.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -37,6 +37,29 @@ class KeySwitchKey:
     data: np.ndarray
     input_dimension: int
     output_dimension: int
+    #: Lazily-built flat gather tables of :func:`_keyswitch_totals`.
+    _flat_data: np.ndarray | None = field(default=None, repr=False, compare=False)
+    _flat_rows: np.ndarray | None = field(default=None, repr=False, compare=False)
+    _digit_shifts: np.ndarray | None = field(default=None, repr=False, compare=False)
+
+    def _gather_tables(self):
+        """``(flat_data, flat_rows, shifts)`` for the one-shot digit gather.
+
+        ``flat_data`` is the key viewed as ``(n_in·t·base, n_out + 1)``;
+        ``flat_rows[j, i] = (i·t + j)·base`` is the flat offset of sample
+        ``(i, j, digit 0)``, so ``flat_rows + digits`` indexes every selected
+        sample of every digit level in one ``take``.
+        """
+        if self._flat_data is None:
+            t = self.params.length
+            self._flat_data = self.data.reshape(-1, self.data.shape[-1])
+            rows = (np.arange(self.input_dimension, dtype=np.int64) * t)[None, :]
+            self._flat_rows = (rows + np.arange(t, dtype=np.int64)[:, None]) * self.params.base
+            self._digit_shifts = np.array(
+                [32 - self.params.base_bits * (j + 1) for j in range(t)],
+                dtype=np.int64,
+            )
+        return self._flat_data, self._flat_rows, self._digit_shifts
 
 
 def keyswitch_key_generate(
@@ -98,10 +121,41 @@ def _keyswitch_totals(ks: KeySwitchKey, a: np.ndarray) -> np.ndarray:
     rounding = 1 << (32 - base_bits * t - 1) if 32 - base_bits * t - 1 >= 0 else 0
     a_in = ((a.astype(np.int64) & 0xFFFFFFFF) + rounding) & 0xFFFFFFFF
 
-    # Accumulate one digit level at a time: materialising the full
-    # (..., n_in, t, n_out + 1) gather would peak at ~10 GiB for the paper
-    # parameters at batch 256, while per-level gathers stay ~t times smaller.
-    # Integer addition is exact, so the result is independent of the order.
+    flat_data, flat_rows, shifts = ks._gather_tables()
+    # All digit levels extract in one broadcast shift/mask and gather through
+    # one flat `take` (integer addition is exact, so the single fused
+    # reduction is bit-identical to the historical per-level accumulation).
+    # For very wide batches the (t, B, n_in, n_out+1) gather is chunked so the
+    # peak stays bounded (~t times the per-level footprint of one chunk).
+    shifts = shifts.reshape((t,) + (1,) * a_in.ndim)
+    flat_rows = flat_rows.reshape((t,) + (1,) * (a_in.ndim - 1) + (ks.input_dimension,))
+    if a_in.ndim == 2 and a_in.shape[0] > 64:
+        totals = np.empty(a_in.shape[:-1] + (ks.output_dimension + 1,), dtype=np.int64)
+        for start in range(0, a_in.shape[0], 64):
+            chunk = a_in[start : start + 64]
+            digits = (chunk[None] >> shifts) & mask
+            selected = flat_data.take(flat_rows + digits, axis=0)
+            totals[start : start + 64] = selected.sum(axis=(0, -2), dtype=np.int64)
+        return totals
+    digits = (a_in[None] >> shifts) & mask  # (t, ..., n_in)
+    selected = flat_data.take(flat_rows + digits, axis=0)  # (t, ..., n_in, n_out+1)
+    return selected.sum(axis=(0, -2), dtype=np.int64)
+
+
+def _keyswitch_totals_reference(ks: KeySwitchKey, a: np.ndarray) -> np.ndarray:
+    """The historical per-digit-level accumulation (ground truth).
+
+    Kept verbatim as the bit-identity reference of the one-shot gather in
+    :func:`_keyswitch_totals` (integer addition is exact, so the two orders
+    agree bit for bit) and as the benchmark's pre-fusion baseline epilogue.
+    """
+    params = ks.params
+    base_bits = params.base_bits
+    t = params.length
+    mask = params.base - 1
+    rounding = 1 << (32 - base_bits * t - 1) if 32 - base_bits * t - 1 >= 0 else 0
+    a_in = ((a.astype(np.int64) & 0xFFFFFFFF) + rounding) & 0xFFFFFFFF
+
     rows = np.arange(ks.input_dimension)
     totals = np.zeros(a_in.shape[:-1] + (ks.output_dimension + 1,), dtype=np.int64)
     for j in range(t):
@@ -110,6 +164,28 @@ def _keyswitch_totals(ks: KeySwitchKey, a: np.ndarray) -> np.ndarray:
         selected = ks.data[rows, j, digits]  # (..., n_in, n_out + 1)
         totals += selected.sum(axis=-2, dtype=np.int64)
     return totals
+
+
+def keyswitch_apply_reference(ks: KeySwitchKey, sample: LweSample) -> LweSample:
+    """Key switch through the historical per-level loop (test/bench baseline)."""
+    if sample.dimension != ks.input_dimension:
+        raise ValueError("sample dimension does not match key-switching key")
+    n_out = ks.output_dimension
+    totals = _keyswitch_totals_reference(ks, sample.a)
+    a_out = torus32_from_int64(-totals[:n_out])
+    b_out = torus32_from_int64(int(np.int64(sample.b)) - int(totals[n_out]))
+    return LweSample(a=a_out, b=np.int32(b_out))
+
+
+def keyswitch_apply_batch_reference(ks: KeySwitchKey, batch: LweBatch) -> LweBatch:
+    """Batched key switch through the historical per-level loop (baseline)."""
+    if batch.dimension != ks.input_dimension:
+        raise ValueError("sample dimension does not match key-switching key")
+    n_out = ks.output_dimension
+    totals = _keyswitch_totals_reference(ks, batch.a)  # (B, n_out + 1)
+    a_out = torus32_from_int64(-totals[..., :n_out])
+    b_out = torus32_from_int64(batch.b.astype(np.int64) - totals[..., n_out])
+    return LweBatch(a=a_out, b=b_out)
 
 
 def keyswitch_apply(ks: KeySwitchKey, sample: LweSample) -> LweSample:

@@ -14,9 +14,44 @@ add/subtract primitives that the bootstrapping loop needs.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.tfhe.torus import torus32_from_int64
+
+
+@lru_cache(maxsize=None)
+def _coefficient_index(degree: int) -> np.ndarray:
+    """The cached (read-only) coefficient index table ``[0, 1, ..., N-1]``.
+
+    Negacyclic rotations are gathers over this table: coefficient ``i`` of
+    ``X^p · poly`` comes from coefficient ``(i - p) mod N`` with a sign flip
+    on wrap-around.  Precomputing the base table once per ring degree keeps
+    the per-step rotation work of the blind-rotation loop down to the gather
+    itself.
+    """
+    index = np.arange(degree, dtype=np.int64)
+    index.setflags(write=False)
+    return index
+
+
+def _rotation_tables(degree: int, powers: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Gather/sign index tables for multiplication by ``X^powers``.
+
+    ``powers`` is an int64 array (already reduced mod ``2N``) whose shape
+    broadcasts against the rotated stack's batch axes.  Returns ``(src,
+    negate)`` with ``src[..., i]`` the source coefficient index of output
+    coefficient ``i`` and ``negate[..., i]`` a boolean marking the
+    coefficients whose negacyclic sign is ``−1``.
+    """
+    col = _coefficient_index(degree)
+    negate_all = powers >= degree
+    shift = powers % degree
+    src = (col - shift[..., None]) % degree
+    wrapped = col < shift[..., None]
+    negate = wrapped ^ negate_all[..., None]
+    return src, negate
 
 
 def zero_torus_polynomial(degree: int) -> np.ndarray:
@@ -109,29 +144,109 @@ def poly_mul_by_xk_powers(polys: np.ndarray, powers: np.ndarray) -> np.ndarray:
         )
     degree = polys.shape[-1]
     powers = np.asarray(powers, dtype=np.int64) % (2 * degree)
-    negate_all = powers >= degree
-    shift = powers % degree
-
-    col = np.arange(degree, dtype=np.int64)
-    src = (col - shift[..., None]) % degree
-    wrapped = col < shift[..., None]
-    sign = np.where(wrapped ^ negate_all[..., None], np.int64(-1), np.int64(1))
+    src, negate = _rotation_tables(degree, powers)
     shape = np.broadcast_shapes(polys.shape, src.shape)
     rotated = np.take_along_axis(
         np.broadcast_to(polys, shape), np.broadcast_to(src, shape), axis=-1
     )
-    product = sign * rotated.astype(np.int64)
-    return torus32_from_int64(product) if wrap else product
+    if wrap:
+        # Torus stacks rotate entirely in uint32: negation mod 2^32 *is* the
+        # negacyclic sign flip followed by the torus reduction.
+        unsigned = rotated.view(np.uint32)
+        return np.where(negate, -unsigned, unsigned).view(np.int32)
+    product = np.where(negate, np.int64(-1), np.int64(1)) * rotated.astype(np.int64)
+    return product
 
 
 def poly_mul_by_xk_minus_one(poly: np.ndarray, power: int) -> np.ndarray:
-    """Compute ``(X^power - 1) * poly`` modulo ``X^N + 1``.
+    """Compute ``(X^power - 1) * poly`` modulo ``X^N + 1``, fused.
 
-    This is the scaling applied to bootstrapping keys when building the
-    blind-rotation accumulator update (Algorithm 1 line 6 and the BKU bundle
-    construction of Figure 5).
+    This is the rotate-and-subtract at the heart of every blind-rotation step
+    (Algorithm 1 line 6: the CMux difference ``X^{ā_i}·ACC − ACC``) and of the
+    BKU bundle construction of Figure 5.  The rotation and the subtraction are
+    fused into one sign-gather-subtract over the precomputed index tables —
+    no intermediate ``X^power · poly`` polynomial is materialised and the
+    torus reduction runs once instead of twice.  The result is bit-identical
+    to ``poly_sub(poly_mul_by_xk(poly, power), poly)`` (both reduce the same
+    integer mod ``2^32``).
+
+    ``poly`` may be a stack ``(..., N)`` of either ``int32`` (torus) or
+    ``int64`` (plain integer) polynomials; the result is always reduced onto
+    the 32-bit torus, like :func:`poly_sub`.
     """
-    return poly_sub(poly_mul_by_xk(poly, power), poly)
+    poly = np.asarray(poly)
+    if poly.dtype not in (np.int32, np.int64):
+        raise TypeError(
+            f"poly_mul_by_xk_minus_one expects int32 or int64 input, got {poly.dtype}"
+        )
+    degree = poly.shape[-1]
+    power = int(power) % (2 * degree)
+    negate_all = power >= degree
+    shift = power % degree
+    # A single power means the gather index table degenerates to two
+    # contiguous segments (the wrapped head, negated, and the shifted tail),
+    # so the gather runs as two block copies straight into the difference
+    # buffer — cheaper than the per-row fancy-index tables of
+    # :func:`poly_mul_by_xk_minus_one_powers`.  For torus (int32) input the
+    # whole difference is computed in uint32 — every operation is taken mod
+    # 2^32 anyway, so wrap-around arithmetic *is* the torus reduction and the
+    # int64 widening plus the final reduction pass disappear.
+    if poly.dtype == np.int32:
+        unsigned = poly.view(np.uint32)
+        diff = np.empty(poly.shape, dtype=np.uint32)
+        if shift:
+            np.negative(unsigned[..., degree - shift :], out=diff[..., :shift])
+            diff[..., shift:] = unsigned[..., : degree - shift]
+        else:
+            diff[...] = unsigned
+        if negate_all:
+            np.negative(diff, out=diff)
+        diff -= unsigned
+        return diff.view(np.int32)
+    diff = np.empty(poly.shape, dtype=np.int64)
+    if shift:
+        np.negative(poly[..., degree - shift :], out=diff[..., :shift])
+        diff[..., shift:] = poly[..., : degree - shift]
+    else:
+        diff[...] = poly
+    if negate_all:
+        np.negative(diff, out=diff)
+    diff -= poly
+    return torus32_from_int64(diff)
+
+
+def poly_mul_by_xk_minus_one_powers(polys: np.ndarray, powers: np.ndarray) -> np.ndarray:
+    """Compute ``(X^powers[i] - 1) * polys[i]`` for a whole stack, fused.
+
+    The batched counterpart of :func:`poly_mul_by_xk_minus_one`: ``powers``
+    broadcasts against the leading batch axes of ``polys`` exactly like in
+    :func:`poly_mul_by_xk_powers`, and a row whose power reduces to zero mod
+    ``2N`` comes out as the zero polynomial (``X^0 − 1 = 0``).  One gather +
+    subtract + torus reduction over the whole stack; bit-identical to
+    ``poly_sub(poly_mul_by_xk_powers(polys, powers), polys)``.
+    """
+    polys = np.asarray(polys)
+    if polys.dtype not in (np.int32, np.int64):
+        raise TypeError(
+            "poly_mul_by_xk_minus_one_powers expects int32 or int64 input, "
+            f"got {polys.dtype}"
+        )
+    degree = polys.shape[-1]
+    powers = np.asarray(powers, dtype=np.int64) % (2 * degree)
+    src, negate = _rotation_tables(degree, powers)
+    shape = np.broadcast_shapes(polys.shape, src.shape)
+    rotated = np.take_along_axis(
+        np.broadcast_to(polys, shape), np.broadcast_to(src, shape), axis=-1
+    )
+    if polys.dtype == np.int32:
+        # Gather, sign-flip and subtract all mod 2^32 — no widening, and the
+        # wrap-around arithmetic is itself the torus reduction.
+        unsigned = rotated.view(np.uint32)
+        diff = np.where(negate, -unsigned, unsigned)
+        diff -= polys.view(np.uint32)
+        return diff.view(np.int32)
+    sign = np.where(negate, np.int64(-1), np.int64(1))
+    return torus32_from_int64(sign * rotated.astype(np.int64) - polys)
 
 
 def negacyclic_convolution(int_poly: np.ndarray, torus_poly: np.ndarray) -> np.ndarray:

@@ -9,19 +9,44 @@ positions.
 The *external product* ``⊡ : TGSW × TLWE → TLWE`` multiplies the messages of
 its operands; it is the homomorphic CMux/blind-rotation workhorse of
 Algorithm 1 line 7 and by far the dominant computation of a TFHE gate, since
-each external product performs ``(k+1)·l`` forward transforms and ``k+1``
-backward transforms.
+each external product performs ``(k+1)·l`` (logical) forward transforms and
+``k+1`` (logical) backward transforms.
+
+Fused kernel
+------------
+
+The external product runs as **one** fused kernel: all ``k+1`` blocks of the
+TLWE operand gadget-decompose into a single ``((k+1)·l, ..., N)`` digit
+stack, the stack goes through one stacked ``forward``, one
+``spectrum_contract`` against the TGSW operand's packed
+``(rows, ..., k+1, N/2)`` spectral tensor, and one stacked ``backward``
+produces every output column at once
+(:meth:`repro.tfhe.transform.NegacyclicTransform.contract_accumulate`).
+Scratch arrays stage through a reusable :class:`BootstrapWorkspace` so the
+``n``-step blind-rotation loop allocates no per-step decomposition buffers.
+The engine counters are topped up to the *logical* per-polynomial transform
+counts after each fused call, so the Figure-1 FFT/IFFT breakdown reports the
+same numbers as the historical per-digit-plane loop — which is preserved
+verbatim as :func:`tgsw_external_product_reference` (the property-test and
+benchmark ground truth).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.tfhe.params import TgswParams, TlweParams
-from repro.tfhe.tlwe import TlweBatch, TlweKey, TlweSample, tlwe_encrypt, tlwe_zero
+from repro.tfhe.tlwe import (
+    TlweBatch,
+    TlweKey,
+    TlweSample,
+    tlwe_batch_mul_by_xk_minus_one,
+    tlwe_encrypt,
+)
 from repro.tfhe.torus import torus32_from_int64
 from repro.tfhe.transform import NegacyclicTransform, Spectrum
 from repro.utils.rng import SeedLike, make_rng
@@ -55,22 +80,104 @@ class TgswSample:
 
 @dataclass
 class TransformedTgswSample:
-    """A TGSW sample whose polynomials are kept in the Lagrange domain.
+    """A TGSW sample kept in the Lagrange domain as one packed spectral tensor.
 
     Bootstrapping keys are transformed once at key-generation time; the
     blind-rotation loop then only transforms the (small) decomposed
-    accumulator polynomials.  ``spectra[row][col]`` is the spectrum of the
-    corresponding polynomial of the coefficient-domain sample.
+    accumulator polynomials.  ``tensor`` is a single stacked spectrum of
+    shape ``(rows, ..., k+1, N/2)``: gadget rows leading (row
+    ``block·l + j`` holds digit ``j`` of block ``block``), optional batch
+    axes in the middle (batched BKU bundles carry one bundle per in-flight
+    ciphertext), the output-column axis second to last and the spectral axis
+    last.  This is exactly the layout one stacked ``forward`` over the
+    coefficient-domain ``(rows, k+1, N)`` data produces, and the layout
+    :meth:`repro.tfhe.transform.NegacyclicTransform.spectrum_contract`
+    consumes — no per-row/per-column Python lists anywhere on the hot path.
+
+    The historical per-polynomial view is recoverable through
+    ``transform.spectrum_take_col(transform.spectrum_index(tensor, row), col)``
+    (what the reference external product uses).
     """
 
-    spectra: List[List[Spectrum]]
+    tensor: Spectrum
     params: TgswParams
     mask_count: int
     degree: int
+    rows: int
+
+
+class BootstrapWorkspace:
+    """Reusable scratch buffers for the fused external-product kernel.
+
+    One workspace amortises the decomposition scratch arrays (the int64
+    shifted/digit temporaries and the int32 digit stack) across every
+    external product that shares it: all ``n`` steps of a blind rotation,
+    every gate of an evaluator, and every flush of a batch scheduler reuse
+    the same buffers instead of allocating fresh ones per step.
+
+    Lifetime / reuse rules:
+
+    * buffers are keyed by shape — mixing scalar and batched external
+      products (or different batch widths) through one workspace is safe,
+      each shape gets its own buffer set, and at most :attr:`MAX_SHAPES`
+      shapes are held at once (oldest evicted);
+    * workspace memory is only ever *input* scratch: every kernel output is
+      freshly allocated by the engines, so results never alias workspace
+      buffers and remain valid after later calls reuse the workspace;
+    * a workspace is **not** thread-safe — share it within one evaluation
+      context (as :class:`repro.runtime.context.FheContext` does), not across
+      concurrently evaluating contexts.
+    """
+
+    __slots__ = ("_decompose",)
+
+    #: Max distinct shapes cached per workspace.  A long-lived context can see
+    #: many batch widths over its lifetime (scheduler flushes vary with load);
+    #: beyond this bound the oldest shape's buffers are dropped so scratch
+    #: memory stays proportional to the active working set instead of growing
+    #: with every width ever seen.
+    MAX_SHAPES = 8
+
+    def __init__(self) -> None:
+        self._decompose: Dict[Tuple[Tuple[int, ...], int], Tuple[np.ndarray, ...]] = {}
+
+    def decompose_buffers(
+        self, data_shape: Tuple[int, ...], length: int, rows: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The ``(shifted, scratch, digits, offset)`` buffers of the fused kernel.
+
+        One dict hit per external product (the decomposition is the hot
+        loop).  At most :attr:`MAX_SHAPES` shape entries are kept
+        (oldest-inserted evicted first — no recency bookkeeping on the hot
+        path).
+        """
+        key = (data_shape, length)
+        entry = self._decompose.get(key)
+        if entry is None:
+            batch = data_shape[:-2]
+            degree = data_shape[-1]
+            entry = (
+                np.empty(data_shape, dtype=np.uint32),
+                np.empty((length,) + data_shape, dtype=np.uint32),
+                np.empty((rows,) + batch + (degree,), dtype=np.int32),
+                np.empty(data_shape, dtype=np.uint32),
+            )
+            if len(self._decompose) >= self.MAX_SHAPES:
+                self._decompose.pop(next(iter(self._decompose)))
+            self._decompose[key] = entry
+        return entry
 
     @property
-    def rows(self) -> int:
-        return len(self.spectra)
+    def buffer_count(self) -> int:
+        """Number of distinct buffers currently held (for tests/telemetry)."""
+        return 4 * len(self._decompose)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held by the workspace."""
+        return sum(
+            buffer.nbytes for entry in self._decompose.values() for buffer in entry
+        )
 
 
 def gadget_values(params: TgswParams) -> np.ndarray:
@@ -117,6 +224,170 @@ def gadget_decompose(
     for j in range(params.decomp_length):
         shift = 32 - (j + 1) * base_bits
         digits[j] = (((shifted >> shift) & mask) - half_base).astype(np.int32)
+    return digits
+
+
+#: Identity-keyed fast path over :func:`_decompose_constants` — parameter-set
+#: objects are module-level singletons, so an ``id`` probe skips the dataclass
+#: hash on the blind-rotation hot loop (the value-keyed cache stays the source
+#: of truth, so equal params still share constants).  Bounded: a server that
+#: deserializes a fresh params object per client key must not pin every one of
+#: them forever.
+_DECOMPOSE_CONSTANTS_BY_ID: Dict[int, Tuple[TgswParams, tuple]] = {}
+_DECOMPOSE_CONSTANTS_BY_ID_MAX = 64
+
+
+def _decompose_constants_for(params: TgswParams) -> tuple:
+    entry = _DECOMPOSE_CONSTANTS_BY_ID.get(id(params))
+    if entry is None or entry[0] is not params:
+        entry = (params, _decompose_constants(params))
+        if len(_DECOMPOSE_CONSTANTS_BY_ID) >= _DECOMPOSE_CONSTANTS_BY_ID_MAX:
+            _DECOMPOSE_CONSTANTS_BY_ID.pop(next(iter(_DECOMPOSE_CONSTANTS_BY_ID)))
+        _DECOMPOSE_CONSTANTS_BY_ID[id(params)] = entry
+    return entry[1]
+
+
+@lru_cache(maxsize=32)
+def _decompose_constants(params: TgswParams):
+    """Cached uint32 constants of the gadget decomposition of one parameter set."""
+    base_bits = params.decomp_base_bits
+    shifts = np.array(
+        [32 - (j + 1) * base_bits for j in range(params.decomp_length)],
+        dtype=np.uint32,
+    )
+    shifts.setflags(write=False)
+    return (
+        np.uint32(decomposition_offset(params)),
+        shifts,
+        np.uint32((1 << base_bits) - 1),
+        np.uint32(1 << (base_bits - 1)),
+    )
+
+
+def gadget_decompose_rows(
+    data: np.ndarray,
+    params: TgswParams,
+    workspace: Optional[BootstrapWorkspace] = None,
+) -> np.ndarray:
+    """Gadget-decompose every block of a TLWE data array into one digit stack.
+
+    ``data`` has shape ``(..., k+1, N)`` (a sample or a batch); the result is
+    the ``((k+1)·l, ..., N)`` int32 stack the fused external product feeds to
+    one stacked ``forward``, with row ``block·l + j`` holding digit ``j`` of
+    block ``block`` — the gadget row order of :class:`TgswSample`.
+
+    All digit planes extract in **one** broadcast shift/mask/subtract over a
+    ``(l, ..., k+1, N)`` scratch tensor, entirely in uint32 — bit-identical
+    to the reference int64 path of :func:`gadget_decompose` per block: the
+    offset-add carry past bit 31 only ever reaches digit positions the
+    per-digit mask discards, and the ``− Bg/2`` wrap-around reinterprets as
+    exactly the signed digit.  With a :class:`BootstrapWorkspace` the scratch
+    tensors and the digit stack itself are reused across calls of the same
+    shape (the stack is pure input scratch — the engines copy it during
+    ``forward``).
+    """
+    data = np.asarray(data)
+    blocks = int(data.shape[-2])
+    degree = int(data.shape[-1])
+    batch = data.shape[:-2]
+    length = params.decomp_length
+    rows = blocks * length
+    offset, shifts, mask, half_base = _decompose_constants_for(params)
+
+    if workspace is None:
+        shifted = np.empty(data.shape, dtype=np.uint32)
+        scratch = np.empty((length,) + data.shape, dtype=np.uint32)
+        digits = np.empty((rows,) + batch + (degree,), dtype=np.int32)
+    else:
+        shifted, scratch, digits, _ = workspace.decompose_buffers(
+            data.shape, length, rows
+        )
+
+    np.add(data.view(np.uint32), offset, out=shifted)
+    _extract_digit_planes(shifted, scratch, digits, shifts, mask, half_base)
+    return digits
+
+
+def _extract_digit_planes(
+    shifted: np.ndarray,
+    scratch: np.ndarray,
+    digits: np.ndarray,
+    shifts: np.ndarray,
+    mask: np.uint32,
+    half_base: np.uint32,
+) -> None:
+    """Shared digit-extraction tail of the fused decomposition.
+
+    ``shifted`` holds the offset-added uint32 coefficients ``(..., k+1, N)``;
+    every digit plane extracts in one broadcast shift/mask/subtract into
+    ``scratch`` ``(l, ..., k+1, N)`` and lands in the ``(rows, ..., N)``
+    ``digits`` stack (row ``block·l + j``) through one strided copy — both
+    reorderings are views.
+    """
+    length = scratch.shape[0]
+    blocks = shifted.shape[-2]
+    degree = shifted.shape[-1]
+    batch = shifted.shape[:-2]
+    np.right_shift(shifted, shifts.reshape((length,) + (1,) * shifted.ndim), out=scratch)
+    scratch &= mask
+    scratch -= half_base
+    ndim = scratch.ndim
+    planes = scratch.view(np.int32).transpose(
+        (ndim - 2, 0, *range(1, ndim - 2), ndim - 1)
+    )
+    digits.reshape((blocks, length) + batch + (degree,))[...] = planes
+
+
+def _decompose_rotated_difference(
+    data: np.ndarray,
+    power: int,
+    params: TgswParams,
+    workspace: Optional[BootstrapWorkspace],
+) -> np.ndarray:
+    """Digit stack of ``(X^power − 1)·data``, with the rotation fused in.
+
+    The blind-rotation step's rotate-and-subtract feeds the decomposition's
+    offset-shifted buffer directly: with ``off = offset − data`` (one pass,
+    all mod 2^32), the negacyclic gather segments add or subtract straight
+    into the shifted buffer, so **no difference polynomial is ever
+    materialised**.  Bit-identical to
+    ``gadget_decompose_rows(poly_mul_by_xk_minus_one(data, power), ...)``.
+    """
+    degree = int(data.shape[-1])
+    blocks = int(data.shape[-2])
+    length = params.decomp_length
+    rows = blocks * length
+    offset, shifts, mask, half_base = _decompose_constants_for(params)
+
+    if workspace is None:
+        shifted = np.empty(data.shape, dtype=np.uint32)
+        scratch = np.empty((length,) + data.shape, dtype=np.uint32)
+        digits = np.empty((rows,) + data.shape[:-2] + (degree,), dtype=np.int32)
+        off_acc = np.empty(data.shape, dtype=np.uint32)
+    else:
+        shifted, scratch, digits, off_acc = workspace.decompose_buffers(
+            data.shape, length, rows
+        )
+
+    unsigned = data.view(np.uint32)
+    np.subtract(offset, unsigned, out=off_acc)
+    power = int(power) % (2 * degree)
+    shift = power % degree
+    negate_all = power >= degree
+    if shift:
+        head = unsigned[..., degree - shift :]
+        tail = unsigned[..., : degree - shift]
+        if negate_all:
+            np.add(off_acc[..., :shift], head, out=shifted[..., :shift])
+            np.subtract(off_acc[..., shift:], tail, out=shifted[..., shift:])
+        else:
+            np.subtract(off_acc[..., :shift], head, out=shifted[..., :shift])
+            np.add(off_acc[..., shift:], tail, out=shifted[..., shift:])
+    elif negate_all:
+        np.subtract(off_acc, unsigned, out=shifted)
+    else:
+        np.add(off_acc, unsigned, out=shifted)
+    _extract_digit_planes(shifted, scratch, digits, shifts, mask, half_base)
     return digits
 
 
@@ -207,24 +478,18 @@ def tgsw_transform(
 
     The whole ``(rows, k+1, N)`` stack goes through **one** vectorised
     ``forward`` call (one engine invocation per TGSW sample instead of one
-    per polynomial), then the stacked spectrum is sliced back into the
-    per-row/per-column layout the external product consumes.  Per-polynomial
-    results are bit-identical to transforming each polynomial on its own
-    (the engines' documented batch semantics).
+    per polynomial); the stacked result *is* the packed
+    ``(rows, k+1, N/2)`` spectral tensor the fused external product
+    contracts against.  Per-polynomial values are bit-identical to
+    transforming each polynomial on its own (the engines' documented batch
+    semantics).
     """
-    stacked = transform.forward(sample.data)
-    spectra: List[List[Spectrum]] = [
-        [
-            transform.spectrum_index(stacked, (row, col))
-            for col in range(sample.mask_count + 1)
-        ]
-        for row in range(sample.rows)
-    ]
     return TransformedTgswSample(
-        spectra=spectra,
+        tensor=transform.forward(sample.data),
         params=sample.params,
         mask_count=sample.mask_count,
         degree=sample.degree,
+        rows=sample.rows,
     )
 
 
@@ -232,17 +497,67 @@ def _external_product_data(
     tgsw: TransformedTgswSample,
     data: np.ndarray,
     transform: NegacyclicTransform,
+    workspace: Optional[BootstrapWorkspace] = None,
+    reduce: bool = True,
 ) -> np.ndarray:
-    """Shared external-product core on raw TLWE coefficient arrays.
+    """Shared fused external-product core on raw TLWE coefficient arrays.
 
     ``data`` has shape ``(..., k+1, N)`` — a single sample or a batch.  The
-    TGSW operand's spectra may themselves carry batch axes (a batched BKU
-    bundle); operand batch axes broadcast inside the spectrum algebra.
+    TGSW operand's packed tensor may itself carry batch axes (a batched BKU
+    bundle); operand batch axes broadcast inside the contraction.  All
+    ``k+1`` blocks decompose into one digit stack and the whole product runs
+    through :meth:`repro.tfhe.transform.NegacyclicTransform.contract_accumulate`
+    — one stacked forward, one spectral contraction, one stacked backward —
+    bit-identical to :func:`_external_product_data_reference`.
     """
-    params = tgsw.params
-    k = tgsw.mask_count
-    degree = tgsw.degree
+    digits = gadget_decompose_rows(data, tgsw.params, workspace)
+    result = transform.contract_accumulate(digits, tgsw.tensor, reduce=reduce)
+    _count_logical_transforms(transform, tgsw)
+    return result
 
+
+def _count_logical_transforms(
+    transform: NegacyclicTransform, tgsw: TransformedTgswSample
+) -> None:
+    """Top the engine counters up to the logical per-polynomial counts.
+
+    The fused kernel issues ONE stacked forward/backward call; the Figure-1
+    FFT/IFFT breakdown (and the spectrum-cache accounting) must keep seeing
+    the per-digit-plane / per-column transform counts of the historical loop.
+    """
+    cols = tgsw.mask_count + 1
+    stats = transform.stats
+    stats.forward_calls += tgsw.rows - 1
+    stats.backward_calls += cols - 1
+    stats.pointwise_ops += 2 * tgsw.rows * cols - 2
+
+
+def _reference_row_col(
+    tgsw: TransformedTgswSample, transform: NegacyclicTransform, row: int, col: int
+) -> Spectrum:
+    """The historical per-polynomial spectrum view of a packed TGSW tensor."""
+    return transform.spectrum_take_col(
+        transform.spectrum_index(tgsw.tensor, row), col
+    )
+
+
+def _external_product_rows_reference(
+    spectra: List[List[Spectrum]],
+    params: TgswParams,
+    mask_count: int,
+    degree: int,
+    data: np.ndarray,
+    transform: NegacyclicTransform,
+) -> np.ndarray:
+    """The pre-fusion external-product loop on a per-row/per-column spectra list.
+
+    One forward per decomposed digit plane, a Python ``rows × (k+1)`` double
+    loop of pointwise mul/adds, one backward per output column.  Kept verbatim
+    as the bit-identity ground truth for the fused kernel (property tests and
+    the external-product benchmark baseline); the BKU reference bundle builder
+    feeds it directly.
+    """
+    k = mask_count
     decomposed: List[np.ndarray] = []
     for block in range(k + 1):
         digits = gadget_decompose(data[..., block, :], params)
@@ -253,47 +568,87 @@ def _external_product_data(
     result = np.zeros(data.shape[:-2] + (k + 1, degree), dtype=np.int32)
     for col in range(k + 1):
         acc = transform.spectrum_zero()
-        for row in range(tgsw.rows):
+        for row in range(len(spectra)):
             acc = transform.spectrum_add(
-                acc, transform.spectrum_mul(dec_spectra[row], tgsw.spectra[row][col])
+                acc, transform.spectrum_mul(dec_spectra[row], spectra[row][col])
             )
         result[..., col, :] = torus32_from_int64(transform.backward(acc))
     return result
+
+
+def _external_product_data_reference(
+    tgsw: TransformedTgswSample,
+    data: np.ndarray,
+    transform: NegacyclicTransform,
+) -> np.ndarray:
+    """Pre-fusion external product on a packed operand (test/bench baseline)."""
+    spectra = [
+        [_reference_row_col(tgsw, transform, row, col) for col in range(tgsw.mask_count + 1)]
+        for row in range(tgsw.rows)
+    ]
+    return _external_product_rows_reference(
+        spectra, tgsw.params, tgsw.mask_count, tgsw.degree, data, transform
+    )
+
+
+def _check_compatible(tgsw: TransformedTgswSample, tlwe) -> None:
+    if tlwe.degree != tgsw.degree or tlwe.mask_count != tgsw.mask_count:
+        raise ValueError("TGSW and TLWE operands are incompatible")
 
 
 def tgsw_external_product(
     tgsw: TransformedTgswSample,
     tlwe: TlweSample,
     transform: NegacyclicTransform,
+    workspace: Optional[BootstrapWorkspace] = None,
 ) -> TlweSample:
     """The external product ``TGSW ⊡ TLWE → TLWE`` (Algorithm 1 line 7).
 
-    The TLWE operand is gadget-decomposed into ``(k+1)·l`` small integer
-    polynomials; each is transformed, multiplied with the corresponding row of
-    the (pre-transformed) TGSW operand and accumulated in the Lagrange domain;
-    one backward transform per output polynomial produces the result.
+    The TLWE operand is gadget-decomposed into one ``(k+1)·l`` digit stack,
+    transformed with one stacked forward, contracted against the operand's
+    packed spectral tensor and brought back with one stacked backward (the
+    fused kernel).  Pass a :class:`BootstrapWorkspace` to reuse the
+    decomposition scratch across calls.
     """
-    k = tgsw.mask_count
-    if tlwe.degree != tgsw.degree or tlwe.mask_count != k:
-        raise ValueError("TGSW and TLWE operands are incompatible")
-    return TlweSample(_external_product_data(tgsw, tlwe.data, transform))
+    _check_compatible(tgsw, tlwe)
+    return TlweSample(_external_product_data(tgsw, tlwe.data, transform, workspace))
 
 
 def tgsw_batch_external_product(
     tgsw: TransformedTgswSample,
     tlwe: TlweBatch,
     transform: NegacyclicTransform,
+    workspace: Optional[BootstrapWorkspace] = None,
 ) -> TlweBatch:
     """Batched external product: one call covers a whole stack of accumulators.
 
-    The decomposition, forward transforms, Lagrange-domain accumulation and
-    backward transforms all run once over the batch axis; the result is
-    bit-identical to applying :func:`tgsw_external_product` per ciphertext.
+    The decomposition, the stacked forward, the contraction and the stacked
+    backward all run once over the batch axis; the result is bit-identical to
+    applying :func:`tgsw_external_product` per ciphertext.
     """
-    k = tgsw.mask_count
-    if tlwe.degree != tgsw.degree or tlwe.mask_count != k:
-        raise ValueError("TGSW and TLWE operands are incompatible")
-    return TlweBatch(_external_product_data(tgsw, tlwe.data, transform))
+    _check_compatible(tgsw, tlwe)
+    return TlweBatch(_external_product_data(tgsw, tlwe.data, transform, workspace))
+
+
+def tgsw_external_product_reference(
+    tgsw: TransformedTgswSample,
+    tlwe: TlweSample,
+    transform: NegacyclicTransform,
+) -> TlweSample:
+    """The pre-fusion external product (one forward per digit plane, one
+    backward per column) — the bit-identity ground truth of the fused kernel."""
+    _check_compatible(tgsw, tlwe)
+    return TlweSample(_external_product_data_reference(tgsw, tlwe.data, transform))
+
+
+def tgsw_batch_external_product_reference(
+    tgsw: TransformedTgswSample,
+    tlwe: TlweBatch,
+    transform: NegacyclicTransform,
+) -> TlweBatch:
+    """Batched :func:`tgsw_external_product_reference` (test/bench baseline)."""
+    _check_compatible(tgsw, tlwe)
+    return TlweBatch(_external_product_data_reference(tgsw, tlwe.data, transform))
 
 
 def tgsw_external_product_plain(
@@ -310,17 +665,77 @@ def tgsw_cmux(
     if_true: TlweSample,
     if_false: TlweSample,
     transform: NegacyclicTransform,
+    workspace: Optional[BootstrapWorkspace] = None,
 ) -> TlweSample:
     """Homomorphic multiplexer: returns ``if_true`` when the selector encrypts 1.
 
     ``CMux(C, d1, d0) = C ⊡ (d1 - d0) + d0``.  The classical (non-unrolled)
-    blind rotation is a chain of CMux operations.
+    blind rotation is a chain of CMux operations — for the specific rotation
+    form ``CMux(C, X^p·ACC, ACC)`` use :func:`tgsw_cmux_rotate`, which never
+    materialises the rotated branch.
     """
     from repro.tfhe.tlwe import tlwe_add, tlwe_sub
 
     difference = tlwe_sub(if_true, if_false)
-    product = tgsw_external_product(selector, difference, transform)
+    product = tgsw_external_product(selector, difference, transform, workspace)
     return tlwe_add(product, if_false)
+
+
+def tgsw_cmux_reference(
+    selector: TransformedTgswSample,
+    if_true: TlweSample,
+    if_false: TlweSample,
+    transform: NegacyclicTransform,
+) -> TlweSample:
+    """CMux through the pre-fusion external product (ground truth)."""
+    from repro.tfhe.tlwe import tlwe_add, tlwe_sub
+
+    difference = tlwe_sub(if_true, if_false)
+    product = tgsw_external_product_reference(selector, difference, transform)
+    return tlwe_add(product, if_false)
+
+
+def tgsw_cmux_rotate(
+    selector: TransformedTgswSample,
+    accumulator: TlweSample,
+    power: int,
+    transform: NegacyclicTransform,
+    workspace: Optional[BootstrapWorkspace] = None,
+) -> TlweSample:
+    """One fused blind-rotation step: ``CMux(BK, X^power·ACC, ACC)``.
+
+    The CMux difference ``X^power·ACC − ACC = (X^power − 1)·ACC`` is formed
+    directly by one sign-gather-subtract over precomputed index tables (no
+    rotated accumulator is ever materialised), fed through the fused external
+    product, and added back onto the accumulator.  Bit-identical to
+    ``tgsw_cmux(selector, tlwe_rotate(acc, power), acc, transform)``.
+    """
+    _check_compatible(selector, accumulator)
+    return TlweSample(
+        _cmux_rotate_data(selector, accumulator.data, power, transform, workspace)
+    )
+
+
+def _cmux_rotate_data(
+    selector: TransformedTgswSample,
+    data: np.ndarray,
+    power: int,
+    transform: NegacyclicTransform,
+    workspace: Optional[BootstrapWorkspace],
+) -> np.ndarray:
+    """Raw-array core of :func:`tgsw_cmux_rotate` (the blind-rotation hot loop).
+
+    The ``(X^power − 1)·ACC`` difference is fused straight into the gadget
+    decomposition (:func:`_decompose_rotated_difference`) and the CMux
+    add-back folds into the product's single torus reduction (wrapping mod
+    2^32 commutes with the int64 addition).
+    """
+    digits = _decompose_rotated_difference(data, power, selector.params, workspace)
+    raw = transform.contract_accumulate(digits, selector.tensor, reduce=False)
+    _count_logical_transforms(transform, selector)
+    raw += data
+    raw &= 0xFFFFFFFF
+    return raw.astype(np.uint32).view(np.int32)
 
 
 def tgsw_batch_cmux(
@@ -328,10 +743,48 @@ def tgsw_batch_cmux(
     if_true: TlweBatch,
     if_false: TlweBatch,
     transform: NegacyclicTransform,
+    workspace: Optional[BootstrapWorkspace] = None,
 ) -> TlweBatch:
     """Batched CMux over stacks of TLWE ciphertexts (one selector for all rows)."""
     from repro.tfhe.tlwe import tlwe_batch_add, tlwe_batch_sub
 
     difference = tlwe_batch_sub(if_true, if_false)
-    product = tgsw_batch_external_product(selector, difference, transform)
+    product = tgsw_batch_external_product(selector, difference, transform, workspace)
     return tlwe_batch_add(product, if_false)
+
+
+def tgsw_batch_cmux_reference(
+    selector: TransformedTgswSample,
+    if_true: TlweBatch,
+    if_false: TlweBatch,
+    transform: NegacyclicTransform,
+) -> TlweBatch:
+    """Batched CMux through the pre-fusion external product (ground truth)."""
+    from repro.tfhe.tlwe import tlwe_batch_add, tlwe_batch_sub
+
+    difference = tlwe_batch_sub(if_true, if_false)
+    product = tgsw_batch_external_product_reference(selector, difference, transform)
+    return tlwe_batch_add(product, if_false)
+
+
+def tgsw_batch_cmux_rotate(
+    selector: TransformedTgswSample,
+    accumulators: TlweBatch,
+    powers: np.ndarray,
+    transform: NegacyclicTransform,
+    workspace: Optional[BootstrapWorkspace] = None,
+) -> TlweBatch:
+    """One fused batched blind-rotation step with per-ciphertext powers.
+
+    Rows whose power reduces to zero mod ``2N`` contribute an exactly-zero
+    difference, so their accumulators come back bit-identical to the scalar
+    path's skip.  Bit-identical to ``tgsw_batch_cmux(selector,
+    tlwe_batch_rotate(acc, powers), acc, transform)``.
+    """
+    _check_compatible(selector, accumulators)
+    difference = tlwe_batch_mul_by_xk_minus_one(accumulators, powers)
+    raw = _external_product_data(
+        selector, difference.data, transform, workspace, reduce=False
+    )
+    raw += accumulators.data
+    return TlweBatch(torus32_from_int64(raw))

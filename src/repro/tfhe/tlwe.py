@@ -19,7 +19,14 @@ import numpy as np
 
 from repro.tfhe.lwe import LweBatch, LweKey, LweSample
 from repro.tfhe.params import LweParams, TlweParams
-from repro.tfhe.polynomial import poly_add, poly_mul_by_xk, poly_mul_by_xk_powers, poly_sub
+from repro.tfhe.polynomial import (
+    poly_add,
+    poly_mul_by_xk,
+    poly_mul_by_xk_minus_one,
+    poly_mul_by_xk_minus_one_powers,
+    poly_mul_by_xk_powers,
+    poly_sub,
+)
 from repro.tfhe.torus import gaussian_torus32, torus32_from_int64, uniform_torus32
 from repro.tfhe.transform import NegacyclicTransform
 from repro.utils.rng import SeedLike, make_rng
@@ -182,12 +189,21 @@ def tlwe_rotate(sample: TlweSample, power: int) -> TlweSample:
     """Multiply every polynomial of the sample by ``X^power`` (mod ``X^N+1``).
 
     Rotating a sample rotates its message; this is the ``X^{b̄}·(0, testv)``
-    initialisation and the per-iteration rotation of Algorithm 1.
+    initialisation and the per-iteration rotation of Algorithm 1.  The whole
+    ``(k+1, N)`` stack rotates in one vectorised call (bit-identical to
+    rotating each row on its own — :func:`poly_mul_by_xk` is batch-aware).
     """
-    rotated = np.stack(
-        [poly_mul_by_xk(sample.data[row], power) for row in range(sample.data.shape[0])]
-    )
-    return TlweSample(rotated.astype(np.int32))
+    return TlweSample(poly_mul_by_xk(sample.data, power))
+
+
+def tlwe_mul_by_xk_minus_one(sample: TlweSample, power: int) -> TlweSample:
+    """Compute ``(X^power − 1) · sample`` in one fused gather-subtract.
+
+    This is the CMux difference of a blind-rotation step
+    (``X^{ā_i}·ACC − ACC``) without materialising the rotated accumulator —
+    bit-identical to ``tlwe_sub(tlwe_rotate(sample, power), sample)``.
+    """
+    return TlweSample(poly_mul_by_xk_minus_one(sample.data, power))
 
 
 def tlwe_extract_lwe_key(key: TlweKey) -> LweKey:
@@ -267,18 +283,36 @@ def tlwe_batch_rotate(batch: TlweBatch, powers: np.ndarray) -> TlweBatch:
     return TlweBatch(rotated.astype(np.int32))
 
 
+def tlwe_batch_mul_by_xk_minus_one(batch: TlweBatch, powers: np.ndarray) -> TlweBatch:
+    """Compute ``(X^{powers[i]} − 1) · batch[i]`` for a whole batch, fused.
+
+    The batched CMux difference of the blind rotation: every ciphertext uses
+    its own power, rows whose power reduces to zero mod ``2N`` come out
+    exactly zero, and nothing rotates through a materialised intermediate —
+    bit-identical to ``tlwe_batch_sub(tlwe_batch_rotate(batch, powers),
+    batch)``.
+    """
+    powers = np.asarray(powers, dtype=np.int64)
+    if powers.shape != (batch.batch_size,):
+        raise ValueError("one rotation power per batched ciphertext is required")
+    return TlweBatch(poly_mul_by_xk_minus_one_powers(batch.data, powers[:, None]))
+
+
 def tlwe_batch_sample_extract(batch: TlweBatch, index: int = 0) -> LweBatch:
-    """Vectorised ``SampleExtract``: coefficient ``index`` of every ciphertext."""
+    """Vectorised ``SampleExtract``: coefficient ``index`` of every ciphertext.
+
+    All ``k`` mask polynomials of every batched ciphertext extract in one
+    vectorised pass (no per-``k`` Python loop); bit-identical to looping
+    :func:`tlwe_sample_extract` over the rows.
+    """
     k = batch.mask_count
     degree = batch.degree
     if not 0 <= index < degree:
         raise ValueError("extraction index out of range")
-    a = np.zeros((batch.batch_size, k * degree), dtype=np.int32)
-    for j in range(k):
-        row = batch.data[:, j, :].astype(np.int64)
-        extracted = np.empty((batch.batch_size, degree), dtype=np.int64)
-        extracted[:, : index + 1] = row[:, index::-1]
-        if index + 1 < degree:
-            extracted[:, index + 1 :] = -row[:, :index:-1]
-        a[:, j * degree : (j + 1) * degree] = torus32_from_int64(extracted)
+    rows = batch.data[:, :k, :].astype(np.int64)  # (B, k, N)
+    extracted = np.empty((batch.batch_size, k, degree), dtype=np.int64)
+    extracted[..., : index + 1] = rows[..., index::-1]
+    if index + 1 < degree:
+        extracted[..., index + 1 :] = -rows[..., :index:-1]
+    a = torus32_from_int64(extracted).reshape(batch.batch_size, k * degree)
     return LweBatch(a=a, b=batch.data[:, -1, index].copy())

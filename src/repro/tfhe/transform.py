@@ -34,7 +34,16 @@ bootstrapping-key spectrum.  Batched results are bit-identical to looping the
 corresponding single-polynomial calls — the batch axis only amortises the
 Python/NumPy dispatch overhead, it never changes the arithmetic.  The
 invocation counters count *calls*, not batch elements; callers that need
-per-ciphertext operation counts multiply by the batch width.
+per-ciphertext operation counts multiply by the batch width.  (The fused
+external product of :mod:`repro.tfhe.tgsw` additionally tops the counters up
+to the *logical* per-polynomial transform counts after each kernel, so the
+Figure-1 breakdown keeps seeing the paper's FFT/IFFT numbers.)
+
+The fused external-product core lives here too: ``spectrum_contract``
+contracts a stacked digit spectrum against a packed ``(rows, ..., k+1, N/2)``
+TGSW tensor and ``contract_accumulate`` wraps one stacked forward, the
+contraction and one stacked backward — both ``multiply_accumulate`` and
+:func:`repro.tfhe.tgsw.tgsw_external_product` route through it.
 """
 
 from __future__ import annotations
@@ -48,7 +57,61 @@ import numpy as np
 from repro.tfhe.polynomial import negacyclic_convolution_int64
 from repro.tfhe.torus import torus32_from_int64
 
+def _probe_pocketfft_gufuncs():  # pragma: no cover - depends on the numpy build
+    """The pocketfft gufuncs, or ``None`` when they are absent or misbehave.
+
+    NumPy ≥ 2.0 exposes the pocketfft kernels as gufuncs; calling them
+    directly skips ~3 µs of python wrapper per transform, which is most of a
+    transform's cost at the reduced test ring sizes.  ``np.fft.fft/ifft``
+    call exactly these gufuncs with the same normalisation factors, so the
+    results are bit-identical.  The module is *private* NumPy API, so the
+    fast path is accepted only after a one-time self-test against the public
+    wrappers — any import error, signature change or value mismatch falls
+    back to ``np.fft`` instead of crashing the first bootstrap.
+    """
+    try:
+        from numpy.fft import _pocketfft_umath as gufuncs
+
+        probe = np.exp(1j * np.arange(8.0)).reshape(2, 4)
+        out = np.empty(probe.shape, dtype=np.complex128)
+        gufuncs.fft(probe, 1.0, out=out)
+        if not np.array_equal(out, np.fft.fft(probe, axis=-1)):
+            return None
+        gufuncs.ifft(probe, 1.0 / probe.shape[-1], out=out)
+        if not np.array_equal(out, np.fft.ifft(probe, axis=-1)):
+            return None
+        return gufuncs
+    except Exception:
+        return None
+
+
+_pocketfft_gufuncs = _probe_pocketfft_gufuncs()
+
 Spectrum = Any
+
+
+def _align_contraction_axes(
+    expanded: np.ndarray, operand: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Left-pad batch axes so a contraction's operands broadcast.
+
+    Both arrays lead with the shared row axis and trail with aligned
+    ``(columns, spectral)`` axes; any batch axes sit in between.  When one
+    side carries fewer batch axes (e.g. a batched digit stack against an
+    unbatched key tensor), length-1 axes are inserted right after the row
+    axis so right-aligned broadcasting pairs batch with batch and columns
+    with columns.
+    """
+    target = max(expanded.ndim, operand.ndim)
+    if expanded.ndim < target:
+        expanded = expanded.reshape(
+            expanded.shape[:1] + (1,) * (target - expanded.ndim) + expanded.shape[1:]
+        )
+    if operand.ndim < target:
+        operand = operand.reshape(
+            operand.shape[:1] + (1,) * (target - operand.ndim) + operand.shape[1:]
+        )
+    return expanded, operand
 
 
 @dataclass
@@ -164,6 +227,25 @@ class NegacyclicTransform(abc.ABC):
         """The array shape of a spectrum (batch axes + the spectral axis)."""
         return np.asarray(spectrum).shape
 
+    def spectrum_expand(self, spectrum: Spectrum, axis: int) -> Spectrum:
+        """Insert a length-1 axis into a stacked spectrum at ``axis``.
+
+        ``axis`` is given with respect to the underlying value array (the
+        spectral axis is last and cannot be expanded past, so ``axis == -1``
+        is invalid).  Engines whose spectra carry per-element side state
+        (e.g. fixed-point scales) override this so the side state keeps its
+        batch shape aligned.
+        """
+        return np.expand_dims(np.asarray(spectrum), axis)
+
+    def spectrum_take_col(self, spectrum: Spectrum, col: int) -> Spectrum:
+        """Slice output column ``col`` out of a packed ``(..., k+1, N/2)`` tensor.
+
+        The packed TGSW layout keeps the output-column axis second to last;
+        this accessor recovers the historical per-column spectrum view.
+        """
+        return np.asarray(spectrum)[..., col, :]
+
     def spectrum_index(self, spectrum: Spectrum, index) -> Spectrum:
         """The sub-spectrum at ``index`` of a stacked spectrum.
 
@@ -186,11 +268,71 @@ class NegacyclicTransform(abc.ABC):
         self.stats.pointwise_ops += 1
         return np.sum(np.asarray(spectrum), axis=0)
 
+    def spectrum_contract(self, stack: Spectrum, operand: Spectrum) -> Spectrum:
+        """Contract a digit stack against a packed spectral tensor over rows.
+
+        ``stack`` is a stacked spectrum of shape ``(rows, ..., N/2)`` (the
+        forward-transformed gadget digits, optional batch axes in the middle)
+        and ``operand`` a packed tensor of shape ``(rows, ..., k+1, N/2)``
+        (a :class:`repro.tfhe.tgsw.TransformedTgswSample`, whose optional
+        batch axes broadcast against the stack's).  The result is the
+        spectral accumulator of the external product::
+
+            result[..., c, :] = sum_r stack[r, ..., :] * operand[r, ..., c, :]
+
+        The row accumulation is **sequential** (a left fold in row order), so
+        floating-point engines stay bit-identical to the historical per-row
+        ``spectrum_add``/``spectrum_mul`` loop.  Engine implementations count
+        the contraction as one stacked product plus one reduction (two
+        pointwise ops — call semantics, like every other batched primitive);
+        callers that need logical per-polynomial counts top the counters up
+        themselves.  This generic fallback (used by ad-hoc engines such as
+        test proxies) goes through the ``spectrum_mul``/``spectrum_add``
+        algebra and therefore counts ``2·rows`` pointwise ops instead.
+        """
+        rows = self.spectrum_shape(stack)[0]
+        if rows == 0:
+            raise ValueError("cannot contract an empty digit stack")
+        acc: Optional[Spectrum] = None
+        for row in range(rows):
+            term = self.spectrum_mul(
+                self.spectrum_expand(self.spectrum_index(stack, row), -2),
+                self.spectrum_index(operand, row),
+            )
+            acc = term if acc is None else self.spectrum_add(acc, term)
+        return acc
+
     # -- convenience -------------------------------------------------------
     def multiply(self, int_poly: np.ndarray, torus_poly: np.ndarray) -> np.ndarray:
         """Negacyclic product reduced onto the 32-bit torus."""
         product = self.spectrum_mul(self.forward(int_poly), self.forward(torus_poly))
         return torus32_from_int64(self.backward(product))
+
+    def contract_accumulate(
+        self, int_stack: np.ndarray, tensor: Spectrum, reduce: bool = True
+    ) -> np.ndarray:
+        """The fused external-product core: one forward, one contraction, one backward.
+
+        ``int_stack`` is a stack of small integer polynomials of shape
+        ``(rows, ..., N)`` (the gadget digits) and ``tensor`` a packed
+        spectral tensor of shape ``(rows, ..., k+1, N/2)``.  The whole stack
+        goes through **one** ``forward``, one :meth:`spectrum_contract` and
+        **one** ``backward``; the result is the ``(..., k+1, N)`` torus
+        coefficient array of every output column at once.  Both
+        :meth:`multiply_accumulate` and
+        :func:`repro.tfhe.tgsw.tgsw_external_product` route through this
+        single implementation.
+
+        With ``reduce=False`` the raw int64 coefficients come back unwrapped,
+        so a caller that immediately adds another torus operand (the CMux
+        add-back) can fold that addition into its own single reduction —
+        wrapping mod ``2^32`` commutes with integer addition, so the result
+        is bit-identical either way.
+        """
+        dec_spectra = self.forward(np.asarray(int_stack))
+        acc = self.spectrum_contract(dec_spectra, tensor)
+        coeffs = self.backward(acc)
+        return torus32_from_int64(coeffs) if reduce else coeffs
 
     def multiply_accumulate(
         self,
@@ -226,13 +368,14 @@ class NegacyclicTransform(abc.ABC):
             for poly, spec in zip(polys, spectra):
                 acc = self.spectrum_add(acc, self.spectrum_mul(self.forward(poly), spec))
             return torus32_from_int64(self.backward(acc))
-        # Vectorised path: one forward over the stacked rows, one stacked
-        # pointwise product, one reduction — instead of a fresh spectrum
-        # allocation per term.  Counters count calls (not stacked elements),
-        # consistent with the batch semantics documented above.
-        dec_spectra = self.forward(np.stack(polys))
-        products = self.spectrum_mul(dec_spectra, self.spectrum_stack(spectra))
-        return torus32_from_int64(self.backward(self.spectrum_sum(products)))
+        # Vectorised path: route through the shared fused core — the stacked
+        # spectra become a packed tensor with a single output column, so one
+        # forward, one contraction and one backward cover every term.
+        # Counters count calls (not stacked elements), consistent with the
+        # batch semantics documented above.
+        tensor = self.spectrum_expand(self.spectrum_stack(spectra), -2)
+        result = self.contract_accumulate(np.stack(polys), tensor)
+        return result[..., 0, :]
 
     def reset_stats(self) -> None:
         """Reset the engine's invocation counters."""
@@ -272,6 +415,22 @@ class NaiveNegacyclicTransform(NegacyclicTransform):
         self.stats.pointwise_ops += 1
         return negacyclic_convolution_int64(a, b)
 
+    def spectrum_contract(self, stack: np.ndarray, operand: np.ndarray) -> np.ndarray:
+        """Fused contraction: one stacked product + one reduction (two ops).
+
+        Exact integer arithmetic, so the accumulation order is immaterial:
+        one broadcast negacyclic product over all rows, then one reduction
+        along the row axis.
+        """
+        self.stats.pointwise_ops += 2
+        stack = np.asarray(stack, dtype=np.int64)
+        operand = np.asarray(operand, dtype=np.int64)
+        if stack.shape[0] == 0:
+            raise ValueError("cannot contract an empty digit stack")
+        expanded, operand = _align_contraction_axes(stack[..., None, :], operand)
+        products = negacyclic_convolution_int64(expanded, operand)
+        return np.add.reduce(products, axis=0)
+
 
 class DoubleFFTNegacyclicTransform(NegacyclicTransform):
     """Double-precision floating-point FFT engine (the TFHE-library baseline).
@@ -293,27 +452,60 @@ class DoubleFFTNegacyclicTransform(NegacyclicTransform):
         s = np.arange(half)
         self._twist = np.exp(1j * np.pi * s / degree)
         self._untwist = np.exp(-1j * np.pi * s / degree)
+        # half is a power of two, so folding the transform normalisation into
+        # the twist tables is an exact exponent shift: every intermediate of
+        # the FFT scales by exactly 2^±log2(half) and the results stay
+        # bit-identical to twisting and normalising in separate passes.
+        self._twist_scaled = self._twist * half
+        self._untwist_normalised = self._untwist / half
+        self._inverse_norm = 1.0 / half
+
+    def _fft(self, values: np.ndarray) -> np.ndarray:
+        """Unnormalised complex FFT along the last axis (bit-identical to np.fft.fft)."""
+        if _pocketfft_gufuncs is not None:
+            out = np.empty(values.shape, dtype=np.complex128)
+            _pocketfft_gufuncs.fft(values, 1.0, out=out)
+            return out
+        return np.fft.fft(values, axis=-1)
+
+    def _ifft(self, values: np.ndarray) -> np.ndarray:
+        """1/n-normalised inverse FFT along the last axis (bit-identical to np.fft.ifft)."""
+        if _pocketfft_gufuncs is not None:
+            out = np.empty(values.shape, dtype=np.complex128)
+            _pocketfft_gufuncs.ifft(values, self._inverse_norm, out=out)
+            return out
+        return np.fft.ifft(values, axis=-1)
 
     def forward(self, coeffs: np.ndarray) -> np.ndarray:
         self.stats.forward_calls += 1
-        coeffs = np.asarray(coeffs, dtype=np.float64)
+        coeffs = np.asarray(coeffs)
         if coeffs.shape[-1] != self.degree:
             raise ValueError("polynomial degree mismatch")
         half = self._half
-        folded = (coeffs[..., :half] + 1j * coeffs[..., half:]) * self._twist
+        # Build the folded complex array by direct component assignment (the
+        # casts to float64 and the twist product are bit-identical to the
+        # historical `(re + 1j·im) * twist` expression, minus two temporaries).
+        folded = np.empty(coeffs.shape[:-1] + (half,), dtype=np.complex128)
+        folded.real = coeffs[..., :half]
+        folded.imag = coeffs[..., half:]
+        folded *= self._twist_scaled
         # Unnormalised inverse-sign DFT: S_u = sum_s folded_s e^{+2 pi i u s / half}
-        return np.fft.ifft(folded, axis=-1) * half
+        return self._ifft(folded)
 
     def backward(self, spectrum: np.ndarray) -> np.ndarray:
         self.stats.backward_calls += 1
         half = self._half
         spectrum = np.asarray(spectrum, dtype=np.complex128)
-        folded = np.fft.fft(spectrum, axis=-1) / half
-        folded = folded * self._untwist
-        coeffs = np.empty(spectrum.shape[:-1] + (self.degree,), dtype=np.float64)
+        folded = self._fft(spectrum)
+        folded *= self._untwist_normalised
+        # Round-half-even while still complex (componentwise, identical to
+        # rounding after the split), then unfold with casting assignments —
+        # the integral float64 → int64 casts are exact.
+        np.rint(folded, out=folded)
+        coeffs = np.empty(spectrum.shape[:-1] + (self.degree,), dtype=np.int64)
         coeffs[..., :half] = folded.real
         coeffs[..., half:] = folded.imag
-        return np.round(coeffs).astype(np.int64)
+        return coeffs
 
     def spectrum_zero(self) -> np.ndarray:
         return np.zeros(self._half, dtype=np.complex128)
@@ -325,6 +517,27 @@ class DoubleFFTNegacyclicTransform(NegacyclicTransform):
     def spectrum_mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         self.stats.pointwise_ops += 1
         return a * b
+
+    def spectrum_contract(self, stack: np.ndarray, operand: np.ndarray) -> np.ndarray:
+        """Fused contraction: one stacked product + one reduction (two ops).
+
+        ``np.add.reduce`` over the leading (row) axis accumulates the row
+        slices **sequentially in row order** (NumPy's pairwise summation only
+        applies to reductions along the innermost axis), so every output
+        element sees the exact floating-point addition order of the
+        historical per-row ``acc = add(acc, mul(...))`` fold — adding to the
+        initial zero is exact, so starting from the first product is
+        bit-identical.  The property suite pins this down against the
+        per-row reference loop for every engine.
+        """
+        self.stats.pointwise_ops += 2
+        stack = np.asarray(stack)
+        operand = np.asarray(operand)
+        if stack.shape[0] == 0:
+            raise ValueError("cannot contract an empty digit stack")
+        expanded, operand = _align_contraction_axes(stack[..., None, :], operand)
+        products = expanded * operand
+        return np.add.reduce(products, axis=0)
 
 
 # --------------------------------------------------------------------------- #

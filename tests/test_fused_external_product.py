@@ -1,0 +1,429 @@
+"""Bit-identity of the fused external-product kernel vs the pre-fusion path.
+
+The PR-4 fusion (packed ``(rows, k+1, N/2)`` key tensors, one stacked
+forward / ``spectrum_contract`` / stacked backward per external product, the
+``(X^p − 1)·ACC`` rotate-and-subtract folded into the decomposition, shared
+:class:`~repro.tfhe.tgsw.BootstrapWorkspace` scratch) must be **bit-identical**
+to the historical loop for every engine and both rotators.  These tests pin
+that down against the reference implementations kept in-tree
+(``tgsw_*_reference`` / ``rotate_reference`` / ``keyswitch_apply_reference``),
+including rotation edge powers and workspace aliasing across calls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bku import UnrolledBlindRotator, generate_unrolled_bootstrapping_key
+from repro.tfhe.bootstrap import CmuxBlindRotator
+from repro.tfhe.keys import generate_keys, generate_secret_key
+from repro.tfhe.keyswitch import (
+    keyswitch_apply,
+    keyswitch_apply_batch,
+    keyswitch_apply_reference,
+)
+from repro.tfhe.lwe import LweBatch, gate_message, lwe_encrypt
+from repro.tfhe.params import TEST_TINY
+from repro.tfhe.polynomial import (
+    poly_mul_by_xk,
+    poly_mul_by_xk_minus_one,
+    poly_mul_by_xk_minus_one_powers,
+    poly_mul_by_xk_powers,
+    poly_sub,
+)
+from repro.tfhe.tgsw import (
+    BootstrapWorkspace,
+    gadget_decompose_rows,
+    tgsw_batch_cmux,
+    tgsw_batch_cmux_reference,
+    tgsw_batch_cmux_rotate,
+    tgsw_batch_external_product,
+    tgsw_batch_external_product_reference,
+    tgsw_cmux,
+    tgsw_cmux_reference,
+    tgsw_cmux_rotate,
+    tgsw_encrypt,
+    tgsw_external_product,
+    tgsw_external_product_reference,
+    tgsw_transform,
+)
+from repro.tfhe.tlwe import (
+    TlweBatch,
+    TlweSample,
+    tlwe_batch_mul_by_xk_minus_one,
+    tlwe_batch_rotate,
+    tlwe_batch_sample_extract,
+    tlwe_batch_sub,
+    tlwe_encrypt,
+    tlwe_key_generate,
+    tlwe_mul_by_xk_minus_one,
+    tlwe_rotate,
+    tlwe_sample_extract,
+    tlwe_sub,
+)
+from repro.tfhe.transform import make_transform
+
+PARAMS = TEST_TINY
+ENGINES = ("naive", "double", "approx")
+#: Rotation edge powers: identity, boundary, negacyclic wrap, full cycle.
+EDGE_POWERS = (0, 1, PARAMS.N - 1, PARAMS.N, PARAMS.N + 3, 2 * PARAMS.N - 1, 2 * PARAMS.N)
+
+
+def _sample_equal(a, b) -> bool:
+    return bool(np.array_equal(np.asarray(a.data), np.asarray(b.data)))
+
+
+@pytest.fixture(scope="module", params=ENGINES)
+def setup(request):
+    transform = make_transform(request.param, PARAMS.N)
+    key = tlwe_key_generate(PARAMS.tlwe, rng=51)
+    selector = tgsw_transform(
+        tgsw_encrypt(key, 1, PARAMS.tgsw, transform, rng=52), transform
+    )
+    rng = np.random.default_rng(53)
+    message = rng.integers(-(2**31), 2**31, PARAMS.N).astype(np.int32)
+    tlwe = tlwe_encrypt(key, message, transform, rng=54)
+    return transform, key, selector, tlwe
+
+
+class TestExternalProductBitIdentity:
+    def test_scalar_matches_reference(self, setup):
+        transform, _, selector, tlwe = setup
+        fused = tgsw_external_product(selector, tlwe, transform)
+        reference = tgsw_external_product_reference(selector, tlwe, transform)
+        assert _sample_equal(fused, reference)
+
+    def test_batch_matches_reference_and_scalar(self, setup):
+        transform, key, selector, _ = setup
+        batch = TlweBatch.from_samples(
+            [
+                tlwe_encrypt(
+                    key,
+                    np.full(PARAMS.N, np.int32(1000 * (i + 1)), dtype=np.int32),
+                    transform,
+                    rng=60 + i,
+                )
+                for i in range(3)
+            ]
+        )
+        fused = tgsw_batch_external_product(selector, batch, transform)
+        reference = tgsw_batch_external_product_reference(selector, batch, transform)
+        assert np.array_equal(fused.data, reference.data)
+        for i in range(batch.batch_size):
+            scalar = tgsw_external_product(selector, batch[i], transform)
+            assert np.array_equal(fused.data[i], scalar.data)
+
+    def test_cmux_matches_reference(self, setup):
+        transform, _, selector, tlwe = setup
+        other = TlweSample(np.roll(tlwe.data, 7, axis=-1).astype(np.int32))
+        fused = tgsw_cmux(selector, tlwe, other, transform)
+        reference = tgsw_cmux_reference(selector, tlwe, other, transform)
+        assert _sample_equal(fused, reference)
+
+
+class TestCmuxRotateEdgePowers:
+    @pytest.mark.parametrize("power", EDGE_POWERS)
+    def test_fused_rotate_step_matches_rotate_plus_cmux(self, setup, power):
+        transform, _, selector, tlwe = setup
+        fused = tgsw_cmux_rotate(selector, tlwe, power, transform)
+        rotated = tlwe_rotate(tlwe, power)
+        reference = tgsw_cmux_reference(selector, rotated, tlwe, transform)
+        assert _sample_equal(fused, reference)
+
+    def test_batch_rotate_step_matches_reference(self, setup):
+        transform, key, selector, _ = setup
+        batch = TlweBatch.from_samples(
+            [
+                tlwe_encrypt(
+                    key,
+                    np.full(PARAMS.N, np.int32(7000 + i), dtype=np.int32),
+                    transform,
+                    rng=70 + i,
+                )
+                for i in range(len(EDGE_POWERS))
+            ]
+        )
+        powers = np.array(EDGE_POWERS, dtype=np.int64)
+        fused = tgsw_batch_cmux_rotate(selector, batch, powers, transform)
+        rotated = tlwe_batch_rotate(batch, powers)
+        reference = tgsw_batch_cmux_reference(selector, rotated, batch, transform)
+        assert np.array_equal(fused.data, reference.data)
+
+
+class TestBlindRotationBitIdentity:
+    def test_cmux_rotator_fused_vs_reference(self, setup):
+        transform, _, _, _ = setup
+        secret, cloud = generate_keys(
+            PARAMS, make_transform(transform.engine_kind, PARAMS.N), rng=81
+        )
+        rotator = cloud.blind_rotator
+        assert isinstance(rotator, CmuxBlindRotator)
+        rng = np.random.default_rng(82)
+        bara = rng.integers(0, 2 * PARAMS.N, PARAMS.n, dtype=np.int64)
+        acc = TlweSample(
+            rng.integers(-(2**31), 2**31, (PARAMS.k + 1, PARAMS.N)).astype(np.int32)
+        )
+        fused = rotator.rotate(acc.copy(), bara)
+        reference = rotator.rotate_reference(acc.copy(), bara)
+        assert _sample_equal(fused, reference)
+
+        batch_bara = rng.integers(0, 2 * PARAMS.N, (3, PARAMS.n), dtype=np.int64)
+        batch = TlweBatch(
+            rng.integers(-(2**31), 2**31, (3, PARAMS.k + 1, PARAMS.N)).astype(np.int32)
+        )
+        fused_batch = rotator.rotate_batch(batch.copy(), batch_bara)
+        reference_batch = rotator.rotate_batch_reference(batch.copy(), batch_bara)
+        assert np.array_equal(fused_batch.data, reference_batch.data)
+
+    def test_unrolled_rotator_fused_vs_reference(self, setup):
+        transform, _, _, _ = setup
+        engine = make_transform(transform.engine_kind, PARAMS.N)
+        secret = generate_secret_key(PARAMS, rng=91)
+        key = generate_unrolled_bootstrapping_key(secret, engine, 2, rng=92)
+        rotator = UnrolledBlindRotator(key, engine)
+        rng = np.random.default_rng(93)
+        bara = rng.integers(0, 2 * PARAMS.N, PARAMS.n, dtype=np.int64)
+        acc = TlweSample(
+            rng.integers(-(2**31), 2**31, (PARAMS.k + 1, PARAMS.N)).astype(np.int32)
+        )
+        fused = rotator.rotate(acc.copy(), bara)
+        reference = rotator.rotate_reference(acc.copy(), bara)
+        assert _sample_equal(fused, reference)
+
+        batch_bara = rng.integers(0, 2 * PARAMS.N, (2, PARAMS.n), dtype=np.int64)
+        batch = TlweBatch(
+            rng.integers(-(2**31), 2**31, (2, PARAMS.k + 1, PARAMS.N)).astype(np.int32)
+        )
+        fused_batch = rotator.rotate_batch(batch.copy(), batch_bara)
+        reference_batch = rotator.rotate_batch_reference(batch.copy(), batch_bara)
+        assert np.array_equal(fused_batch.data, reference_batch.data)
+
+
+class TestWorkspace:
+    def test_results_independent_of_workspace_reuse(self, setup):
+        transform, key, selector, tlwe = setup
+        workspace = BootstrapWorkspace()
+        first_fresh = tgsw_external_product(selector, tlwe, transform)
+        first_shared = tgsw_external_product(selector, tlwe, transform, workspace)
+        assert _sample_equal(first_fresh, first_shared)
+        other = tlwe_encrypt(
+            key, np.full(PARAMS.N, np.int32(-12345), dtype=np.int32), transform, rng=95
+        )
+        second_shared = tgsw_external_product(selector, other, transform, workspace)
+        second_fresh = tgsw_external_product(selector, other, transform)
+        assert _sample_equal(second_fresh, second_shared)
+
+    def test_outputs_do_not_alias_workspace_buffers(self, setup):
+        transform, key, selector, tlwe = setup
+        workspace = BootstrapWorkspace()
+        first = tgsw_external_product(selector, tlwe, transform, workspace)
+        snapshot = first.data.copy()
+        other = tlwe_encrypt(
+            key, np.full(PARAMS.N, np.int32(31337), dtype=np.int32), transform, rng=96
+        )
+        # A second call of the same shape reuses every workspace buffer; the
+        # first result must remain untouched.
+        tgsw_external_product(selector, other, transform, workspace)
+        tgsw_cmux_rotate(selector, other, 5, transform, workspace)
+        assert np.array_equal(first.data, snapshot)
+
+    def test_buffer_count_stabilises_across_same_shape_calls(self, setup):
+        transform, _, selector, tlwe = setup
+        workspace = BootstrapWorkspace()
+        tgsw_cmux_rotate(selector, tlwe, 3, transform, workspace)
+        count = workspace.buffer_count
+        assert count > 0
+        assert workspace.nbytes > 0
+        for power in (1, PARAMS.N - 1, PARAMS.N):
+            tgsw_cmux_rotate(selector, tlwe, power, transform, workspace)
+        assert workspace.buffer_count == count  # no growth, buffers reused
+
+    def test_scratch_memory_is_bounded_across_many_shapes(self, setup):
+        transform, _, selector, _ = setup
+        workspace = BootstrapWorkspace()
+        rng = np.random.default_rng(113)
+        # Many distinct batch widths (a long-lived server under varying
+        # load): the workspace must evict old shapes, not grow forever.
+        for width in range(1, 3 * BootstrapWorkspace.MAX_SHAPES):
+            batch = TlweBatch(
+                rng.integers(
+                    -(2**31), 2**31, (width, PARAMS.k + 1, PARAMS.N)
+                ).astype(np.int32)
+            )
+            tgsw_batch_external_product(selector, batch, transform, workspace)
+        assert len(workspace._decompose) <= BootstrapWorkspace.MAX_SHAPES
+
+
+class TestLogicalCounters:
+    @pytest.mark.parametrize("kind", ENGINES)
+    def test_external_product_reports_per_polynomial_transforms(self, kind):
+        transform = make_transform(kind, PARAMS.N)
+        key = tlwe_key_generate(PARAMS.tlwe, rng=97)
+        selector = tgsw_transform(
+            tgsw_encrypt(key, 1, PARAMS.tgsw, transform, rng=98), transform
+        )
+        tlwe = tlwe_encrypt(
+            key, np.full(PARAMS.N, np.int32(77), dtype=np.int32), transform, rng=99
+        )
+        rows = (PARAMS.k + 1) * PARAMS.l
+        cols = PARAMS.k + 1
+        transform.reset_stats()
+        tgsw_external_product(selector, tlwe, transform)
+        # The fused kernel runs one stacked forward/backward but must keep
+        # reporting the logical per-digit-plane / per-column counts of the
+        # historical loop (the Figure-1 breakdown contract).
+        assert transform.stats.forward_calls == rows
+        assert transform.stats.backward_calls == cols
+        assert transform.stats.pointwise_ops == 2 * rows * cols
+
+    def test_fused_rotate_step_counts_match_reference_counts(self):
+        transform = make_transform("double", PARAMS.N)
+        reference_engine = make_transform("double", PARAMS.N)
+        key = tlwe_key_generate(PARAMS.tlwe, rng=101)
+        selector = tgsw_transform(
+            tgsw_encrypt(key, 1, PARAMS.tgsw, transform, rng=102), transform
+        )
+        selector_ref = tgsw_transform(
+            tgsw_encrypt(key, 1, PARAMS.tgsw, reference_engine, rng=102),
+            reference_engine,
+        )
+        tlwe = tlwe_encrypt(
+            key, np.full(PARAMS.N, np.int32(5), dtype=np.int32), transform, rng=103
+        )
+        transform.reset_stats()
+        reference_engine.reset_stats()
+        tgsw_cmux_rotate(selector, tlwe, 9, transform)
+        rotated = tlwe_rotate(tlwe, 9)
+        tgsw_cmux_reference(selector_ref, rotated, tlwe, reference_engine)
+        assert transform.stats.forward_calls == reference_engine.stats.forward_calls
+        assert transform.stats.backward_calls == reference_engine.stats.backward_calls
+        assert transform.stats.pointwise_ops == reference_engine.stats.pointwise_ops
+
+
+class TestDigitStack:
+    def test_gadget_decompose_rows_matches_per_block_reference(self):
+        from repro.tfhe.tgsw import gadget_decompose
+
+        rng = np.random.default_rng(104)
+        for batch_shape in ((), (3,)):
+            data = rng.integers(
+                -(2**31), 2**31, batch_shape + (PARAMS.k + 1, PARAMS.N)
+            ).astype(np.int32)
+            stack = gadget_decompose_rows(data, PARAMS.tgsw)
+            for block in range(PARAMS.k + 1):
+                digits = gadget_decompose(data[..., block, :], PARAMS.tgsw)
+                for j in range(PARAMS.l):
+                    row = block * PARAMS.l + j
+                    assert np.array_equal(stack[row], digits[j])
+
+    def test_fused_rotated_difference_matches_decompose_of_difference(self):
+        from repro.tfhe.tgsw import _decompose_rotated_difference
+
+        rng = np.random.default_rng(105)
+        data = rng.integers(-(2**31), 2**31, (PARAMS.k + 1, PARAMS.N)).astype(np.int32)
+        for power in EDGE_POWERS:
+            fused = _decompose_rotated_difference(data, power, PARAMS.tgsw, None)
+            difference = poly_mul_by_xk_minus_one(data, power)
+            reference = gadget_decompose_rows(difference, PARAMS.tgsw)
+            assert np.array_equal(fused, reference), f"power {power}"
+
+
+class TestVectorisedTlwe:
+    @pytest.mark.parametrize("power", EDGE_POWERS)
+    def test_tlwe_rotate_matches_per_row_loop(self, power):
+        rng = np.random.default_rng(106)
+        sample = TlweSample(
+            rng.integers(-(2**31), 2**31, (PARAMS.k + 1, PARAMS.N)).astype(np.int32)
+        )
+        vectorised = tlwe_rotate(sample, power)
+        per_row = np.stack(
+            [poly_mul_by_xk(sample.data[row], power) for row in range(PARAMS.k + 1)]
+        ).astype(np.int32)
+        assert np.array_equal(vectorised.data, per_row)
+
+    @pytest.mark.parametrize("power", EDGE_POWERS)
+    def test_mul_by_xk_minus_one_matches_rotate_then_subtract(self, power):
+        rng = np.random.default_rng(107)
+        sample = TlweSample(
+            rng.integers(-(2**31), 2**31, (PARAMS.k + 1, PARAMS.N)).astype(np.int32)
+        )
+        fused = tlwe_mul_by_xk_minus_one(sample, power)
+        reference = tlwe_sub(tlwe_rotate(sample, power), sample)
+        assert np.array_equal(fused.data, reference.data)
+
+    def test_poly_minus_one_matches_poly_sub_for_int64(self):
+        rng = np.random.default_rng(108)
+        poly = rng.integers(-(2**40), 2**40, PARAMS.N)
+        for power in EDGE_POWERS:
+            fused = poly_mul_by_xk_minus_one(poly, power)
+            reference = poly_sub(poly_mul_by_xk(poly, power), poly)
+            assert np.array_equal(fused, reference)
+
+    def test_batch_minus_one_matches_batch_rotate_then_subtract(self):
+        rng = np.random.default_rng(109)
+        batch = TlweBatch(
+            rng.integers(
+                -(2**31), 2**31, (len(EDGE_POWERS), PARAMS.k + 1, PARAMS.N)
+            ).astype(np.int32)
+        )
+        powers = np.array(EDGE_POWERS, dtype=np.int64)
+        fused = tlwe_batch_mul_by_xk_minus_one(batch, powers)
+        reference = tlwe_batch_sub(tlwe_batch_rotate(batch, powers), batch)
+        assert np.array_equal(fused.data, reference.data)
+
+    def test_poly_minus_one_powers_matches_poly_mul_by_xk_powers(self):
+        rng = np.random.default_rng(110)
+        polys = rng.integers(-(2**31), 2**31, (4, PARAMS.N)).astype(np.int32)
+        powers = np.array([0, 1, PARAMS.N, 2 * PARAMS.N - 1], dtype=np.int64)
+        fused = poly_mul_by_xk_minus_one_powers(polys, powers[:, None])
+        rotated = poly_mul_by_xk_powers(polys, powers[:, None])
+        reference = poly_sub(rotated, polys)
+        assert np.array_equal(fused, reference)
+
+    @pytest.mark.parametrize("index", [0, 1, PARAMS.N - 1])
+    def test_batch_sample_extract_matches_scalar(self, index):
+        rng = np.random.default_rng(111)
+        batch = TlweBatch(
+            rng.integers(-(2**31), 2**31, (3, PARAMS.k + 1, PARAMS.N)).astype(np.int32)
+        )
+        extracted = tlwe_batch_sample_extract(batch, index=index)
+        for i in range(batch.batch_size):
+            scalar = tlwe_sample_extract(batch[i], index=index)
+            assert np.array_equal(extracted.a[i], scalar.a)
+            assert np.int32(extracted.b[i]) == np.int32(scalar.b)
+
+
+class TestKeyswitchGather:
+    @pytest.fixture(scope="class")
+    def cloud(self):
+        return generate_keys(PARAMS, make_transform("naive", PARAMS.N), rng=112)
+
+    def test_one_shot_gather_matches_per_level_reference(self, cloud):
+        secret, cloud_key = cloud
+        for i in range(4):
+            sample = lwe_encrypt(
+                secret.extracted_key, gate_message(i % 2), rng=120 + i
+            )
+            fused = keyswitch_apply(cloud_key.keyswitch_key, sample)
+            reference = keyswitch_apply_reference(cloud_key.keyswitch_key, sample)
+            assert np.array_equal(fused.a, reference.a)
+            assert np.int32(fused.b) == np.int32(reference.b)
+
+    def test_chunked_batch_matches_scalar_and_reference(self, cloud):
+        from repro.tfhe.keyswitch import keyswitch_apply_batch_reference
+
+        secret, cloud_key = cloud
+        samples = [
+            lwe_encrypt(secret.extracted_key, gate_message(i % 2), rng=200 + i)
+            for i in range(70)  # > the 64-row chunk, exercises the chunked path
+        ]
+        batch = LweBatch.from_samples(samples)
+        switched = keyswitch_apply_batch(cloud_key.keyswitch_key, batch)
+        reference = keyswitch_apply_batch_reference(cloud_key.keyswitch_key, batch)
+        assert np.array_equal(switched.a, reference.a)
+        assert np.array_equal(switched.b, reference.b)
+        for i, sample in enumerate(samples):
+            scalar = keyswitch_apply(cloud_key.keyswitch_key, sample)
+            assert np.array_equal(switched.a[i], scalar.a)
+            assert np.int32(switched.b[i]) == np.int32(scalar.b)
