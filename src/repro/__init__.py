@@ -13,7 +13,10 @@ The package is organised as:
   used by the evaluation;
 * :mod:`repro.analysis` — generators for every table and figure of the paper;
 * :mod:`repro.runtime` — the serving layer: :class:`FheContext` (engine +
-  spectrum-cached cloud keys) and the cross-session :class:`BatchScheduler`.
+  spectrum-cached cloud keys) and the cross-session :class:`BatchScheduler`;
+* :mod:`repro.compiler` — the encrypted-program compiler: a tracing
+  frontend (:func:`trace` over :class:`FheUint` / :class:`FheBool`) and the
+  gate-shrinking :class:`PassManager` optimization pipeline.
 """
 
 from repro.tfhe import (
@@ -38,13 +41,41 @@ from repro.tfhe import (
     schedule_circuit,
 )
 from repro.runtime import BatchScheduler, EvaluationSession, FheContext
+from repro.compiler import (
+    FheBool,
+    FheUint,
+    FheUint4,
+    FheUint8,
+    FheUint16,
+    FheUint32,
+    PassManager,
+    fhe_abs,
+    fhe_max,
+    fhe_min,
+    fhe_select,
+    optimize,
+    trace,
+)
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "BatchScheduler",
     "EvaluationSession",
+    "FheBool",
     "FheContext",
+    "FheUint",
+    "FheUint4",
+    "FheUint8",
+    "FheUint16",
+    "FheUint32",
+    "PassManager",
+    "fhe_abs",
+    "fhe_max",
+    "fhe_min",
+    "fhe_select",
+    "optimize",
+    "trace",
     "PAPER_110BIT",
     "TEST_MEDIUM",
     "TEST_SMALL",

@@ -1,0 +1,82 @@
+"""Encrypted-program compiler: tracing frontend + netlist optimization passes.
+
+The compiler turns an ordinary Python function into an optimized
+:class:`repro.tfhe.netlist.Circuit` ready for any of the repo's executors::
+
+    from repro.compiler import FheUint16, PassManager, fhe_max, trace
+
+    circuit = trace(lambda a, b, c: fhe_max(a * 3 + b, b - c),
+                    FheUint16("a"), FheUint16("b"), FheUint16("c"))
+    manager = PassManager(verify=True)
+    optimized = manager.run(circuit)          # fewer gates == fewer bootstraps
+    print(manager.summary())
+
+* :mod:`repro.compiler.frontend` — :class:`FheUint` / :class:`FheBool`
+  symbolic types and :func:`trace`;
+* :mod:`repro.compiler.passes` — the :class:`PassManager` pipeline
+  (constant folding, NOT/COPY absorption, CSE, depth rebalancing, DCE);
+* :mod:`repro.compiler.sim` — plaintext co-simulation, the semantics oracle
+  every pass is verified against.
+"""
+
+from repro.compiler.frontend import (
+    FheBool,
+    FheUint,
+    FheUint4,
+    FheUint8,
+    FheUint16,
+    FheUint32,
+    FheValue,
+    TraceError,
+    fhe_abs,
+    fhe_max,
+    fhe_min,
+    fhe_select,
+    trace,
+)
+from repro.compiler.passes import (
+    DEFAULT_PIPELINE,
+    OptimizationError,
+    PASSES,
+    PassManager,
+    PassStats,
+    circuit_depth,
+    live_gate_count,
+    optimize,
+)
+from repro.compiler.sim import (
+    EquivalenceError,
+    random_inputs,
+    simulate,
+    simulate_bits,
+    verify_equivalent,
+)
+
+__all__ = [
+    "DEFAULT_PIPELINE",
+    "EquivalenceError",
+    "FheBool",
+    "FheUint",
+    "FheUint4",
+    "FheUint8",
+    "FheUint16",
+    "FheUint32",
+    "FheValue",
+    "OptimizationError",
+    "PASSES",
+    "PassManager",
+    "PassStats",
+    "TraceError",
+    "circuit_depth",
+    "fhe_abs",
+    "fhe_max",
+    "fhe_min",
+    "fhe_select",
+    "live_gate_count",
+    "optimize",
+    "random_inputs",
+    "simulate",
+    "simulate_bits",
+    "trace",
+    "verify_equivalent",
+]

@@ -340,6 +340,13 @@ class BatchScheduler:
 
     # -- queue ----------------------------------------------------------------
     def _enqueue(self, client_id: str, job) -> None:
+        # A job can resolve at submit time without costing any bootstraps —
+        # e.g. an optimized circuit whose live outputs are constant wires or
+        # COPY/NOT chains only (zero bootstrapped levels).  Count it here,
+        # since flush() will simply drop it from the queue.
+        if job.done:
+            self.stats.jobs_completed += 1
+            return
         self._queues[client_id].append(job)
 
     @property

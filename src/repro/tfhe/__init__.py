@@ -39,12 +39,17 @@ from repro.tfhe.gates import (
 from repro.tfhe.lwe import LweBatch, LweSample
 from repro.tfhe.netlist import (
     Circuit,
+    absolute_netlist,
     adder_netlist,
     equal_netlist,
     greater_than_netlist,
     maximum_netlist,
+    minimum_netlist,
+    multiplier_netlist,
     negate_netlist,
     select_netlist,
+    shift_left_netlist,
+    shift_right_netlist,
     subtractor_netlist,
 )
 from repro.tfhe.executor import (
@@ -55,12 +60,16 @@ from repro.tfhe.executor import (
 )
 from repro.tfhe.serialize import (
     SerializationError,
+    circuit_from_json,
+    circuit_to_json,
     load,
+    load_circuit,
     load_cloud_key,
     load_lwe_batch,
     load_lwe_sample,
     load_secret_key,
     save,
+    save_circuit,
     save_cloud_key,
     save_lwe_batch,
     save_lwe_sample,
@@ -81,14 +90,19 @@ __all__ = [
     "Circuit",
     "CircuitExecutor",
     "LevelSchedule",
+    "absolute_netlist",
     "adder_netlist",
     "equal_netlist",
     "execute",
     "greater_than_netlist",
     "maximum_netlist",
+    "minimum_netlist",
+    "multiplier_netlist",
     "negate_netlist",
     "schedule_circuit",
     "select_netlist",
+    "shift_left_netlist",
+    "shift_right_netlist",
     "subtractor_netlist",
     "PAPER_110BIT",
     "PARAMETER_SETS",
@@ -122,12 +136,16 @@ __all__ = [
     "make_transform",
     "register_engine",
     "SerializationError",
+    "circuit_from_json",
+    "circuit_to_json",
     "load",
+    "load_circuit",
     "load_cloud_key",
     "load_lwe_batch",
     "load_lwe_sample",
     "load_secret_key",
     "save",
+    "save_circuit",
     "save_cloud_key",
     "save_lwe_batch",
     "save_lwe_sample",

@@ -29,7 +29,12 @@ Word-level constructors (:func:`adder_netlist`, :func:`subtractor_netlist`,
 :func:`equal_netlist`, :func:`greater_than_netlist`, :func:`select_netlist`,
 :func:`maximum_netlist`, :func:`negate_netlist`) re-express the classic
 helpers of :mod:`repro.tfhe.circuits` gate-for-gate, so evaluating a netlist
-is bit-identical to the historical eager path.
+is bit-identical to the historical eager path.  The compiler frontend
+(:mod:`repro.compiler.frontend`) lowers to the same ``*_into`` builders, so
+traced programs and hand-built netlists share one gate vocabulary; the
+word-level operations it needs beyond the classic set — shift-and-add
+multiplication (:func:`multiplier_netlist`), minimum/absolute value and
+constant shifts — live here too.
 """
 
 from __future__ import annotations
@@ -218,14 +223,16 @@ class Circuit:
         return live
 
     def validate(self) -> None:
-        """Structural checks: known ops, arities, and SSA (args precede uses)."""
+        """Structural checks: known ops, arities, bit constants, and SSA order."""
         for node in self.nodes:
             if node.op not in OP_ARITY:
                 raise ValueError(f"unknown op {node.op!r}")
             if len(node.args) != OP_ARITY[node.op]:
                 raise ValueError(f"op {node.op!r} expects {OP_ARITY[node.op]} args")
+            if node.op == "const" and node.value not in (0, 1):
+                raise ValueError(f"const node carries non-bit value {node.value!r}")
             for arg in node.args:
-                if arg >= node.node_id:
+                if not 0 <= arg < node.node_id:
                     raise ValueError("netlist is not in SSA order")
 
     def to_dfg(self, outputs: Sequence[str] | None = None) -> DataFlowGraph:
@@ -293,6 +300,69 @@ def greater_than_into(c: Circuit, a: Sequence[int], b: Sequence[int]) -> int:
     return result
 
 
+def multiply_into(c: Circuit, a: Sequence[int], b: Sequence[int]) -> List[int]:
+    """Append a shift-and-add multiplier truncated to ``len(a)`` bits.
+
+    Classic schoolbook form: partial-product row ``j`` is ``a AND b[j]``
+    shifted left by ``j``; rows are accumulated with ripple-carry adders over
+    the surviving high bits only, so the result wraps modulo ``2**width``
+    exactly like :func:`repro.tfhe.circuits.int_to_bits` arithmetic.
+    """
+    if len(a) != len(b):
+        raise ValueError("operand widths differ")
+    width = len(a)
+    acc = [c.gate("and", wire_a, b[0]) for wire_a in a]
+    for j in range(1, width):
+        row = [c.gate("and", a[i], b[j]) for i in range(width - j)]
+        acc = acc[:j] + ripple_add_into(c, acc[j:], row)[: width - j]
+    return acc
+
+
+def equal_into(c: Circuit, a: Sequence[int], b: Sequence[int]) -> int:
+    """Append an equality comparator (AND-chain of per-bit XNORs)."""
+    result = c.constant(1)
+    for wire_a, wire_b in zip(a, b):
+        result = c.gate("and", result, c.gate("xnor", wire_a, wire_b))
+    return result
+
+
+def maximum_into(c: Circuit, a: Sequence[int], b: Sequence[int]) -> List[int]:
+    """Append an unsigned maximum (comparator feeding a multiplexer)."""
+    a_greater = greater_than_into(c, a, b)
+    return [c.mux(a_greater, t, f) for t, f in zip(a, b)]
+
+
+def minimum_into(c: Circuit, a: Sequence[int], b: Sequence[int]) -> List[int]:
+    """Append an unsigned minimum (comparator feeding a flipped multiplexer)."""
+    a_greater = greater_than_into(c, a, b)
+    return [c.mux(a_greater, f, t) for t, f in zip(a, b)]
+
+
+def absolute_into(c: Circuit, a: Sequence[int]) -> List[int]:
+    """Append a two's-complement absolute value (sign bit selects ``-a``)."""
+    negated = negate_into(c, a)
+    sign = a[-1]
+    return [c.mux(sign, n, p) for p, n in zip(a, negated)]
+
+
+def shift_left_into(c: Circuit, a: Sequence[int], amount: int) -> List[int]:
+    """Constant logical left shift: low bits become constant zeros."""
+    if amount < 0:
+        raise ValueError("shift amount must be non-negative")
+    width = len(a)
+    amount = min(amount, width)
+    return [c.constant(0) for _ in range(amount)] + list(a)[: width - amount]
+
+
+def shift_right_into(c: Circuit, a: Sequence[int], amount: int) -> List[int]:
+    """Constant logical right shift: high bits become constant zeros."""
+    if amount < 0:
+        raise ValueError("shift amount must be non-negative")
+    width = len(a)
+    amount = min(amount, width)
+    return list(a)[amount:] + [c.constant(0) for _ in range(amount)]
+
+
 def _require_width(width: int) -> None:
     if width <= 0:
         raise ValueError("width must be positive")
@@ -337,10 +407,7 @@ def equal_netlist(width: int) -> Circuit:
     c = Circuit(f"eq{width}")
     a = c.inputs("a", width)
     b = c.inputs("b", width)
-    result = c.constant(1)
-    for wire_a, wire_b in zip(a, b):
-        result = c.gate("and", result, c.gate("xnor", wire_a, wire_b))
-    c.output("eq", [result])
+    c.output("eq", [equal_into(c, a, b)])
     return c
 
 
@@ -374,6 +441,57 @@ def maximum_netlist(width: int) -> Circuit:
     c = Circuit(f"max{width}")
     a = c.inputs("a", width)
     b = c.inputs("b", width)
-    a_greater = greater_than_into(c, a, b)
-    c.output("max", [c.mux(a_greater, t, f) for t, f in zip(a, b)])
+    c.output("max", maximum_into(c, a, b))
+    return c
+
+
+@lru_cache(maxsize=None)
+def minimum_netlist(width: int) -> Circuit:
+    """Unsigned minimum of ``a`` and ``b``, output ``min`` (same width)."""
+    _require_width(width)
+    c = Circuit(f"min{width}")
+    a = c.inputs("a", width)
+    b = c.inputs("b", width)
+    c.output("min", minimum_into(c, a, b))
+    return c
+
+
+@lru_cache(maxsize=None)
+def multiplier_netlist(width: int) -> Circuit:
+    """Shift-and-add multiplier ``a * b`` wrapping to ``width`` bits, output ``prod``."""
+    _require_width(width)
+    c = Circuit(f"mul{width}")
+    a = c.inputs("a", width)
+    b = c.inputs("b", width)
+    c.output("prod", multiply_into(c, a, b))
+    return c
+
+
+@lru_cache(maxsize=None)
+def absolute_netlist(width: int) -> Circuit:
+    """Two's-complement absolute value of ``a``, output ``abs`` (same width)."""
+    _require_width(width)
+    c = Circuit(f"abs{width}")
+    a = c.inputs("a", width)
+    c.output("abs", absolute_into(c, a))
+    return c
+
+
+@lru_cache(maxsize=None)
+def shift_left_netlist(width: int, amount: int) -> Circuit:
+    """Constant logical left shift ``a << amount`` (zero fill), output ``shifted``."""
+    _require_width(width)
+    c = Circuit(f"shl{width}_{amount}")
+    a = c.inputs("a", width)
+    c.output("shifted", shift_left_into(c, a, amount))
+    return c
+
+
+@lru_cache(maxsize=None)
+def shift_right_netlist(width: int, amount: int) -> Circuit:
+    """Constant logical right shift ``a >> amount`` (zero fill), output ``shifted``."""
+    _require_width(width)
+    c = Circuit(f"shr{width}_{amount}")
+    a = c.inputs("a", width)
+    c.output("shifted", shift_right_into(c, a, amount))
     return c

@@ -17,9 +17,19 @@ serialized — it is rebuilt (once) by the
 :class:`repro.runtime.context.FheContext` that loads the key, which also
 allows evaluating a loaded key under a different engine.
 
-Four artifact kinds are supported: ``secret_key``, ``cloud_key``,
+Four npz artifact kinds are supported: ``secret_key``, ``cloud_key``,
 ``lwe_sample`` and ``lwe_batch``.  :func:`save` / :func:`load` dispatch on
 the object / header; the per-artifact functions are also public.
+
+Compiled circuits travel as *JSON text* rather than npz — a netlist is pure
+structure (no arrays) and a human-diffable artifact is worth more than a
+binary one for compiler output.  :func:`circuit_to_json` /
+:func:`circuit_from_json` round-trip a :class:`repro.tfhe.netlist.Circuit`
+under the same versioning discipline (``repro-tfhe-circuit`` format header,
+version rejection, structural validation on load), so a client can trace and
+optimize a program once and ship the artifact to the runtime exactly like
+keys and ciphertexts; :func:`save_circuit` / :func:`load_circuit` are the
+path-level helpers.
 """
 
 from __future__ import annotations
@@ -39,6 +49,7 @@ from repro.tfhe.keys import (
 )
 from repro.tfhe.keyswitch import KeySwitchKey
 from repro.tfhe.lwe import LweBatch, LweKey, LweSample
+from repro.tfhe.netlist import Circuit, Node
 from repro.tfhe.params import (
     KeySwitchParams,
     LweParams,
@@ -379,3 +390,141 @@ def to_bytes(obj) -> bytes:
 def from_bytes(data: bytes):
     """Deserialize an artifact previously produced by :func:`to_bytes`."""
     return load(io.BytesIO(data))
+
+
+# --------------------------------------------------------------------------- #
+# circuit netlists (JSON)                                                     #
+# --------------------------------------------------------------------------- #
+
+#: Magic string of the circuit JSON family (distinct from the npz family so a
+#: circuit file can never be mistaken for a key archive and vice versa).
+CIRCUIT_FORMAT = "repro-tfhe-circuit"
+#: Current circuit format version; :func:`circuit_from_json` rejects others.
+CIRCUIT_FORMAT_VERSION = 1
+
+
+def circuit_to_json(circuit: Circuit, indent: int | None = None) -> str:
+    """Serialize a validated netlist to versioned JSON text.
+
+    Nodes are emitted in SSA order with only their meaningful fields (gate
+    nodes carry ``args``, constants carry ``value``, inputs carry
+    ``name``/``bit``), so the artifact stays compact and diffable.
+    """
+    circuit.validate()
+    nodes: List[Dict[str, Any]] = []
+    for node in circuit.nodes:
+        entry: Dict[str, Any] = {"op": node.op}
+        if node.op == "input":
+            entry["name"] = node.name
+            entry["bit"] = node.bit
+        elif node.op == "const":
+            entry["value"] = node.value
+        else:
+            entry["args"] = list(node.args)
+        nodes.append(entry)
+    payload = {
+        "format": CIRCUIT_FORMAT,
+        "version": CIRCUIT_FORMAT_VERSION,
+        "name": circuit.name,
+        "nodes": nodes,
+        "inputs": {name: list(wires) for name, wires in circuit.input_wires.items()},
+        "outputs": {name: list(wires) for name, wires in circuit.output_wires.items()},
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def circuit_from_json(text: Union[str, bytes]) -> Circuit:
+    """Rebuild a netlist from :func:`circuit_to_json` output.
+
+    Rejects unknown formats and versions before touching the node list, then
+    re-validates the full structure (known ops, arities, SSA order, input
+    words consistent with their ``input`` nodes, output wires in range), so a
+    tampered or truncated artifact can never produce a circuit the executors
+    would mis-evaluate.
+    """
+    try:
+        payload = json.loads(text)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise SerializationError(f"not a readable circuit JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise SerializationError("circuit JSON must be an object")
+    if payload.get("format") != CIRCUIT_FORMAT:
+        raise SerializationError(
+            f"unknown circuit format {payload.get('format')!r} "
+            f"(expected {CIRCUIT_FORMAT!r})"
+        )
+    if payload.get("version") != CIRCUIT_FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported circuit format version {payload.get('version')!r} "
+            f"(this build reads version {CIRCUIT_FORMAT_VERSION})"
+        )
+    for key in ("nodes", "inputs", "outputs"):
+        if not isinstance(payload.get(key), (list, dict)):
+            raise SerializationError(f"circuit JSON is missing the {key!r} entry")
+
+    circuit = Circuit(str(payload.get("name", "circuit")))
+    try:
+        for node_id, entry in enumerate(payload["nodes"]):
+            op = entry["op"]
+            circuit.nodes.append(
+                Node(
+                    node_id=node_id,
+                    op=op,
+                    args=tuple(int(a) for a in entry.get("args", ())),
+                    value=int(entry.get("value", 0)),
+                    name=str(entry.get("name", "")),
+                    bit=int(entry.get("bit", -1)),
+                )
+            )
+        circuit.input_wires = {
+            str(name): tuple(int(w) for w in wires)
+            for name, wires in payload["inputs"].items()
+        }
+        circuit.output_wires = {
+            str(name): tuple(int(w) for w in wires)
+            for name, wires in payload["outputs"].items()
+        }
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise SerializationError(f"malformed circuit JSON: {exc}") from exc
+
+    try:
+        circuit.validate()
+    except ValueError as exc:
+        raise SerializationError(f"invalid circuit structure: {exc}") from exc
+    node_count = len(circuit.nodes)
+    for name, wires in circuit.input_wires.items():
+        if not wires:
+            raise SerializationError(f"input word {name!r} has no wires")
+        for position, wire in enumerate(wires):
+            if not 0 <= wire < node_count:
+                raise SerializationError(f"input word {name!r} references wire {wire}")
+            node = circuit.nodes[wire]
+            if node.op != "input" or node.name != name or node.bit != position:
+                raise SerializationError(
+                    f"input word {name!r} bit {position} does not match its node"
+                )
+    declared = {w for wires in circuit.input_wires.values() for w in wires}
+    for node in circuit.nodes:
+        if node.op == "input" and node.node_id not in declared:
+            raise SerializationError(
+                f"input node {node.node_id} is not part of any declared word"
+            )
+    for name, wires in circuit.output_wires.items():
+        if not wires:
+            raise SerializationError(f"output word {name!r} has no wires")
+        for wire in wires:
+            if not 0 <= wire < node_count:
+                raise SerializationError(
+                    f"output word {name!r} references wire {wire}"
+                )
+    return circuit
+
+
+def save_circuit(path: Union[str, pathlib.Path], circuit: Circuit) -> None:
+    """Write a netlist as a versioned JSON file (pretty-printed for diffing)."""
+    pathlib.Path(path).write_text(circuit_to_json(circuit, indent=2) + "\n")
+
+
+def load_circuit(path: Union[str, pathlib.Path]) -> Circuit:
+    """Read a netlist written by :func:`save_circuit`."""
+    return circuit_from_json(pathlib.Path(path).read_text())

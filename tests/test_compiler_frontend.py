@@ -1,0 +1,261 @@
+"""Tests for the tracing frontend: FheUint/FheBool operators vs plain ints."""
+
+import itertools
+
+import pytest
+
+from repro.compiler import (
+    FheBool,
+    FheUint,
+    FheUint4,
+    FheUint8,
+    FheUint16,
+    FheUint32,
+    TraceError,
+    fhe_abs,
+    fhe_max,
+    fhe_min,
+    fhe_select,
+    simulate,
+    trace,
+)
+from repro.compiler.sim import random_inputs
+from repro.tfhe.netlist import adder_netlist, maximum_netlist, multiplier_netlist
+
+
+def _signed(value: int, width: int) -> int:
+    """Interpret an unsigned word as two's complement."""
+    return value - 2**width if value >= 2 ** (width - 1) else value
+
+
+#: (trace function, plain-int reference) — both over (a, b) mod 2**width.
+BINARY_CASES = [
+    ("add", lambda a, b: a + b, lambda a, b, m: (a + b) % m),
+    ("radd", lambda a, b: 5 + a, lambda a, b, m: (5 + a) % m),
+    ("sub", lambda a, b: a - b, lambda a, b, m: (a - b) % m),
+    ("rsub", lambda a, b: 7 - a, lambda a, b, m: (7 - a) % m),
+    ("mul", lambda a, b: a * b, lambda a, b, m: (a * b) % m),
+    ("mul_const", lambda a, b: a * 3, lambda a, b, m: (a * 3) % m),
+    ("neg", lambda a, b: -a, lambda a, b, m: (-a) % m),
+    ("bitand", lambda a, b: a & b, lambda a, b, m: a & b),
+    ("bitor", lambda a, b: a | b, lambda a, b, m: a | b),
+    ("bitor_const", lambda a, b: a | 5, lambda a, b, m: a | 5),
+    ("bitxor", lambda a, b: a ^ b, lambda a, b, m: a ^ b),
+    ("invert", lambda a, b: ~a, lambda a, b, m: a ^ (m - 1)),
+    ("shl", lambda a, b: a << 2, lambda a, b, m: (a << 2) % m),
+    ("shr", lambda a, b: a >> 1, lambda a, b, m: a >> 1),
+    ("min", lambda a, b: fhe_min(a, b), lambda a, b, m: min(a, b)),
+    ("max", lambda a, b: fhe_max(a, b), lambda a, b, m: max(a, b)),
+    ("max_const", lambda a, b: fhe_max(a, 6), lambda a, b, m: max(a, 6)),
+    (
+        "abs",
+        lambda a, b: fhe_abs(a),
+        lambda a, b, m: abs(_signed(a, m.bit_length() - 1)) % m,
+    ),
+    (
+        "select",
+        lambda a, b: fhe_select(a > b, a - b, b - a),
+        lambda a, b, m: (a - b) % m if a > b else (b - a) % m,
+    ),
+    ("eq", lambda a, b: fhe_select(a == b, 1, 0), lambda a, b, m: int(a == b)),
+    ("ne", lambda a, b: fhe_select(a != b, 1, 0), lambda a, b, m: int(a != b)),
+    ("lt", lambda a, b: fhe_select(a < b, 1, 0), lambda a, b, m: int(a < b)),
+    ("gt", lambda a, b: fhe_select(a > b, 1, 0), lambda a, b, m: int(a > b)),
+    ("le", lambda a, b: fhe_select(a <= b, 1, 0), lambda a, b, m: int(a <= b)),
+    ("ge", lambda a, b: fhe_select(a >= b, 1, 0), lambda a, b, m: int(a >= b)),
+]
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "name,fn,reference", BINARY_CASES, ids=[c[0] for c in BINARY_CASES]
+    )
+    def test_operator_matches_plain_ints_exhaustively(self, name, fn, reference):
+        width = 4
+        modulus = 2**width
+        circuit = trace(fn, FheUint(width, "a"), FheUint(width, "b"))
+        for a, b in itertools.product(range(modulus), repeat=2):
+            got = simulate(circuit, {"a": a, "b": b})["out"]
+            assert got == reference(a, b, modulus), (name, a, b)
+
+    @pytest.mark.parametrize("width", [8, 16])
+    def test_wider_words_randomized(self, width, rng):
+        modulus = 2**width
+        circuit = trace(
+            lambda a, b: fhe_max(a * 3 + b, b - a),
+            FheUint(width, "a"),
+            FheUint(width, "b"),
+        )
+        for _ in range(25):
+            a = int(rng.integers(0, modulus))
+            b = int(rng.integers(0, modulus))
+            want = max((a * 3 + b) % modulus, (b - a) % modulus)
+            assert simulate(circuit, {"a": a, "b": b})["out"] == want
+
+    def test_traced_adder_is_gate_for_gate_the_netlist_adder(self):
+        # The frontend lowers through the same *_into builders as the
+        # word-level constructors, so the gate sequences are identical.
+        traced = trace(lambda a, b: a + b, FheUint4("a"), FheUint4("b"))
+        reference = adder_netlist(4)
+        traced_gates = [n.op for n in traced.nodes if n.is_bootstrapped]
+        reference_gates = [n.op for n in reference.nodes if n.is_bootstrapped]
+        assert traced_gates == reference_gates
+
+    def test_traced_max_matches_maximum_netlist_gates(self):
+        traced = trace(lambda a, b: fhe_max(a, b), FheUint4("a"), FheUint4("b"))
+        reference = maximum_netlist(4)
+        assert [n.op for n in traced.nodes if n.is_bootstrapped] == [
+            n.op for n in reference.nodes if n.is_bootstrapped
+        ]
+
+    def test_traced_mul_matches_multiplier_netlist_gates(self):
+        traced = trace(lambda a, b: a * b, FheUint4("a"), FheUint4("b"))
+        reference = multiplier_netlist(4)
+        assert [n.op for n in traced.nodes if n.is_bootstrapped] == [
+            n.op for n in reference.nodes if n.is_bootstrapped
+        ]
+
+
+class TestBooleans:
+    def test_bool_gates_exhaustively(self):
+        circuit = trace(
+            lambda f, g: (f & g) | (f ^ g) | ~f,
+            FheBool("f"),
+            FheBool("g"),
+        )
+        for f, g in itertools.product((0, 1), repeat=2):
+            want = (f & g) | (f ^ g) | (1 - f)
+            assert simulate(circuit, {"f": f, "g": g})["out"] == want
+
+    def test_bool_eq_ne(self):
+        circuit = trace(
+            lambda f, g: fhe_select(f == g, 2, 1), FheBool("f"), FheBool("g")
+        )
+        for f, g in itertools.product((0, 1), repeat=2):
+            assert simulate(circuit, {"f": f, "g": g})["out"] == (2 if f == g else 1)
+
+    def test_bool_select_over_words(self):
+        circuit = trace(
+            lambda f, x, y: fhe_select(f, x, y),
+            FheBool("f"),
+            FheUint4("x"),
+            FheUint4("y"),
+        )
+        assert simulate(circuit, {"f": 1, "x": 9, "y": 4})["out"] == 9
+        assert simulate(circuit, {"f": 0, "x": 9, "y": 4})["out"] == 4
+
+    def test_bool_has_no_plaintext_truth_value(self):
+        with pytest.raises(TraceError):
+            trace(
+                lambda a, b: a + b if a > b else a - b,
+                FheUint4("a"),
+                FheUint4("b"),
+            )
+
+
+class TestOutputs:
+    def test_single_value_is_named_out(self):
+        circuit = trace(lambda a: a + 1, FheUint4("a"))
+        assert list(circuit.output_wires) == ["out"]
+        assert len(circuit.output_wires["out"]) == 4
+
+    def test_tuple_outputs_are_numbered(self):
+        circuit = trace(lambda a, b: (a + b, a - b, a > b), FheUint4("a"), FheUint4("b"))
+        assert list(circuit.output_wires) == ["out0", "out1", "out2"]
+        assert len(circuit.output_wires["out2"]) == 1
+
+    def test_dict_outputs_keep_names(self):
+        circuit = trace(
+            lambda a, b: {"hi": fhe_max(a, b), "lo": fhe_min(a, b)},
+            FheUint4("a"),
+            FheUint4("b"),
+        )
+        result = simulate(circuit, {"a": 11, "b": 5})
+        assert result == {"hi": 11, "lo": 5}
+
+    def test_width_aliases(self):
+        for factory, width in [
+            (FheUint4, 4),
+            (FheUint8, 8),
+            (FheUint16, 16),
+            (FheUint32, 32),
+        ]:
+            circuit = trace(lambda a: a + 1, factory("a"))
+            assert circuit.input_width("a") == width
+
+
+class TestErrors:
+    def test_mixed_traces_rejected(self):
+        saved = {}
+
+        def leak(a):
+            saved["a"] = a
+            return a + 1
+
+        trace(leak, FheUint4("a"))
+        with pytest.raises(TraceError):
+            trace(lambda b: saved["a"] + b, FheUint4("b"))
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(TraceError):
+            trace(lambda a, b: a + b, FheUint4("a"), FheUint8("b"))
+
+    def test_bound_value_is_not_a_spec(self):
+        circuit_inputs = []
+
+        def capture(a):
+            circuit_inputs.append(a)
+            return a + 1
+
+        trace(capture, FheUint4("a"))
+        with pytest.raises(TraceError):
+            trace(lambda: circuit_inputs[0] + 1)
+
+    def test_non_traced_return_rejected(self):
+        with pytest.raises(TraceError):
+            trace(lambda a: 42, FheUint4("a"))
+
+    def test_symbolic_shift_amount_rejected(self):
+        with pytest.raises(TraceError):
+            trace(lambda a, b: a << b, FheUint4("a"), FheUint4("b"))
+
+    def test_unnamed_spec_rejected(self):
+        with pytest.raises(TraceError):
+            FheUint(4, "")
+        with pytest.raises(TraceError):
+            FheUint(0, "a")
+        with pytest.raises(TraceError):
+            FheBool("")
+
+    def test_float_operand_rejected(self):
+        with pytest.raises(TraceError):
+            trace(lambda a: a + 1.5, FheUint4("a"))
+
+    def test_empty_return_rejected(self):
+        with pytest.raises(TraceError):
+            trace(lambda a: {}, FheUint4("a"))
+
+    def test_select_needs_traced_condition(self):
+        with pytest.raises(TraceError):
+            trace(lambda a: fhe_select(True, a, a), FheUint4("a"))
+
+
+class TestTraceShape:
+    def test_constants_are_deduplicated_per_trace(self):
+        circuit = trace(lambda a: (a + 3) * 5 + 3, FheUint8("a"))
+        consts = [n for n in circuit.nodes if n.op == "const"]
+        assert len(consts) <= 2  # at most one 0 and one 1 wire
+
+    def test_trace_is_validated_and_named(self):
+        def my_program(a):
+            return a + 1
+
+        circuit = trace(my_program, FheUint4("a"))
+        assert circuit.name == "my_program"
+        circuit.validate()
+
+    def test_random_inputs_cover_all_words(self, rng):
+        circuit = trace(lambda a, b: (a + 1, b + 1), FheUint4("a"), FheUint8("b"))
+        values = random_inputs(circuit, rng)
+        assert set(values) == {"a", "b"}
+        assert 0 <= values["a"] < 16 and 0 <= values["b"] < 256

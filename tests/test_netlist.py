@@ -6,12 +6,17 @@ from repro.arch.ops import OpType
 from repro.tfhe.netlist import (
     BOOTSTRAPPED_OPS,
     Circuit,
+    absolute_netlist,
     adder_netlist,
     equal_netlist,
     greater_than_netlist,
     maximum_netlist,
+    minimum_netlist,
+    multiplier_netlist,
     negate_netlist,
     select_netlist,
+    shift_left_netlist,
+    shift_right_netlist,
     subtractor_netlist,
 )
 
@@ -141,6 +146,9 @@ class TestConstructors:
             (negate_netlist, "neg", 3),
             (subtractor_netlist, "diff", 3),
             (maximum_netlist, "max", 3),
+            (minimum_netlist, "min", 3),
+            (multiplier_netlist, "prod", 3),
+            (absolute_netlist, "abs", 3),
         ],
     )
     def test_word_constructors_shapes(self, factory, output, bits):
@@ -164,6 +172,9 @@ class TestConstructors:
             greater_than_netlist,
             select_netlist,
             maximum_netlist,
+            minimum_netlist,
+            multiplier_netlist,
+            absolute_netlist,
         ],
     )
     def test_zero_width_rejected(self, factory):
@@ -172,10 +183,72 @@ class TestConstructors:
 
     def test_constructors_are_memoised(self):
         assert adder_netlist(4) is adder_netlist(4)
+        assert multiplier_netlist(4) is multiplier_netlist(4)
+        assert minimum_netlist(4) is minimum_netlist(4)
+        assert absolute_netlist(4) is absolute_netlist(4)
+        assert shift_left_netlist(4, 2) is shift_left_netlist(4, 2)
+        assert shift_left_netlist(4, 2) is not shift_left_netlist(4, 1)
 
     def test_only_known_bootstrapped_ops_are_emitted(self):
-        for factory in (adder_netlist, greater_than_netlist, maximum_netlist):
+        for factory in (
+            adder_netlist,
+            greater_than_netlist,
+            maximum_netlist,
+            minimum_netlist,
+            multiplier_netlist,
+            absolute_netlist,
+        ):
             c = factory(3)
             for node in c.nodes:
                 if node.is_bootstrapped:
                     assert node.op in BOOTSTRAPPED_OPS
+
+
+class TestWordLevelSemantics:
+    """Plaintext truth of the new word-level constructors, exhaustively."""
+
+    @pytest.mark.parametrize("width", [2, 3, 4])
+    def test_multiplier_wraps_like_ints(self, width):
+        from repro.compiler.sim import simulate
+
+        modulus = 2**width
+        c = multiplier_netlist(width)
+        for a in range(modulus):
+            for b in range(modulus):
+                assert simulate(c, {"a": a, "b": b})["prod"] == (a * b) % modulus
+
+    @pytest.mark.parametrize("width", [2, 3, 4])
+    def test_minimum_matches_ints(self, width):
+        from repro.compiler.sim import simulate
+
+        modulus = 2**width
+        c = minimum_netlist(width)
+        for a in range(modulus):
+            for b in range(modulus):
+                assert simulate(c, {"a": a, "b": b})["min"] == min(a, b)
+
+    @pytest.mark.parametrize("width", [2, 3, 4])
+    def test_absolute_is_twos_complement(self, width):
+        from repro.compiler.sim import simulate
+
+        modulus = 2**width
+        c = absolute_netlist(width)
+        for a in range(modulus):
+            signed = a - modulus if a >= modulus // 2 else a
+            assert simulate(c, {"a": a})["abs"] == abs(signed) % modulus
+
+    @pytest.mark.parametrize("amount", [0, 1, 3, 4, 7])
+    def test_constant_shifts(self, amount):
+        from repro.compiler.sim import simulate
+
+        width, modulus = 4, 16
+        left, right = shift_left_netlist(width, amount), shift_right_netlist(width, amount)
+        for a in range(modulus):
+            assert simulate(left, {"a": a})["shifted"] == (a << amount) % modulus
+            assert simulate(right, {"a": a})["shifted"] == a >> amount
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(ValueError):
+            shift_left_netlist(4, -1)
+        with pytest.raises(ValueError):
+            shift_right_netlist(4, -2)

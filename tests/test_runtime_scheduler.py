@@ -237,3 +237,128 @@ class TestCircuitJobs:
                 adder_netlist(1),
                 {"a": [pending], "b": [encrypt_bit(secret, 1, rng=3)]},
             )
+
+
+class TestZeroLevelCircuitJobs:
+    """Optimized circuits can shrink to zero bootstrapped levels; the
+    scheduler must resolve them without a flush and still keep honest
+    stats when they coalesce with real work."""
+
+    @staticmethod
+    def _constant_only_circuit():
+        from repro.tfhe.netlist import Circuit
+
+        c = Circuit("const_out")
+        c.inputs("a", 2)
+        c.output("out", [c.constant(1), c.constant(0)])
+        return c
+
+    @staticmethod
+    def _passthrough_circuit():
+        from repro.tfhe.netlist import Circuit
+
+        c = Circuit("passthrough")
+        a = c.inputs("a", 2)
+        c.output("out", [c.copy(a[0]), c.not_(a[1])])
+        return c
+
+    def test_constant_only_outputs_resolve_at_submit(self, scheduler, tiny_keys_naive):
+        secret, _ = tiny_keys_naive
+        session = scheduler.session("alice")
+        handle = session.submit_circuit(
+            self._constant_only_circuit(),
+            {"a": encrypt_integer(secret, 2, 2, rng=900)},
+        )
+        assert handle.done  # zero bootstrapped levels: no flush needed
+        assert scheduler.stats.jobs_completed == 1
+        assert scheduler.pending_jobs == 0
+        assert scheduler.flush() == 0  # nothing left to bootstrap
+        bits = [decrypt_bit(secret, bit) for bit in handle.result()["out"]]
+        assert bits == [1, 0]
+
+    def test_copy_not_only_outputs_resolve_at_submit(self, scheduler, tiny_keys_naive):
+        secret, _ = tiny_keys_naive
+        session = scheduler.session("alice")
+        handle = session.submit_circuit(
+            self._passthrough_circuit(),
+            {"a": encrypt_integer(secret, 0b01, 2, rng=901)},
+        )
+        assert handle.done
+        assert scheduler.stats.jobs_completed == 1
+        bits = [decrypt_bit(secret, bit) for bit in handle.result()["out"]]
+        assert bits == [1, 1]  # copy(1), not(0)
+
+    def test_optimizer_shrunk_traced_circuit_resolves_at_submit(
+        self, scheduler, tiny_keys_naive
+    ):
+        from repro.compiler import FheUint4, fhe_select, optimize, trace
+
+        secret, _ = tiny_keys_naive
+        circuit = optimize(
+            trace(lambda a: fhe_select(a == a, 5, 1), FheUint4("a")), verify=True
+        )
+        assert schedule_circuit(circuit).depth == 0
+        session = scheduler.session("alice")
+        handle = session.submit_circuit(
+            circuit, {"a": encrypt_integer(secret, 7, 4, rng=902)}
+        )
+        assert handle.done
+        assert bits_to_int(decrypt_bits(secret, handle.result()["out"])) == 5
+
+    def test_mixed_gate_and_zero_level_circuit_coalescing(
+        self, scheduler, tiny_keys_naive
+    ):
+        # One session's circuit collapses to zero levels while another
+        # session's gates still need bootstraps: the flush must batch only
+        # the real rows and complete every job exactly once in the stats.
+        secret, _ = tiny_keys_naive
+        shrunk = scheduler.session("alice")
+        gates = scheduler.session("alice")
+        circuit_handle = shrunk.submit_circuit(
+            self._constant_only_circuit(),
+            {"a": encrypt_integer(secret, 1, 2, rng=903)},
+        )
+        gate_handles = [
+            gates.submit_gate(
+                "and",
+                encrypt_bit(secret, 1, rng=910 + i),
+                encrypt_bit(secret, 1, rng=920 + i),
+            )
+            for i in range(3)
+        ]
+        assert circuit_handle.done
+        assert scheduler.pending_jobs == 3
+        rows = scheduler.flush()
+        assert rows == 3  # the zero-level circuit contributed no rows
+        assert scheduler.stats.batched_calls == 1
+        assert scheduler.stats.jobs_completed == 4
+        for handle in gate_handles:
+            assert decrypt_bit(secret, handle.result()) == 1
+        bits = [decrypt_bit(secret, bit) for bit in circuit_handle.result()["out"]]
+        assert bits == [1, 0]
+
+    def test_zero_level_job_between_flushes_of_chained_work(
+        self, scheduler, tiny_keys_naive
+    ):
+        # A chained gate (operand is a pending handle) forces two rounds in
+        # one flush; a zero-level circuit submitted alongside must neither
+        # add rows nor deadlock the round loop.
+        secret, _ = tiny_keys_naive
+        session = scheduler.session("alice")
+        first = session.submit_gate(
+            "and",
+            encrypt_bit(secret, 1, rng=930),
+            encrypt_bit(secret, 1, rng=931),
+        )
+        chained = session.submit_gate(
+            "or", first, encrypt_bit(secret, 0, rng=932)
+        )
+        zero = session.submit_circuit(
+            self._passthrough_circuit(),
+            {"a": encrypt_integer(secret, 0b10, 2, rng=933)},
+        )
+        assert zero.done
+        rows = scheduler.flush()
+        assert rows == 2  # the two chained gates, one per round
+        assert decrypt_bit(secret, chained.result()) == 1
+        assert scheduler.stats.jobs_completed == 3

@@ -182,3 +182,90 @@ class TestKeygenCli:
         ca, cb = encrypt_bit(secret, 1, rng=1), encrypt_bit(secret, 1, rng=2)
         out = FheContext(cloud).evaluator().and_(ca, cb)
         assert decrypt_bit(secret, out) == 1
+
+
+class TestCircuitJsonRoundTrip:
+    @staticmethod
+    def _circuit():
+        from repro.compiler import FheUint8, fhe_max, optimize, trace
+
+        return optimize(
+            trace(lambda a, b: fhe_max(a * 3, b + 1), FheUint8("a"), FheUint8("b"))
+        )
+
+    def test_round_trip_is_structurally_identical(self):
+        circuit = self._circuit()
+        restored = serialize.circuit_from_json(serialize.circuit_to_json(circuit))
+        assert restored.name == circuit.name
+        assert restored.nodes == circuit.nodes
+        assert restored.input_wires == circuit.input_wires
+        assert restored.output_wires == circuit.output_wires
+
+    def test_round_trip_preserves_semantics(self):
+        from repro.compiler import verify_equivalent
+
+        circuit = self._circuit()
+        restored = serialize.circuit_from_json(serialize.circuit_to_json(circuit))
+        verify_equivalent(circuit, restored, trials=20, rng=1)
+
+    def test_file_round_trip(self, tmp_path):
+        circuit = self._circuit()
+        path = tmp_path / "circuit.json"
+        serialize.save_circuit(path, circuit)
+        restored = serialize.load_circuit(path)
+        assert restored.nodes == circuit.nodes
+
+    def test_unknown_format_rejected(self):
+        import json
+
+        payload = json.loads(serialize.circuit_to_json(self._circuit()))
+        payload["format"] = "not-a-circuit"
+        with pytest.raises(SerializationError, match="format"):
+            serialize.circuit_from_json(json.dumps(payload))
+
+    def test_version_mismatch_rejected(self):
+        import json
+
+        payload = json.loads(serialize.circuit_to_json(self._circuit()))
+        payload["version"] = 99
+        with pytest.raises(SerializationError, match="version"):
+            serialize.circuit_from_json(json.dumps(payload))
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(SerializationError):
+            serialize.circuit_from_json("{this is not json")
+        with pytest.raises(SerializationError):
+            serialize.circuit_from_json("[1, 2, 3]")
+
+    def test_structural_tampering_rejected(self):
+        import json
+
+        text = serialize.circuit_to_json(self._circuit())
+
+        def corrupted(mutate):
+            payload = json.loads(text)
+            mutate(payload)
+            return json.dumps(payload)
+
+        cases = [
+            lambda p: p["nodes"].__setitem__(4, {"op": "mystery", "args": [0, 1]}),
+            lambda p: p["nodes"].__setitem__(
+                next(i for i, n in enumerate(p["nodes"]) if n["op"] == "and"),
+                {"op": "and", "args": [-1, 0]},
+            ),
+            lambda p: p["nodes"].append({"op": "const", "value": 7}),
+            lambda p: p["outputs"].__setitem__("out", [10**9]),
+            lambda p: p["outputs"].__setitem__("out", []),
+            lambda p: p["inputs"].__setitem__("a", [0, 1, 2]),
+            lambda p: p["nodes"].append({"op": "input", "name": "ghost", "bit": 0}),
+            lambda p: p["nodes"].__setitem__(
+                4, {"op": "and", "args": [len(p["nodes"]) + 5, 0]}
+            ),
+            lambda p: p.pop("nodes"),
+        ]
+        for mutate in cases:
+            with pytest.raises(SerializationError):
+                serialize.circuit_from_json(corrupted(mutate))
+
+    def test_circuit_format_is_distinct_from_npz_family(self):
+        assert serialize.CIRCUIT_FORMAT != serialize.FORMAT

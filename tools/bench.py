@@ -37,10 +37,15 @@ def _run_external_product() -> None:
     _load_benchmark_module("bench_external_product.py").run()
 
 
+def _run_compiler() -> None:
+    _load_benchmark_module("bench_compiler.py").run()
+
+
 #: name -> zero-argument runner writing results/BENCH_<name>.json.
 #: (`runtime` is produced by the pytest-driven scheduler bench; it is
 #: validated here but executed through pytest because it needs fixtures.)
 BENCHES = {
+    "compiler": _run_compiler,
     "external_product": _run_external_product,
 }
 
