@@ -14,11 +14,15 @@ parameters, checks the batched outputs stay bit-identical to the sequential
 path, and asserts the headline claim: at batch 64 the engine delivers at least
 5× the single-ciphertext rate.
 
+Results land in ``results/batch_throughput.txt`` and schema-consistent
+``results/BENCH_batch_throughput.json`` (see ``tools/bench.py``).
+
 Run:  PYTHONPATH=src python -m pytest benchmarks/bench_batch_throughput.py -q -s
 """
 
 from __future__ import annotations
 
+import functools
 import os
 import time
 
@@ -31,16 +35,22 @@ from repro.tfhe.keys import generate_keys
 from repro.tfhe.lwe import LweBatch
 from repro.tfhe.params import TEST_TINY
 from repro.tfhe.transform import DoubleFFTNegacyclicTransform
+from repro.utils.benchio import make_entry, write_bench_json
 
 BATCH_SIZES = (1, 8, 64, 256)
 
 
-@pytest.fixture(scope="module")
-def double_fft_backend():
+@functools.lru_cache(maxsize=1)
+def _double_fft_backend():
     params = TEST_TINY
     transform = DoubleFFTNegacyclicTransform(params.N)
     secret, cloud = generate_keys(params, transform, unroll_factor=1, rng=11)
     return params, secret, cloud
+
+
+@pytest.fixture(scope="module")
+def double_fft_backend():
+    return _double_fft_backend()
 
 
 def _bootstrap_batch(cloud, batch: LweBatch) -> LweBatch:
@@ -62,8 +72,9 @@ def _measure_rate(cloud, batch: LweBatch, min_seconds: float = 0.4) -> float:
             return repetitions * batch.batch_size / elapsed
 
 
-def test_batched_bootstraps_per_second(double_fft_backend, record_result):
-    params, secret, cloud = double_fft_backend
+def run(record_result=None):
+    """Measure bootstraps/sec per batch size; write the schema JSON."""
+    params, secret, cloud = _double_fft_backend()
     rng = np.random.default_rng(12)
     base = [encrypt_bit(secret, int(b), rng) for b in rng.integers(0, 2, max(BATCH_SIZES))]
 
@@ -81,7 +92,29 @@ def test_batched_bootstraps_per_second(double_fft_backend, record_result):
         lines.append(
             f"{size:>6}  {rates[size]:>14.1f}  {rates[size] / rates[1]:>7.1f}x"
         )
-    record_result("batch_throughput", "\n".join(lines))
+    if record_result is not None:
+        record_result("batch_throughput", "\n".join(lines))
+    else:
+        print("\n".join(lines))
+
+    entries = [
+        make_entry(
+            label=f"batch{size}",
+            engine="double",
+            params=params.name,
+            batch_width=size,
+            bootstraps_per_sec=rates[size],
+            baseline_bootstraps_per_sec=rates[1],
+        )
+        for size in BATCH_SIZES
+    ]
+    path = write_bench_json("batch_throughput", entries)
+    print(f"[written to {path}]")
+    return rates
+
+
+def test_batched_bootstraps_per_second(record_result):
+    rates = run(record_result)
 
     # Acceptance criterion: >= 5x bootstraps/sec at batch 64 vs batch 1.
     # Shared CI runners are noisy, so the gate is overridable from the

@@ -18,16 +18,19 @@ Acceptance gate: a 32-bit encrypted add at batch width 16 must run >= 4x
 faster per word through the levelized executor than eagerly (override the
 bar with CIRCUIT_SPEEDUP_MIN, as CI shared runners are timing-noisy).
 
+Results land in ``results/circuit_levels.txt`` and schema-consistent
+``results/BENCH_circuit_levels.json`` (see ``tools/bench.py``).
+
 Run:  PYTHONPATH=src python -m pytest benchmarks/bench_circuit_levels.py -q -s
 """
 
 from __future__ import annotations
 
+import functools
 import os
 import time
 
 import numpy as np
-import pytest
 
 from repro.arch.ops import OpType
 from repro.core.pipeline import PipelineStageTimes, circuit_levelized_speedup
@@ -39,14 +42,15 @@ from repro.tfhe.keys import generate_keys
 from repro.tfhe.netlist import adder_netlist
 from repro.tfhe.params import PAPER_110BIT, TEST_TINY
 from repro.tfhe.transform import DoubleFFTNegacyclicTransform
+from repro.utils.benchio import make_entry, write_bench_json
 
 WIDTHS = (8, 16, 32)
 BATCH_WIDTHS = (1, 4, 16, 64)
 GATE_WIDTH, GATE_BATCH = 32, 16
 
 
-@pytest.fixture(scope="module")
-def backend():
+@functools.lru_cache(maxsize=1)
+def _backend():
     params = TEST_TINY
     transform = DoubleFFTNegacyclicTransform(params.N)
     secret, cloud = generate_keys(params, transform, unroll_factor=1, rng=21)
@@ -71,8 +75,9 @@ def _matcha_stage_times(m: int = 2):
     return PipelineStageTimes(tgsw_cluster_cycles=tgsw, ep_core_cycles=ep), iterations
 
 
-def test_circuit_level_speedup(backend, record_result):
-    params, secret, cloud = backend
+def run(record_result=None):
+    """Profile and time the levelized executor; write the schema JSON."""
+    params, secret, cloud = _backend()
     rng = np.random.default_rng(22)
     stage_times, iterations = _matcha_stage_times()
 
@@ -114,6 +119,7 @@ def test_circuit_level_speedup(backend, record_result):
         f"{'speedup':>8} {'model (MATCHA)':>15}"
     )
     measured = {}
+    seconds_per_word = {}
     for width in WIDTHS:
         mask = (1 << width) - 1
         circuit = adder_netlist(width)
@@ -134,6 +140,7 @@ def test_circuit_level_speedup(backend, record_result):
             ]
             speedup = eager_per_word[width] / per_word
             measured[(width, batch)] = speedup
+            seconds_per_word[(width, batch)] = per_word
             model = circuit_levelized_speedup(
                 schedule.level_widths,
                 stage_times,
@@ -153,7 +160,32 @@ def test_circuit_level_speedup(backend, record_result):
         "MATCHA (m=2): each level's independent bootstrappings spread over "
         "the slices the eager dependency chain leaves idle."
     )
-    record_result("circuit_levels", "\n".join(lines))
+    if record_result is not None:
+        record_result("circuit_levels", "\n".join(lines))
+    else:
+        print("\n".join(lines))
+
+    # Effective throughput per measurement point: circuit gates per second
+    # per word, levelized vs eager — the speedup is the measured wall win.
+    entries = [
+        make_entry(
+            label=f"add{width}_batch{batch}",
+            engine="double",
+            params=params.name,
+            batch_width=batch,
+            bootstraps_per_sec=schedules[width].gate_count / per_word,
+            baseline_bootstraps_per_sec=schedules[width].gate_count
+            / eager_per_word[width],
+        )
+        for (width, batch), per_word in seconds_per_word.items()
+    ]
+    path = write_bench_json("circuit_levels", entries)
+    print(f"[written to {path}]")
+    return measured
+
+
+def test_circuit_level_speedup(record_result):
+    measured = run(record_result)
 
     # Acceptance criterion: >= 4x on a 32-bit add at batch width 16.  CI
     # shared runners are timing-noisy, so the gate is env-overridable

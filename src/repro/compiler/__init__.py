@@ -14,7 +14,11 @@ The compiler turns an ordinary Python function into an optimized
 * :mod:`repro.compiler.frontend` — :class:`FheUint` / :class:`FheBool`
   symbolic types and :func:`trace`;
 * :mod:`repro.compiler.passes` — the :class:`PassManager` pipeline
-  (constant folding, NOT/COPY absorption, CSE, depth rebalancing, DCE);
+  (constant folding, NOT/COPY absorption, CSE, depth rebalancing, LUT
+  clustering, DCE);
+* :mod:`repro.compiler.radix` — the digit-LUT lowering: :func:`trace_radix`
+  records the same functions as :class:`RadixProgram` ops for
+  :class:`repro.tfhe.integers.RadixEvaluator`;
 * :mod:`repro.compiler.sim` — plaintext co-simulation, the semantics oracle
   every pass is verified against.
 """
@@ -36,13 +40,27 @@ from repro.compiler.frontend import (
 )
 from repro.compiler.passes import (
     DEFAULT_PIPELINE,
+    LUT_PIPELINE,
     OptimizationError,
     PASSES,
     PassManager,
     PassStats,
     circuit_depth,
     live_gate_count,
+    lutify,
     optimize,
+)
+from repro.compiler.radix import (
+    RadixBool,
+    RadixOp,
+    RadixProgram,
+    RadixTraceError,
+    RadixUint,
+    RadixUint8,
+    RadixUint16,
+    RadixValue,
+    trace_radix,
+    verify_against_boolean,
 )
 from repro.compiler.sim import (
     EquivalenceError,
@@ -55,6 +73,7 @@ from repro.compiler.sim import (
 __all__ = [
     "DEFAULT_PIPELINE",
     "EquivalenceError",
+    "LUT_PIPELINE",
     "FheBool",
     "FheUint",
     "FheUint4",
@@ -66,6 +85,14 @@ __all__ = [
     "PASSES",
     "PassManager",
     "PassStats",
+    "RadixBool",
+    "RadixOp",
+    "RadixProgram",
+    "RadixTraceError",
+    "RadixUint",
+    "RadixUint8",
+    "RadixUint16",
+    "RadixValue",
     "TraceError",
     "circuit_depth",
     "fhe_abs",
@@ -73,10 +100,13 @@ __all__ = [
     "fhe_min",
     "fhe_select",
     "live_gate_count",
+    "lutify",
     "optimize",
     "random_inputs",
     "simulate",
     "simulate_bits",
     "trace",
+    "trace_radix",
+    "verify_against_boolean",
     "verify_equivalent",
 ]

@@ -42,6 +42,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.compiler.sim import verify_equivalent
 from repro.tfhe.gates import PLAINTEXT_GATES
+from repro.tfhe.lut import MAX_LUT_ARITY, boolean_lut_spec
 from repro.tfhe.netlist import BOOTSTRAPPED_OPS, Circuit, Node
 from repro.utils.rng import SeedLike, make_rng
 
@@ -103,6 +104,44 @@ MIRROR: Dict[str, str] = {
 BALANCEABLE_OPS = frozenset(("and", "or", "xor"))
 
 
+def _restrict_lut(
+    table: int, args: Sequence[int], known: Dict[int, int]
+) -> Tuple[int, List[int]]:
+    """Restrict a lut truth table on constant inputs and prune dead ones.
+
+    Returns ``(reduced_table, kept_positions)`` where ``kept_positions`` are
+    the argument indices the restricted function still depends on (order
+    preserved).  Restriction can only *lower* the affine realisation cost of
+    a feasible table (fixing an input folds its weight into the offset;
+    pruned inputs had weight zero), so the reduced table is always accepted
+    by :meth:`repro.tfhe.netlist.Circuit.lut` again.
+    """
+    free = [i for i, a in enumerate(args) if a not in known]
+    fixed_index = 0
+    for i, a in enumerate(args):
+        if a in known:
+            fixed_index |= known[a] << i
+    outputs: List[int] = []
+    for m in range(1 << len(free)):
+        index = fixed_index
+        for j, position in enumerate(free):
+            index |= ((m >> j) & 1) << position
+        outputs.append((table >> index) & 1)
+    kept: List[int] = []
+    for j, position in enumerate(free):
+        if any(
+            outputs[m] != outputs[m ^ (1 << j)] for m in range(len(outputs))
+        ):
+            kept.append(j)
+    reduced = 0
+    for m in range(1 << len(kept)):
+        index = 0
+        for slot, j in enumerate(kept):
+            index |= ((m >> slot) & 1) << j
+        reduced |= outputs[index] << m
+    return reduced, [free[j] for j in kept]
+
+
 # --------------------------------------------------------------------------- #
 # shared rewrite machinery                                                    #
 # --------------------------------------------------------------------------- #
@@ -161,6 +200,8 @@ class _Rebuild:
             return self.new.not_(args[0])
         if node.op == "copy":
             return self.new.copy(args[0])
+        if node.op == "lut":
+            return self.new.lut(node.value, args)
         return self.new.gate(node.op, args[0], args[1])
 
     def finish(self) -> Circuit:
@@ -214,6 +255,22 @@ def fold_constants(circuit: Circuit) -> Circuit:
                 if arg in known
                 else rebuild.new.copy(rebuild.wire_map[arg])
             )
+        elif node.op == "lut":
+            table, kept = _restrict_lut(node.value, node.args, known)
+            if not kept:
+                value = table & 1
+                known[node.node_id] = value
+                rebuild.wire_map[node.node_id] = rebuild.const(value)
+            elif len(kept) == 1:
+                free_wire = rebuild.wire_map[node.args[kept[0]]]
+                if table == 0b10:  # identity in the surviving input
+                    rebuild.wire_map[node.node_id] = free_wire
+                else:  # 0b01: negation (constant tables have no kept inputs)
+                    rebuild.wire_map[node.node_id] = rebuild.new.not_(free_wire)
+            else:
+                rebuild.wire_map[node.node_id] = rebuild.new.lut(
+                    table, [rebuild.wire_map[node.args[p]] for p in kept]
+                )
         else:
             a, b = node.args
             if a in known and b in known:
@@ -284,6 +341,21 @@ def absorb_linear(circuit: Circuit) -> Circuit:
         if node.op == "const":
             rebuild.wire_map[node.node_id] = rebuild.const(node.value)
             continue
+        if node.op == "lut":
+            roots = [resolved[a] for a in node.args]
+            neg_mask = sum(1 << i for i, (_, neg) in enumerate(roots) if neg)
+            table = node.value
+            if neg_mask:
+                # Complementing input i negates its affine weight, so the
+                # permuted table stays realisable at the same cost.
+                table = sum(
+                    ((node.value >> (m ^ neg_mask)) & 1) << m
+                    for m in range(1 << len(node.args))
+                )
+            rebuild.wire_map[node.node_id] = rebuild.new.lut(
+                table, [rebuild.wire_map[root] for root, _ in roots]
+            )
+            continue
         (ra, na), (rb, nb) = resolved[node.args[0]], resolved[node.args[1]]
         op = node.op
         if na:
@@ -317,6 +389,8 @@ def eliminate_common_subexpressions(circuit: Circuit) -> Circuit:
         args = tuple(rebuild.wire_map[a] for a in node.args)
         if node.op == "const":
             key: Tuple = ("const", node.value)
+        elif node.op == "lut":
+            key = ("lut", node.value, args)
         elif node.op in ("not", "copy"):
             key = (node.op, args[0])
         elif node.op in COMMUTATIVE_OPS:
@@ -422,9 +496,123 @@ def rebalance_depth(circuit: Circuit) -> Circuit:
         args = [rebuild.wire_map[a] for a in node.args]
         wire = rebuild.emit_like(node, args)
         level[wire] = max((level.get(a, 0) for a in args), default=0) + (
-            1 if node.op in BOOTSTRAPPED_OPS else 0
+            1 if node.is_bootstrapped else 0
         )
         rebuild.wire_map[nid] = wire
+    return rebuild.finish()
+
+
+# --------------------------------------------------------------------------- #
+#: Node kinds lutify may pull into a cone (everything except inputs/consts).
+_ABSORBABLE_OPS = frozenset(BOOTSTRAPPED_OPS) | {"lut", "not", "copy"}
+
+
+def lutify(circuit: Circuit, max_arity: int = MAX_LUT_ARITY) -> Circuit:
+    """Cluster single-output gate cones into k-input ``lut`` nodes.
+
+    Greedy cone growing, roots visited outputs-first: starting from each
+    bootstrapped node, a fan-in leaf is absorbed into the cone when (a) it
+    is an interior node (gate, lut, NOT or COPY — never an input or
+    constant), (b) the widened cut stays within ``max_arity`` inputs, and
+    (c) the cone's truth table keeps a single-bootstrap realisation
+    (:func:`repro.tfhe.lut.boolean_lut_spec`) — the feasibility invariant
+    that makes every accepted expansion executable.  Absorption *duplicates*
+    logic rather than consuming it: each cone only ever replaces its root
+    with one lut, so shared interiors may be pulled into several cones
+    (``xor(a, b)`` folds into both the sum and carry cones of a full adder);
+    whichever interiors end up unreferenced are swept by the ``dce`` pass
+    that must follow.  Replacing one bootstrapped root by one lut is
+    cost-neutral at worst, so the pass is monotone in bootstrappings; a cone
+    is only committed when it covers at least two bootstrapped nodes, which
+    is when an actual saving is possible.
+
+    Run *after* ``fold``/``absorb``/``cse`` (see :data:`LUT_PIPELINE`):
+    those passes canonicalise the netlist so cones are maximal, and ``dce``
+    afterwards sweeps the absorbed interiors.
+    """
+
+    def cone_table(members: set, root: int, leaves: List[int]) -> int:
+        """Truth table of the cone over its cut (exhaustive, ≤ 2^4 points)."""
+        member_nodes = [circuit.node(m) for m in sorted(members)]
+        table = 0
+        for m in range(1 << len(leaves)):
+            values = {leaf: (m >> i) & 1 for i, leaf in enumerate(leaves)}
+            for n in member_nodes:
+                if n.op == "not":
+                    values[n.node_id] = 1 - values[n.args[0]]
+                elif n.op == "copy":
+                    values[n.node_id] = values[n.args[0]]
+                elif n.op == "lut":
+                    index = sum(values[a] << i for i, a in enumerate(n.args))
+                    values[n.node_id] = (n.value >> index) & 1
+                else:
+                    values[n.node_id] = PLAINTEXT_GATES[n.op](
+                        values[n.args[0]], values[n.args[1]]
+                    )
+            table |= values[root] << m
+        return table
+
+    def cone_leaves(members: frozenset) -> List[int]:
+        """The cut of a member set: non-member args, in first-use order."""
+        leaves: List[int] = []
+        for m in sorted(members):
+            for a in circuit.node(m).args:
+                if a not in members and a not in leaves:
+                    leaves.append(a)
+        return leaves
+
+    cones: Dict[int, Tuple[int, List[int]]] = {}
+    state_budget = 256  # states explored per root; cones are tiny in practice
+    for node in reversed(circuit.nodes):
+        nid = node.node_id
+        if not node.is_bootstrapped:
+            continue
+        # Bounded DFS over member sets: intermediate states may be infeasible
+        # (the 4-input cut of a growing majority cone is not realisable even
+        # though the final 3-input one is), so feasibility selects the best
+        # committed cone rather than gating every expansion step.
+        best: Optional[Tuple[int, int, frozenset, List[int]]] = None
+        start = frozenset((nid,))
+        stack = [start]
+        seen = {start}
+        explored = 0
+        while stack and explored < state_budget:
+            members = stack.pop()
+            explored += 1
+            leaves = cone_leaves(members)
+            boot = sum(1 for m in members if circuit.node(m).is_bootstrapped)
+            if boolean_lut_spec(cone_table(members, nid, leaves), len(leaves)):
+                candidate = (boot, -len(leaves), members, leaves)
+                if best is None or candidate[:2] > best[:2]:
+                    best = candidate
+            for leaf in leaves:
+                if circuit.node(leaf).op not in _ABSORBABLE_OPS:
+                    continue
+                trial = members | {leaf}
+                if trial in seen:
+                    continue
+                trial_leaves = cone_leaves(trial)
+                if not trial_leaves or len(trial_leaves) > max_arity:
+                    continue
+                seen.add(trial)
+                stack.append(trial)
+        if best is not None and best[0] >= 2:
+            _, _, members, leaves = best
+            cones[nid] = (cone_table(members, nid, leaves), leaves)
+
+    rebuild = _Rebuild(circuit)
+    for node in circuit.nodes:
+        nid = node.node_id
+        if node.op == "input":
+            continue
+        if nid in cones:
+            table, leaves = cones[nid]
+            rebuild.wire_map[nid] = rebuild.new.lut(
+                table, [rebuild.wire_map[w] for w in leaves]
+            )
+        else:
+            args = [rebuild.wire_map[a] for a in node.args]
+            rebuild.wire_map[nid] = rebuild.emit_like(node, args)
     return rebuild.finish()
 
 
@@ -438,6 +626,7 @@ PASSES: Dict[str, Callable[[Circuit], Circuit]] = {
     "absorb": absorb_linear,
     "cse": eliminate_common_subexpressions,
     "balance": rebalance_depth,
+    "lutify": lutify,
     "dce": eliminate_dead_nodes,
 }
 
@@ -445,6 +634,20 @@ PASSES: Dict[str, Callable[[Circuit], Circuit]] = {
 #: them up so CSE sees canonical gates, rebalancing runs on the shrunk
 #: netlist, a second CSE merges tree substructure, and DCE renumbers last.
 DEFAULT_PIPELINE: Tuple[str, ...] = ("fold", "absorb", "cse", "balance", "cse", "dce")
+
+#: Pipeline with LUT clustering: lutify runs *after* the gate-level cleanup
+#: (cones are grown over a canonical, deduplicated netlist — folding or CSE
+#: after lutify would see opaque tables and miss rewrites) and *before* DCE,
+#: which sweeps the gate interiors the cones absorbed.
+LUT_PIPELINE: Tuple[str, ...] = (
+    "fold",
+    "absorb",
+    "cse",
+    "balance",
+    "cse",
+    "lutify",
+    "dce",
+)
 
 
 @dataclass(frozen=True)
@@ -567,6 +770,8 @@ def optimize(
 
 __all__ = [
     "BALANCEABLE_OPS",
+    "LUT_PIPELINE",
+    "lutify",
     "COMMUTATIVE_OPS",
     "COMPLEMENT_FIRST",
     "COMPLEMENT_SECOND",

@@ -1,0 +1,392 @@
+"""Radix lowering of traced integer programs onto programmable bootstrapping.
+
+The boolean frontend (:mod:`repro.compiler.frontend`) lowers ``+ * < ==`` to
+ripple adders, shift-add multipliers and comparator trees — tens to hundreds
+of gate bootstrappings per 16-bit operation.  This module traces the *same*
+Python functions into a :class:`RadixProgram` whose operations are the
+digit-LUT primitives of :class:`repro.tfhe.integers.RadixEvaluator` instead:
+an addition is digit-wise linear (zero bootstraps until carries must be
+normalised), a multiply is one batched partial-product lookup plus carry
+sweeps, and comparisons are packed sign/equality lookups.
+
+The two lowerings share one semantics — unsigned arithmetic wrapping modulo
+``2**width`` — so a radix program is verified by plaintext co-simulation
+against the boolean trace of the same function
+(:func:`verify_against_boolean`), exactly the oracle the optimizer passes
+use.
+
+Example::
+
+    from repro.compiler import RadixUint16, trace_radix
+
+    def score(a, b):
+        return a * b + 42
+
+    program = trace_radix(score, RadixUint16("a"), RadixUint16("b"))
+    program.simulate({"a": 3, "b": 5})      # {'out': 57}
+    program.run(evaluator, {"a": enc_a, "b": enc_b})   # encrypted RadixInt
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.tfhe.integers import RadixEvaluator, RadixInt
+from repro.utils.rng import SeedLike, make_rng
+
+
+class RadixTraceError(TypeError):
+    """Raised for malformed radix-traced programs."""
+
+
+@dataclass(frozen=True)
+class RadixOp:
+    """One SSA operation of a radix program.
+
+    ``kind`` is one of ``add``, ``add_scalar``, ``mul``, ``scale`` (uint →
+    uint) or ``gt``, ``eq`` (uint → bool); ``args`` are value ids, ``scalar``
+    the plain-int operand of the scalar forms.
+    """
+
+    kind: str
+    out: int
+    args: Tuple[int, ...]
+    scalar: Optional[int] = None
+
+
+@dataclass
+class RadixProgram:
+    """A traced integer program over one shared bit width.
+
+    ``width_bits`` is the wrapping modulus exponent shared by every integer
+    value (mirroring the fixed-width :class:`~repro.compiler.frontend.FheUint`
+    trace).  Boolean results (comparisons) occupy their own value ids and
+    decode as 0/1.
+    """
+
+    name: str
+    width_bits: int
+    inputs: Dict[str, int] = field(default_factory=dict)  # name -> value id
+    ops: List[RadixOp] = field(default_factory=list)
+    outputs: Dict[str, int] = field(default_factory=dict)
+    bool_values: set = field(default_factory=set)
+
+    @property
+    def modulus(self) -> int:
+        return 1 << self.width_bits
+
+    def digit_width(self, evaluator: RadixEvaluator) -> int:
+        """Digits per integer under the evaluator's encoding."""
+        bits = evaluator.encoding.message_bits
+        if self.width_bits % bits:
+            raise RadixTraceError(
+                f"width {self.width_bits} bits is not a whole number of "
+                f"{bits}-bit digits"
+            )
+        return self.width_bits // bits
+
+    # -- plaintext co-simulation --------------------------------------------
+    def simulate(self, inputs: Dict[str, int]) -> Dict[str, int]:
+        """Reference semantics: unsigned ints in, unsigned ints / 0-1 out."""
+        values: Dict[int, int] = {}
+        for name, vid in self.inputs.items():
+            if name not in inputs:
+                raise RadixTraceError(f"missing program input {name!r}")
+            values[vid] = int(inputs[name]) % self.modulus
+        for op in self.ops:
+            a = values[op.args[0]]
+            if op.kind == "add":
+                values[op.out] = (a + values[op.args[1]]) % self.modulus
+            elif op.kind == "add_scalar":
+                values[op.out] = (a + op.scalar) % self.modulus
+            elif op.kind == "mul":
+                values[op.out] = (a * values[op.args[1]]) % self.modulus
+            elif op.kind == "scale":
+                values[op.out] = (a * op.scalar) % self.modulus
+            elif op.kind == "gt":
+                values[op.out] = int(a > values[op.args[1]])
+            elif op.kind == "eq":
+                values[op.out] = int(a == values[op.args[1]])
+            else:  # pragma: no cover - trace builders emit only known kinds
+                raise RadixTraceError(f"unknown radix op {op.kind!r}")
+        return {name: values[vid] for name, vid in self.outputs.items()}
+
+    # -- encrypted execution -------------------------------------------------
+    def run(
+        self, evaluator: RadixEvaluator, inputs: Dict[str, RadixInt]
+    ) -> Dict[str, object]:
+        """Execute under encryption; uint outputs are :class:`RadixInt`,
+        bool outputs are single digit ciphertexts of 0/1."""
+        digits = self.digit_width(evaluator)
+        values: Dict[int, object] = {}
+        for name, vid in self.inputs.items():
+            if name not in inputs:
+                raise RadixTraceError(f"missing encrypted input {name!r}")
+            operand = inputs[name]
+            if operand.width != digits:
+                raise RadixTraceError(
+                    f"input {name!r} has {operand.width} digits, the program "
+                    f"needs {digits} under this encoding"
+                )
+            values[vid] = operand
+        for op in self.ops:
+            a = values[op.args[0]]
+            if op.kind == "add":
+                values[op.out] = evaluator.add(a, values[op.args[1]])
+            elif op.kind == "add_scalar":
+                values[op.out] = evaluator.add_scalar(a, op.scalar)
+            elif op.kind == "mul":
+                values[op.out] = evaluator.mul(a, values[op.args[1]])
+            elif op.kind == "scale":
+                values[op.out] = evaluator.scale(a, op.scalar)
+            elif op.kind == "gt":
+                values[op.out] = evaluator.gt(a, values[op.args[1]])
+            elif op.kind == "eq":
+                values[op.out] = evaluator.eq(a, values[op.args[1]])
+        return {name: values[vid] for name, vid in self.outputs.items()}
+
+
+class _RadixTracer:
+    def __init__(self, name: str, width_bits: int) -> None:
+        self.program = RadixProgram(name=name, width_bits=width_bits)
+        self._next = 0
+
+    def new_id(self) -> int:
+        vid = self._next
+        self._next += 1
+        return vid
+
+    def emit(self, kind: str, args: Tuple[int, ...], scalar: Optional[int] = None) -> int:
+        out = self.new_id()
+        self.program.ops.append(RadixOp(kind=kind, out=out, args=args, scalar=scalar))
+        return out
+
+
+class RadixValue:
+    """Base class of radix-traced values (an SSA id on a shared tracer)."""
+
+    __slots__ = ("tracer", "vid")
+
+    def __init__(self, tracer: _RadixTracer, vid: int) -> None:
+        self.tracer = tracer
+        self.vid = vid
+
+    def __bool__(self) -> None:
+        raise RadixTraceError(
+            "encrypted values have no plaintext truth value inside a trace"
+        )
+
+
+class RadixBool(RadixValue):
+    """A radix-traced comparison result (decrypts to 0 or 1)."""
+
+
+class RadixUint(RadixValue):
+    """A radix-traced unsigned integer of the program's shared width.
+
+    ``RadixUint(width_bits, "name")`` builds an *unbound* input spec for
+    :func:`trace_radix`; the curried aliases :func:`RadixUint8` /
+    :func:`RadixUint16` read better at call sites.  Bound instances support
+    ``+ * > < ==`` against other traced values or plain ints — exactly the
+    operator subset the digit-LUT evaluator accelerates.
+    """
+
+    __slots__ = ("width_bits", "name")
+
+    def __init__(
+        self, width_bits: int, name: str | None = None, *, _bound=None
+    ) -> None:
+        if _bound is not None:
+            tracer, vid = _bound
+            super().__init__(tracer, vid)
+            self.width_bits = width_bits
+            self.name = name
+        else:
+            if width_bits <= 0:
+                raise RadixTraceError("width must be positive")
+            if not name:
+                raise RadixTraceError("an input spec needs a name: RadixUint(16, 'a')")
+            self.width_bits = width_bits
+            self.name = name
+            self.tracer = None
+            self.vid = None
+
+    def _bind(self, tracer: _RadixTracer) -> "RadixUint":
+        vid = tracer.new_id()
+        tracer.program.inputs[self.name] = vid
+        return RadixUint(self.width_bits, self.name, _bound=(tracer, vid))
+
+    def _lift(self, vid: int) -> "RadixUint":
+        return RadixUint(self.width_bits, None, _bound=(self.tracer, vid))
+
+    def _peer(self, other) -> Optional[int]:
+        if isinstance(other, RadixUint):
+            if other.tracer is not self.tracer:
+                raise RadixTraceError("cannot mix values from different traces")
+            if other.width_bits != self.width_bits:
+                raise RadixTraceError(
+                    f"operand widths differ: {other.width_bits} vs {self.width_bits}"
+                )
+            return other.vid
+        if isinstance(other, int):
+            return None
+        raise RadixTraceError(
+            f"cannot trace operand of type {type(other).__name__}"
+        )
+
+    # -- arithmetic ----------------------------------------------------------
+    def __add__(self, other):
+        peer = self._peer(other)
+        if peer is None:
+            return self._lift(
+                self.tracer.emit("add_scalar", (self.vid,), int(other))
+            )
+        return self._lift(self.tracer.emit("add", (self.vid, peer)))
+
+    __radd__ = __add__
+
+    def __mul__(self, other):
+        peer = self._peer(other)
+        if peer is None:
+            return self._lift(self.tracer.emit("scale", (self.vid,), int(other)))
+        return self._lift(self.tracer.emit("mul", (self.vid, peer)))
+
+    __rmul__ = __mul__
+
+    # -- comparisons ---------------------------------------------------------
+    def _const_peer(self, value: int) -> int:
+        """A plain int as a traced value (a zero plus a scalar addition)."""
+        raise RadixTraceError(
+            "comparisons against plain ints are not traced; encrypt the "
+            "constant as an input instead"
+        )
+
+    def __gt__(self, other):
+        peer = self._peer(other)
+        if peer is None:
+            self._const_peer(other)
+        return RadixBool(self.tracer, self.tracer.emit("gt", (self.vid, peer)))
+
+    def __lt__(self, other):
+        peer = self._peer(other)
+        if peer is None:
+            self._const_peer(other)
+        return RadixBool(self.tracer, self.tracer.emit("gt", (peer, self.vid)))
+
+    def __eq__(self, other):
+        peer = self._peer(other)
+        if peer is None:
+            self._const_peer(other)
+        return RadixBool(self.tracer, self.tracer.emit("eq", (self.vid, peer)))
+
+    __hash__ = None  # symbolic equality makes instances unhashable
+
+
+def RadixUint8(name: str) -> RadixUint:
+    """An 8-bit radix input spec."""
+    return RadixUint(8, name)
+
+
+def RadixUint16(name: str) -> RadixUint:
+    """A 16-bit radix input spec."""
+    return RadixUint(16, name)
+
+
+def trace_radix(
+    fn: Callable, *specs: RadixUint, name: str | None = None
+) -> RadixProgram:
+    """Record ``fn(*specs)`` as a :class:`RadixProgram`.
+
+    Mirrors :func:`repro.compiler.frontend.trace`: ``specs`` are unbound
+    :class:`RadixUint` input declarations (all of one width — radix programs
+    share a single modulus), the function runs once, and its return value —
+    one traced value, a tuple (``out0, out1, ...``) or a ``{name: value}``
+    dict — becomes the program's outputs (a single value is named ``out``).
+    """
+    if not specs:
+        raise RadixTraceError("trace_radix needs at least one input spec")
+    for spec in specs:
+        if not isinstance(spec, RadixUint) or spec.tracer is not None:
+            raise RadixTraceError(
+                "trace_radix arguments must be unbound RadixUint specs"
+            )
+    widths = {spec.width_bits for spec in specs}
+    if len(widths) > 1:
+        raise RadixTraceError(
+            f"all radix inputs must share one width, got {sorted(widths)}"
+        )
+    tracer = _RadixTracer(
+        name or getattr(fn, "__name__", "traced") or "traced", widths.pop()
+    )
+    bound = []
+    for spec in specs:
+        if spec.name in tracer.program.inputs:
+            raise RadixTraceError(f"duplicate input name {spec.name!r}")
+        bound.append(spec._bind(tracer))
+    result = fn(*bound)
+
+    if isinstance(result, RadixValue):
+        named = {"out": result}
+    elif isinstance(result, dict):
+        named = dict(result)
+    elif isinstance(result, (tuple, list)):
+        named = {f"out{i}": value for i, value in enumerate(result)}
+    else:
+        raise RadixTraceError(
+            "a radix-traced function must return traced values, got "
+            f"{type(result).__name__}"
+        )
+    if not named:
+        raise RadixTraceError("a radix-traced function must return a value")
+    for out_name, value in named.items():
+        if not isinstance(value, RadixValue) or value.tracer is not tracer:
+            raise RadixTraceError(f"output {out_name!r} is not from this trace")
+        tracer.program.outputs[out_name] = value.vid
+        if isinstance(value, RadixBool):
+            tracer.program.bool_values.add(value.vid)
+    return tracer.program
+
+
+def verify_against_boolean(
+    program: RadixProgram,
+    circuit,
+    trials: int = 32,
+    rng: SeedLike = 0,
+) -> None:
+    """Co-simulate a radix program against a boolean trace of the same fn.
+
+    Both lowerings must agree on every output for randomized inputs (the
+    boolean circuit is simulated with :func:`repro.compiler.sim.simulate`).
+    Raises :class:`RadixTraceError` on the first disagreement — this is the
+    compiler's cross-lowering correctness oracle.
+    """
+    from repro.compiler.sim import simulate
+
+    rng = make_rng(rng)
+    names = sorted(program.inputs)
+    for _ in range(trials):
+        values = {
+            name: int(rng.integers(0, program.modulus)) for name in names
+        }
+        expected = program.simulate(values)
+        actual = simulate(circuit, values)
+        if expected != actual:
+            raise RadixTraceError(
+                f"radix and boolean lowerings disagree on {values}: "
+                f"{expected} vs {actual}"
+            )
+
+
+__all__ = [
+    "RadixBool",
+    "RadixOp",
+    "RadixProgram",
+    "RadixTraceError",
+    "RadixUint",
+    "RadixUint8",
+    "RadixUint16",
+    "RadixValue",
+    "trace_radix",
+    "verify_against_boolean",
+]

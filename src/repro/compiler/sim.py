@@ -60,6 +60,11 @@ def simulate_bits(
             values[node.node_id] = 1 - values[node.args[0]]
         elif node.op == "copy":
             values[node.node_id] = values[node.args[0]]
+        elif node.op == "lut":
+            index = 0
+            for position, arg in enumerate(node.args):
+                index |= values[arg] << position
+            values[node.node_id] = (node.value >> index) & 1
         else:
             values[node.node_id] = PLAINTEXT_GATES[node.op](
                 values[node.args[0]], values[node.args[1]]

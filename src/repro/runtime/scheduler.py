@@ -22,15 +22,18 @@ Model
   tenant).  Only jobs under the **same** client key can share a bootstrap —
   ciphertexts of different keys are algebraically incompatible — so the
   scheduler groups work per client.
-* ``submit_gate``/``submit_circuit`` enqueue work and return handles
-  (futures); linear operations (NOT/constant) resolve immediately, they
-  never cost a bootstrap.  Gate operands may be *handles* of earlier jobs of
+* ``submit_gate``/``submit_lut``/``submit_circuit`` enqueue work and return
+  handles (futures); linear operations (NOT/constant) resolve immediately,
+  they never cost a bootstrap.  Operands may be *handles* of earlier jobs of
   the same session, so chains of gates schedule like circuit levels.
 * ``flush()`` drains the queue in rounds: each round gathers, per client,
   every row every ready job wants bootstrapped next — single gates are one
   row, a circuit job contributes its current dependency level — and issues
-  them as one ``gate_rows`` call (optionally chunked by
-  ``max_rows_per_call``).  Jobs whose operands resolved in an earlier round
+  them as one batched call (optionally chunked by ``max_rows_per_call``).
+  Gate-only chunks take the exact ``gate_rows`` path; chunks containing lut
+  rows fuse per-row test vectors through ``bootstrap_rows`` instead, so
+  lookup jobs and boolean gates still share one blind rotation sweep.
+  Jobs whose operands resolved in an earlier round
   become ready in the next, so chained work schedules level-by-level across
   all sessions in lockstep.
 """
@@ -40,14 +43,23 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from repro.runtime.context import FheContext
 from repro.tfhe.executor import LevelSchedule, _gather_inputs, schedule_circuit
-from repro.tfhe.gates import MIXED_GATE_SPECS
+from repro.tfhe.gates import (
+    MIXED_GATE_SPECS,
+    gate_affine_batch,
+    lut_affine_batch,
+    require_lut_spec,
+)
 from repro.tfhe.keys import TFHECloudKey
+from repro.tfhe.lut import lut_test_vector
 from repro.tfhe.lwe import (
     LweBatch,
     LweSample,
     gate_message,
+    lwe_batch_concat,
     lwe_encrypt_trivial,
     lwe_negate,
 )
@@ -89,6 +101,13 @@ class JobHandle:
 
 Operand = Union[LweSample, JobHandle]
 
+#: One bootstrap row of a flush round: ``("gate", name, ca, cb)`` for a
+#: two-input boolean gate, ``("lut", table, operands)`` for a k-input lookup.
+Row = Union[
+    Tuple[str, str, LweSample, LweSample],
+    Tuple[str, int, Tuple[LweSample, ...]],
+]
+
 
 def _resolve_operand(operand: Operand) -> Optional[LweSample]:
     """The ciphertext behind an operand, or ``None`` if still pending."""
@@ -110,12 +129,36 @@ class _GateJob:
     def done(self) -> bool:
         return self.handle.done
 
-    def pending_rows(self) -> List[Tuple[str, LweSample, LweSample]]:
+    def pending_rows(self) -> List[Row]:
         ca = _resolve_operand(self.ca)
         cb = _resolve_operand(self.cb)
         if ca is None or cb is None:
             return []  # blocked on an earlier job; retry next round
-        return [(self.name, ca, cb)]
+        return [("gate", self.name, ca, cb)]
+
+    def deliver(self, outputs: Sequence[LweSample]) -> None:
+        self.handle._resolve(outputs[0])
+
+
+class _LutJob:
+    """One k-input boolean lookup; contributes a single row when ready."""
+
+    def __init__(
+        self, table: int, operands: Sequence[Operand], handle: JobHandle
+    ) -> None:
+        self.table = table
+        self.operands = list(operands)
+        self.handle = handle
+
+    @property
+    def done(self) -> bool:
+        return self.handle.done
+
+    def pending_rows(self) -> List[Row]:
+        resolved = [_resolve_operand(op) for op in self.operands]
+        if any(value is None for value in resolved):
+            return []  # blocked on an earlier job; retry next round
+        return [("lut", self.table, tuple(resolved))]
 
     def deliver(self, outputs: Sequence[LweSample]) -> None:
         self.handle._resolve(outputs[0])
@@ -169,18 +212,30 @@ class _CircuitJob:
             elif node.op == "copy":
                 self.values[nid] = self.values[node.args[0]].copy()
 
-    def pending_rows(self) -> List[Tuple[str, LweSample, LweSample]]:
+    def pending_rows(self) -> List[Row]:
         if self.done:
             return []
-        wave = self.schedule.waves[self.level]
-        return [
-            (
-                self.circuit.node(nid).op,
-                self.values[self.circuit.node(nid).args[0]],
-                self.values[self.circuit.node(nid).args[1]],
-            )
-            for nid in wave
-        ]
+        rows: List[Row] = []
+        for nid in self.schedule.waves[self.level]:
+            node = self.circuit.node(nid)
+            if node.op == "lut":
+                rows.append(
+                    (
+                        "lut",
+                        node.value,
+                        tuple(self.values[arg] for arg in node.args),
+                    )
+                )
+            else:
+                rows.append(
+                    (
+                        "gate",
+                        node.op,
+                        self.values[node.args[0]],
+                        self.values[node.args[1]],
+                    )
+                )
+        return rows
 
     def deliver(self, outputs: Sequence[LweSample]) -> None:
         wave = self.schedule.waves[self.level]
@@ -275,6 +330,21 @@ class EvaluationSession:
             self.client_id,
             _GateJob(name, self._check_operand(ca), self._check_operand(cb), handle),
         )
+        return handle
+
+    def submit_lut(self, table: int, operands: Sequence[Operand]) -> JobHandle:
+        """Queue one k-input boolean lookup (truth table ``table``).
+
+        The table must have a single-bootstrap realisation
+        (:func:`repro.tfhe.lut.boolean_lut_spec`) — checked here, at submit
+        time, so infeasible tables fail fast rather than at flush.  The row
+        coalesces with gate and circuit rows of the same client into one
+        fused mixed-test-vector bootstrapping.
+        """
+        operands = [self._check_operand(op) for op in operands]
+        require_lut_spec(table, len(operands))  # fail fast on infeasible tables
+        handle = JobHandle(self.client_id)
+        self.scheduler._enqueue(self.client_id, _LutJob(table, operands, handle))
         return handle
 
     def submit_circuit(
@@ -372,7 +442,7 @@ class BatchScheduler:
             for client_id, queue in self._queues.items():
                 jobs = [job for job in queue if not job.done]
                 contributions: List[Tuple[object, int]] = []
-                rows: List[Tuple[str, LweSample, LweSample]] = []
+                rows: List[Row] = []
                 for job in jobs:
                     job_rows = job.pending_rows()
                     if job_rows:
@@ -404,20 +474,62 @@ class BatchScheduler:
         return total_rows
 
     def _run_rows(
-        self, context: FheContext, rows: List[Tuple[str, LweSample, LweSample]]
+        self, context: FheContext, rows: List[Row]
     ) -> List[LweSample]:
-        evaluator = context.batch_evaluator(1)  # gate_rows takes any row count
+        evaluator = context.batch_evaluator(1)  # row entry points take any count
         outputs: List[LweSample] = []
         chunk = self.max_rows_per_call or len(rows)
         for start in range(0, len(rows), chunk):
             part = rows[start : start + chunk]
-            names = [name for name, _, _ in part]
-            ca = LweBatch.from_samples([a for _, a, _ in part])
-            cb = LweBatch.from_samples([b for _, _, b in part])
-            result = evaluator.gate_rows(names, ca, cb)
+            if any(row[0] == "lut" for row in part):
+                result = self._mixed_rows(evaluator, part)
+            else:
+                names = [name for _, name, _, _ in part]
+                ca = LweBatch.from_samples([a for _, _, a, _ in part])
+                cb = LweBatch.from_samples([b for _, _, _, b in part])
+                result = evaluator.gate_rows(names, ca, cb)
             self.stats.batched_calls += 1
             self.stats.max_rows_per_call = max(
                 self.stats.max_rows_per_call, len(part)
             )
             outputs.extend(result.to_samples())
         return outputs
+
+    @staticmethod
+    def _mixed_rows(evaluator, part: List[Row]) -> LweBatch:
+        """One fused bootstrapping over gate rows *and* lut rows.
+
+        Each row assembles its own affine combination and test vector; the
+        whole chunk then shares a single
+        :meth:`repro.tfhe.gates.BatchGateEvaluator.bootstrap_rows` sweep —
+        the same mechanism the level-parallel executor uses for mixed waves,
+        applied across sessions.
+        """
+        params = evaluator.context.params
+        combined: List[LweBatch] = []
+        vectors: List[np.ndarray] = []
+        for row in part:
+            if row[0] == "lut":
+                _, table, operands = row
+                spec = require_lut_spec(table, len(operands))
+                combined.append(
+                    lut_affine_batch(
+                        spec,
+                        [LweBatch.from_samples([op]) for op in operands],
+                    )
+                )
+                vectors.append(lut_test_vector(params, spec))
+            else:
+                _, name, ca, cb = row
+                combined.append(
+                    gate_affine_batch(
+                        name,
+                        LweBatch.from_samples([ca]),
+                        LweBatch.from_samples([cb]),
+                    )
+                )
+                vectors.append(evaluator.gate_test_vector())
+        evaluator.counters.gates += len(part)
+        return evaluator.bootstrap_rows(
+            lwe_batch_concat(combined), np.stack(vectors)
+        )

@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.tfhe.keyswitch import KeySwitchKey, keyswitch_apply, keyswitch_apply_batch
 from repro.tfhe.lwe import LweBatch, LweSample
-from repro.tfhe.params import TFHEParameters
+from repro.tfhe.params import DigitEncoding, TFHEParameters
 from repro.tfhe.tgsw import (
     BootstrapWorkspace,
     TransformedTgswSample,
@@ -47,7 +47,7 @@ from repro.tfhe.tlwe import (
     tlwe_sample_extract,
     tlwe_trivial,
 )
-from repro.tfhe.torus import modswitch_from_torus32
+from repro.tfhe.torus import modswitch_from_torus32, modswitch_to_torus32
 from repro.tfhe.transform import NegacyclicTransform
 
 
@@ -210,6 +210,65 @@ def _make_test_vector_cached(degree: int, mu: int) -> np.ndarray:
     return vector
 
 
+def encode_lut(
+    params: TFHEParameters,
+    table,
+    message_bits: int,
+    carry_bits: int = 0,
+) -> np.ndarray:
+    """Encode an arbitrary lookup table as a redundant test polynomial.
+
+    ``table`` lists the output digit (in ``[0, P)``) for every input digit in
+    ``[0, P)`` where ``P = 2^(message_bits + carry_bits)``.  Each input digit
+    owns a run of ``r = N/P`` consecutive coefficients centred on its encoded
+    phase, so a blind rotation by the (noisy) phase of a digit ciphertext
+    lands inside the right run as long as the noise stays within ``1/(4P)``.
+
+    The guard half-run at the top of the polynomial (phases just below
+    ``1/2``) belongs — negacyclically — to digit 0 approached from below:
+    those coefficients carry ``−encode(table[0])`` so that a slightly
+    *negative* phase on digit 0 still extracts ``+encode(table[0])``.
+
+    The result is memoised (and write-protected) per ``(N, encoding, table
+    bytes)`` — the cache key is the table contents, not a scalar ``mu``.
+    """
+    encoding = DigitEncoding(message_bits, carry_bits)
+    encoding.validate_for(params)
+    space = encoding.space
+    entries = np.asarray(table, dtype=np.int64).ravel()
+    if entries.shape[0] != space:
+        raise ValueError(
+            f"lookup table must have exactly P={space} entries, got "
+            f"{entries.shape[0]}"
+        )
+    if np.any((entries < 0) | (entries >= space)):
+        raise ValueError(f"lookup-table outputs must lie in [0, {space})")
+    return _encode_lut_cached(
+        params.N, message_bits, carry_bits, entries.tobytes()
+    )
+
+
+@lru_cache(maxsize=None)
+def _encode_lut_cached(
+    degree: int, message_bits: int, carry_bits: int, table_bytes: bytes
+) -> np.ndarray:
+    encoding = DigitEncoding(message_bits, carry_bits)
+    space = encoding.space
+    table = np.frombuffer(table_bytes, dtype=np.int64)
+    run = degree // space
+    j = np.arange(degree, dtype=np.int64)
+    slot = (j + run // 2) // run  # digit owning coefficient j (run-centred)
+    encoded = modswitch_to_torus32(table, encoding.torus_space)
+    vector = np.where(
+        slot < space,
+        encoded[np.minimum(slot, space - 1)],
+        # Guard half-run: negacyclic wrap of digit 0's lower noise tail.
+        -encoded[0],
+    ).astype(np.int32)
+    vector.setflags(write=False)
+    return vector
+
+
 def modswitch_sample(sample: LweSample, degree: int) -> tuple[int, np.ndarray]:
     """Rescale a sample's coefficients from the torus to ``Z_{2N}`` (Rounding).
 
@@ -253,8 +312,12 @@ def blind_rotate_and_extract_batch(
 ) -> LweBatch:
     """Batched lines 2–8 of Algorithm 1: one vectorised pass over the batch.
 
-    Bit-identical to looping :func:`blind_rotate_and_extract` over the rows;
-    only the NumPy dispatch overhead is amortised across the batch.
+    ``test_vector`` is either one shared ``(N,)`` polynomial or a ``(B, N)``
+    stack giving every row its *own* test vector — one blind rotation can mix
+    rows that bootstrap against different lookup tables (boolean gates next
+    to programmable digit LUTs).  Bit-identical to looping
+    :func:`blind_rotate_and_extract` over the rows; only the NumPy dispatch
+    overhead is amortised across the batch.
     """
     degree = params.N
     barb, bara = modswitch_batch(batch, degree)
@@ -264,6 +327,15 @@ def blind_rotate_and_extract_batch(
     return tlwe_batch_sample_extract(accumulators, index=0)
 
 
+def _require_gate_space(params: TFHEParameters) -> None:
+    """Gate bootstrapping encodes at ±1/8: the 8-ary space must be rated."""
+    if params.message_space < 8:
+        raise ValueError(
+            f"gate bootstrapping needs the 8-ary message space but "
+            f"{params.name!r} is rated for message_space={params.message_space}"
+        )
+
+
 def bootstrap_without_keyswitch(
     sample: LweSample,
     mu: int,
@@ -271,6 +343,7 @@ def bootstrap_without_keyswitch(
     params: TFHEParameters,
 ) -> LweSample:
     """Bootstrap ``sample`` to a fresh sample of ``±mu`` under the extracted key."""
+    _require_gate_space(params)
     test_vector = make_test_vector(params, mu)
     return blind_rotate_and_extract(sample, test_vector, rotator, params)
 
@@ -299,6 +372,7 @@ def bootstrap_without_keyswitch_batch(
     params: TFHEParameters,
 ) -> LweBatch:
     """Batched bootstrap to fresh samples of ``±mu`` under the extracted key."""
+    _require_gate_space(params)
     test_vector = make_test_vector(params, mu)
     return blind_rotate_and_extract_batch(batch, test_vector, rotator, params)
 
@@ -337,4 +411,93 @@ def context_gate_bootstrap_batch(context, batch: LweBatch, mu: int) -> LweBatch:
     """Batched :func:`context_gate_bootstrap` (one vectorised pass per call)."""
     return gate_bootstrap_batch(
         batch, mu, context.rotator, context.keyswitch_key, context.params
+    )
+
+
+# --------------------------------------------------------------------------- #
+# programmable bootstrapping                                                  #
+# --------------------------------------------------------------------------- #
+
+
+def programmable_bootstrap(
+    sample: LweSample,
+    table,
+    encoding: DigitEncoding,
+    rotator: BlindRotator,
+    keyswitch_key: KeySwitchKey,
+    params: TFHEParameters,
+) -> LweSample:
+    """Evaluate ``table[digit]`` homomorphically on one digit ciphertext.
+
+    Exactly the gate-bootstrapping pipeline — mod-switch, blind rotation,
+    sample extraction, key switch — with the all-``mu`` test vector replaced
+    by the redundant encoding of ``table`` (see :func:`encode_lut`).  The
+    output is a fresh digit ciphertext of ``table[digit]``.
+    """
+    test_vector = encode_lut(
+        params, table, encoding.message_bits, encoding.carry_bits
+    )
+    extracted = blind_rotate_and_extract(sample, test_vector, rotator, params)
+    return keyswitch_apply(keyswitch_key, extracted)
+
+
+def programmable_bootstrap_batch(
+    batch: LweBatch,
+    tables,
+    encoding: DigitEncoding,
+    rotator: BlindRotator,
+    keyswitch_key: KeySwitchKey,
+    params: TFHEParameters,
+) -> LweBatch:
+    """Batched programmable bootstrapping with a possibly different LUT per row.
+
+    ``tables`` is either one table applied to every row or a sequence of
+    ``batch_size`` tables; all rows share the single fused blind rotation.
+    """
+    tables = list(tables) if _is_table_sequence(tables) else [tables]
+    if len(tables) == 1:
+        test_vector = encode_lut(
+            params, tables[0], encoding.message_bits, encoding.carry_bits
+        )
+    else:
+        if len(tables) != batch.batch_size:
+            raise ValueError(
+                f"got {len(tables)} lookup tables for {batch.batch_size} rows"
+            )
+        test_vector = np.stack(
+            [
+                encode_lut(
+                    params, t, encoding.message_bits, encoding.carry_bits
+                )
+                for t in tables
+            ]
+        )
+    extracted = blind_rotate_and_extract_batch(
+        batch, test_vector, rotator, params
+    )
+    return keyswitch_apply_batch(keyswitch_key, extracted)
+
+
+def _is_table_sequence(tables) -> bool:
+    """Whether ``tables`` is a sequence of tables (vs one flat table)."""
+    if isinstance(tables, np.ndarray):
+        return tables.ndim == 2
+    return bool(tables) and not np.isscalar(tables[0]) and hasattr(tables[0], "__len__")
+
+
+def context_programmable_bootstrap(
+    context, sample: LweSample, table, encoding: DigitEncoding
+) -> LweSample:
+    """Programmable bootstrap with all state pulled from an evaluation context."""
+    return programmable_bootstrap(
+        sample, table, encoding, context.rotator, context.keyswitch_key, context.params
+    )
+
+
+def context_programmable_bootstrap_batch(
+    context, batch: LweBatch, tables, encoding: DigitEncoding
+) -> LweBatch:
+    """Batched :func:`context_programmable_bootstrap` (one fused blind rotation)."""
+    return programmable_bootstrap_batch(
+        batch, tables, encoding, context.rotator, context.keyswitch_key, context.params
     )

@@ -30,8 +30,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Sequence, Tuple
 
+import numpy as np
+
 from repro.arch.ops import OpType
-from repro.tfhe.gates import BatchGateEvaluator
+from repro.tfhe.gates import (
+    BatchGateEvaluator,
+    gate_affine_batch,
+    lut_affine_batch,
+    require_lut_spec,
+)
+from repro.tfhe.lut import lut_test_vector
 from repro.tfhe.lwe import LweBatch, LweSample, lwe_batch_concat
 from repro.tfhe.netlist import Circuit
 
@@ -173,6 +181,10 @@ def execute(
             values[node.node_id] = evaluator.not_(values[node.args[0]])
         elif node.op == "copy":
             values[node.node_id] = evaluator.copy(values[node.args[0]])
+        elif node.op == "lut":
+            values[node.node_id] = evaluator.lut(
+                node.value, [values[a] for a in node.args]
+            )
         else:
             values[node.node_id] = evaluator.gate(
                 node.op, values[node.args[0]], values[node.args[1]]
@@ -269,12 +281,15 @@ class CircuitExecutor:
         resolve_linear(schedule.linear[0])
         for level, wave in enumerate(schedule.waves, start=1):
             if wave:
-                names: List[str] = []
-                for nid in wave:
-                    names.extend([circuit.node(nid).op] * words)
-                ca = lwe_batch_concat(values[circuit.node(n).args[0]] for n in wave)
-                cb = lwe_batch_concat(values[circuit.node(n).args[1]] for n in wave)
-                out = self.evaluator.gate_rows(names, ca, cb)
+                if any(circuit.node(n).op == "lut" for n in wave):
+                    out = self._mixed_wave(circuit, wave, values, words)
+                else:
+                    names: List[str] = []
+                    for nid in wave:
+                        names.extend([circuit.node(nid).op] * words)
+                    ca = lwe_batch_concat(values[circuit.node(n).args[0]] for n in wave)
+                    cb = lwe_batch_concat(values[circuit.node(n).args[1]] for n in wave)
+                    out = self.evaluator.gate_rows(names, ca, cb)
                 self.level_calls += 1
                 for i, nid in enumerate(wave):
                     values[nid] = out.rows(i * words, (i + 1) * words)
@@ -283,6 +298,47 @@ class CircuitExecutor:
             name: [values[w] for w in circuit.output_wires[name]]
             for name in schedule.output_names
         }
+
+    def _mixed_wave(
+        self,
+        circuit: Circuit,
+        wave: Sequence[int],
+        values: Dict[int, LweBatch],
+        words: int,
+    ) -> LweBatch:
+        """Issue one wave mixing boolean gates and lut nodes as a single call.
+
+        Every node contributes ``words`` rows: its affine combination plus
+        its own test vector.  The whole wave then shares one fused blind
+        rotation through
+        :meth:`repro.tfhe.gates.BatchGateEvaluator.bootstrap_rows` — rows
+        bootstrapping against the all-``mu`` gate vector sit next to rows
+        bootstrapping against arbitrary lookup tables.
+        """
+        params = self.evaluator.context.params
+        combined: List[LweBatch] = []
+        vectors: List[np.ndarray] = []
+        for nid in wave:
+            node = circuit.node(nid)
+            if node.op == "lut":
+                spec = require_lut_spec(node.value, len(node.args))
+                combined.append(
+                    lut_affine_batch(spec, [values[a] for a in node.args])
+                )
+                vectors.append(lut_test_vector(params, spec))
+            else:
+                combined.append(
+                    gate_affine_batch(
+                        node.op, values[node.args[0]], values[node.args[1]]
+                    )
+                )
+                vectors.append(self.evaluator.gate_test_vector())
+        rows = lwe_batch_concat(combined)
+        stack = np.concatenate(
+            [np.broadcast_to(v, (words, params.N)) for v in vectors]
+        )
+        self.evaluator.counters.gates += rows.batch_size
+        return self.evaluator.bootstrap_rows(rows, stack)
 
     def run_samples(
         self,

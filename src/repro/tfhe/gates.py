@@ -18,7 +18,14 @@ from typing import Callable, Dict, Tuple
 
 import numpy as np
 
-from repro.tfhe.bootstrap import context_gate_bootstrap, context_gate_bootstrap_batch
+from repro.tfhe.bootstrap import (
+    blind_rotate_and_extract,
+    blind_rotate_and_extract_batch,
+    context_gate_bootstrap,
+    context_gate_bootstrap_batch,
+    make_test_vector,
+)
+from repro.tfhe.keyswitch import keyswitch_apply, keyswitch_apply_batch
 from repro.tfhe.keys import TFHECloudKey, TFHESecretKey
 from repro.tfhe.lwe import (
     LweBatch,
@@ -39,6 +46,7 @@ from repro.tfhe.lwe import (
     lwe_scale,
     lwe_sub,
 )
+from repro.tfhe.lut import BooleanLutSpec, boolean_lut_spec, lut_test_vector
 from repro.tfhe.torus import double_to_torus32, torus32_from_int64
 from repro.utils.rng import SeedLike, make_rng
 
@@ -71,6 +79,77 @@ MIXED_GATE_SPECS: Dict[str, Tuple[int, int, int]] = {
     "xor": (2, 2, 2),
     "xnor": (-2, -2, -2),
 }
+
+
+def require_lut_spec(table: int, arity: int) -> BooleanLutSpec:
+    """The affine realisation of ``table`` — raises when none exists."""
+    spec = boolean_lut_spec(int(table), int(arity))
+    if spec is None:
+        raise ValueError(
+            f"truth table 0x{int(table):x} over {arity} inputs has no "
+            f"single-bootstrap realisation on the ±1/8 encoding"
+        )
+    return spec
+
+
+def lut_affine(spec: BooleanLutSpec, inputs) -> LweSample:
+    """The affine combination entering a scalar lut bootstrapping."""
+    inputs = list(inputs)
+    if len(inputs) != spec.arity:
+        raise ValueError(
+            f"lut of arity {spec.arity} got {len(inputs)} operands"
+        )
+    combined = lwe_encrypt_trivial(
+        inputs[0].dimension, np.int32(spec.offset_eighths * int(MU))
+    )
+    for weight, operand in zip(spec.weights, inputs):
+        if weight:
+            combined = lwe_add(combined, lwe_scale(weight, operand))
+    return combined
+
+
+def gate_affine_batch(name: str, ca: LweBatch, cb: LweBatch) -> LweBatch:
+    """The affine combination entering one batched boolean gate.
+
+    Row-for-row the same arithmetic as
+    :meth:`BatchGateEvaluator.gate_rows`, exposed so mixed gate/lut batches
+    can assemble their rows before one shared bootstrapping.
+    """
+    try:
+        offset, sign_a, sign_b = MIXED_GATE_SPECS[name]
+    except KeyError:
+        raise ValueError(f"unknown gate {name!r}") from None
+    a = torus32_from_int64(
+        np.int64(sign_a) * ca.a.astype(np.int64)
+        + np.int64(sign_b) * cb.a.astype(np.int64)
+    )
+    b = torus32_from_int64(
+        np.int64(offset) * np.int64(MU)
+        + np.int64(sign_a) * ca.b.astype(np.int64)
+        + np.int64(sign_b) * cb.b.astype(np.int64)
+    )
+    return LweBatch(a=a, b=b)
+
+
+def lut_affine_batch(spec: BooleanLutSpec, inputs) -> LweBatch:
+    """The affine combination entering a batched lut bootstrapping.
+
+    Row ``i`` of the result is bit-identical to :func:`lut_affine` on row
+    ``i`` of the operand batches.
+    """
+    inputs = list(inputs)
+    if len(inputs) != spec.arity:
+        raise ValueError(
+            f"lut of arity {spec.arity} got {len(inputs)} operand batches"
+        )
+    width = inputs[0].batch_size
+    a = np.zeros((width, inputs[0].dimension), dtype=np.int64)
+    b = np.full(width, np.int64(spec.offset_eighths) * np.int64(MU), dtype=np.int64)
+    for weight, operand in zip(spec.weights, inputs):
+        if weight:
+            a += np.int64(weight) * operand.a.astype(np.int64)
+            b += np.int64(weight) * operand.b.astype(np.int64)
+    return LweBatch(a=torus32_from_int64(a), b=torus32_from_int64(b))
 
 
 def _resolve_context(key):
@@ -241,6 +320,24 @@ class TFHEGateEvaluator:
         if name == "xnor":
             return self.xnor(ca, cb)
         raise ValueError(f"unknown gate {name!r}")
+
+    def lut(self, table: int, inputs) -> LweSample:
+        """Evaluate a k-input boolean LUT in one bootstrapping.
+
+        ``table`` is the truth table (bit ``m`` is the output for the input
+        combination whose bit ``i`` is ``inputs[i]``).  Raises ``ValueError``
+        for tables with no single-bootstrap realisation.
+        """
+        inputs = list(inputs)
+        spec = require_lut_spec(table, len(inputs))
+        self.counters.gates += 1
+        self.counters.bootstraps += 1
+        combined = lut_affine(spec, inputs)
+        test_vector = lut_test_vector(self.context.params, spec)
+        extracted = blind_rotate_and_extract(
+            combined, test_vector, self.context.rotator, self.context.params
+        )
+        return keyswitch_apply(self.context.keyswitch_key, extracted)
 
 
 class BatchGateEvaluator:
@@ -441,6 +538,37 @@ class BatchGateEvaluator:
         )
         self.counters.gates += ca.batch_size
         return self._bootstrap(LweBatch(a=a, b=b))
+
+    def bootstrap_rows(self, combined: LweBatch, test_vectors: np.ndarray) -> LweBatch:
+        """One fused blind rotation where every row owns its test vector.
+
+        ``test_vectors`` is a ``(B, N)`` stack (or one shared ``(N,)``
+        polynomial); this is the primitive underneath every mixed batch —
+        boolean-gate rows next to lut rows, each refreshed against its own
+        lookup table, all inside a single batched
+        blind-rotate/extract/key-switch pass.  Like :meth:`gate_rows` it
+        accepts any row count, not just ``self.batch_size``.
+        """
+        self.counters.bootstraps += combined.batch_size
+        extracted = blind_rotate_and_extract_batch(
+            combined, test_vectors, self.context.rotator, self.context.params
+        )
+        return keyswitch_apply_batch(self.context.keyswitch_key, extracted)
+
+    def lut(self, table: int, inputs) -> LweBatch:
+        """Evaluate a k-input boolean LUT on every row in one bootstrapping."""
+        inputs = list(inputs)
+        spec = require_lut_spec(table, len(inputs))
+        self._check(*inputs)
+        self.counters.gates += self.batch_size
+        combined = lut_affine_batch(spec, inputs)
+        return self.bootstrap_rows(
+            combined, lut_test_vector(self.context.params, spec)
+        )
+
+    def gate_test_vector(self) -> np.ndarray:
+        """The shared all-``mu`` test vector of the plain boolean gates."""
+        return make_test_vector(self.context.params, int(MU))
 
 
 def encrypt_bit(secret: TFHESecretKey, bit: int, rng: SeedLike = None) -> LweSample:

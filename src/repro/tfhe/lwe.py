@@ -18,10 +18,12 @@ from typing import Iterable, List
 
 import numpy as np
 
-from repro.tfhe.params import LweParams
+from repro.tfhe.params import DigitEncoding, LweParams
 from repro.tfhe.torus import (
     double_to_torus32,
     gaussian_torus32,
+    modswitch_from_torus32,
+    modswitch_to_torus32,
     torus32_from_int64,
     torus32_to_double,
     uniform_torus32,
@@ -203,6 +205,51 @@ def gate_message(bit: int) -> np.int32:
 
 
 # --------------------------------------------------------------------------- #
+# multi-bit digit encoding (programmable bootstrapping)                       #
+# --------------------------------------------------------------------------- #
+
+
+def digit_message(value: int, encoding: DigitEncoding) -> np.int32:
+    """Torus encoding of one radix digit: slot ``value`` of ``2P`` slots.
+
+    Valid digits lie in ``[0, P)`` so the encoded phase stays in ``[0, 1/2)``
+    — the padding bit that makes the negacyclic blind rotation a true lookup.
+    """
+    value = int(value)
+    if not 0 <= value < encoding.space:
+        raise ValueError(
+            f"digit {value} out of range [0, {encoding.space}) for a "
+            f"{encoding.message_bits}+{encoding.carry_bits}-bit encoding"
+        )
+    return np.int32(modswitch_to_torus32(value, encoding.torus_space))
+
+
+def digit_decode(phase, encoding: DigitEncoding) -> int:
+    """Round a torus phase to the nearest of the ``2P`` digit slots.
+
+    Valid ciphertexts decode into ``[0, P)``; a result in ``[P, 2P)`` means
+    the padding bit was violated (carry overflow or noise beyond the margin).
+    """
+    return int(modswitch_from_torus32(int(phase), encoding.torus_space))
+
+
+def encrypt_digit(
+    key: LweKey,
+    value: int,
+    encoding: DigitEncoding,
+    noise_stddev: float | None = None,
+    rng: SeedLike = None,
+) -> LweSample:
+    """Encrypt one radix digit ``value ∈ [0, P)`` under ``encoding``."""
+    return lwe_encrypt(key, digit_message(value, encoding), noise_stddev, rng)
+
+
+def decrypt_digit(key: LweKey, sample: LweSample, encoding: DigitEncoding) -> int:
+    """Decrypt a digit ciphertext back to its plaintext slot in ``[0, 2P)``."""
+    return digit_decode(lwe_phase(key, sample), encoding)
+
+
+# --------------------------------------------------------------------------- #
 # batched linear algebra                                                      #
 # --------------------------------------------------------------------------- #
 
@@ -245,6 +292,31 @@ def lwe_batch_phase(key: LweKey, batch: LweBatch) -> np.ndarray:
 def lwe_batch_decrypt_bits(key: LweKey, batch: LweBatch) -> np.ndarray:
     """Decrypt a batch of gate-bootstrapping ciphertexts to a ``(B,)`` bit array."""
     return (lwe_batch_phase(key, batch) > 0).astype(np.int64)
+
+
+def lwe_batch_encrypt_digits(
+    key: LweKey,
+    values,
+    encoding: DigitEncoding,
+    noise_stddev: float | None = None,
+    rng: SeedLike = None,
+) -> LweBatch:
+    """Encrypt a vector of radix digits as one batch (one row per digit)."""
+    messages = np.array(
+        [digit_message(int(v), encoding) for v in np.asarray(values).ravel()],
+        dtype=np.int32,
+    )
+    return lwe_batch_encrypt(key, messages, noise_stddev, rng)
+
+
+def lwe_batch_decrypt_digits(
+    key: LweKey, batch: LweBatch, encoding: DigitEncoding
+) -> np.ndarray:
+    """Decrypt a batch of digit ciphertexts to their ``(B,)`` plaintext slots."""
+    phases = lwe_batch_phase(key, batch)
+    return np.asarray(
+        modswitch_from_torus32(phases, encoding.torus_space), dtype=np.int64
+    )
 
 
 def lwe_batch_add(x: LweBatch, y: LweBatch) -> LweBatch:

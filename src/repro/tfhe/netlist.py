@@ -46,6 +46,7 @@ from typing import Dict, Iterable, List, Sequence, Set, Tuple
 from repro.arch.dfg import DataFlowGraph
 from repro.arch.ops import OpType
 from repro.tfhe.gates import BINARY_GATE_SPECS
+from repro.tfhe.lut import MAX_LUT_ARITY, boolean_lut_spec
 
 #: Two-input ops that require a gate bootstrapping when evaluated.
 BOOTSTRAPPED_OPS: Tuple[str, ...] = tuple(BINARY_GATE_SPECS) + ("xor", "xnor")
@@ -56,7 +57,9 @@ LINEAR_OPS: Tuple[str, ...] = ("not", "copy")
 #: Source ops that produce wires without consuming any.
 SOURCE_OPS: Tuple[str, ...] = ("input", "const")
 
-#: Arity of every recognised op (sources take no wire arguments).
+#: Arity of every recognised fixed-arity op (sources take no wire arguments).
+#: ``lut`` nodes are variable-arity (1..MAX_LUT_ARITY inputs, truth table in
+#: ``value``) and are validated separately.
 OP_ARITY: Dict[str, int] = {
     **{name: 2 for name in BOOTSTRAPPED_OPS},
     "not": 1,
@@ -86,7 +89,7 @@ class Node:
     @property
     def is_bootstrapped(self) -> bool:
         """Whether evaluating this node costs one gate bootstrapping."""
-        return self.op in BOOTSTRAPPED_OPS
+        return self.op in BOOTSTRAPPED_OPS or self.op == "lut"
 
 
 class Circuit:
@@ -145,6 +148,32 @@ class Circuit:
             raise ValueError(f"unknown gate {op!r}")
         self._check_wires((a, b))
         return self._add(Node(self._new_id(), op, args=(int(a), int(b))))
+
+    def lut(self, table: int, wires: Sequence[int]) -> int:
+        """A k-input lookup-table node evaluated in one bootstrapping.
+
+        ``table`` is the truth table over the ``wires`` (bit ``m`` of the
+        table is the output when wire ``i`` carries bit ``(m >> i) & 1``).
+        Only tables with a single-bootstrap realisation on the ±1/8 encoding
+        are accepted — see :func:`repro.tfhe.lut.boolean_lut_spec`.
+        """
+        wires = [int(w) for w in wires]
+        if not 1 <= len(wires) <= MAX_LUT_ARITY:
+            raise ValueError(
+                f"lut arity must lie in [1, {MAX_LUT_ARITY}], got {len(wires)}"
+            )
+        table = int(table)
+        if not 0 <= table < (1 << (1 << len(wires))):
+            raise ValueError("truth table does not fit the lut arity")
+        if boolean_lut_spec(table, len(wires)) is None:
+            raise ValueError(
+                f"truth table 0x{table:x} over {len(wires)} inputs has no "
+                f"single-bootstrap realisation"
+            )
+        self._check_wires(wires)
+        return self._add(
+            Node(self._new_id(), "lut", args=tuple(wires), value=table)
+        )
 
     def not_(self, a: int) -> int:
         """Linear NOT of a wire (no bootstrapping)."""
@@ -225,11 +254,23 @@ class Circuit:
     def validate(self) -> None:
         """Structural checks: known ops, arities, bit constants, and SSA order."""
         for node in self.nodes:
-            if node.op not in OP_ARITY:
+            if node.op == "lut":
+                if not 1 <= len(node.args) <= MAX_LUT_ARITY:
+                    raise ValueError(
+                        f"lut arity must lie in [1, {MAX_LUT_ARITY}]"
+                    )
+                if not 0 <= node.value < (1 << (1 << len(node.args))):
+                    raise ValueError("lut truth table does not fit its arity")
+                if boolean_lut_spec(node.value, len(node.args)) is None:
+                    raise ValueError(
+                        f"lut table 0x{node.value:x} has no single-bootstrap "
+                        f"realisation"
+                    )
+            elif node.op not in OP_ARITY:
                 raise ValueError(f"unknown op {node.op!r}")
-            if len(node.args) != OP_ARITY[node.op]:
+            elif len(node.args) != OP_ARITY[node.op]:
                 raise ValueError(f"op {node.op!r} expects {OP_ARITY[node.op]} args")
-            if node.op == "const" and node.value not in (0, 1):
+            elif node.op == "const" and node.value not in (0, 1):
                 raise ValueError(f"const node carries non-bit value {node.value!r}")
             for arg in node.args:
                 if not 0 <= arg < node.node_id:

@@ -23,7 +23,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict
 
-from repro.tfhe.params import TFHEParameters
+from repro.tfhe.params import DigitEncoding, TFHEParameters
 
 #: Decision margin of gate bootstrapping on the real torus: phases sit at odd
 #: multiples of 1/8, the bootstrapping test vector flips at 0 and +-1/2, so the
@@ -31,6 +31,16 @@ from repro.tfhe.params import TFHEParameters
 #: taken into account (the XOR-style gates scale inputs by two, which the
 #: per-gate margin below accounts for).
 GATE_DECISION_MARGIN = 1.0 / 16.0
+
+
+def digit_decision_margin(encoding: DigitEncoding) -> float:
+    """Decision margin of a programmable bootstrap over ``2P`` torus slots.
+
+    Digit plaintexts sit at multiples of ``1/(2P)``; the blind rotation reads
+    the wrong test-vector slot once the accumulated phase error exceeds half a
+    slot, i.e. ``1/(4P)``.
+    """
+    return 1.0 / (4.0 * encoding.space)
 
 
 def _erfc(x: float) -> float:
@@ -203,6 +213,40 @@ class TfheNoiseModel:
         )
         return 4.0 * sigma < GATE_DECISION_MARGIN
 
+    # -- programmable bootstrapping -----------------------------------------
+    def digit_budget(self, encoding: DigitEncoding) -> NoiseBudget:
+        """Noise budget of one programmable bootstrap of a digit ciphertext.
+
+        The sources are identical to the gate budget — the blind rotation does
+        not care what the test vector encodes — but the budget is evaluated
+        against the narrower ``1/(4P)`` digit margin by the callers.
+        """
+        return self.gate_budget()
+
+    def digit_margin_ok(self, encoding: DigitEncoding, sigmas: float = 4.0) -> bool:
+        """Whether a freshly bootstrapped digit stays ``sigmas``·σ inside margin.
+
+        The decoding-relevant error is the phase error *entering* the next
+        blind rotation: the residual bootstrap output noise plus the mod-switch
+        rounding of that rotation.
+        """
+        budget = self.digit_budget(encoding)
+        sigma = math.sqrt(
+            budget.total_variance + self.modswitch_rounding_variance()
+        )
+        return sigmas * sigma < digit_decision_margin(encoding)
+
+    def digit_failure_probability(self, encoding: DigitEncoding) -> float:
+        """Per-bootstrap probability of decoding the wrong digit slot."""
+        budget = self.digit_budget(encoding)
+        sigma = math.sqrt(
+            budget.total_variance + self.modswitch_rounding_variance()
+        )
+        if sigma == 0:
+            return 0.0
+        return _erfc(digit_decision_margin(encoding) / (sigma * math.sqrt(2.0)))
+
+
     # -- Table 3 ------------------------------------------------------------
     def table3_relative_metrics(self) -> Dict[str, float]:
         """The paper's Table 3 scalings, normalised to the ``m = 1`` baseline.
@@ -223,6 +267,37 @@ class TfheNoiseModel:
             "bootstrapping_keys_per_group": float(self.keys_per_group),
             "fft_error_db": fft_db,
         }
+
+
+def validate_digit_encoding(
+    params: TFHEParameters,
+    encoding: DigitEncoding,
+    unroll_factor: int = 1,
+    sigmas: float = 4.0,
+) -> None:
+    """Raise :class:`ValueError` unless ``encoding`` fits ``params``.
+
+    Two checks, in order: the structural fit (``2P`` torus slices within the
+    parameter set's rated ``message_space``, digit slots dividing ``N`` —
+    :meth:`DigitEncoding.validate_for`), then the analytic noise margin — a
+    freshly bootstrapped digit plus the next blind rotation's mod-switch
+    rounding must stay ``sigmas``·σ inside the ``1/(4P)`` digit decision
+    margin under :class:`TfheNoiseModel`.  This is the single entry point the
+    parameter tables and the property tests use to rate an encoding.
+    """
+    encoding.validate_for(params)
+    model = TfheNoiseModel(params, unroll_factor=unroll_factor)
+    if not model.digit_margin_ok(encoding, sigmas=sigmas):
+        budget = model.digit_budget(encoding)
+        sigma = math.sqrt(
+            budget.total_variance + model.modswitch_rounding_variance()
+        )
+        raise ValueError(
+            f"digit encoding {encoding.message_bits}+{encoding.carry_bits} "
+            f"bits does not fit {params.name}: {sigmas:.0f} sigma noise "
+            f"({sigmas * sigma:.2e}) exceeds the 1/(4P) decision margin "
+            f"({digit_decision_margin(encoding):.2e}) at m={unroll_factor}"
+        )
 
 
 def max_safe_fft_error(params: TFHEParameters, unroll_factor: int, target_failures: float = 1.0, gates: float = 1.0e8) -> float:

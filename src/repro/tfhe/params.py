@@ -88,6 +88,65 @@ class KeySwitchParams:
 
 
 @dataclass(frozen=True)
+class DigitEncoding:
+    """A multi-bit plaintext encoding for programmable bootstrapping.
+
+    A digit carries ``message_bits`` of payload plus ``carry_bits`` of
+    headroom for linear accumulation before the next bootstrapping; with the
+    mandatory padding bit the encoding occupies ``2·2^(message_bits +
+    carry_bits)`` evenly spaced torus slots, of which only the lower half
+    (phases in ``[0, 1/2)``) ever holds a valid message.  The padding bit is
+    what makes the negacyclic blind rotation implement an arbitrary lookup
+    table instead of only sign extraction.
+    """
+
+    message_bits: int
+    carry_bits: int = 0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.message_bits <= 4:
+            raise ValueError("digit message width must lie in [1, 4] bits")
+        if self.carry_bits < 0:
+            raise ValueError("carry width must be non-negative")
+        if self.message_bits + self.carry_bits > 6:
+            raise ValueError("digit plaintext space is limited to 6 bits")
+
+    @property
+    def base(self) -> int:
+        """The radix base ``B = 2^message_bits`` of one digit."""
+        return 1 << self.message_bits
+
+    @property
+    def space(self) -> int:
+        """The plaintext modulus ``P = 2^(message_bits + carry_bits)``."""
+        return 1 << (self.message_bits + self.carry_bits)
+
+    @property
+    def torus_space(self) -> int:
+        """Torus slot count ``2P`` including the padding bit."""
+        return 2 * self.space
+
+    def validate_for(self, params: "TFHEParameters") -> None:
+        """Reject encodings the parameter set cannot carry.
+
+        Structural fit: every plaintext slot must own a whole (non-empty) run
+        of test-vector coefficients (``N % P == 0``) and the slot count must
+        stay within the parameter set's rated ``message_space``.
+        """
+        if self.torus_space > params.message_space:
+            raise ValueError(
+                f"digit encoding needs {self.torus_space} torus slots but "
+                f"{params.name!r} is rated for message_space="
+                f"{params.message_space}"
+            )
+        if params.N % self.space:
+            raise ValueError(
+                f"plaintext modulus {self.space} does not divide the ring "
+                f"degree {params.N}: test-vector slots would be fractional"
+            )
+
+
+@dataclass(frozen=True)
 class TFHEParameters:
     """A complete TFHE gate-bootstrapping parameter set."""
 
@@ -97,8 +156,22 @@ class TFHEParameters:
     tlwe: TlweParams
     tgsw: TgswParams
     keyswitch: KeySwitchParams
-    #: Plaintext space used by gate bootstrapping (messages at +-1/8).
+    #: Largest plaintext space (torus slot count, padding bit included) this
+    #: parameter set's noise budget is rated for.  Gate bootstrapping uses the
+    #: 8-ary space (messages at ±1/8); digit encodings occupy ``2P`` slots and
+    #: are rejected when ``2P`` exceeds this rating (see
+    #: :meth:`DigitEncoding.validate_for`).
     message_space: int = 8
+
+    def __post_init__(self) -> None:
+        space = self.message_space
+        if space < 4 or space & (space - 1):
+            raise ValueError("message_space must be a power of two >= 4")
+        if space > 2 * self.tlwe.degree:
+            raise ValueError(
+                f"message_space {space} exceeds the {2 * self.tlwe.degree} "
+                f"torus slots resolvable by ring degree {self.tlwe.degree}"
+            )
 
     @property
     def n(self) -> int:
@@ -144,6 +217,11 @@ PAPER_110BIT = TFHEParameters(
     tlwe=TlweParams(degree=1024, mask_count=1, noise_stddev=3.73e-9),
     tgsw=TgswParams(decomp_length=3, decomp_base_bits=10),
     keyswitch=KeySwitchParams(base_bits=2, length=8, noise_stddev=2.44e-5),
+    # Rated for gate bootstrapping only (8 torus slices): the paper evaluates
+    # boolean circuits, and the mod-switch rounding noise of n=630 coefficients
+    # eats too much of the narrower digit margins for a multi-bit rating here —
+    # production radix stacks move to N=2048 rings for 2+2-bit digits.
+    message_space=8,
 )
 
 #: Reduced parameters for the functional test-suite.  The ring and LWE
@@ -156,6 +234,8 @@ TEST_SMALL = TFHEParameters(
     tlwe=TlweParams(degree=128, mask_count=1, noise_stddev=2.0**-28),
     tgsw=TgswParams(decomp_length=3, decomp_base_bits=8),
     keyswitch=KeySwitchParams(base_bits=4, length=5, noise_stddev=2.0**-20),
+    # n=32 / N=128 leaves ~3.5σ of margin at P=8 (16 slots); P=16 would flake.
+    message_space=16,
 )
 
 #: An even smaller set for property-based tests that bootstrap many times.
@@ -166,6 +246,8 @@ TEST_TINY = TFHEParameters(
     tlwe=TlweParams(degree=64, mask_count=1, noise_stddev=2.0**-30),
     tgsw=TgswParams(decomp_length=2, decomp_base_bits=10),
     keyswitch=KeySwitchParams(base_bits=5, length=4, noise_stddev=2.0**-22),
+    # N=64 only resolves P=8 (16 slots) at ~5σ of mod-switch margin.
+    message_space=16,
 )
 
 #: Mid-size parameters used by integration tests that want a realistic ring
@@ -177,11 +259,27 @@ TEST_MEDIUM = TFHEParameters(
     tlwe=TlweParams(degree=512, mask_count=1, noise_stddev=2.0**-28),
     tgsw=TgswParams(decomp_length=3, decomp_base_bits=10),
     keyswitch=KeySwitchParams(base_bits=4, length=5, noise_stddev=2.0**-20),
+    # n=64 / N=512 keeps ~10σ of margin at P=16 (32 slots).
+    message_space=32,
+)
+
+#: A parameter set sized for programmable-bootstrapping tests: the LWE
+#: dimension stays tiny (cheap blind rotations) while the ring degree is
+#: large enough to resolve 4-bit digits.  sqrt(n/96)/N ≈ 0.0016 leaves ~5σ of
+#: margin even at P=32 (64 slots).  No security claim.
+TEST_PBS = TFHEParameters(
+    name="test-pbs",
+    security_bits=0,
+    lwe=LweParams(dimension=16, noise_stddev=2.0**-22),
+    tlwe=TlweParams(degree=256, mask_count=1, noise_stddev=2.0**-30),
+    tgsw=TgswParams(decomp_length=2, decomp_base_bits=10),
+    keyswitch=KeySwitchParams(base_bits=5, length=4, noise_stddev=2.0**-22),
+    message_space=64,
 )
 
 PARAMETER_SETS = {
     params.name: params
-    for params in (PAPER_110BIT, TEST_SMALL, TEST_TINY, TEST_MEDIUM)
+    for params in (PAPER_110BIT, TEST_SMALL, TEST_TINY, TEST_MEDIUM, TEST_PBS)
 }
 
 

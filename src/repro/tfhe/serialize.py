@@ -17,9 +17,14 @@ serialized — it is rebuilt (once) by the
 :class:`repro.runtime.context.FheContext` that loads the key, which also
 allows evaluating a loaded key under a different engine.
 
-Four npz artifact kinds are supported: ``secret_key``, ``cloud_key``,
-``lwe_sample`` and ``lwe_batch``.  :func:`save` / :func:`load` dispatch on
-the object / header; the per-artifact functions are also public.
+Five npz artifact kinds are supported: ``secret_key``, ``cloud_key``,
+``lwe_sample``, ``lwe_batch`` and ``radix_int`` (a radix-decomposed integer
+ciphertext: its digit rows plus the digit encoding and noise-bound metadata
+needed to resume homomorphic evaluation).  :func:`save` / :func:`load`
+dispatch on the object / header; the per-artifact functions are also public.
+Array payloads are validated *strictly* on load — an entry with the wrong
+dtype or rank is rejected rather than silently cast, so a corrupted or
+hand-edited archive cannot smuggle garbage into a ciphertext.
 
 Compiled circuits travel as *JSON text* rather than npz — a netlist is pure
 structure (no arrays) and a human-diffable artifact is worth more than a
@@ -42,6 +47,7 @@ from typing import Any, BinaryIO, Dict, List, Union
 
 import numpy as np
 
+from repro.tfhe.integers import RadixInt
 from repro.tfhe.keys import (
     RawUnrolledGroup,
     TFHECloudKey,
@@ -51,6 +57,7 @@ from repro.tfhe.keyswitch import KeySwitchKey
 from repro.tfhe.lwe import LweBatch, LweKey, LweSample
 from repro.tfhe.netlist import Circuit, Node
 from repro.tfhe.params import (
+    DigitEncoding,
     KeySwitchParams,
     LweParams,
     TFHEParameters,
@@ -64,7 +71,9 @@ from repro.tfhe.transform import TransformSpec
 #: Magic string identifying the archive family.
 FORMAT = "repro-tfhe"
 #: Current on-disk format version; loaders reject any other version.
-FORMAT_VERSION = 1
+#: Version 2 added the ``radix_int`` artifact (digit ciphertexts with
+#: encoding/bound metadata) and made array dtype validation strict.
+FORMAT_VERSION = 2
 
 PathLike = Union[str, pathlib.Path, BinaryIO]
 
@@ -156,6 +165,27 @@ def _require(arrays: Dict[str, np.ndarray], name: str) -> np.ndarray:
         raise SerializationError(f"archive is missing the {name!r} entry") from None
 
 
+def _require_i32(
+    arrays: Dict[str, np.ndarray], name: str, ndim: int | None = None
+) -> np.ndarray:
+    """A required entry that must already *be* int32 of the expected rank.
+
+    Every writer in this module stores int32; a float or int64 entry can only
+    come from corruption or tampering, so it is rejected rather than cast —
+    an ``astype`` here would silently truncate torus values.
+    """
+    array = _require(arrays, name)
+    if array.dtype != np.int32:
+        raise SerializationError(
+            f"archive entry {name!r} has dtype {array.dtype}, expected int32"
+        )
+    if ndim is not None and array.ndim != ndim:
+        raise SerializationError(
+            f"archive entry {name!r} has rank {array.ndim}, expected {ndim}"
+        )
+    return array
+
+
 # --------------------------------------------------------------------------- #
 # secret keys                                                                 #
 # --------------------------------------------------------------------------- #
@@ -175,9 +205,9 @@ def save_secret_key(path: PathLike, secret: TFHESecretKey) -> None:
 
 def _secret_key_from_archive(meta, arrays) -> TFHESecretKey:
     params = _params_from_dict(meta["params"])
-    lwe_key = LweKey(params=params.lwe, key=_require(arrays, "lwe_key").astype(np.int32))
+    lwe_key = LweKey(params=params.lwe, key=_require_i32(arrays, "lwe_key", ndim=1))
     tlwe_key = TlweKey(
-        params=params.tlwe, key=_require(arrays, "tlwe_key").astype(np.int32)
+        params=params.tlwe, key=_require_i32(arrays, "tlwe_key", ndim=2)
     )
     return TFHESecretKey(
         params=params,
@@ -240,7 +270,7 @@ def _cloud_key_from_archive(meta, arrays) -> TFHECloudKey:
     params = _params_from_dict(meta["params"])
     unroll_factor = int(meta["unroll_factor"])
     spec = TransformSpec.from_json(meta["transform"])
-    ks_data = _require(arrays, "keyswitch").astype(np.int32)
+    ks_data = _require_i32(arrays, "keyswitch")
     keyswitch_key = KeySwitchKey(
         params=params.keyswitch,
         data=ks_data,
@@ -250,7 +280,7 @@ def _cloud_key_from_archive(meta, arrays) -> TFHECloudKey:
     bootstrapping_key = None
     unrolled_groups = None
     if unroll_factor == 1:
-        stacked = _require(arrays, "bootstrapping_key").astype(np.int32)
+        stacked = _require_i32(arrays, "bootstrapping_key")
         if stacked.shape[0] != params.n:
             raise SerializationError(
                 f"bootstrapping key holds {stacked.shape[0]} TGSW samples, "
@@ -262,7 +292,7 @@ def _cloud_key_from_archive(meta, arrays) -> TFHECloudKey:
     else:
         from repro.core.bku import group_indices
 
-        flat = _require(arrays, "unrolled_key").astype(np.int32)
+        flat = _require_i32(arrays, "unrolled_key")
         groups = group_indices(params.n, unroll_factor)
         expected = sum((1 << len(indices)) - 1 for indices in groups)
         if flat.shape[0] != expected:
@@ -312,9 +342,12 @@ def save_lwe_sample(path: PathLike, sample: LweSample) -> None:
 
 
 def _lwe_sample_from_archive(_meta, arrays) -> LweSample:
-    return LweSample(
-        a=_require(arrays, "a").astype(np.int32), b=np.int32(_require(arrays, "b"))
-    )
+    b = _require_i32(arrays, "b")
+    if b.ndim != 0:
+        raise SerializationError(
+            f"archive entry 'b' has rank {b.ndim}, expected a scalar"
+        )
+    return LweSample(a=_require_i32(arrays, "a", ndim=1), b=np.int32(b))
 
 
 def load_lwe_sample(path: PathLike) -> LweSample:
@@ -333,14 +366,68 @@ def save_lwe_batch(path: PathLike, batch: LweBatch) -> None:
 
 def _lwe_batch_from_archive(_meta, arrays) -> LweBatch:
     return LweBatch(
-        a=_require(arrays, "a").astype(np.int32),
-        b=_require(arrays, "b").astype(np.int32),
+        a=_require_i32(arrays, "a", ndim=2),
+        b=_require_i32(arrays, "b", ndim=1),
     )
 
 
 def load_lwe_batch(path: PathLike) -> LweBatch:
     """Read a batch of LWE ciphertexts."""
     return _lwe_batch_from_archive(*_read_archive(path, "lwe_batch"))
+
+
+def save_radix_int(path: PathLike, value: RadixInt) -> None:
+    """Write a radix-decomposed integer ciphertext.
+
+    The digit rows are stacked like an LWE batch; the header carries the
+    digit encoding and the per-digit noise-growth bounds, both of which the
+    server side needs to keep scheduling carry propagation correctly.
+    """
+    _write_archive(
+        path,
+        {
+            "artifact": "radix_int",
+            "encoding": {
+                "message_bits": value.encoding.message_bits,
+                "carry_bits": value.encoding.carry_bits,
+            },
+            "bounds": list(value.bounds),
+        },
+        {
+            "a": np.stack([digit.a for digit in value.digits]).astype(np.int32),
+            "b": np.array([digit.b for digit in value.digits], dtype=np.int32),
+        },
+    )
+
+
+def _radix_int_from_archive(meta, arrays) -> RadixInt:
+    a = _require_i32(arrays, "a", ndim=2)
+    b = _require_i32(arrays, "b", ndim=1)
+    if a.shape[0] != b.shape[0]:
+        raise SerializationError(
+            f"radix digit arrays disagree: {a.shape[0]} 'a' rows vs "
+            f"{b.shape[0]} 'b' entries"
+        )
+    try:
+        encoding = DigitEncoding(
+            message_bits=int(meta["encoding"]["message_bits"]),
+            carry_bits=int(meta["encoding"]["carry_bits"]),
+        )
+        bounds = tuple(int(bound) for bound in meta["bounds"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed radix metadata: {exc}") from exc
+    digits = [
+        LweSample(a=a[i].copy(), b=np.int32(b[i])) for i in range(a.shape[0])
+    ]
+    try:
+        return RadixInt(digits=digits, bounds=bounds, encoding=encoding)
+    except ValueError as exc:
+        raise SerializationError(f"inconsistent radix ciphertext: {exc}") from exc
+
+
+def load_radix_int(path: PathLike) -> RadixInt:
+    """Read a radix-decomposed integer ciphertext."""
+    return _radix_int_from_archive(*_read_archive(path, "radix_int"))
 
 
 # --------------------------------------------------------------------------- #
@@ -352,6 +439,7 @@ _SAVERS = (
     (TFHECloudKey, save_cloud_key),
     (LweBatch, save_lwe_batch),
     (LweSample, save_lwe_sample),
+    (RadixInt, save_radix_int),
 )
 
 _LOADERS = {
@@ -359,6 +447,7 @@ _LOADERS = {
     "cloud_key": _cloud_key_from_archive,
     "lwe_sample": _lwe_sample_from_archive,
     "lwe_batch": _lwe_batch_from_archive,
+    "radix_int": _radix_int_from_archive,
 }
 
 
@@ -400,7 +489,9 @@ def from_bytes(data: bytes):
 #: circuit file can never be mistaken for a key archive and vice versa).
 CIRCUIT_FORMAT = "repro-tfhe-circuit"
 #: Current circuit format version; :func:`circuit_from_json` rejects others.
-CIRCUIT_FORMAT_VERSION = 1
+#: Version 2 added ``lut`` nodes, which carry both ``args`` (the inputs, LSB
+#: of the table index first) and ``value`` (the truth table).
+CIRCUIT_FORMAT_VERSION = 2
 
 
 def circuit_to_json(circuit: Circuit, indent: int | None = None) -> str:
@@ -419,6 +510,9 @@ def circuit_to_json(circuit: Circuit, indent: int | None = None) -> str:
             entry["bit"] = node.bit
         elif node.op == "const":
             entry["value"] = node.value
+        elif node.op == "lut":
+            entry["args"] = list(node.args)
+            entry["value"] = node.value  # the truth table
         else:
             entry["args"] = list(node.args)
         nodes.append(entry)

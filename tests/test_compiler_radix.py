@@ -1,0 +1,221 @@
+"""The radix tracing frontend: op recording, simulation, co-simulation oracle."""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+from repro.compiler.frontend import FheUint8, trace
+from repro.compiler.radix import (
+    RadixBool,
+    RadixProgram,
+    RadixTraceError,
+    RadixUint,
+    RadixUint8,
+    RadixUint16,
+    trace_radix,
+    verify_against_boolean,
+)
+from repro.runtime.context import FheContext
+from repro.tfhe.integers import RadixEvaluator, decrypt_radix, encrypt_radix
+from repro.tfhe.lwe import decrypt_digit
+from repro.tfhe.params import DigitEncoding, TEST_PBS
+from repro.tfhe.transform import DoubleFFTNegacyclicTransform
+
+ENCODING = DigitEncoding(message_bits=2, carry_bits=2)
+
+
+@functools.lru_cache(maxsize=1)
+def _backend():
+    transform = DoubleFFTNegacyclicTransform(TEST_PBS.N)
+    return FheContext.generate(TEST_PBS, transform, unroll_factor=1, rng=88)
+
+
+# --------------------------------------------------------------------------- #
+# tracing mechanics                                                           #
+# --------------------------------------------------------------------------- #
+
+
+def test_trace_records_ops_and_outputs():
+    program = trace_radix(lambda a, b: a * b + 7, RadixUint8("a"), RadixUint8("b"))
+    assert isinstance(program, RadixProgram)
+    assert program.width_bits == 8
+    assert sorted(program.inputs) == ["a", "b"]
+    assert [op.kind for op in program.ops] == ["mul", "add_scalar"]
+    assert list(program.outputs) == ["out"]
+    assert not program.bool_values
+
+
+def test_trace_tuple_and_dict_outputs():
+    tupled = trace_radix(lambda a, b: (a + b, a * b), RadixUint8("a"), RadixUint8("b"))
+    assert sorted(tupled.outputs) == ["out0", "out1"]
+
+    named = trace_radix(
+        lambda a, b: {"sum": a + b, "big": a > b},
+        RadixUint16("a"),
+        RadixUint16("b"),
+    )
+    assert sorted(named.outputs) == ["big", "sum"]
+    assert named.outputs["big"] in named.bool_values
+    assert named.outputs["sum"] not in named.bool_values
+
+
+def test_trace_scalar_forms():
+    program = trace_radix(lambda a: 3 * a + 5, RadixUint8("a"))
+    assert [op.kind for op in program.ops] == ["scale", "add_scalar"]
+    assert program.simulate({"a": 40}) == {"out": (3 * 40 + 5) % 256}
+
+
+def test_comparisons_yield_bools():
+    program = trace_radix(
+        lambda a, b: {"gt": a > b, "lt": a < b, "eq": a == b},
+        RadixUint8("a"),
+        RadixUint8("b"),
+    )
+    assert program.simulate({"a": 9, "b": 5}) == {"gt": 1, "lt": 0, "eq": 0}
+    assert program.simulate({"a": 5, "b": 9}) == {"gt": 0, "lt": 1, "eq": 0}
+    assert program.simulate({"a": 7, "b": 7}) == {"gt": 0, "lt": 0, "eq": 1}
+
+
+def test_simulate_wraps_at_the_modulus():
+    program = trace_radix(lambda a, b: a * b, RadixUint8("a"), RadixUint8("b"))
+    assert program.simulate({"a": 200, "b": 200}) == {"out": (200 * 200) % 256}
+    # Inputs are reduced mod 2^width before evaluation.
+    assert program.simulate({"a": 456, "b": 1}) == {"out": 200}
+
+
+# --------------------------------------------------------------------------- #
+# error paths                                                                 #
+# --------------------------------------------------------------------------- #
+
+
+def test_mixed_widths_are_rejected():
+    with pytest.raises(RadixTraceError, match="share one width"):
+        trace_radix(lambda a, b: a + b, RadixUint8("a"), RadixUint16("b"))
+
+
+def test_duplicate_input_names_are_rejected():
+    with pytest.raises(RadixTraceError, match="duplicate input name"):
+        trace_radix(lambda a, b: a + b, RadixUint8("a"), RadixUint8("a"))
+
+
+def test_comparison_against_plain_int_is_rejected():
+    with pytest.raises(RadixTraceError, match="encrypt the constant"):
+        trace_radix(lambda a: a > 5, RadixUint8("a"))
+
+
+def test_branching_on_traced_value_is_rejected():
+    def branchy(a, b):
+        if a > b:  # ciphertext truthiness must not drive control flow
+            return a
+        return b
+
+    with pytest.raises(RadixTraceError):
+        trace_radix(branchy, RadixUint8("a"), RadixUint8("b"))
+
+
+def test_untraced_return_is_rejected():
+    with pytest.raises(RadixTraceError, match="must return traced values"):
+        trace_radix(lambda a: 42, RadixUint8("a"))
+
+
+def test_bound_spec_reuse_is_rejected():
+    spec = RadixUint8("a")
+    trace_radix(lambda a: a + 1, spec)
+    # A fresh spec is required per trace; `spec` itself is still unbound
+    # (binding copies), so tracing again works — but passing a *bound* value
+    # must fail.
+    program = trace_radix(lambda a: a + 1, spec)
+    assert program.simulate({"a": 1}) == {"out": 2}
+    with pytest.raises(RadixTraceError, match="unbound RadixUint"):
+        trace_radix(lambda a: a, RadixUint(8, "a"), object())  # type: ignore[arg-type]
+
+
+def test_missing_simulation_input_is_rejected():
+    program = trace_radix(lambda a, b: a + b, RadixUint8("a"), RadixUint8("b"))
+    with pytest.raises(RadixTraceError, match="missing program input 'b'"):
+        program.simulate({"a": 1})
+
+
+# --------------------------------------------------------------------------- #
+# cross-lowering co-simulation                                                #
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize(
+    "fn",
+    [
+        lambda a, b: a + b,
+        lambda a, b: a * b,
+        lambda a, b: a * b + 17,
+        lambda a, b: {"gt": a > b, "eq": a == b},
+        lambda a, b: 3 * a + b,
+    ],
+    ids=["add", "mul", "mul_affine", "compare", "axpy"],
+)
+def test_radix_agrees_with_boolean_lowering(fn):
+    program = trace_radix(fn, RadixUint8("a"), RadixUint8("b"))
+    circuit = trace(fn, FheUint8("a"), FheUint8("b"))
+    verify_against_boolean(program, circuit, trials=16, rng=5)
+
+
+def test_cosimulation_catches_divergence():
+    program = trace_radix(lambda a, b: a + b, RadixUint8("a"), RadixUint8("b"))
+    circuit = trace(lambda a, b: a * b, FheUint8("a"), FheUint8("b"))
+    with pytest.raises(RadixTraceError, match="disagree"):
+        verify_against_boolean(program, circuit, trials=16, rng=5)
+
+
+# --------------------------------------------------------------------------- #
+# encrypted execution                                                         #
+# --------------------------------------------------------------------------- #
+
+
+def test_encrypted_run_matches_simulation(rng):
+    secret, context = _backend()
+    evaluator = RadixEvaluator(context, ENCODING)
+    program = trace_radix(
+        lambda a, b: {"val": a * b + 7, "big": a > b, "same": a == b},
+        RadixUint8("a"),
+        RadixUint8("b"),
+    )
+    inputs = {"a": 173, "b": 58}
+    expected = program.simulate(inputs)
+    encrypted = {
+        name: encrypt_radix(
+            secret.lwe_key, value, program.digit_width(evaluator), ENCODING, rng=rng
+        )
+        for name, value in inputs.items()
+    }
+    out = program.run(evaluator, encrypted)
+    assert decrypt_radix(secret.lwe_key, out["val"]) == expected["val"]
+    assert decrypt_digit(secret.lwe_key, out["big"], ENCODING) == expected["big"]
+    assert decrypt_digit(secret.lwe_key, out["same"], ENCODING) == expected["same"]
+
+
+def test_run_validates_digit_widths(rng):
+    secret, context = _backend()
+    evaluator = RadixEvaluator(context, ENCODING)
+    program = trace_radix(lambda a: a + 1, RadixUint8("a"))
+    wrong = encrypt_radix(secret.lwe_key, 5, 2, ENCODING, rng=rng)
+    with pytest.raises(RadixTraceError, match="needs 4"):
+        program.run(evaluator, {"a": wrong})
+    with pytest.raises(RadixTraceError, match="missing encrypted input"):
+        program.run(evaluator, {})
+
+
+def test_digit_width_requires_divisible_encoding():
+    _, context = _backend()
+    evaluator = RadixEvaluator(context, DigitEncoding(message_bits=3, carry_bits=0))
+    program = trace_radix(lambda a: a + 1, RadixUint8("a"))
+    with pytest.raises(RadixTraceError, match="whole number of"):
+        program.digit_width(evaluator)
+
+
+def test_bool_output_is_a_radix_bool():
+    program = trace_radix(lambda a, b: a == b, RadixUint8("a"), RadixUint8("b"))
+    assert program.outputs["out"] in program.bool_values
+    spec = RadixUint8("x")
+    assert isinstance(spec, RadixUint)
+    assert not isinstance(spec, RadixBool)

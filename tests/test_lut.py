@@ -1,0 +1,194 @@
+"""Boolean LUTs over the gate encoding: spec search, lutify, lut execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler.passes import LUT_PIPELINE, PassManager, lutify
+from repro.compiler.sim import simulate, verify_equivalent
+from repro.tfhe.executor import CircuitExecutor
+from repro.tfhe.gates import (
+    BatchGateEvaluator,
+    encrypt_bit,
+    decrypt_bit,
+    encrypt_bit_batch,
+    decrypt_bit_batch,
+    require_lut_spec,
+)
+from repro.tfhe.lut import (
+    MAX_LUT_ARITY,
+    MAX_WEIGHT_COST,
+    boolean_lut_spec,
+    lut_table_bit,
+)
+from repro.tfhe.netlist import Circuit, adder_netlist
+
+#: (table, arity) pairs with known single-bootstrap realisations.
+FEASIBLE = [
+    (0b0110, 2),  # XOR
+    (0b1000, 2),  # AND
+    (0b0111, 2),  # OR
+    (0x96, 3),  # XOR3
+    (0xE8, 3),  # MAJ3
+    (0x6996, 4),  # 4-input parity
+]
+
+#: The canonical infeasible table: 0x1669 has no affine slicing at arity 4.
+INFEASIBLE_TABLE = 0x1669
+
+
+# --------------------------------------------------------------------------- #
+# spec search                                                                 #
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("table,arity", FEASIBLE)
+def test_feasible_specs_match_their_tables(table, arity):
+    spec = boolean_lut_spec(table, arity)
+    assert spec is not None
+    assert spec.weight_cost <= MAX_WEIGHT_COST
+    # Negacyclic constraint: opposite slices carry complementary outputs.
+    for t in range(4):
+        assert spec.slices[t] == 1 - spec.slices[t + 4]
+    for index in range(1 << arity):
+        bits = tuple((index >> i) & 1 for i in range(arity))
+        assert spec.evaluate(bits) == (table >> index) & 1
+        assert lut_table_bit(table, bits) == (table >> index) & 1
+
+
+def test_infeasible_table_reports_none():
+    assert boolean_lut_spec(INFEASIBLE_TABLE, 4) is None
+    with pytest.raises(ValueError, match="0x1669.*no.*single-bootstrap"):
+        require_lut_spec(INFEASIBLE_TABLE, 4)
+
+
+def test_spec_search_is_memoised():
+    assert boolean_lut_spec(0x96, 3) is boolean_lut_spec(0x96, 3)
+
+
+def test_spec_search_validates_inputs():
+    with pytest.raises(ValueError, match="arity"):
+        boolean_lut_spec(0, MAX_LUT_ARITY + 1)
+    with pytest.raises(ValueError, match="fit"):
+        boolean_lut_spec(1 << 16, 3)
+
+
+def test_arity2_specs_cover_every_gate():
+    """Every 2-input truth table has an affine realisation (stock gates do)."""
+    for table in range(16):
+        spec = boolean_lut_spec(table, 2)
+        assert spec is not None, f"table {table:#06b}"
+        for index in range(4):
+            bits = (index & 1, (index >> 1) & 1)
+            assert spec.evaluate(bits) == (table >> index) & 1
+
+
+# --------------------------------------------------------------------------- #
+# netlist lut nodes                                                           #
+# --------------------------------------------------------------------------- #
+
+
+def test_circuit_lut_node_validation():
+    c = Circuit("luts")
+    a, b, d, e = c.inputs("a", 4)
+    with pytest.raises(ValueError, match="no.*single-bootstrap"):
+        c.lut(INFEASIBLE_TABLE, [a, b, d, e])
+    with pytest.raises(ValueError, match="does not fit"):
+        c.lut(1 << 4, [a, b])
+    with pytest.raises(ValueError, match="arity"):
+        c.lut(0, [])
+    wire = c.lut(0x96, [a, b, d])
+    c.output("out", [wire])
+    assert simulate(c, {"a": 0b0111})["out"] == 1  # parity of the low 3 bits
+
+
+def test_lut_nodes_simulate_like_their_gate_cones():
+    c = Circuit("maj")
+    a, b, d = c.inputs("x", 3)
+    c.output("out", [c.lut(0xE8, [a, b, d])])
+    for x in range(8):
+        bits = [(x >> i) & 1 for i in range(3)]
+        assert simulate(c, {"x": x})["out"] == int(sum(bits) >= 2)
+
+
+# --------------------------------------------------------------------------- #
+# the lutify pass                                                             #
+# --------------------------------------------------------------------------- #
+
+
+def test_lutify_preserves_semantics_and_saves_bootstraps():
+    circuit = adder_netlist(4)
+    clustered = lutify(circuit)
+    verify_equivalent(circuit, clustered, trials=32, rng=9)
+    assert clustered.gate_count <= circuit.gate_count
+
+
+def test_lut_pipeline_reduces_adder_bootstraps():
+    circuit = adder_netlist(4)
+    manager = PassManager(passes=LUT_PIPELINE, verify=True, trials=16, rng=3)
+    optimized = manager.run(circuit)
+    assert optimized.gate_count < circuit.gate_count
+    assert any(
+        optimized.node(n).op == "lut" for n in optimized.live_nodes()
+    ), "pipeline produced no lut nodes on a ripple adder"
+    verify_equivalent(circuit, optimized, trials=32, rng=4)
+
+
+def test_lutify_leaves_infeasible_cones_as_gates():
+    # A single gate has nothing to cluster with: lutify must not regress it.
+    c = Circuit("lone")
+    a, b = c.inputs("a", 2)
+    c.output("out", [c.gate("nand", a, b)])
+    out = lutify(c)
+    verify_equivalent(c, out, trials=8, rng=1)
+    assert out.gate_count <= c.gate_count
+
+
+# --------------------------------------------------------------------------- #
+# encrypted lut execution                                                     #
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("table,arity", [(0x96, 3), (0xE8, 3), (0x6996, 4)])
+def test_scalar_lut_evaluation(tiny_keys_naive, tiny_evaluator, rng, table, arity):
+    secret, _ = tiny_keys_naive
+    for index in range(1 << arity):
+        bits = [(index >> i) & 1 for i in range(arity)]
+        inputs = [encrypt_bit(secret, bit, rng) for bit in bits]
+        out = tiny_evaluator.lut(table, inputs)
+        assert decrypt_bit(secret, out) == (table >> index) & 1
+
+
+def test_batched_lut_evaluation(tiny_keys_naive, rng):
+    secret, cloud = tiny_keys_naive
+    table, arity = 0xE8, 3
+    size = 1 << arity
+    evaluator = BatchGateEvaluator(cloud, batch_size=size)
+    columns = [
+        encrypt_bit_batch(secret, [(index >> i) & 1 for index in range(size)], rng)
+        for i in range(arity)
+    ]
+    out = evaluator.lut(table, columns)
+    assert decrypt_bit_batch(secret, out) == [
+        (table >> index) & 1 for index in range(size)
+    ]
+
+
+def test_executor_runs_lut_pipelined_circuits(tiny_keys_naive, rng):
+    """An optimized adder with lut nodes executes batched, end to end."""
+    from repro.tfhe.circuits import decrypt_integers, encrypt_integers
+
+    secret, cloud = tiny_keys_naive
+    circuit = PassManager(passes=LUT_PIPELINE, verify=True, trials=8, rng=2).run(
+        adder_netlist(4)
+    )
+    a_vals, b_vals = [11, 3], [7, 12]
+    executor = CircuitExecutor(BatchGateEvaluator(cloud, batch_size=2))
+    inputs = {
+        "a": encrypt_integers(secret, a_vals, 4, rng=rng),
+        "b": encrypt_integers(secret, b_vals, 4, rng=rng),
+    }
+    sums = executor.run(circuit, inputs)["sum"]
+    assert decrypt_integers(secret, sums) == [
+        x + y for x, y in zip(a_vals, b_vals)
+    ]

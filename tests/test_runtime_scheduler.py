@@ -239,6 +239,100 @@ class TestCircuitJobs:
             )
 
 
+class TestLutJobs:
+    """submit_lut rows coalesce with gates and circuits via the
+    mixed-test-vector bootstrapping path."""
+
+    def test_lut_job_resolves_majority(self, scheduler, tiny_keys_naive):
+        secret, _ = tiny_keys_naive
+        session = scheduler.session("alice")
+        bits = [1, 0, 1]
+        handle = session.submit_lut(
+            0xE8, [encrypt_bit(secret, b, rng=600 + i) for i, b in enumerate(bits)]
+        )
+        scheduler.flush()
+        assert decrypt_bit(secret, handle.result()) == 1  # MAJ3(1, 0, 1)
+
+    def test_lut_rows_bit_identical_to_scalar_evaluator(
+        self, scheduler, tiny_keys_naive
+    ):
+        secret, cloud = tiny_keys_naive
+        evaluator = cloud.default_context().evaluator()
+        inputs = [encrypt_bit(secret, b, rng=610 + i) for i, b in enumerate((1, 1, 0))]
+        handle = scheduler.session("alice").submit_lut(0x96, inputs)
+        scheduler.flush()
+        expected = evaluator.lut(0x96, inputs)
+        got = handle.result()
+        assert np.array_equal(got.a, expected.a)
+        assert np.int32(got.b) == np.int32(expected.b)
+
+    def test_infeasible_table_fails_at_submit(self, scheduler, tiny_keys_naive):
+        secret, _ = tiny_keys_naive
+        session = scheduler.session("alice")
+        inputs = [encrypt_bit(secret, 0, rng=620 + i) for i in range(4)]
+        with pytest.raises(ValueError, match="no.*single-bootstrap"):
+            session.submit_lut(0x1669, inputs)
+        assert scheduler.pending_jobs == 0  # nothing was enqueued
+
+    def test_gates_and_luts_share_one_call(self, scheduler, tiny_keys_naive):
+        secret, _ = tiny_keys_naive
+        session = scheduler.session("alice")
+        lut_handle = session.submit_lut(
+            0x96, [encrypt_bit(secret, b, rng=630 + i) for i, b in enumerate((1, 1, 1))]
+        )
+        gate_handle = session.submit_gate(
+            "xor", encrypt_bit(secret, 1, rng=640), encrypt_bit(secret, 0, rng=641)
+        )
+        rows = scheduler.flush()
+        assert rows == 2
+        assert scheduler.stats.batched_calls == 1  # one mixed fused rotation
+        assert decrypt_bit(secret, lut_handle.result()) == 1  # XOR3(1,1,1)
+        assert decrypt_bit(secret, gate_handle.result()) == 1
+
+    def test_chained_lut_handles(self, scheduler, tiny_keys_naive):
+        secret, _ = tiny_keys_naive
+        session = scheduler.session("alice")
+        first = session.submit_gate(
+            "and", encrypt_bit(secret, 1, rng=650), encrypt_bit(secret, 1, rng=651)
+        )
+        second = session.submit_lut(
+            0xE8,
+            [first, encrypt_bit(secret, 1, rng=652), encrypt_bit(secret, 0, rng=653)],
+        )
+        scheduler.flush()
+        assert scheduler.stats.batched_calls == 2  # dependency forces two rounds
+        assert decrypt_bit(secret, second.result()) == 1  # MAJ3(1, 1, 0)
+
+    def test_luts_coalesce_with_lut_pipelined_circuits(
+        self, scheduler, tiny_keys_naive
+    ):
+        from repro.compiler.passes import LUT_PIPELINE, PassManager
+
+        secret, _ = tiny_keys_naive
+        width = 3
+        circuit = PassManager(passes=LUT_PIPELINE, verify=True, trials=8, rng=6).run(
+            adder_netlist(width)
+        )
+        depth = schedule_circuit(circuit).depth
+        circuit_handle = scheduler.session("alice").submit_circuit(
+            circuit,
+            {
+                "a": encrypt_integer(secret, 5, width, rng=660),
+                "b": encrypt_integer(secret, 6, width, rng=661),
+            },
+        )
+        lut_handle = scheduler.session("alice").submit_lut(
+            0x6996,
+            [encrypt_bit(secret, b, rng=670 + i) for i, b in enumerate((1, 0, 1, 1))],
+        )
+        scheduler.flush()
+        # The standalone lut rode along with the circuit's first level.
+        assert scheduler.stats.batched_calls == depth
+        assert decrypt_bit(secret, lut_handle.result()) == 1  # parity of 3 ones
+        total = bits_to_int(decrypt_bits(secret, circuit_handle.result()["sum"]))
+        assert total == 11
+
+
 class TestZeroLevelCircuitJobs:
     """Optimized circuits can shrink to zero bootstrapped levels; the
     scheduler must resolve them without a flush and still keep honest

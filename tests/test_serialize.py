@@ -98,6 +98,201 @@ class TestCiphertextRoundTrip:
         assert np.array_equal(loaded.b, batch.b)
 
 
+class TestRadixIntRoundTrip:
+    ENCODING = None  # set lazily to keep module import cheap
+
+    @staticmethod
+    def _value(secret, value=173, width=4):
+        from repro.tfhe.integers import encrypt_radix
+        from repro.tfhe.params import DigitEncoding
+
+        encoding = DigitEncoding(message_bits=2, carry_bits=2)
+        return encrypt_radix(secret.lwe_key, value, width, encoding, rng=44)
+
+    def test_round_trip_preserves_digits_bounds_and_encoding(
+        self, tmp_path, tiny_keys_naive
+    ):
+        from repro.tfhe.integers import decrypt_radix
+
+        secret, _ = tiny_keys_naive
+        x = self._value(secret)
+        path = tmp_path / "radix.npz"
+        serialize.save_radix_int(path, x)
+        loaded = serialize.load_radix_int(path)
+        assert loaded.encoding == x.encoding
+        assert loaded.bounds == x.bounds
+        assert loaded.width == x.width
+        for got, expected in zip(loaded.digits, x.digits):
+            assert np.array_equal(got.a, expected.a)
+            assert np.int32(got.b) == np.int32(expected.b)
+        assert decrypt_radix(secret.lwe_key, loaded) == 173
+
+    def test_unnormalised_bounds_survive(self, tmp_path, tiny_keys_naive):
+        from repro.tfhe.integers import RadixInt
+
+        secret, _ = tiny_keys_naive
+        x = self._value(secret)
+        grown = RadixInt(
+            digits=x.digits, bounds=(7, 11, 3, 15), encoding=x.encoding
+        )
+        path = tmp_path / "radix-wide.npz"
+        serialize.save_radix_int(path, grown)
+        assert serialize.load_radix_int(path).bounds == (7, 11, 3, 15)
+
+    def test_dispatch_recognises_radix_ints(self, tmp_path, tiny_keys_naive):
+        from repro.tfhe.integers import RadixInt
+
+        secret, _ = tiny_keys_naive
+        path = tmp_path / "radix.npz"
+        serialize.save(path, self._value(secret))
+        assert isinstance(serialize.load(path), RadixInt)
+
+    def test_malformed_radix_metadata_rejected(self, tmp_path, tiny_keys_naive):
+        import json
+
+        secret, _ = tiny_keys_naive
+        x = self._value(secret)
+        cases = [
+            lambda m: m.pop("encoding"),
+            lambda m: m["encoding"].__setitem__("message_bits", 9),
+            lambda m: m.__setitem__("bounds", "not-a-list"),
+            lambda m: m.__setitem__("bounds", [1, 2]),  # wrong digit count
+            lambda m: m.__setitem__("bounds", [99, 0, 0, 0]),  # above P − 1
+        ]
+        for i, mutate in enumerate(cases):
+            path = tmp_path / f"radix-bad-{i}.npz"
+            serialize.save_radix_int(path, x)
+            with np.load(path) as archive:
+                arrays = {n: archive[n] for n in archive.files}
+            meta = json.loads(bytes(arrays.pop("__meta__").tobytes()).decode())
+            mutate(meta)
+            arrays["__meta__"] = np.frombuffer(
+                json.dumps(meta).encode(), dtype=np.uint8
+            )
+            with open(path, "wb") as handle:
+                np.savez(handle, **arrays)
+            with pytest.raises(SerializationError):
+                serialize.load_radix_int(path)
+
+    def test_row_count_disagreement_rejected(self, tmp_path, tiny_keys_naive):
+        secret, _ = tiny_keys_naive
+        x = self._value(secret)
+        path = tmp_path / "radix-rows.npz"
+        serialize.save_radix_int(path, x)
+        arrays = {}
+        with np.load(path) as archive:
+            for name in archive.files:
+                arrays[name] = archive[name]
+        arrays["b"] = arrays["b"][:-1]  # drop one digit's b row
+        with open(path, "wb") as handle:
+            np.savez(handle, **arrays)
+        with pytest.raises(SerializationError, match="disagree"):
+            serialize.load_radix_int(path)
+
+
+class TestCorruptArchives:
+    """Every artifact kind must fail loudly, not load garbage."""
+
+    @staticmethod
+    def _rewrite(path, mutate):
+        with np.load(path) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        mutate(arrays)
+        with open(path, "wb") as handle:
+            np.savez(handle, **arrays)
+
+    def test_truncated_archive_rejected(self, tmp_path, tiny_keys_naive):
+        secret, _ = tiny_keys_naive
+        path = tmp_path / "ct.npz"
+        serialize.save_lwe_sample(path, encrypt_bit(secret, 1, rng=61))
+        blob = path.read_bytes()
+        for cut in (len(blob) // 2, 100, 10):
+            path.write_bytes(blob[:cut])
+            with pytest.raises(SerializationError):
+                serialize.load_lwe_sample(path)
+
+    def test_wrong_dtype_rejected(self, tmp_path, tiny_keys_naive):
+        secret, _ = tiny_keys_naive
+        path = tmp_path / "ct.npz"
+        serialize.save_lwe_sample(path, encrypt_bit(secret, 1, rng=62))
+        self._rewrite(
+            path, lambda a: a.__setitem__("a", a["a"].astype(np.float64))
+        )
+        with pytest.raises(SerializationError, match="dtype"):
+            serialize.load_lwe_sample(path)
+
+    def test_wrong_rank_rejected(self, tmp_path, tiny_keys_naive):
+        secret, _ = tiny_keys_naive
+        path = tmp_path / "batch.npz"
+        serialize.save_lwe_batch(path, encrypt_bit_batch(secret, [1, 0], rng=63))
+        self._rewrite(path, lambda a: a.__setitem__("a", a["a"].ravel()))
+        with pytest.raises(SerializationError, match="rank"):
+            serialize.load_lwe_batch(path)
+
+    def test_missing_entry_rejected(self, tmp_path, tiny_keys_naive):
+        secret, _ = tiny_keys_naive
+        path = tmp_path / "ct.npz"
+        serialize.save_lwe_sample(path, encrypt_bit(secret, 1, rng=64))
+        self._rewrite(path, lambda a: a.pop("b"))
+        with pytest.raises(SerializationError):
+            serialize.load_lwe_sample(path)
+
+    def test_secret_key_dtype_corruption_rejected(self, tmp_path, tiny_keys_naive):
+        secret, _ = tiny_keys_naive
+        path = tmp_path / "secret.npz"
+        serialize.save_secret_key(path, secret)
+        self._rewrite(
+            path, lambda a: a.__setitem__("tlwe_key", a["tlwe_key"].astype(np.int64))
+        )
+        with pytest.raises(SerializationError, match="dtype"):
+            serialize.load_secret_key(path)
+
+    def test_cloud_key_dtype_corruption_rejected(self, tmp_path, tiny_keys_naive):
+        _, cloud = tiny_keys_naive
+        path = tmp_path / "cloud.npz"
+        serialize.save_cloud_key(path, cloud)
+
+        def degrade(arrays):
+            for name in arrays:
+                if name.startswith(("bootstrapping", "keyswitch")):
+                    arrays[name] = arrays[name].astype(np.float32)
+                    return
+            raise AssertionError("no key material entry found")
+
+        self._rewrite(path, degrade)
+        with pytest.raises(SerializationError, match="dtype"):
+            serialize.load_cloud_key(path)
+
+    def test_radix_dtype_corruption_rejected(self, tmp_path, tiny_keys_naive):
+        secret, _ = tiny_keys_naive
+        path = tmp_path / "radix.npz"
+        serialize.save_radix_int(path, TestRadixIntRoundTrip._value(secret))
+        self._rewrite(
+            path, lambda a: a.__setitem__("a", a["a"].astype(np.uint32))
+        )
+        with pytest.raises(SerializationError, match="dtype"):
+            serialize.load_radix_int(path)
+
+    def test_version_skew_rejected_for_every_kind(
+        self, tmp_path, tiny_keys_naive, monkeypatch
+    ):
+        secret, cloud = tiny_keys_naive
+        objs = {
+            "secret.npz": secret,
+            "cloud.npz": cloud,
+            "ct.npz": encrypt_bit(secret, 0, rng=65),
+            "batch.npz": encrypt_bit_batch(secret, [1, 0], rng=66),
+            "radix.npz": TestRadixIntRoundTrip._value(secret),
+        }
+        monkeypatch.setattr(serialize, "FORMAT_VERSION", 1)
+        for name, obj in objs.items():
+            serialize.save(tmp_path / name, obj)
+        monkeypatch.undo()
+        for name in objs:
+            with pytest.raises(SerializationError, match="version"):
+                serialize.load(tmp_path / name)
+
+
 class TestDispatchAndVersioning:
     def test_save_load_dispatch_on_type_and_header(self, tmp_path, tiny_keys_naive):
         secret, cloud = tiny_keys_naive
@@ -266,6 +461,36 @@ class TestCircuitJsonRoundTrip:
         for mutate in cases:
             with pytest.raises(SerializationError):
                 serialize.circuit_from_json(corrupted(mutate))
+
+    def test_lut_nodes_round_trip(self):
+        from repro.compiler import verify_equivalent
+        from repro.compiler.passes import LUT_PIPELINE, PassManager
+        from repro.tfhe.netlist import adder_netlist
+
+        circuit = PassManager(passes=LUT_PIPELINE, verify=True, trials=8, rng=7).run(
+            adder_netlist(4)
+        )
+        live = circuit.live_nodes()
+        assert any(circuit.node(n).op == "lut" for n in live)
+        restored = serialize.circuit_from_json(serialize.circuit_to_json(circuit))
+        assert restored.nodes == circuit.nodes
+        verify_equivalent(circuit, restored, trials=16, rng=8)
+
+    def test_tampered_lut_table_rejected(self):
+        import json
+
+        from repro.tfhe.netlist import Circuit
+
+        c = Circuit("one_lut")
+        a, b, d = c.inputs("x", 3)
+        c.output("out", [c.lut(0x96, [a, b, d])])
+        payload = json.loads(serialize.circuit_to_json(c))
+        for node in payload["nodes"]:
+            if node["op"] == "lut":
+                node["value"] = 0x1669  # no single-bootstrap realisation
+                node["args"] = node["args"] + [0]
+        with pytest.raises(SerializationError):
+            serialize.circuit_from_json(json.dumps(payload))
 
     def test_circuit_format_is_distinct_from_npz_family(self):
         assert serialize.CIRCUIT_FORMAT != serialize.FORMAT

@@ -41,12 +41,27 @@ def _run_compiler() -> None:
     _load_benchmark_module("bench_compiler.py").run()
 
 
+def _run_pbs() -> None:
+    _load_benchmark_module("bench_programmable_bootstrap.py").run()
+
+
+def _run_batch_throughput() -> None:
+    _load_benchmark_module("bench_batch_throughput.py").run()
+
+
+def _run_circuit_levels() -> None:
+    _load_benchmark_module("bench_circuit_levels.py").run()
+
+
 #: name -> zero-argument runner writing results/BENCH_<name>.json.
 #: (`runtime` is produced by the pytest-driven scheduler bench; it is
 #: validated here but executed through pytest because it needs fixtures.)
 BENCHES = {
+    "batch_throughput": _run_batch_throughput,
+    "circuit_levels": _run_circuit_levels,
     "compiler": _run_compiler,
     "external_product": _run_external_product,
+    "pbs": _run_pbs,
 }
 
 

@@ -26,6 +26,7 @@ SMOKE_ARGS = {
     "encrypted_comparator.py": ["--width", "4"],
     "batched_gates.py": ["--batch", "16"],
     "circuit_executor.py": ["--width", "6", "--batch", "8"],
+    "encrypted_calculator.py": ["--width", "4", "--a", "13", "--b", "10"],
     "runtime_server.py": ["--width", "4", "--sessions", "2"],
 }
 
