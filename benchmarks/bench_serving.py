@@ -1,0 +1,208 @@
+"""Serving stack: bootstraps/sec scaling across worker-pool sizes.
+
+The PR-7 tentpole moves flush execution out of the calling process into a
+:class:`repro.runtime.WorkerPool` — forked workers that attach the parent's
+cloud-key spectrum cache through a read-only shared-memory segment and
+bootstrap row chunks in parallel.  Rows are independent (the PR-1 batch
+property), so sharding may only change *where* a bootstrap runs, never its
+bits; this bench verifies exactly that before reporting a single number.
+
+Measured: one fixed mixed gate/LUT workload (double-FFT engine, test-small
+parameters — heavy enough per flush that compute, not IPC, dominates)
+flushed through
+
+* the **inline** single-process path (``execute_rows`` — the pre-PR-7
+  baseline), and
+* pools of **1, 2 and 4 workers** (the dispatch path ``tools/serve.py``
+  puts behind the asyncio front).
+
+Every pool is warmed with one untimed flush first so fork, segment attach
+and first-touch costs stay out of the curve; timings are best-of-``BEST_OF``
+wall clocks of the same rows.  Worker entries use the 1-worker pool as the
+baseline, so the ``workers-4`` entry's ``speedup`` *is* the scaling curve's
+headline number.
+
+Acceptance gate: ``workers-4`` must reach the ``SERVING_SCALING_MIN`` floor
+(default 1.7x over 1 worker) **when the machine exposes >= 4 usable CPUs**.
+On smaller machines (CI containers here pin a single core) real scaling is
+physically impossible — four workers timeslice one core — so the gate
+degrades to ``SERVING_SCALING_MIN_SINGLE_CORE`` (default 0.35x): the pool
+may not *collapse* under oversubscription (serialization storms, requeue
+loops), but it cannot be asked to beat physics.  Both floors are
+env-overridable; the CPU budget that picked the floor is recorded in the
+JSON ``extra`` block so a reader can tell which gate applied.
+
+Results land in ``results/serving.txt`` and schema-consistent
+``results/BENCH_serving.json`` (see ``tools/bench.py``).
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_serving.py -q -s
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.runtime import WorkerPool
+from repro.runtime.scheduler import SchedulerStats, execute_rows
+from repro.tfhe.gates import encrypt_bit
+from repro.tfhe.keys import generate_keys
+from repro.tfhe.params import TEST_SMALL
+from repro.tfhe.transform import DoubleFFTNegacyclicTransform
+from repro.utils.benchio import make_entry, write_bench_json
+
+ROWS = 96
+BEST_OF = 3
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _workload(secret):
+    """Mixed gate/LUT rows — the same shape the scheduler coalesces."""
+    rows = []
+    for i in range(ROWS):
+        ca = encrypt_bit(secret, i & 1, rng=9000 + 2 * i)
+        cb = encrypt_bit(secret, (i >> 1) & 1, rng=9001 + 2 * i)
+        if i % 4 == 3:
+            rows.append(("lut", 0b0110, (ca, cb)))  # XOR as a lookup row
+        else:
+            rows.append(("gate", "nand", ca, cb))
+    return rows
+
+
+def _same(xs, ys) -> bool:
+    return all(
+        np.array_equal(x.a, y.a) and int(x.b) == int(y.b) for x, y in zip(xs, ys)
+    )
+
+
+def run(record_result=None):
+    """Verify bit-identity, then time the flush path per worker count."""
+    params = TEST_SMALL
+    engine = DoubleFFTNegacyclicTransform(params.N)
+    secret, cloud = generate_keys(params, engine, unroll_factor=1, rng=77)
+    context = cloud.default_context()
+    _ = context.rotator  # warm the spectrum cache before any fork
+
+    rows = _workload(secret)
+    reference = execute_rows(context, rows, stats=SchedulerStats())
+
+    # Inline baseline: the pre-pool single-process flush.
+    inline_best = float("inf")
+    for _ in range(BEST_OF):
+        start = time.perf_counter()
+        out = execute_rows(context, rows, stats=SchedulerStats())
+        inline_best = min(inline_best, time.perf_counter() - start)
+    assert _same(out, reference)
+
+    seconds = {}
+    for workers in WORKER_COUNTS:
+        with WorkerPool(workers, task_timeout=120.0) as pool:
+            # Untimed warm-up flush: fork, segment attach, first touch.
+            warm = pool.run_rows("bench", context, rows, SchedulerStats())
+            assert _same(warm, reference), f"{workers}-worker pool not bit-identical"
+            best = float("inf")
+            for _ in range(BEST_OF):
+                start = time.perf_counter()
+                out = pool.run_rows("bench", context, rows, SchedulerStats())
+                best = min(best, time.perf_counter() - start)
+            assert _same(out, reference)
+            assert pool.stats.workers_restarted == 0
+        seconds[workers] = best
+
+    inline_bs = ROWS / inline_best
+    pool_bs = {workers: ROWS / seconds[workers] for workers in WORKER_COUNTS}
+
+    entries = [
+        make_entry(
+            label="inline",
+            engine="double",
+            params=params.name,
+            batch_width=ROWS,
+            bootstraps_per_sec=inline_bs,
+            baseline_bootstraps_per_sec=inline_bs,
+        )
+    ]
+    entries += [
+        make_entry(
+            label=f"workers-{workers}",
+            engine="double",
+            params=params.name,
+            batch_width=ROWS,
+            bootstraps_per_sec=pool_bs[workers],
+            baseline_bootstraps_per_sec=pool_bs[1],
+        )
+        for workers in WORKER_COUNTS
+    ]
+
+    cpus = _usable_cpus()
+    scaling = pool_bs[4] / pool_bs[1]
+    multicore = cpus >= 4
+    floor = (
+        float(os.environ.get("SERVING_SCALING_MIN", "1.7"))
+        if multicore
+        else float(os.environ.get("SERVING_SCALING_MIN_SINGLE_CORE", "0.35"))
+    )
+    extra = {
+        "rows_per_flush": ROWS,
+        "best_of": BEST_OF,
+        "usable_cpus": cpus,
+        "cpu_count": os.cpu_count(),
+        "scaling_4_over_1": scaling,
+        "scaling_floor": floor,
+        "scaling_floor_kind": "multicore" if multicore else "single_core",
+        "seconds": {"inline": inline_best}
+        | {f"workers-{w}": seconds[w] for w in WORKER_COUNTS},
+    }
+
+    lines = [
+        f"Serving flush path, {ROWS} mixed gate/LUT rows, double-FFT engine, "
+        f"{params.name} (n={params.n}, N={params.N}), {cpus} usable CPU(s)",
+        "",
+        f"{'path':>10} {'seconds':>8} {'bs/sec':>8} {'vs 1-worker':>12}",
+        f"{'inline':>10} {inline_best:>8.3f} {inline_bs:>8.1f} {'-':>12}",
+    ]
+    lines += [
+        f"{f'workers-{w}':>10} {seconds[w]:>8.3f} {pool_bs[w]:>8.1f} "
+        f"{pool_bs[w] / pool_bs[1]:>11.2f}x"
+        for w in WORKER_COUNTS
+    ]
+    lines += [
+        "",
+        f"4-worker scaling {scaling:.2f}x over 1 worker "
+        f"(floor {floor}x, {extra['scaling_floor_kind']} gate)",
+        "",
+        "every pool output checked bit-identical to the inline flush before "
+        f"timing; warm-up flush untimed; best-of-{BEST_OF} timings.",
+    ]
+    if record_result is not None:
+        record_result("serving", "\n".join(lines))
+    else:
+        print("\n".join(lines))
+
+    path = write_bench_json("serving", entries, extra=extra)
+    print(f"[written to {path}]")
+    return entries, extra
+
+
+def test_serving_worker_scaling(record_result):
+    entries, extra = run(record_result)
+    floor = extra["scaling_floor"]
+    assert extra["scaling_4_over_1"] >= floor, (
+        f"4-worker pool reached only {extra['scaling_4_over_1']:.2f}x the "
+        f"1-worker throughput (required {floor}x on "
+        f"{extra['usable_cpus']} usable CPUs)"
+    )
+    # The 1-worker pool must stay within IPC overhead of the inline path.
+    by_label = {entry["label"]: entry for entry in entries}
+    assert by_label["workers-1"]["bootstraps_per_sec"] > 0
+    assert by_label["workers-4"]["speedup"] == extra["scaling_4_over_1"]

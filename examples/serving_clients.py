@@ -1,0 +1,169 @@
+"""Multiple network clients sharing one serving front (and its worker pool).
+
+Spawns ``tools/serve.py`` as a real server process (or connects to one you
+already started with ``--connect HOST:PORT``), then runs several concurrent
+clients.  Each client generates its **own** keypair, uploads only the cloud
+half over the wire, pipelines a burst of gate requests plus one compiled
+adder circuit, and decrypts the replies with the secret half that never left
+it.  The server coalesces whatever arrives inside one flush window into
+batched bootstrappings and — with ``--workers N`` — shards those rows across
+worker processes that map one shared copy of each client's key spectra.
+
+Run:  python examples/serving_clients.py [--clients 3] [--gates 8] [--workers 2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import subprocess
+import sys
+import threading
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.runtime.protocol import ServingClient  # noqa: E402
+from repro.tfhe.circuits import bits_to_int, encrypt_integer  # noqa: E402
+from repro.tfhe.gates import decrypt_bit, decrypt_bits, encrypt_bit  # noqa: E402
+from repro.tfhe.keys import generate_keys  # noqa: E402
+from repro.tfhe.lwe import LweBatch  # noqa: E402
+from repro.tfhe.netlist import adder_netlist  # noqa: E402
+from repro.tfhe.params import TEST_TINY  # noqa: E402
+from repro.tfhe.transform import DoubleFFTNegacyclicTransform  # noqa: E402
+
+
+def start_server(workers: int) -> tuple[subprocess.Popen, int]:
+    """Launch ``tools/serve.py`` on a free port; returns (process, port)."""
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            str(ROOT / "tools" / "serve.py"),
+            "--port",
+            "0",
+            "--workers",
+            str(workers),
+        ],
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    assert process.stdout is not None
+    line = process.stdout.readline()  # "repro-serve listening on host:port"
+    if "listening on" not in line:
+        process.kill()
+        raise RuntimeError(f"server failed to start: {line!r}")
+    return process, int(line.rsplit(":", 1)[1])
+
+
+def run_client(name: str, seed: int, port: int, gates: int, width: int, report: dict) -> None:
+    params = TEST_TINY
+    secret, cloud = generate_keys(
+        params,
+        DoubleFFTNegacyclicTransform(params.N),
+        unroll_factor=1,
+        rng=seed,
+        eager=False,
+    )
+    with ServingClient(port=port) as client:
+        client.register_key(cloud)
+
+        # Pipeline a burst of gates: submit all, then collect all, so the
+        # server can coalesce them (plus other clients' bursts) per flush.
+        cases = [(i & 1, (i >> 1) & 1) for i in range(gates)]
+        ids = [
+            client.submit_gate(
+                "nand",
+                encrypt_bit(secret, a, rng=seed * 1000 + 2 * i),
+                encrypt_bit(secret, b, rng=seed * 1000 + 2 * i + 1),
+            )
+            for i, (a, b) in enumerate(cases)
+        ]
+        for (a, b), request_id in zip(cases, ids):
+            got = decrypt_bit(secret, client.gate_result(request_id))
+            assert got == 1 - (a & b), f"{name}: NAND({a},{b}) -> {got}"
+
+        # One compiled circuit: an encrypted adder over wire-borne inputs.
+        a_val, b_val = (19 + seed) % (1 << width), (7 + seed) % (1 << width)
+        bits = encrypt_integer(secret, a_val, width, rng=seed + 500)
+        bits += encrypt_integer(secret, b_val, width, rng=seed + 600)
+        out = client.run_circuit(adder_netlist(width), LweBatch.from_samples(bits))
+        samples = out.to_samples()
+        total = bits_to_int(decrypt_bits(secret, samples[:width]))
+        assert total == (a_val + b_val) % (1 << width), f"{name}: bad sum {total}"
+        report[name] = f"{gates} gates ok, {a_val} + {b_val} = {total} ok"
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clients", type=int, default=3, help="concurrent clients")
+    parser.add_argument("--gates", type=int, default=8, help="pipelined gates per client")
+    parser.add_argument("--width", type=int, default=4, help="adder bit width")
+    parser.add_argument(
+        "--workers", type=int, default=2, help="server worker processes (0 = inline)"
+    )
+    parser.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="use an already-running server instead of spawning one",
+    )
+    args = parser.parse_args()
+
+    process = None
+    if args.connect:
+        host, port = args.connect.rsplit(":", 1)
+        port = int(port)
+        print(f"connecting to {host}:{port}")
+    else:
+        process, port = start_server(args.workers)
+        print(f"spawned tools/serve.py (pid {process.pid}, {args.workers} workers) on port {port}")
+
+    try:
+        report: dict = {}
+        start = time.perf_counter()
+        threads = [
+            threading.Thread(
+                target=run_client,
+                args=(f"client{i}", 11 + 7 * i, port, args.gates, args.width, report),
+            )
+            for i in range(args.clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        if len(report) != args.clients:
+            raise SystemExit(f"only {len(report)}/{args.clients} clients finished")
+        for name in sorted(report):
+            print(f"{name}: {report[name]}")
+
+        with ServingClient(port=port) as client:
+            metrics = client.metrics()
+        print(
+            f"{args.clients} clients in {elapsed:.2f} s | server: "
+            f"{metrics['rows_bootstrapped']} rows in {metrics['flushes']} flushes, "
+            f"{metrics['bootstraps_per_sec']:.0f} bootstraps/s, "
+            f"mean fill {metrics['mean_rows_per_call']:.1f} rows/call"
+        )
+        if "pool" in metrics:
+            pool = metrics["pool"]
+            print(
+                f"worker pool: {pool['num_workers']} workers, "
+                f"{pool['tasks_completed']} tasks, "
+                f"{pool['workers_restarted']} restarts"
+            )
+        print("all clients verified their results")
+    finally:
+        if process is not None:
+            process.terminate()
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    main()

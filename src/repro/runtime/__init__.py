@@ -14,22 +14,52 @@ This layer turns the TFHE substrate into something a server can run:
   into single mixed-gate batched bootstrappings, turning the batch axis into
   a multi-tenant throughput mechanism.
 
+* :class:`repro.runtime.workers.WorkerPool` — a fault-tolerant
+  ``multiprocessing`` row dispatcher: flush rows shard across worker
+  processes that map the cloud-key spectrum cache from shared memory;
+  crashes, hangs and poisoned results requeue instead of corrupting.
+* :class:`repro.runtime.server.FheServer` /
+  :class:`repro.runtime.protocol.ServingClient` — the network front: an
+  asyncio socket server speaking length-prefixed frames that carry the npz
+  and JSON artifacts of :mod:`repro.tfhe.serialize`, with per-connection
+  key namespaces, bounded-queue backpressure and a live metrics endpoint.
+
 Keys and ciphertexts move between clients and a scheduler-running server via
 :mod:`repro.tfhe.serialize`.
 """
 
 from repro.runtime.context import FheContext
+from repro.runtime.protocol import ProtocolError, ServerBusy, ServerError, ServingClient
 from repro.runtime.scheduler import (
     BatchScheduler,
     EvaluationSession,
+    InlineDispatcher,
     JobHandle,
+    RowDispatcher,
+    SchedulerBusy,
     SchedulerStats,
+    execute_rows,
 )
+from repro.runtime.server import FheServer
+from repro.runtime.workers import PoolStats, WorkerHealth, WorkerPool, WorkerPoolError
 
 __all__ = [
     "BatchScheduler",
     "EvaluationSession",
     "FheContext",
+    "FheServer",
+    "InlineDispatcher",
     "JobHandle",
+    "PoolStats",
+    "ProtocolError",
+    "RowDispatcher",
+    "SchedulerBusy",
     "SchedulerStats",
+    "ServerBusy",
+    "ServerError",
+    "ServingClient",
+    "WorkerHealth",
+    "WorkerPool",
+    "WorkerPoolError",
+    "execute_rows",
 ]

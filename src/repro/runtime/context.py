@@ -122,6 +122,25 @@ class FheContext:
         """Whether the cloud-key spectrum cache has been built yet."""
         return self._rotator is not None
 
+    def install_rotator(self, rotator: BlindRotator, cached_tgsw_samples: int) -> None:
+        """Adopt an externally built blind rotator for this context.
+
+        Used by :mod:`repro.runtime.workers`: a pool worker reconstructs the
+        rotator from spectral tensors that live in a read-only shared-memory
+        segment, so every worker process maps the *same* physical cloud-key
+        spectrum cache instead of forward-transforming its own copy.  The
+        installed rotator must have been built for this context's cloud key
+        and engine; installing over an already-built cache is refused (the
+        two caches would silently diverge from the context's counters).
+        """
+        if self._rotator is not None:
+            raise RuntimeError(
+                "context already built its spectrum cache; install_rotator "
+                "must run before the first bootstrap"
+            )
+        self._rotator = rotator
+        self.cached_tgsw_samples = int(cached_tgsw_samples)
+
     def _build_rotator(self) -> BlindRotator:
         cloud = self.cloud_key
         if cloud.unroll_factor == 1:

@@ -1,0 +1,394 @@
+"""Wire protocol of the serving front: length-prefixed frames over a socket.
+
+One frame is::
+
+    magic (4) | header_len u32 | body_len u64 | header JSON | body bytes
+
+with little-endian fixed-width prefixes (matching the shared-memory segment
+layout in :mod:`repro.runtime.workers`).  The **header** is a UTF-8 JSON
+object — ``{"op": ..., "id": ...}`` plus op-specific fields — and the
+**body** carries binary payloads: the PR 3/6 npz artifacts (cloud keys,
+ciphertexts, radix integers) and JSON circuit text travel verbatim, so the
+wire format is exactly the on-disk format.  Multi-artifact bodies use
+:func:`pack_parts` / :func:`unpack_parts` (``u32 count | (u64 len | bytes)*``)
+because npz archives are not self-delimiting.
+
+Robustness contract (exercised by the protocol fuzz suite):
+
+* both length prefixes are bounded *before* any allocation —
+  ``header_len`` by :data:`MAX_HEADER_LEN`, the whole frame by the
+  reader's ``max_frame`` (default :data:`DEFAULT_MAX_FRAME`) — so an
+  adversarial prefix cannot balloon server memory;
+* a connection that ends mid-frame raises :class:`TruncatedFrame`, a bad
+  magic :class:`BadMagic`, an unparsable header :class:`BadHeader` — all
+  subclasses of :class:`ProtocolError`, which the server maps to one clean
+  error frame (or a connection close for desynchronised streams), never a
+  hang;
+* responses echo the request ``id``, so a pipelined client can have many
+  requests in flight and match replies out of order.
+
+:class:`ServingClient` is the synchronous reference client used by the
+examples, benchmarks and tests; the server side reads frames with the
+``*_async`` helpers on :mod:`asyncio` streams.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.tfhe.lwe import LweBatch, LweSample
+from repro.tfhe.netlist import Circuit
+from repro.tfhe.serialize import (
+    circuit_to_json,
+    from_bytes,
+    to_bytes,
+)
+
+__all__ = [
+    "MAGIC",
+    "PROTOCOL_VERSION",
+    "DEFAULT_MAX_FRAME",
+    "MAX_HEADER_LEN",
+    "ProtocolError",
+    "BadMagic",
+    "BadHeader",
+    "TruncatedFrame",
+    "FrameTooLarge",
+    "ServerError",
+    "ServerBusy",
+    "encode_frame",
+    "pack_parts",
+    "unpack_parts",
+    "read_frame",
+    "read_frame_async",
+    "ServingClient",
+]
+
+#: Frame magic: identifies the repro-tfhe serving protocol.
+MAGIC = b"rTFS"
+#: Bumped on incompatible wire changes; ``hello`` reports it.
+PROTOCOL_VERSION = 1
+#: Hard ceiling on ``header_len`` (headers are small JSON objects; circuit
+#: JSON rides here too, hence megabyte-scale rather than kilobyte-scale).
+MAX_HEADER_LEN = 8 * 1024 * 1024
+#: Default ceiling on a whole frame (prefixes + header + body).
+DEFAULT_MAX_FRAME = 64 * 1024 * 1024
+
+_PREFIX = struct.Struct("<4sIQ")
+
+
+class ProtocolError(ValueError):
+    """Base of every wire-format violation."""
+
+
+class BadMagic(ProtocolError):
+    """The stream does not start with :data:`MAGIC` — desynchronised peer."""
+
+
+class BadHeader(ProtocolError):
+    """The header bytes are not a JSON object with the required fields."""
+
+
+class TruncatedFrame(ProtocolError):
+    """The peer closed the connection in the middle of a frame."""
+
+
+class FrameTooLarge(ProtocolError):
+    """A length prefix exceeds the configured bound (refused pre-allocation)."""
+
+
+class ServerError(RuntimeError):
+    """An error frame from the server, carrying its ``kind`` and message."""
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(f"[{kind}] {message}")
+        self.kind = kind
+
+
+class ServerBusy(ServerError):
+    """The server rejected work because its queue is full (backpressure)."""
+
+
+# --------------------------------------------------------------------------- #
+# framing                                                                     #
+# --------------------------------------------------------------------------- #
+
+
+def encode_frame(header: Dict[str, Any], body: bytes = b"") -> bytes:
+    """Serialize one frame; validates sizes before building the bytes."""
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    if len(header_bytes) > MAX_HEADER_LEN:
+        raise FrameTooLarge(
+            f"header is {len(header_bytes)} bytes (max {MAX_HEADER_LEN})"
+        )
+    return b"".join(
+        (_PREFIX.pack(MAGIC, len(header_bytes), len(body)), header_bytes, body)
+    )
+
+
+def _parse_prefix(prefix: bytes, max_frame: int) -> Tuple[int, int]:
+    magic, header_len, body_len = _PREFIX.unpack(prefix)
+    if magic != MAGIC:
+        raise BadMagic(f"bad frame magic {magic!r} (expected {MAGIC!r})")
+    if header_len > MAX_HEADER_LEN:
+        raise FrameTooLarge(
+            f"header length {header_len} exceeds {MAX_HEADER_LEN}"
+        )
+    total = _PREFIX.size + header_len + body_len
+    if total > max_frame:
+        raise FrameTooLarge(f"frame of {total} bytes exceeds {max_frame}")
+    return header_len, body_len
+
+
+def _parse_header(header_bytes: bytes) -> Dict[str, Any]:
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise BadHeader(f"header is not valid JSON: {exc}") from None
+    if not isinstance(header, dict):
+        raise BadHeader("header must be a JSON object")
+    return header
+
+
+def _recv_exactly(sock: socket.socket, count: int) -> bytes:
+    chunks: List[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise TruncatedFrame(
+                f"connection closed {remaining} bytes into a {count}-byte read"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(
+    sock: socket.socket, max_frame: int = DEFAULT_MAX_FRAME
+) -> Tuple[Dict[str, Any], bytes]:
+    """Blocking read of one frame from a socket → ``(header, body)``.
+
+    Raises :class:`EOFError` on a clean close *between* frames and the
+    :class:`ProtocolError` taxonomy on malformed ones.
+    """
+    first = sock.recv(1)
+    if not first:
+        raise EOFError("connection closed")
+    prefix = first + _recv_exactly(sock, _PREFIX.size - 1)
+    header_len, body_len = _parse_prefix(prefix, max_frame)
+    header = _parse_header(_recv_exactly(sock, header_len))
+    body = _recv_exactly(sock, body_len) if body_len else b""
+    return header, body
+
+
+async def read_frame_async(
+    reader: asyncio.StreamReader, max_frame: int = DEFAULT_MAX_FRAME
+) -> Tuple[Dict[str, Any], bytes]:
+    """Async read of one frame from an asyncio stream → ``(header, body)``.
+
+    Same contract as :func:`read_frame`: :class:`EOFError` on clean close
+    between frames, :class:`ProtocolError` subclasses on malformed input.
+    """
+    try:
+        prefix = await reader.readexactly(_PREFIX.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            raise EOFError("connection closed") from None
+        raise TruncatedFrame(
+            f"connection closed {len(exc.partial)} bytes into the frame prefix"
+        ) from None
+    header_len, body_len = _parse_prefix(prefix, max_frame)
+    try:
+        header_bytes = await reader.readexactly(header_len)
+        body = await reader.readexactly(body_len) if body_len else b""
+    except asyncio.IncompleteReadError as exc:
+        raise TruncatedFrame(
+            f"connection closed mid-frame ({len(exc.partial)} of "
+            f"{exc.expected} bytes received)"
+        ) from None
+    return _parse_header(header_bytes), body
+
+
+# --------------------------------------------------------------------------- #
+# multi-part bodies                                                           #
+# --------------------------------------------------------------------------- #
+
+
+def pack_parts(parts: Sequence[bytes]) -> bytes:
+    """Concatenate binary artifacts into one delimited body."""
+    pieces = [struct.pack("<I", len(parts))]
+    for part in parts:
+        pieces.append(struct.pack("<Q", len(part)))
+        pieces.append(part)
+    return b"".join(pieces)
+
+
+def unpack_parts(body: bytes, expected: Optional[int] = None) -> List[bytes]:
+    """Split a :func:`pack_parts` body; strict about counts and lengths."""
+    if len(body) < 4:
+        raise ProtocolError("multi-part body shorter than its count prefix")
+    (count,) = struct.unpack_from("<I", body, 0)
+    if expected is not None and count != expected:
+        raise ProtocolError(f"expected {expected} body parts, frame has {count}")
+    offset = 4
+    parts: List[bytes] = []
+    for index in range(count):
+        if offset + 8 > len(body):
+            raise ProtocolError(f"body part {index} is missing its length prefix")
+        (length,) = struct.unpack_from("<Q", body, offset)
+        offset += 8
+        if offset + length > len(body):
+            raise ProtocolError(
+                f"body part {index} claims {length} bytes but only "
+                f"{len(body) - offset} remain"
+            )
+        parts.append(body[offset : offset + length])
+        offset += length
+    if offset != len(body):
+        raise ProtocolError(f"{len(body) - offset} trailing bytes after body parts")
+    return parts
+
+
+# --------------------------------------------------------------------------- #
+# synchronous client                                                          #
+# --------------------------------------------------------------------------- #
+
+
+class ServingClient:
+    """Synchronous, pipelining client of the serving front.
+
+    Every request gets a fresh ``id``; :meth:`submit` sends without waiting
+    and :meth:`result` reads frames (buffering out-of-order replies) until
+    that id's response arrives — so a client can keep many gates in flight
+    and let the server coalesce them into one flush.  The convenience
+    methods (:meth:`gate`, :meth:`lut`, :meth:`run_circuit`, ...) are
+    submit-then-result round trips.
+
+    Error frames raise :class:`ServerError` (or :class:`ServerBusy` for
+    backpressure rejections, so callers can retry-with-delay).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8470,
+        timeout: Optional[float] = 60.0,
+        max_frame: int = DEFAULT_MAX_FRAME,
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.max_frame = max_frame
+        self._next_id = 0
+        self._replies: Dict[int, Tuple[Dict[str, Any], bytes]] = {}
+
+    # -- plumbing ----------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - best effort
+            pass
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def submit(self, op: str, body: bytes = b"", **fields: Any) -> int:
+        """Send one request frame; returns its id (see :meth:`result`)."""
+        request_id = self._next_id
+        self._next_id += 1
+        header = {"op": op, "id": request_id, **fields}
+        self._sock.sendall(encode_frame(header, body))
+        return request_id
+
+    def result(self, request_id: int) -> Tuple[Dict[str, Any], bytes]:
+        """Wait for the response to ``request_id``; raises server errors."""
+        while request_id not in self._replies:
+            header, body = read_frame(self._sock, self.max_frame)
+            reply_id = header.get("id")
+            if not isinstance(reply_id, int):
+                raise BadHeader(f"response frame without an integer id: {header}")
+            self._replies[reply_id] = (header, body)
+        header, body = self._replies.pop(request_id)
+        error = header.get("error")
+        if error is not None:
+            kind = str(error.get("kind", "internal"))
+            message = str(error.get("message", "unknown server error"))
+            if kind == "busy":
+                raise ServerBusy(kind, message)
+            raise ServerError(kind, message)
+        return header, body
+
+    def call(
+        self, op: str, body: bytes = b"", **fields: Any
+    ) -> Tuple[Dict[str, Any], bytes]:
+        """One submit + result round trip."""
+        return self.result(self.submit(op, body, **fields))
+
+    # -- protocol ops ------------------------------------------------------
+    def hello(self) -> Dict[str, Any]:
+        """Handshake: returns server identity and protocol version."""
+        header, _ = self.call("hello")
+        return header
+
+    def register_key(self, cloud_key) -> Dict[str, Any]:
+        """Upload this connection's cloud key (npz bytes over the wire)."""
+        header, _ = self.call("register_key", pack_parts([to_bytes(cloud_key)]))
+        return header
+
+    def submit_gate(self, name: str, ca: LweSample, cb: LweSample) -> int:
+        return self.submit(
+            "gate", pack_parts([to_bytes(ca), to_bytes(cb)]), gate=name
+        )
+
+    def gate_result(self, request_id: int) -> LweSample:
+        _, body = self.result(request_id)
+        return from_bytes(unpack_parts(body, expected=1)[0])
+
+    def gate(self, name: str, ca: LweSample, cb: LweSample) -> LweSample:
+        """One homomorphic gate round trip."""
+        return self.gate_result(self.submit_gate(name, ca, cb))
+
+    def submit_lut(self, table: int, operands: Sequence[LweSample]) -> int:
+        return self.submit(
+            "lut",
+            pack_parts([to_bytes(op) for op in operands]),
+            table=int(table),
+        )
+
+    def lut(self, table: int, operands: Sequence[LweSample]) -> LweSample:
+        """One programmable-bootstrap LUT round trip."""
+        _, body = self.result(self.submit_lut(table, operands))
+        return from_bytes(unpack_parts(body, expected=1)[0])
+
+    def submit_circuit(self, circuit: Circuit, inputs: LweBatch) -> int:
+        """Run a compiled netlist over one batch of input bits.
+
+        ``inputs`` carries the circuit's input bits in declaration order;
+        the reply batch carries the output bits in declaration order.
+        """
+        return self.submit(
+            "circuit",
+            pack_parts([to_bytes(inputs)]),
+            circuit=json.loads(circuit_to_json(circuit)),
+        )
+
+    def run_circuit(self, circuit: Circuit, inputs: LweBatch) -> LweBatch:
+        _, body = self.result(self.submit_circuit(circuit, inputs))
+        return from_bytes(unpack_parts(body, expected=1)[0])
+
+    def radix_add(self, x, y):
+        """Homomorphic addition of two wire-borne radix integers."""
+        _, body = self.call("radix_add", pack_parts([to_bytes(x), to_bytes(y)]))
+        return from_bytes(unpack_parts(body, expected=1)[0])
+
+    def metrics(self) -> Dict[str, Any]:
+        """The server's live metrics snapshot (see ``FheServer.metrics``)."""
+        header, _ = self.call("metrics")
+        return header["metrics"]

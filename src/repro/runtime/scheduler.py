@@ -36,6 +36,23 @@ Model
   Jobs whose operands resolved in an earlier round
   become ready in the next, so chained work schedules level-by-level across
   all sessions in lockstep.
+
+PR 7 split this module into a **front-end** and a pluggable execution
+back-end.  The front-end owns the job graph (handles, readiness, rounds),
+the per-client coalescing and the admission control; the rows each round
+produces are handed to a :class:`RowDispatcher`:
+
+* :class:`InlineDispatcher` (the default) executes rows in-process through
+  :func:`execute_rows` — exactly the historical single-process path;
+* :class:`repro.runtime.workers.WorkerPool` shards the rows of one round
+  across a pool of worker processes (rows of one batched bootstrapping are
+  embarrassingly parallel), requeueing rows lost to worker crashes.
+
+Admission control: a scheduler built with ``max_pending_jobs`` bounds its
+queue — submissions beyond the bound raise :class:`SchedulerBusy` instead of
+growing the queue without limit.  The asyncio serving front
+(:mod:`repro.runtime.server`) maps this onto await-or-reject semantics per
+connection.
 """
 
 from __future__ import annotations
@@ -114,6 +131,129 @@ def _resolve_operand(operand: Operand) -> Optional[LweSample]:
     if isinstance(operand, JobHandle):
         return operand.result() if operand.done else None
     return operand
+
+
+class SchedulerBusy(RuntimeError):
+    """Raised when a bounded scheduler queue rejects a new submission.
+
+    The job was **not** enqueued; the caller may retry after a flush drains
+    the queue (the serving front turns this into await-or-reject semantics).
+    """
+
+
+def _mixed_rows(evaluator, part: List[Row]) -> LweBatch:
+    """One fused bootstrapping over gate rows *and* lut rows.
+
+    Each row assembles its own affine combination and test vector; the
+    whole chunk then shares a single
+    :meth:`repro.tfhe.gates.BatchGateEvaluator.bootstrap_rows` sweep —
+    the same mechanism the level-parallel executor uses for mixed waves,
+    applied across sessions.
+    """
+    params = evaluator.context.params
+    combined: List[LweBatch] = []
+    vectors: List[np.ndarray] = []
+    for row in part:
+        if row[0] == "lut":
+            _, table, operands = row
+            spec = require_lut_spec(table, len(operands))
+            combined.append(
+                lut_affine_batch(
+                    spec,
+                    [LweBatch.from_samples([op]) for op in operands],
+                )
+            )
+            vectors.append(lut_test_vector(params, spec))
+        else:
+            _, name, ca, cb = row
+            combined.append(
+                gate_affine_batch(
+                    name,
+                    LweBatch.from_samples([ca]),
+                    LweBatch.from_samples([cb]),
+                )
+            )
+            vectors.append(evaluator.gate_test_vector())
+    evaluator.counters.gates += len(part)
+    return evaluator.bootstrap_rows(lwe_batch_concat(combined), np.stack(vectors))
+
+
+def execute_rows(
+    context: FheContext,
+    rows: Sequence[Row],
+    stats: Optional["SchedulerStats"] = None,
+    max_rows_per_call: Optional[int] = None,
+) -> List[LweSample]:
+    """Bootstrap one round's rows against ``context`` and return the outputs.
+
+    This is the single-process execution kernel shared by the inline
+    dispatcher and by every pool worker: gate-only chunks take the exact
+    :meth:`repro.tfhe.gates.BatchGateEvaluator.gate_rows` path, chunks with
+    lut rows fuse per-row test vectors through ``bootstrap_rows``.  Output
+    row ``i`` corresponds to input row ``i`` regardless of chunking, and the
+    results are bit-identical however the row list is split (the batch path
+    is row-wise bit-identical to the sequential path — the PR 1 property).
+    """
+    evaluator = context.batch_evaluator(1)  # row entry points take any count
+    outputs: List[LweSample] = []
+    rows = list(rows)
+    chunk = max_rows_per_call or len(rows)
+    for start in range(0, len(rows), chunk):
+        part = rows[start : start + chunk]
+        if any(row[0] == "lut" for row in part):
+            result = _mixed_rows(evaluator, part)
+        else:
+            names = [name for _, name, _, _ in part]
+            ca = LweBatch.from_samples([a for _, _, a, _ in part])
+            cb = LweBatch.from_samples([b for _, _, _, b in part])
+            result = evaluator.gate_rows(names, ca, cb)
+        if stats is not None:
+            stats.batched_calls += 1
+            stats.max_rows_per_call = max(stats.max_rows_per_call, len(part))
+        outputs.extend(result.to_samples())
+    return outputs
+
+
+class RowDispatcher:
+    """Strategy interface executing one round's rows for one client.
+
+    ``run_rows`` must return one output per input row, in input order, and
+    must be bit-identical to :func:`execute_rows` — the dispatcher decides
+    *where* rows run (inline, worker processes), never *what* they compute.
+    Implementations update ``stats`` (``batched_calls`` /
+    ``max_rows_per_call``) to reflect the batched bootstrapping calls they
+    actually issued.
+    """
+
+    def run_rows(
+        self,
+        client_id: str,
+        context: FheContext,
+        rows: Sequence[Row],
+        stats: "SchedulerStats",
+        max_rows_per_call: Optional[int] = None,
+    ) -> List[LweSample]:
+        raise NotImplementedError
+
+    def register_client(self, client_id: str, context: FheContext) -> None:
+        """Hook invoked when the scheduler registers a client (optional)."""
+
+    def deregister_client(self, client_id: str) -> None:
+        """Hook invoked when the scheduler drops a client (optional)."""
+
+
+class InlineDispatcher(RowDispatcher):
+    """The default dispatcher: execute every row in the calling process."""
+
+    def run_rows(
+        self,
+        client_id: str,
+        context: FheContext,
+        rows: Sequence[Row],
+        stats: "SchedulerStats",
+        max_rows_per_call: Optional[int] = None,
+    ) -> List[LweSample]:
+        return execute_rows(context, rows, stats, max_rows_per_call)
 
 
 class _GateJob:
@@ -377,10 +517,19 @@ class EvaluationSession:
 class BatchScheduler:
     """Coalesces same-key jobs from many sessions into batched bootstrappings."""
 
-    def __init__(self, max_rows_per_call: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        max_rows_per_call: Optional[int] = None,
+        dispatcher: Optional[RowDispatcher] = None,
+        max_pending_jobs: Optional[int] = None,
+    ) -> None:
         if max_rows_per_call is not None and max_rows_per_call <= 0:
             raise ValueError("max_rows_per_call must be positive")
+        if max_pending_jobs is not None and max_pending_jobs <= 0:
+            raise ValueError("max_pending_jobs must be positive")
         self.max_rows_per_call = max_rows_per_call
+        self.max_pending_jobs = max_pending_jobs
+        self.dispatcher: RowDispatcher = dispatcher or InlineDispatcher()
         self._contexts: Dict[str, FheContext] = {}
         self._queues: Dict[str, List[object]] = {}
         self.stats = SchedulerStats()
@@ -395,7 +544,24 @@ class BatchScheduler:
         context = key if isinstance(key, FheContext) else FheContext(key)
         self._contexts[client_id] = context
         self._queues[client_id] = []
+        self.dispatcher.register_client(client_id, context)
         return context
+
+    def deregister_client(self, client_id: str) -> None:
+        """Drop a client's context and queue (e.g. its connection closed).
+
+        Refuses while the client still has unresolved jobs — silently
+        discarding them would leak handles that can never resolve.
+        """
+        self.client_context(client_id)  # validate
+        if any(not job.done for job in self._queues[client_id]):
+            raise RuntimeError(
+                f"client {client_id!r} still has pending jobs; "
+                f"flush before deregistering"
+            )
+        del self._contexts[client_id]
+        del self._queues[client_id]
+        self.dispatcher.deregister_client(client_id)
 
     def client_context(self, client_id: str) -> FheContext:
         try:
@@ -417,6 +583,14 @@ class BatchScheduler:
         if job.done:
             self.stats.jobs_completed += 1
             return
+        if (
+            self.max_pending_jobs is not None
+            and self.pending_jobs >= self.max_pending_jobs
+        ):
+            raise SchedulerBusy(
+                f"scheduler queue is full ({self.max_pending_jobs} pending "
+                f"jobs); flush before submitting more"
+            )
         self._queues[client_id].append(job)
 
     @property
@@ -450,7 +624,13 @@ class BatchScheduler:
                         rows.extend(job_rows)
                 if not rows:
                     continue
-                outputs = self._run_rows(self._contexts[client_id], rows)
+                outputs = self.dispatcher.run_rows(
+                    client_id,
+                    self._contexts[client_id],
+                    rows,
+                    self.stats,
+                    self.max_rows_per_call,
+                )
                 cursor = 0
                 for job, count in contributions:
                     job.deliver(outputs[cursor : cursor + count])
@@ -472,64 +652,3 @@ class BatchScheduler:
             )
         self.stats.rows_bootstrapped += total_rows
         return total_rows
-
-    def _run_rows(
-        self, context: FheContext, rows: List[Row]
-    ) -> List[LweSample]:
-        evaluator = context.batch_evaluator(1)  # row entry points take any count
-        outputs: List[LweSample] = []
-        chunk = self.max_rows_per_call or len(rows)
-        for start in range(0, len(rows), chunk):
-            part = rows[start : start + chunk]
-            if any(row[0] == "lut" for row in part):
-                result = self._mixed_rows(evaluator, part)
-            else:
-                names = [name for _, name, _, _ in part]
-                ca = LweBatch.from_samples([a for _, _, a, _ in part])
-                cb = LweBatch.from_samples([b for _, _, _, b in part])
-                result = evaluator.gate_rows(names, ca, cb)
-            self.stats.batched_calls += 1
-            self.stats.max_rows_per_call = max(
-                self.stats.max_rows_per_call, len(part)
-            )
-            outputs.extend(result.to_samples())
-        return outputs
-
-    @staticmethod
-    def _mixed_rows(evaluator, part: List[Row]) -> LweBatch:
-        """One fused bootstrapping over gate rows *and* lut rows.
-
-        Each row assembles its own affine combination and test vector; the
-        whole chunk then shares a single
-        :meth:`repro.tfhe.gates.BatchGateEvaluator.bootstrap_rows` sweep —
-        the same mechanism the level-parallel executor uses for mixed waves,
-        applied across sessions.
-        """
-        params = evaluator.context.params
-        combined: List[LweBatch] = []
-        vectors: List[np.ndarray] = []
-        for row in part:
-            if row[0] == "lut":
-                _, table, operands = row
-                spec = require_lut_spec(table, len(operands))
-                combined.append(
-                    lut_affine_batch(
-                        spec,
-                        [LweBatch.from_samples([op]) for op in operands],
-                    )
-                )
-                vectors.append(lut_test_vector(params, spec))
-            else:
-                _, name, ca, cb = row
-                combined.append(
-                    gate_affine_batch(
-                        name,
-                        LweBatch.from_samples([ca]),
-                        LweBatch.from_samples([cb]),
-                    )
-                )
-                vectors.append(evaluator.gate_test_vector())
-        evaluator.counters.gates += len(part)
-        return evaluator.bootstrap_rows(
-            lwe_batch_concat(combined), np.stack(vectors)
-        )

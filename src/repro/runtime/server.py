@@ -1,0 +1,642 @@
+"""The asyncio serving front: sockets in, coalesced batched bootstraps out.
+
+Topology (see ``docs/architecture.md``)::
+
+    clients ──frames──▶ FheServer (asyncio) ──jobs──▶ BatchScheduler ──rows──▶ dispatcher
+                                                                     (inline | WorkerPool)
+
+The event loop owns all connection state and the scheduler's queues; the
+**flusher task** is the only place bootstrapping happens.  It waits for
+submitted work, lets a short coalescing window pass so concurrent clients'
+jobs land in the same flush, then runs ``scheduler.flush()`` in the default
+thread-pool executor while holding the submit lock — the event loop stays
+responsive (handshakes, metrics, frame parsing) but no job can be enqueued
+while the queues are being drained.  Completed :class:`JobHandle`\\ s resolve
+``asyncio`` futures that per-request handler tasks are awaiting, so replies
+go out as soon as their flush completes, in any order (the protocol's
+request ids keep pipelined clients matched up).
+
+Isolation and backpressure:
+
+* **Per-connection key namespace.**  Each connection registers *its own*
+  cloud key under a private client id; operands are validated against that
+  key's dimension and job handles cannot cross client ids (enforced by the
+  scheduler).  One connection can never read, or compute under, another's
+  key material — the cross-client-leakage property the fuzz suite checks.
+* **Bounded queue, reject semantics.**  The scheduler is built with
+  ``max_pending_jobs``; a submission beyond it fails fast with a ``busy``
+  error frame the client can retry after its in-flight work drains.
+* **Bounded reads, await semantics.**  A connection may have at most
+  ``max_inflight`` requests being processed; past that the server simply
+  stops reading its socket (TCP backpressure), so a slow or flooding client
+  stalls itself, never the server's memory.
+* A malformed frame (bad magic, oversized prefix, truncated stream) gets
+  one best-effort error frame and the connection is closed — after a
+  framing error the byte stream is not trustworthy.  Application-level
+  errors (unknown gate, wrong artifact, busy) are per-request error frames
+  on a healthy connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.runtime.context import FheContext
+from repro.runtime.scheduler import (
+    BatchScheduler,
+    JobHandle,
+    RowDispatcher,
+    SchedulerBusy,
+)
+from repro.runtime.protocol import (
+    DEFAULT_MAX_FRAME,
+    PROTOCOL_VERSION,
+    BadHeader,
+    ProtocolError,
+    encode_frame,
+    pack_parts,
+    read_frame_async,
+    unpack_parts,
+)
+from repro.tfhe.integers import RadixEvaluator, RadixInt
+from repro.tfhe.keys import TFHECloudKey
+from repro.tfhe.lwe import LweBatch, LweSample
+from repro.tfhe.serialize import (
+    SerializationError,
+    circuit_from_json,
+    from_bytes,
+    to_bytes,
+)
+
+__all__ = ["FheServer", "serve"]
+
+
+class _RequestError(Exception):
+    """Internal: maps an op failure to one ``{kind, message}`` error frame."""
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.message = message
+
+
+class _Connection:
+    """Per-connection state: its writer, key namespace and inflight bound."""
+
+    def __init__(self, conn_id: str, writer: asyncio.StreamWriter, max_inflight: int) -> None:
+        self.conn_id = conn_id
+        self.writer = writer
+        self.write_lock = asyncio.Lock()
+        self.inflight = asyncio.Semaphore(max_inflight)
+        self.registered = False
+        self.tasks: set = set()
+
+
+class FheServer:
+    """Serves the batched-bootstrapping runtime over TCP.
+
+    Parameters
+    ----------
+    dispatcher:
+        Row dispatcher for the underlying :class:`BatchScheduler` — pass a
+        :class:`repro.runtime.workers.WorkerPool` to shard flushes across
+        processes, or ``None`` for single-process inline execution.
+    host, port:
+        Listen address; ``port=0`` picks a free port (see :attr:`port`
+        after :meth:`start`).
+    max_pending_jobs:
+        Bound on the scheduler queue; submissions past it are rejected
+        with a ``busy`` error frame.
+    max_inflight:
+        Bound on concurrently-processed requests per connection; past it
+        the server stops reading that socket until replies drain.
+    flush_interval:
+        Coalescing window in seconds between the first queued job and the
+        flush that runs it (more concurrent clients per batched call).
+    max_rows_per_call:
+        Forwarded to the scheduler: chunk bound for one batched bootstrap.
+    max_frame:
+        Frame size ceiling for this server's connections.
+    """
+
+    def __init__(
+        self,
+        dispatcher: Optional[RowDispatcher] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_pending_jobs: Optional[int] = 1024,
+        max_inflight: int = 64,
+        flush_interval: float = 0.002,
+        max_rows_per_call: Optional[int] = None,
+        max_frame: int = DEFAULT_MAX_FRAME,
+        latency_window: int = 512,
+    ) -> None:
+        self.scheduler = BatchScheduler(
+            max_rows_per_call=max_rows_per_call,
+            dispatcher=dispatcher,
+            max_pending_jobs=max_pending_jobs,
+        )
+        self.host = host
+        self.port = port
+        self.max_inflight = max_inflight
+        self.flush_interval = flush_interval
+        self.max_frame = max_frame
+        self.latency_window = latency_window
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._flusher: Optional[asyncio.Task] = None
+        self._lock = asyncio.Lock()
+        self._work_ready = asyncio.Event()
+        self._waiters: List[Tuple[JobHandle, asyncio.Future]] = []
+        self._connections: Dict[str, _Connection] = {}
+        self._conn_counter = 0
+        self._flush_seconds: List[float] = []
+        self._busy_seconds = 0.0
+        self._started_at: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle                                                          #
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> None:
+        """Bind the listener and start the flusher task."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+        self._flusher = asyncio.create_task(self._flush_loop())
+
+    async def stop(self) -> None:
+        """Close the listener, all connections, and fail pending futures."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._flusher is not None:
+            self._flusher.cancel()
+            try:
+                await self._flusher
+            except asyncio.CancelledError:
+                pass
+            self._flusher = None
+        for conn in list(self._connections.values()):
+            conn.writer.close()
+        self._fail_waiters(RuntimeError("server stopped"))
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def __aenter__(self) -> "FheServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------ #
+    # the flusher: the only place bootstrapping happens                  #
+    # ------------------------------------------------------------------ #
+
+    async def _flush_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            await self._work_ready.wait()
+            # Coalescing window: let concurrently-arriving jobs join this
+            # flush instead of paying one flush each.
+            if self.flush_interval:
+                await asyncio.sleep(self.flush_interval)
+            async with self._lock:
+                self._work_ready.clear()
+                if not self.scheduler.pending_jobs:
+                    self._resolve_waiters()
+                    continue
+                begin = time.monotonic()
+                try:
+                    await loop.run_in_executor(None, self.scheduler.flush)
+                except Exception as exc:  # noqa: BLE001 - surfaced per-request
+                    self._fail_waiters(exc)
+                    continue
+                elapsed = time.monotonic() - begin
+                self._busy_seconds += elapsed
+                self._flush_seconds.append(elapsed)
+                del self._flush_seconds[: -self.latency_window]
+                self._resolve_waiters()
+
+    def _resolve_waiters(self) -> None:
+        unresolved = []
+        for handle, future in self._waiters:
+            if future.cancelled():
+                continue
+            if handle.done:
+                future.set_result(handle.result())
+            else:
+                unresolved.append((handle, future))
+        self._waiters = unresolved
+
+    def _fail_waiters(self, exc: BaseException) -> None:
+        for _, future in self._waiters:
+            if not future.cancelled() and not future.done():
+                future.set_exception(exc)
+        self._waiters = []
+
+    async def _submit(self, submit_fn) -> Any:
+        """Enqueue one job under the lock and await its flushed result."""
+        loop = asyncio.get_running_loop()
+        async with self._lock:
+            try:
+                handle = submit_fn()
+            except SchedulerBusy as exc:
+                raise _RequestError("busy", str(exc)) from None
+            future: asyncio.Future = loop.create_future()
+            self._waiters.append((handle, future))
+            self._work_ready.set()
+        return await future
+
+    # ------------------------------------------------------------------ #
+    # metrics                                                            #
+    # ------------------------------------------------------------------ #
+
+    def metrics(self) -> Dict[str, Any]:
+        """Live snapshot: throughput, queue depth, latency, worker health."""
+        stats = self.scheduler.stats
+        latencies = sorted(self._flush_seconds)
+
+        def _pct(q: float) -> float:
+            if not latencies:
+                return 0.0
+            index = min(len(latencies) - 1, int(q * (len(latencies) - 1) + 0.5))
+            return latencies[index]
+
+        snapshot: Dict[str, Any] = {
+            "uptime_seconds": (
+                time.monotonic() - self._started_at if self._started_at else 0.0
+            ),
+            "connections": len(self._connections),
+            "clients": len(self.scheduler._contexts),
+            "queue_depth": self.scheduler.pending_jobs,
+            "awaiting_results": len(self._waiters),
+            "flushes": stats.flushes,
+            "rows_bootstrapped": stats.rows_bootstrapped,
+            "jobs_completed": stats.jobs_completed,
+            "mean_rows_per_call": stats.mean_rows_per_call,
+            "bootstraps_per_sec": (
+                stats.rows_bootstrapped / self._busy_seconds
+                if self._busy_seconds
+                else 0.0
+            ),
+            "flush_latency_p50": _pct(0.50),
+            "flush_latency_p99": _pct(0.99),
+        }
+        dispatcher = self.scheduler.dispatcher
+        pool_stats = getattr(dispatcher, "stats", None)
+        health = getattr(dispatcher, "health", None)
+        if health is not None and pool_stats is not None:
+            snapshot["pool"] = {
+                "num_workers": getattr(dispatcher, "num_workers", None),
+                "tasks_dispatched": pool_stats.tasks_dispatched,
+                "tasks_completed": pool_stats.tasks_completed,
+                "tasks_retried": pool_stats.tasks_retried,
+                "workers_restarted": pool_stats.workers_restarted,
+                "results_rejected": pool_stats.results_rejected,
+                "workers": [
+                    {
+                        "spawn_index": w.spawn_index,
+                        "pid": w.pid,
+                        "alive": w.alive,
+                        "tasks_completed": w.tasks_completed,
+                        "faults": w.faults,
+                    }
+                    for w in health
+                ],
+            }
+        return snapshot
+
+    # ------------------------------------------------------------------ #
+    # connections                                                        #
+    # ------------------------------------------------------------------ #
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._conn_counter += 1
+        conn = _Connection(
+            f"conn{self._conn_counter}", writer, self.max_inflight
+        )
+        self._connections[conn.conn_id] = conn
+        try:
+            while True:
+                # Await semantics: stop *reading* once max_inflight requests
+                # are being processed — the kernel socket buffer, then the
+                # client, absorb the backpressure.
+                await conn.inflight.acquire()
+                try:
+                    header, body = await read_frame_async(reader, self.max_frame)
+                except (EOFError, ConnectionError):
+                    conn.inflight.release()
+                    break
+                except ProtocolError as exc:
+                    conn.inflight.release()
+                    await self._send_error(conn, -1, "protocol", str(exc))
+                    break  # the stream is desynchronised: drop the peer
+                task = asyncio.create_task(self._run_request(conn, header, body))
+                conn.tasks.add(task)
+                task.add_done_callback(conn.tasks.discard)
+        finally:
+            if conn.tasks:
+                await asyncio.gather(*conn.tasks, return_exceptions=True)
+            await self._cleanup_connection(conn)
+
+    async def _cleanup_connection(self, conn: _Connection) -> None:
+        self._connections.pop(conn.conn_id, None)
+        if conn.registered:
+            async with self._lock:
+                loop = asyncio.get_running_loop()
+                try:
+                    if self.scheduler.pending_jobs:
+                        # Orphaned jobs (client gone before its results):
+                        # drain them so the queues stay clean, drop results.
+                        await loop.run_in_executor(None, self.scheduler.flush)
+                        self._resolve_waiters()
+                    self.scheduler.deregister_client(conn.conn_id)
+                except Exception:  # pragma: no cover - best-effort teardown
+                    pass
+        try:
+            conn.writer.close()
+            await conn.writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+
+    async def _send(
+        self, conn: _Connection, header: Dict[str, Any], body: bytes = b""
+    ) -> None:
+        frame = encode_frame(header, body)
+        async with conn.write_lock:
+            conn.writer.write(frame)
+            try:
+                await conn.writer.drain()
+            except (ConnectionError, OSError):  # peer vanished mid-reply
+                pass
+
+    async def _send_error(
+        self, conn: _Connection, request_id: int, kind: str, message: str
+    ) -> None:
+        try:
+            await self._send(
+                conn,
+                {"id": request_id, "error": {"kind": kind, "message": message}},
+            )
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+
+    # ------------------------------------------------------------------ #
+    # request dispatch                                                   #
+    # ------------------------------------------------------------------ #
+
+    async def _run_request(
+        self, conn: _Connection, header: Dict[str, Any], body: bytes
+    ) -> None:
+        request_id = header.get("id")
+        if not isinstance(request_id, int):
+            request_id = -1
+        try:
+            if not isinstance(header.get("id"), int):
+                raise _RequestError("protocol", "request header lacks an integer 'id'")
+            reply_header, reply_body = await self._dispatch(conn, header, body)
+            reply_header["id"] = request_id
+            await self._send(conn, reply_header, reply_body)
+        except _RequestError as exc:
+            await self._send_error(conn, request_id, exc.kind, exc.message)
+        except (ProtocolError, SerializationError) as exc:
+            await self._send_error(conn, request_id, "bad_request", str(exc))
+        except Exception as exc:  # noqa: BLE001 - one request, one error frame
+            await self._send_error(conn, request_id, "internal", f"{type(exc).__name__}: {exc}")
+        finally:
+            conn.inflight.release()
+
+    async def _dispatch(
+        self, conn: _Connection, header: Dict[str, Any], body: bytes
+    ) -> Tuple[Dict[str, Any], bytes]:
+        op = header.get("op")
+        if not isinstance(op, str):
+            raise _RequestError("protocol", "request header lacks a string 'op' field")
+        if op == "hello":
+            return {"server": "repro-serve", "protocol": PROTOCOL_VERSION}, b""
+        if op == "metrics":
+            return {"metrics": self.metrics()}, b""
+        if op == "register_key":
+            return await self._op_register_key(conn, body)
+        if op == "gate":
+            return await self._op_gate(conn, header, body)
+        if op == "lut":
+            return await self._op_lut(conn, header, body)
+        if op == "circuit":
+            return await self._op_circuit(conn, header, body)
+        if op == "radix_add":
+            return await self._op_radix_add(conn, body)
+        raise _RequestError("unsupported", f"unknown op {op!r}")
+
+    def _context(self, conn: _Connection) -> FheContext:
+        if not conn.registered:
+            raise _RequestError(
+                "no_key", "register_key must precede homomorphic operations"
+            )
+        return self.scheduler.client_context(conn.conn_id)
+
+    def _artifact(self, data: bytes, expected_type, what: str):
+        try:
+            artifact = from_bytes(data)
+        except SerializationError as exc:
+            raise _RequestError("bad_request", f"{what}: {exc}") from None
+        if not isinstance(artifact, expected_type):
+            raise _RequestError(
+                "bad_request",
+                f"{what}: expected {expected_type.__name__}, "
+                f"got {type(artifact).__name__}",
+            )
+        return artifact
+
+    def _check_sample(self, conn: _Connection, sample: LweSample, what: str) -> LweSample:
+        n = self._context(conn).params.n
+        if np.asarray(sample.a).shape[-1] != n:
+            raise _RequestError(
+                "bad_request",
+                f"{what}: ciphertext dimension {np.asarray(sample.a).shape[-1]} "
+                f"does not match this connection's key (n={n})",
+            )
+        return sample
+
+    # -- ops ------------------------------------------------------------
+
+    async def _op_register_key(
+        self, conn: _Connection, body: bytes
+    ) -> Tuple[Dict[str, Any], bytes]:
+        if conn.registered:
+            raise _RequestError("bad_request", "this connection already registered a key")
+        (key_bytes,) = unpack_parts(body, expected=1)
+        cloud = self._artifact(key_bytes, TFHECloudKey, "cloud key")
+        loop = asyncio.get_running_loop()
+        async with self._lock:
+            # Building the context warms the spectrum cache (and, for a
+            # worker pool, packs the shared segment) — do it off-loop.
+            context = await loop.run_in_executor(
+                None, self.scheduler.register_client, conn.conn_id, cloud
+            )
+            conn.registered = True
+        return {
+            "params": context.params.name,
+            "unroll_factor": context.unroll_factor,
+            "engine": type(context.engine).__name__,
+        }, b""
+
+    async def _op_gate(
+        self, conn: _Connection, header: Dict[str, Any], body: bytes
+    ) -> Tuple[Dict[str, Any], bytes]:
+        name = header.get("gate")
+        if not isinstance(name, str):
+            raise _RequestError("bad_request", "gate op needs a string 'gate' field")
+        part_a, part_b = unpack_parts(body, expected=2)
+        ca = self._check_sample(conn, self._artifact(part_a, LweSample, "operand a"), "operand a")
+        cb = self._check_sample(conn, self._artifact(part_b, LweSample, "operand b"), "operand b")
+        session = self.scheduler.session(conn.conn_id)
+        try:
+            result = await self._submit(lambda: session.submit_gate(name, ca, cb))
+        except ValueError as exc:  # unknown gate name
+            raise _RequestError("bad_request", str(exc)) from None
+        return {}, pack_parts([to_bytes(result)])
+
+    async def _op_lut(
+        self, conn: _Connection, header: Dict[str, Any], body: bytes
+    ) -> Tuple[Dict[str, Any], bytes]:
+        table = header.get("table")
+        if not isinstance(table, int):
+            raise _RequestError("bad_request", "lut op needs an integer 'table' field")
+        parts = unpack_parts(body)
+        if not parts:
+            raise _RequestError("bad_request", "lut op needs at least one operand")
+        operands = [
+            self._check_sample(
+                conn,
+                self._artifact(part, LweSample, f"operand {i}"),
+                f"operand {i}",
+            )
+            for i, part in enumerate(parts)
+        ]
+        session = self.scheduler.session(conn.conn_id)
+        try:
+            result = await self._submit(lambda: session.submit_lut(table, operands))
+        except ValueError as exc:  # infeasible table / arity
+            raise _RequestError("bad_request", str(exc)) from None
+        return {}, pack_parts([to_bytes(result)])
+
+    async def _op_circuit(
+        self, conn: _Connection, header: Dict[str, Any], body: bytes
+    ) -> Tuple[Dict[str, Any], bytes]:
+        circuit_obj = header.get("circuit")
+        if not isinstance(circuit_obj, dict):
+            raise _RequestError("bad_request", "circuit op needs a JSON 'circuit' field")
+        try:
+            circuit = circuit_from_json(json.dumps(circuit_obj))
+        except SerializationError as exc:
+            raise _RequestError("bad_request", f"circuit: {exc}") from None
+        (batch_bytes,) = unpack_parts(body, expected=1)
+        batch = self._artifact(batch_bytes, LweBatch, "input batch")
+        bits = [
+            self._check_sample(conn, bit, f"input bit {i}")
+            for i, bit in enumerate(batch.to_samples())
+        ]
+        widths = {name: len(w) for name, w in circuit.input_wires.items()}
+        total = sum(widths.values())
+        if len(bits) != total:
+            raise _RequestError(
+                "bad_request",
+                f"circuit declares {total} input bits "
+                f"({widths}), batch carries {len(bits)}",
+            )
+        inputs: Dict[str, List[LweSample]] = {}
+        cursor = 0
+        for name, wires in circuit.input_wires.items():
+            inputs[name] = bits[cursor : cursor + len(wires)]
+            cursor += len(wires)
+        session = self.scheduler.session(conn.conn_id)
+        try:
+            outputs = await self._submit(lambda: session.submit_circuit(circuit, inputs))
+        except ValueError as exc:
+            raise _RequestError("bad_request", str(exc)) from None
+        ordered: List[LweSample] = []
+        for name in circuit.output_wires:
+            ordered.extend(outputs[name])
+        return {
+            "outputs": {n: len(w) for n, w in circuit.output_wires.items()}
+        }, pack_parts([to_bytes(LweBatch.from_samples(ordered))])
+
+    async def _op_radix_add(
+        self, conn: _Connection, body: bytes
+    ) -> Tuple[Dict[str, Any], bytes]:
+        part_x, part_y = unpack_parts(body, expected=2)
+        x = self._artifact(part_x, RadixInt, "operand x")
+        y = self._artifact(part_y, RadixInt, "operand y")
+        if x.encoding != y.encoding:
+            raise _RequestError("bad_request", "radix operands use different encodings")
+        context = self._context(conn)
+        loop = asyncio.get_running_loop()
+        async with self._lock:
+            # Runs on the connection's own context; carry propagation (if
+            # the bounds demand it) bootstraps in-process, so serialize it
+            # with flushes via the same lock.
+            def _add() -> RadixInt:
+                evaluator = RadixEvaluator(context, x.encoding)
+                return evaluator.add(x, y)
+
+            try:
+                result = await loop.run_in_executor(None, _add)
+            except ValueError as exc:
+                raise _RequestError("bad_request", str(exc)) from None
+        return {}, pack_parts([to_bytes(result)])
+
+
+async def serve(
+    dispatcher: Optional[RowDispatcher] = None,
+    host: str = "127.0.0.1",
+    port: int = 8470,
+    **kwargs: Any,
+) -> None:
+    """Run an :class:`FheServer` until signalled (used by ``tools/serve.py``).
+
+    SIGINT/SIGTERM are handled *inside* the event loop (where supported) so
+    shutdown is an orderly stop — connections drained, worker pool and
+    shared-memory segments released by the caller's ``finally`` — rather
+    than a ``KeyboardInterrupt`` landing mid-write in some handler frame.
+    """
+    server = FheServer(dispatcher=dispatcher, host=host, port=port, **kwargs)
+    await server.start()
+    print(f"repro-serve listening on {server.host}:{server.port}", flush=True)
+    loop = asyncio.get_running_loop()
+    stopping = asyncio.Event()
+    handled = []
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stopping.set)
+            handled.append(signum)
+        except (NotImplementedError, RuntimeError):  # non-Unix / nested loop
+            pass
+    try:
+        if handled:
+            await stopping.wait()
+        else:
+            await server.serve_forever()
+    finally:
+        for signum in handled:
+            loop.remove_signal_handler(signum)
+        await server.stop()

@@ -1,0 +1,786 @@
+"""Multi-process execution back-end: a fault-tolerant bootstrap worker pool.
+
+The :class:`repro.runtime.scheduler.BatchScheduler` front-end coalesces many
+sessions' jobs into one row list per flush round; the rows of that list are
+embarrassingly parallel (each is an independent bootstrapping — the batch
+path is row-wise bit-identical to the sequential path, the PR 1 property).
+:class:`WorkerPool` is the :class:`repro.runtime.scheduler.RowDispatcher`
+that shards those rows across ``num_workers`` OS processes, so the runtime
+stops being capped by one Python interpreter:
+
+* **Shared read-only cloud-key state.**  Per registered client the parent
+  writes one :class:`multiprocessing.shared_memory.SharedMemory` segment
+  holding the serialized cloud key (the PR 3 npz wire format) and — for the
+  classical rotator under a plain-ndarray engine — the *packed spectral
+  tensors* of the parent's spectrum cache.  Workers map the segment and
+  build their :class:`repro.runtime.context.FheContext` around zero-copy
+  read-only views into those shared pages
+  (:meth:`repro.runtime.context.FheContext.install_rotator`), so ``k``
+  workers share one physical copy of the bootstrapping-key spectra instead
+  of forward-transforming ``k`` private ones.  BKU-unrolled keys and the
+  approximate integer engine (whose spectra carry per-row fixed-point
+  scales) fall back to rebuilding the cache from the shared key bytes —
+  correctness is engine/rotator independent, only the sharing depth varies.
+* **Crash → requeue, not corruption.**  Each worker owns a duplex pipe and
+  at most one outstanding task.  A worker that dies mid-task (EOF/broken
+  pipe), exceeds the task timeout, or returns a result that fails
+  validation (wrong task id, wrong row count, malformed ciphertexts) is
+  killed and respawned, and its task is requeued to a healthy worker — up
+  to ``max_retries`` times per task, after which :class:`WorkerPoolError`
+  propagates rather than returning silently wrong results.  A lost worker
+  therefore degrades throughput, never correctness.
+* **Health tracking.**  :attr:`WorkerPool.health` exposes per-worker
+  liveness/task/fault counters and :attr:`WorkerPool.stats` the pool-wide
+  dispatch/retry/restart totals; the serving front surfaces both through
+  its metrics endpoint.
+
+Fault injection (tests only): ``fault_plans`` maps a worker's spawn index to
+a plan dict (``crash_on_task``, ``hang_on_task``/``hang_seconds``,
+``poison_on_task``/``poison_mode``, ``error_on_task``) interpreted against
+the worker-local task counter, so the fault-injection suite can kill, stall
+or poison a specific task deterministically.  Respawned workers get fresh
+spawn indices and therefore no plan, which is exactly the recovery path the
+suite asserts on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import multiprocessing
+import multiprocessing.connection
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.runtime.context import FheContext
+from repro.runtime.scheduler import RowDispatcher, Row, SchedulerStats, execute_rows
+from repro.tfhe.bootstrap import CmuxBlindRotator
+from repro.tfhe.lwe import LweSample
+from repro.tfhe.serialize import from_bytes, to_bytes
+from repro.tfhe.tgsw import TransformedTgswSample
+
+__all__ = [
+    "WorkerHealth",
+    "WorkerPool",
+    "WorkerPoolError",
+    "PoolStats",
+]
+
+#: Alignment of the spectral tensor inside a shared segment (numpy wants the
+#: buffer offset aligned to the itemsize; 16 covers complex128).
+_ALIGN = 16
+
+
+class WorkerPoolError(RuntimeError):
+    """A task could not be completed within the pool's retry budget."""
+
+
+@dataclass
+class PoolStats:
+    """Pool-wide dispatch and fault counters."""
+
+    tasks_dispatched: int = 0
+    tasks_completed: int = 0
+    tasks_retried: int = 0
+    workers_restarted: int = 0
+    results_rejected: int = 0
+    rows_executed: int = 0
+
+    def reset(self) -> None:
+        self.tasks_dispatched = 0
+        self.tasks_completed = 0
+        self.tasks_retried = 0
+        self.workers_restarted = 0
+        self.results_rejected = 0
+        self.rows_executed = 0
+
+
+@dataclass
+class WorkerHealth:
+    """Liveness and work counters of one pool slot (visible via metrics)."""
+
+    spawn_index: int
+    pid: Optional[int]
+    alive: bool
+    tasks_completed: int
+    faults: int
+
+
+# --------------------------------------------------------------------------- #
+# shared cloud-key segments                                                   #
+# --------------------------------------------------------------------------- #
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _pack_client_segment(context: FheContext) -> shared_memory.SharedMemory:
+    """Write one client's shareable key state into a fresh shared segment.
+
+    Layout: ``u64 header_len | header JSON | cloud-key npz bytes | (aligned)
+    packed spectral tensor bytes``.  The spectrum section is present only
+    when the parent's cache is a stack of plain ndarrays of one dtype/shape
+    (classical rotator, naive/double engines); otherwise workers rebuild
+    their cache from the key bytes.
+    """
+    key_bytes = to_bytes(context.cloud_key)
+    spectrum_meta: Optional[Dict[str, Any]] = None
+    spectrum_view: Optional[np.ndarray] = None
+    if context.cloud_key.unroll_factor == 1:
+        rotator = context.rotator  # builds the parent cache once
+        if isinstance(rotator, CmuxBlindRotator):
+            tensors = [sample.tensor for sample in rotator.bootstrapping_key]
+            shapes = {
+                (t.shape, t.dtype.str)
+                for t in tensors
+                if isinstance(t, np.ndarray)
+            }
+            if tensors and len(shapes) == 1 and all(
+                isinstance(t, np.ndarray) for t in tensors
+            ):
+                spectrum_view = np.stack(tensors)
+                first = rotator.bootstrapping_key[0]
+                spectrum_meta = {
+                    "dtype": spectrum_view.dtype.str,
+                    "shape": list(spectrum_view.shape),
+                    "rows": first.rows,
+                    "mask_count": first.mask_count,
+                    "degree": first.degree,
+                }
+    header = json.dumps(
+        {"key_len": len(key_bytes), "spectrum": spectrum_meta}
+    ).encode("utf-8")
+    key_offset = 8 + len(header)
+    spectrum_offset = _align(key_offset + len(key_bytes))
+    total = spectrum_offset + (
+        spectrum_view.nbytes if spectrum_view is not None else 0
+    )
+    segment = shared_memory.SharedMemory(create=True, size=max(total, 1))
+    segment.buf[0:8] = struct.pack("<Q", len(header))
+    segment.buf[8:key_offset] = header
+    segment.buf[key_offset : key_offset + len(key_bytes)] = key_bytes
+    if spectrum_view is not None:
+        shared = np.ndarray(
+            spectrum_view.shape,
+            dtype=spectrum_view.dtype,
+            buffer=segment.buf,
+            offset=spectrum_offset,
+        )
+        shared[...] = spectrum_view
+    return segment
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to a parent-owned segment without adopting its lifetime.
+
+    The parent's ``unlink()`` is the single authority over a segment's
+    lifetime; workers only ever ``close()`` their mapping.  CPython < 3.13
+    re-registers a segment with the resource tracker on *attach*, which
+    would let a crashed worker's tracker reap a segment the parent still
+    serves, so :func:`_worker_main` disables tracker registration before
+    the first attach.
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+def _context_from_segment(segment: shared_memory.SharedMemory) -> FheContext:
+    """Rebuild a worker-side context around a shared segment.
+
+    The cloud key is deserialized from the shared npz bytes; when the
+    segment carries packed spectra, the blind rotator is assembled from
+    **read-only views into the shared pages** — no per-worker copy of the
+    spectrum cache exists.  The returned context keeps the segment's buffer
+    alive through those views; the caller must keep ``segment`` open for the
+    context's lifetime.
+    """
+    (header_len,) = struct.unpack("<Q", bytes(segment.buf[0:8]))
+    header = json.loads(bytes(segment.buf[8 : 8 + header_len]).decode("utf-8"))
+    key_offset = 8 + header_len
+    key_len = int(header["key_len"])
+    cloud = from_bytes(bytes(segment.buf[key_offset : key_offset + key_len]))
+    context = FheContext(cloud)
+    meta = header.get("spectrum")
+    if meta is not None:
+        shape = tuple(int(x) for x in meta["shape"])
+        tensor = np.ndarray(
+            shape,
+            dtype=np.dtype(meta["dtype"]),
+            buffer=segment.buf,
+            offset=_align(key_offset + key_len),
+        )
+        tensor.setflags(write=False)
+        samples = [
+            TransformedTgswSample(
+                tensor=tensor[i],
+                params=cloud.params.tgsw,
+                mask_count=int(meta["mask_count"]),
+                degree=int(meta["degree"]),
+                rows=int(meta["rows"]),
+            )
+            for i in range(shape[0])
+        ]
+        context.install_rotator(
+            CmuxBlindRotator(
+                samples, context.engine, workspace=context.workspace
+            ),
+            cached_tgsw_samples=len(samples),
+        )
+    return context
+
+
+# --------------------------------------------------------------------------- #
+# worker process                                                              #
+# --------------------------------------------------------------------------- #
+
+
+def _apply_fault(plan: Dict[str, Any], task_index: int, result_msg: Tuple):
+    """Mutate/trigger the planned fault for this worker-local task index.
+
+    Returns the (possibly poisoned) result message, or never returns for a
+    crash.  Test-only: production pools pass no plans.
+    """
+    if plan.get("crash_on_task") == task_index:
+        os._exit(17)  # simulate a hard worker crash mid-flush
+    if plan.get("hang_on_task") == task_index:
+        time.sleep(float(plan.get("hang_seconds", 3600.0)))
+    if plan.get("error_on_task") == task_index:
+        raise RuntimeError("injected worker fault")
+    if plan.get("poison_on_task") == task_index:
+        mode = plan.get("poison_mode", "short")
+        kind, task_id, outputs, row_count = result_msg
+        if mode == "short":  # drop a row: row-count mismatch
+            return (kind, task_id, outputs[:-1], row_count)
+        if mode == "wrong_task":  # answer a task that was never asked
+            return (kind, task_id + 10_000, outputs, row_count)
+        if mode == "garbage":  # structurally broken ciphertexts
+            return (kind, task_id, [object()] * len(outputs), row_count)
+        raise ValueError(f"unknown poison mode {mode!r}")
+    return result_msg
+
+
+def _worker_main(
+    spawn_index: int,
+    conn,
+    registry: Dict[str, str],
+    fault_plan: Optional[Dict[str, Any]],
+) -> None:
+    """Body of one pool worker: attach shared keys, loop over row tasks."""
+    # Workers never own shared-memory lifetimes: neutralise attach-time
+    # tracker registration (CPython < 3.13 has no SharedMemory(track=False))
+    # so a worker forked before the parent's tracker existed cannot spawn a
+    # private tracker that later "cleans up" segments the parent still owns.
+    resource_tracker.register = lambda name, rtype: None  # this process only
+    plan = fault_plan or {}
+    segments: Dict[str, shared_memory.SharedMemory] = {}
+    contexts: Dict[str, FheContext] = {}
+    names: Dict[str, str] = dict(registry)
+    task_index = 0
+    parent_pid = os.getppid()
+    try:
+        while True:
+            # Heartbeat instead of a bare blocking recv(): forked siblings
+            # inherit this pipe's parent end, so if the parent dies without
+            # running close() the fd stays open and recv() would never see
+            # EOF — an orphaned worker must notice the reparenting and exit.
+            while not conn.poll(1.0):
+                if os.getppid() != parent_pid:
+                    return
+            message = conn.recv()
+            kind = message[0]
+            if kind == "stop":
+                break
+            if kind == "register":
+                _, client_id, segment_name = message
+                names[client_id] = segment_name
+                contexts.pop(client_id, None)
+            elif kind == "deregister":
+                _, client_id = message
+                names.pop(client_id, None)
+                contexts.pop(client_id, None)
+                segment = segments.pop(client_id, None)
+                if segment is not None:
+                    segment.close()
+            elif kind == "ping":
+                conn.send(("pong", spawn_index))
+            elif kind == "rows":
+                _, task_id, client_id, rows, max_rows_per_call = message
+                try:
+                    context = contexts.get(client_id)
+                    if context is None:
+                        segment = _attach_segment(names[client_id])
+                        segments[client_id] = segment
+                        context = _context_from_segment(segment)
+                        contexts[client_id] = context
+                    outputs = execute_rows(
+                        context, rows, max_rows_per_call=max_rows_per_call
+                    )
+                    result = ("ok", task_id, outputs, len(rows))
+                    result = _apply_fault(plan, task_index, result)
+                except Exception:  # noqa: BLE001 - report, let parent decide
+                    result = ("err", task_id, traceback.format_exc())
+                task_index += 1
+                conn.send(result)
+            else:  # unknown control message: report and keep serving
+                conn.send(("err", -1, f"unknown message kind {kind!r}"))
+    except (EOFError, KeyboardInterrupt):  # parent went away
+        pass
+    finally:
+        for segment in segments.values():
+            segment.close()
+        conn.close()
+
+
+# --------------------------------------------------------------------------- #
+# parent-side pool                                                            #
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class _Task:
+    """One contiguous row slice of a run, retried as a unit."""
+
+    task_id: int
+    client_id: str
+    start: int
+    rows: List[Row]
+    retries: int = 0
+    #: ``max_rows_per_call`` in force when the task was dispatched (for the
+    #: parent-side accounting of worker-issued batched calls).
+    chunk_limit: Optional[int] = None
+    #: Last worker-side traceback, surfaced by :class:`WorkerPoolError`.
+    error: str = ""
+
+
+class _Worker:
+    """Parent-side handle of one pool slot."""
+
+    __slots__ = ("spawn_index", "process", "conn", "task", "deadline", "done", "faults")
+
+    def __init__(self, spawn_index: int, process, conn) -> None:
+        self.spawn_index = spawn_index
+        self.process = process
+        self.conn = conn
+        self.task: Optional[_Task] = None
+        self.deadline: Optional[float] = None
+        self.done = 0
+        self.faults = 0
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+
+class WorkerPool(RowDispatcher):
+    """Shards flush rows across worker processes; crash-safe by requeueing.
+
+    Parameters
+    ----------
+    num_workers:
+        Pool size.  Rows of one :meth:`run_rows` call are split into (at
+        most) this many contiguous chunks, scattered, and gathered back in
+        input order.
+    start_method:
+        ``multiprocessing`` start method; defaults to ``fork`` where
+        available (workers inherit the imported stack instantly) and
+        ``spawn`` elsewhere.  Pools embedded in threaded programs (e.g. the
+        asyncio server) must be created *before* those threads start when
+        using ``fork``.
+    task_timeout:
+        Seconds one task may stay outstanding on a worker before the worker
+        is presumed hung, killed and replaced (``None`` disables).
+    max_retries:
+        How many times one task may be requeued after worker faults before
+        :class:`WorkerPoolError` is raised.
+    fault_plans:
+        Test-only mapping of spawn index → fault plan (see module docs).
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        start_method: Optional[str] = None,
+        task_timeout: Optional[float] = 60.0,
+        max_retries: int = 3,
+        fault_plans: Optional[Dict[int, Dict[str, Any]]] = None,
+    ) -> None:
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self.num_workers = num_workers
+        self.task_timeout = task_timeout
+        self.max_retries = max_retries
+        self._fault_plans = dict(fault_plans or {})
+        self._mp = multiprocessing.get_context(start_method)
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        self._workers: List[_Worker] = []
+        self._spawned = 0
+        self._next_task_id = 0
+        self._closed = False
+        self.stats = PoolStats()
+        # Start the parent's resource tracker before forking so every worker
+        # inherits it (a child forked without one would lazily spawn its own,
+        # with its own idea of which segments need cleaning up).
+        resource_tracker.ensure_running()
+        for _ in range(num_workers):
+            self._workers.append(self._spawn())
+
+    # -- lifecycle -----------------------------------------------------------
+    def _spawn(self) -> _Worker:
+        spawn_index = self._spawned
+        self._spawned += 1
+        parent_conn, child_conn = self._mp.Pipe(duplex=True)
+        process = self._mp.Process(
+            target=_worker_main,
+            args=(
+                spawn_index,
+                child_conn,
+                {cid: seg.name for cid, seg in self._segments.items()},
+                self._fault_plans.get(spawn_index),
+            ),
+            daemon=True,
+            name=f"repro-bootstrap-worker-{spawn_index}",
+        )
+        process.start()
+        child_conn.close()  # the parent keeps only its end
+        return _Worker(spawn_index, process, parent_conn)
+
+    def _replace(self, worker: _Worker) -> _Worker:
+        """Kill a faulted worker and mount a fresh one in its slot."""
+        try:
+            worker.process.kill()
+        except Exception:
+            pass
+        worker.process.join(timeout=5.0)
+        try:
+            worker.conn.close()
+        except Exception:
+            pass
+        self.stats.workers_restarted += 1
+        replacement = self._spawn()
+        self._workers[self._workers.index(worker)] = replacement
+        return replacement
+
+    def close(self) -> None:
+        """Stop all workers and release every shared segment."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            try:
+                worker.conn.send(("stop",))
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        deadline = time.monotonic() + 5.0
+        for worker in self._workers:
+            worker.process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(timeout=5.0)
+            try:
+                worker.conn.close()
+            except Exception:
+                pass
+        self._workers = []
+        for segment in self._segments.values():
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._segments = {}
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- client registry ------------------------------------------------------
+    def register_client(self, client_id: str, context: FheContext) -> None:
+        """Publish a client's key state to the pool via shared memory."""
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        if client_id in self._segments:
+            raise ValueError(f"client {client_id!r} is already registered")
+        segment = _pack_client_segment(context)
+        self._segments[client_id] = segment
+        self._broadcast(("register", client_id, segment.name))
+
+    def deregister_client(self, client_id: str) -> None:
+        """Drop a client's shared key state from the pool and all workers."""
+        segment = self._segments.pop(client_id, None)
+        if segment is None:
+            return
+        self._broadcast(("deregister", client_id))
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def _broadcast(self, message: Tuple) -> None:
+        for worker in self._workers:
+            try:
+                worker.conn.send(message)
+            except (OSError, ValueError, BrokenPipeError):
+                # The worker is dying; it will be replaced (with the full,
+                # updated registry) the next time a task finds it dead.
+                worker.faults += 1
+
+    # -- health / introspection ----------------------------------------------
+    @property
+    def health(self) -> List[WorkerHealth]:
+        """Per-slot liveness and work counters."""
+        return [
+            WorkerHealth(
+                spawn_index=worker.spawn_index,
+                pid=worker.process.pid,
+                alive=worker.alive,
+                tasks_completed=worker.done,
+                faults=worker.faults,
+            )
+            for worker in self._workers
+        ]
+
+    # -- dispatch --------------------------------------------------------------
+    def run_rows(
+        self,
+        client_id: str,
+        context: FheContext,
+        rows: Sequence[Row],
+        stats: SchedulerStats,
+        max_rows_per_call: Optional[int] = None,
+    ) -> List[LweSample]:
+        """Scatter one round's rows across the pool, gather in input order.
+
+        Bit-identical to :func:`repro.runtime.scheduler.execute_rows` on the
+        same row list: sharding only changes *where* each row's bootstrap
+        runs.  Worker faults (crash, hang, poisoned result) requeue the
+        affected chunk; ``WorkerPoolError`` is raised once a chunk exhausts
+        ``max_retries``.
+        """
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        rows = list(rows)
+        if not rows:
+            return []
+        if client_id not in self._segments:
+            # Standalone use (no scheduler register hook ran): publish now.
+            self.register_client(client_id, context)
+        tasks = self._make_tasks(client_id, rows)
+        results: Dict[int, List[LweSample]] = {}
+        pending: List[_Task] = list(tasks)
+        outstanding = 0
+        try:
+            while pending or outstanding:
+                outstanding += self._assign(pending, client_id, max_rows_per_call)
+                if not outstanding:
+                    if pending:  # no live worker accepted work: all just died
+                        continue
+                    break
+                outstanding -= self._collect(results, pending, stats)
+        except WorkerPoolError:
+            self._reset_busy_workers()
+            raise
+        ordered: List[LweSample] = []
+        for task in tasks:
+            ordered.extend(results[task.task_id])
+        self.stats.rows_executed += len(rows)
+        return ordered
+
+    def _make_tasks(self, client_id: str, rows: List[Row]) -> List[_Task]:
+        """Split rows into ≤ ``num_workers`` contiguous, near-even chunks."""
+        count = min(self.num_workers, len(rows))
+        base, extra = divmod(len(rows), count)
+        tasks: List[_Task] = []
+        start = 0
+        for i in range(count):
+            size = base + (1 if i < extra else 0)
+            task = _Task(self._next_task_id, client_id, start, rows[start : start + size])
+            self._next_task_id += 1
+            tasks.append(task)
+            start += size
+        return tasks
+
+    def _assign(
+        self, pending: List[_Task], client_id: str, max_rows_per_call: Optional[int]
+    ) -> int:
+        """Hand queued tasks to idle workers; returns how many were sent."""
+        sent = 0
+        for index, worker in enumerate(list(self._workers)):
+            if not pending:
+                break
+            if worker.task is not None:
+                continue
+            if not worker.alive:
+                worker = self._replace(worker)
+            task = pending.pop(0)
+            task.chunk_limit = max_rows_per_call
+            try:
+                worker.conn.send(
+                    ("rows", task.task_id, task.client_id, task.rows, max_rows_per_call)
+                )
+            except (OSError, ValueError, BrokenPipeError):
+                worker.faults += 1
+                self._requeue(task, pending, f"worker {worker.spawn_index} pipe broke")
+                self._replace(worker)
+                continue
+            worker.task = task
+            worker.deadline = (
+                time.monotonic() + self.task_timeout
+                if self.task_timeout is not None
+                else None
+            )
+            self.stats.tasks_dispatched += 1
+            sent += 1
+        return sent
+
+    def _collect(
+        self,
+        results: Dict[int, List[LweSample]],
+        pending: List[_Task],
+        stats: SchedulerStats,
+    ) -> int:
+        """Wait for one wave of results/faults; returns tasks taken off workers."""
+        busy = [w for w in self._workers if w.task is not None]
+        if not busy:
+            return 0
+        timeout = 0.25
+        if self.task_timeout is not None:
+            now = time.monotonic()
+            timeout = max(0.0, min(w.deadline - now for w in busy))
+            timeout = min(timeout + 0.01, 0.25)
+        ready = multiprocessing.connection.wait(
+            [w.conn for w in busy], timeout=timeout
+        )
+        settled = 0
+        for conn in ready:
+            worker = next(w for w in busy if w.conn is conn)
+            task = worker.task
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                worker.faults += 1
+                worker.task = None
+                self._requeue(task, pending, f"worker {worker.spawn_index} died")
+                self._replace(worker)
+                settled += 1
+                continue
+            if self._accept(worker, task, message, results, stats):
+                worker.task = None
+                worker.deadline = None
+                worker.done += 1
+                self.stats.tasks_completed += 1
+                settled += 1
+            else:
+                worker.task = None
+                self._requeue(
+                    task, pending, f"worker {worker.spawn_index} returned a bad result"
+                )
+                self._replace(worker)
+                settled += 1
+        # Deadline sweep: hung workers are indistinguishable from slow ones
+        # except by the clock, so expiry is treated as a crash.
+        if self.task_timeout is not None:
+            now = time.monotonic()
+            for worker in busy:
+                if worker.task is not None and worker.deadline is not None and now > worker.deadline:
+                    task = worker.task
+                    worker.task = None
+                    worker.faults += 1
+                    self._requeue(
+                        task, pending, f"worker {worker.spawn_index} timed out"
+                    )
+                    self._replace(worker)
+                    settled += 1
+        return settled
+
+    def _accept(
+        self,
+        worker: _Worker,
+        task: _Task,
+        message,
+        results: Dict[int, List[LweSample]],
+        stats: SchedulerStats,
+    ) -> bool:
+        """Validate one worker reply; False means 'treat as a fault'."""
+        if not isinstance(message, tuple) or len(message) < 2:
+            self.stats.results_rejected += 1
+            return False
+        if message[0] == "err":
+            # A worker-side exception is a task fault: requeue (a transient
+            # fault clears on retry; a deterministic one exhausts retries and
+            # surfaces the traceback through WorkerPoolError).
+            worker.faults += 1
+            self.stats.results_rejected += 1
+            task.error = message[2] if len(message) > 2 else "unknown worker error"
+            return False
+        if message[0] != "ok" or len(message) != 4:
+            self.stats.results_rejected += 1
+            return False
+        _, task_id, outputs, row_count = message
+        if task_id != task.task_id or row_count != len(task.rows):
+            self.stats.results_rejected += 1
+            return False
+        if not isinstance(outputs, list) or len(outputs) != len(task.rows):
+            self.stats.results_rejected += 1
+            return False
+        dimension = None
+        for output in outputs:
+            if not isinstance(output, LweSample):
+                self.stats.results_rejected += 1
+                return False
+            a = np.asarray(output.a)
+            if a.ndim != 1 or a.dtype != np.int32:
+                self.stats.results_rejected += 1
+                return False
+            if dimension is None:
+                dimension = a.shape[0]
+            elif a.shape[0] != dimension:
+                self.stats.results_rejected += 1
+                return False
+        results[task.task_id] = outputs
+        # Account the batched bootstrapping calls the worker actually issued.
+        per_call = max_rows = len(task.rows)
+        if task.chunk_limit:
+            per_call = min(per_call, task.chunk_limit)
+            max_rows = per_call
+        stats.batched_calls += -(-len(task.rows) // per_call) if per_call else 0
+        stats.max_rows_per_call = max(stats.max_rows_per_call, max_rows)
+        return True
+
+    def _requeue(self, task: _Task, pending: List[_Task], reason: str) -> None:
+        task.retries += 1
+        self.stats.tasks_retried += 1
+        if task.retries > self.max_retries:
+            detail = getattr(task, "error", "")
+            raise WorkerPoolError(
+                f"task {task.task_id} ({len(task.rows)} rows for client "
+                f"{task.client_id!r}) failed {task.retries} times; last "
+                f"fault: {reason}" + (f"\n{detail}" if detail else "")
+            )
+        pending.append(task)
+
+    def _reset_busy_workers(self) -> None:
+        """After a fatal error, replace every busy worker so stale results
+        from abandoned tasks can never be mistaken for a later task's."""
+        for worker in list(self._workers):
+            if worker.task is not None:
+                worker.task = None
+                self._replace(worker)

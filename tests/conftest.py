@@ -7,6 +7,9 @@ tests must not mutate them.
 
 from __future__ import annotations
 
+import asyncio
+import threading
+
 import numpy as np
 import pytest
 
@@ -71,3 +74,43 @@ def small_evaluator_approx(small_keys_approx_m2):
 def tiny_evaluator(tiny_keys_naive):
     _, cloud = tiny_keys_naive
     return TFHEGateEvaluator(cloud)
+
+
+@pytest.fixture
+def server_factory():
+    """Start :class:`repro.runtime.FheServer` instances on background loops.
+
+    Yields a ``start(**kwargs) -> FheServer`` callable; every server it
+    created is stopped (and its loop torn down) at fixture teardown, so
+    tests can't leak listeners or flusher tasks.
+    """
+    from repro.runtime.server import FheServer
+
+    started = []
+
+    def start(**kwargs):
+        loop = asyncio.new_event_loop()
+        server = FheServer(port=0, **kwargs)
+        ready = threading.Event()
+
+        def run():
+            asyncio.set_event_loop(loop)
+            loop.run_until_complete(server.start())
+            ready.set()
+            loop.run_forever()
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert ready.wait(30.0), "server failed to start"
+        started.append((server, loop, thread))
+        return server
+
+    yield start
+
+    for server, loop, thread in started:
+        try:
+            asyncio.run_coroutine_threadsafe(server.stop(), loop).result(30.0)
+        finally:
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(10.0)
+            loop.close()

@@ -1,0 +1,273 @@
+"""Wire-format unit and fuzz tests: framing must fail clean, never hang.
+
+Every malformed input — truncated streams, oversized length prefixes, bad
+magic, garbage headers, corrupted multi-part bodies, random byte blobs —
+must raise a typed :class:`repro.runtime.protocol.ProtocolError` (or
+:class:`EOFError` for a clean close between frames).  Nothing here may
+allocate based on an unvalidated length prefix, and nothing may block
+waiting for bytes a hostile peer will never send (the async reader is
+driven from fully-fed in-memory streams, so a hang would deadlock the
+test, not time out silently).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+import threading
+
+import numpy as np
+import pytest
+
+from repro.runtime.protocol import (
+    DEFAULT_MAX_FRAME,
+    MAGIC,
+    MAX_HEADER_LEN,
+    BadHeader,
+    BadMagic,
+    FrameTooLarge,
+    ProtocolError,
+    TruncatedFrame,
+    encode_frame,
+    pack_parts,
+    read_frame,
+    read_frame_async,
+    unpack_parts,
+)
+
+_PREFIX = struct.Struct("<4sIQ")
+
+
+def _read_from_bytes(data: bytes, max_frame: int = DEFAULT_MAX_FRAME):
+    """Drive the async reader from a fully-fed, EOF-terminated stream."""
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_frame_async(reader, max_frame)
+
+    return asyncio.run(go())
+
+
+# --------------------------------------------------------------------------- #
+# well-formed round trips                                                     #
+# --------------------------------------------------------------------------- #
+
+
+def test_round_trip_async():
+    header = {"op": "gate", "id": 7, "gate": "nand"}
+    body = b"\x01\x02\x03" * 100
+    got_header, got_body = _read_from_bytes(encode_frame(header, body))
+    assert got_header == header
+    assert got_body == body
+
+
+def test_round_trip_empty_body():
+    got_header, got_body = _read_from_bytes(encode_frame({"op": "hello", "id": 0}))
+    assert got_header["op"] == "hello"
+    assert got_body == b""
+
+
+def test_round_trip_sync_socketpair():
+    left, right = socket.socketpair()
+    try:
+        frame = encode_frame({"op": "metrics", "id": 3}, b"xyz")
+        # Write from a thread so a (buggy) blocking read cannot deadlock.
+        writer = threading.Thread(target=left.sendall, args=(frame,))
+        writer.start()
+        header, body = read_frame(right)
+        writer.join()
+        assert header == {"op": "metrics", "id": 3}
+        assert body == b"xyz"
+        left.close()
+        with pytest.raises(EOFError):
+            read_frame(right)
+    finally:
+        left.close()
+        right.close()
+
+
+def test_back_to_back_frames():
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(encode_frame({"op": "a", "id": 1}))
+        reader.feed_data(encode_frame({"op": "b", "id": 2}, b"zz"))
+        reader.feed_eof()
+        first = await read_frame_async(reader)
+        second = await read_frame_async(reader)
+        with pytest.raises(EOFError):
+            await read_frame_async(reader)
+        return first, second
+
+    (h1, _), (h2, b2) = asyncio.run(go())
+    assert (h1["op"], h2["op"], b2) == ("a", "b", b"zz")
+
+
+# --------------------------------------------------------------------------- #
+# corruption taxonomy                                                         #
+# --------------------------------------------------------------------------- #
+
+
+def test_truncated_prefix():
+    with pytest.raises(TruncatedFrame):
+        _read_from_bytes(MAGIC + b"\x01")
+
+
+def test_truncated_header():
+    frame = encode_frame({"op": "x", "id": 1})
+    with pytest.raises(TruncatedFrame):
+        _read_from_bytes(frame[:-2])
+
+
+def test_truncated_body():
+    frame = encode_frame({"op": "x", "id": 1}, b"0123456789")
+    with pytest.raises(TruncatedFrame):
+        _read_from_bytes(frame[:-5])
+
+
+def test_bad_magic():
+    frame = bytearray(encode_frame({"op": "x", "id": 1}))
+    frame[0:4] = b"EVIL"
+    with pytest.raises(BadMagic):
+        _read_from_bytes(bytes(frame))
+
+
+def test_oversized_body_prefix_refused_before_allocation():
+    # Claims an 8 EiB body with no bytes behind it: must be rejected from
+    # the 16-byte prefix alone, not by trying to read (or allocate) it.
+    prefix = _PREFIX.pack(MAGIC, 2, 1 << 62)
+    with pytest.raises(FrameTooLarge):
+        _read_from_bytes(prefix + b"{}")
+
+
+def test_oversized_header_prefix_refused():
+    prefix = _PREFIX.pack(MAGIC, MAX_HEADER_LEN + 1, 0)
+    with pytest.raises(FrameTooLarge):
+        _read_from_bytes(prefix)
+
+
+def test_frame_over_reader_budget_refused():
+    frame = encode_frame({"op": "x", "id": 1}, b"A" * 1024)
+    with pytest.raises(FrameTooLarge):
+        _read_from_bytes(frame, max_frame=256)
+
+
+def test_encode_rejects_oversized_header():
+    with pytest.raises(FrameTooLarge):
+        encode_frame({"op": "x", "id": 1, "pad": "y" * (MAX_HEADER_LEN + 1)})
+
+
+def test_header_not_json():
+    body = b"this is not json"
+    prefix = _PREFIX.pack(MAGIC, len(body), 0)
+    with pytest.raises(BadHeader):
+        _read_from_bytes(prefix + body)
+
+
+def test_header_not_utf8():
+    raw = b"\xff\xfe\xfd\xfc"
+    prefix = _PREFIX.pack(MAGIC, len(raw), 0)
+    with pytest.raises(BadHeader):
+        _read_from_bytes(prefix + raw)
+
+
+def test_header_not_an_object():
+    raw = json.dumps([1, 2, 3]).encode()
+    prefix = _PREFIX.pack(MAGIC, len(raw), 0)
+    with pytest.raises(BadHeader):
+        _read_from_bytes(prefix + raw)
+
+
+# --------------------------------------------------------------------------- #
+# multi-part bodies                                                           #
+# --------------------------------------------------------------------------- #
+
+
+def test_parts_round_trip():
+    parts = [b"", b"a", b"b" * 1000]
+    assert unpack_parts(pack_parts(parts)) == parts
+    assert unpack_parts(pack_parts([]), expected=0) == []
+
+
+def test_parts_count_mismatch():
+    with pytest.raises(ProtocolError, match="expected 2"):
+        unpack_parts(pack_parts([b"only"]), expected=2)
+
+
+def test_parts_truncated_length_prefix():
+    body = pack_parts([b"abc", b"def"])
+    with pytest.raises(ProtocolError):
+        unpack_parts(body[:6])
+
+
+def test_parts_overrunning_length():
+    body = bytearray(pack_parts([b"abc"]))
+    body[4:12] = struct.pack("<Q", 1 << 40)  # part 0 claims a terabyte
+    with pytest.raises(ProtocolError, match="claims"):
+        unpack_parts(bytes(body))
+
+
+def test_parts_trailing_garbage():
+    with pytest.raises(ProtocolError, match="trailing"):
+        unpack_parts(pack_parts([b"abc"]) + b"!!")
+
+
+def test_parts_empty_body():
+    with pytest.raises(ProtocolError):
+        unpack_parts(b"")
+
+
+# --------------------------------------------------------------------------- #
+# fuzz                                                                        #
+# --------------------------------------------------------------------------- #
+
+
+def test_fuzz_random_blobs_never_hang():
+    """Random bytes either parse or raise cleanly — bounded, typed, fast."""
+    rng = np.random.default_rng(20260808)
+    for _ in range(300):
+        blob = rng.integers(0, 256, size=int(rng.integers(0, 200)), dtype=np.uint8).tobytes()
+        try:
+            _read_from_bytes(blob)
+        except (ProtocolError, EOFError):
+            pass  # the only acceptable failures
+
+
+def test_fuzz_mutated_valid_frames():
+    """Single-byte mutations of a valid frame fail typed or survive."""
+    rng = np.random.default_rng(42)
+    frame = encode_frame({"op": "gate", "id": 5, "gate": "xor"}, b"payload-bytes")
+    for _ in range(300):
+        mutated = bytearray(frame)
+        position = int(rng.integers(0, len(mutated)))
+        mutated[position] ^= int(rng.integers(1, 256))
+        try:
+            header, _body = _read_from_bytes(bytes(mutated))
+            assert isinstance(header, dict)  # survived: still a JSON object
+        except (ProtocolError, EOFError):
+            pass
+
+
+def test_fuzz_truncations_of_valid_frame():
+    """Every strict prefix of a valid frame raises, never returns garbage."""
+    frame = encode_frame({"op": "gate", "id": 5}, b"xx")
+    for cut in range(len(frame)):
+        with pytest.raises((ProtocolError, EOFError)):
+            _read_from_bytes(frame[:cut])
+
+
+def test_fuzz_parts_mutations():
+    rng = np.random.default_rng(7)
+    body = pack_parts([b"alpha", b"beta", b"gamma" * 20])
+    for _ in range(300):
+        mutated = bytearray(body)
+        position = int(rng.integers(0, len(mutated)))
+        mutated[position] ^= int(rng.integers(1, 256))
+        try:
+            parts = unpack_parts(bytes(mutated))
+            assert isinstance(parts, list)
+        except ProtocolError:
+            pass

@@ -1,0 +1,193 @@
+"""Fault injection against the bootstrap worker pool.
+
+The contract under test: a lost, hung or lying worker degrades *throughput*,
+never *correctness*.  Every scenario runs the same workload through a
+faulted pool and asserts the results are bit-identical to the inline
+single-process path, that the scheduler's ``jobs_completed`` accounting
+balances, and that the pool replaced exactly the workers it should have.
+
+Fault plans are keyed by worker *spawn index* and interpreted against the
+worker-local task counter (see :mod:`repro.runtime.workers`), so each
+scenario is deterministic: worker 0's first task crashes, hangs, errors or
+returns a poisoned result; its replacement (a fresh spawn index, no plan)
+picks the requeued task up.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.runtime import BatchScheduler, WorkerPool, WorkerPoolError
+from repro.runtime.scheduler import SchedulerStats, execute_rows
+from repro.tfhe.gates import encrypt_bit
+
+pytestmark = pytest.mark.filterwarnings("error::UserWarning")
+
+BITS_A = [1, 0, 1, 1, 0, 0, 1, 0]
+BITS_B = [1, 1, 0, 1, 0, 1, 0, 0]
+
+
+def _same_sample(x, y) -> bool:
+    return np.array_equal(x.a, y.a) and int(x.b) == int(y.b)
+
+
+@pytest.fixture(scope="module")
+def workload(tiny_keys_naive):
+    """Eight mixed gate/LUT rows plus their inline reference outputs."""
+    secret, cloud = tiny_keys_naive
+    context = cloud.default_context()
+    cas = [encrypt_bit(secret, b, rng=310 + i) for i, b in enumerate(BITS_A)]
+    cbs = [encrypt_bit(secret, b, rng=340 + i) for i, b in enumerate(BITS_B)]
+    rows = []
+    for i, (ca, cb) in enumerate(zip(cas, cbs)):
+        if i % 4 == 3:  # every fourth row is a programmable LUT row
+            rows.append(("lut", 0b0110, (ca, cb)))  # XOR as a lookup
+        else:
+            rows.append(("gate", "nand", ca, cb))
+    reference = execute_rows(context, rows, stats=SchedulerStats())
+    return context, cas, cbs, rows, reference
+
+
+def _run_with_pool(workload, pool, scheduler=None) -> tuple:
+    """One scheduler flush of the workload's jobs through ``pool``."""
+    context, cas, cbs, _rows, _reference = workload
+    if scheduler is None:
+        scheduler = BatchScheduler(dispatcher=pool)
+        scheduler.register_client("tenant", context)
+    session = scheduler.session("tenant")
+    handles = []
+    for i, (ca, cb) in enumerate(zip(cas, cbs)):
+        if i % 4 == 3:
+            handles.append(session.submit_lut(0b0110, [ca, cb]))
+        else:
+            handles.append(session.submit_gate("nand", ca, cb))
+    scheduler.flush()
+    return scheduler, [handle.result() for handle in handles]
+
+
+FAULT_PLANS = {
+    "crash": {0: {"crash_on_task": 0}},
+    "hang": {0: {"hang_on_task": 0, "hang_seconds": 3600.0}},
+    "error": {1: {"error_on_task": 0}},
+    "poison-short": {0: {"poison_on_task": 0, "poison_mode": "short"}},
+    "poison-wrong-task": {1: {"poison_on_task": 0, "poison_mode": "wrong_task"}},
+    "poison-garbage": {0: {"poison_on_task": 0, "poison_mode": "garbage"}},
+}
+
+
+@pytest.mark.parametrize("fault", sorted(FAULT_PLANS))
+def test_fault_recovers_bit_identical(workload, fault):
+    """Each injected fault requeues; the flush output never changes."""
+    reference = workload[4]
+    with WorkerPool(
+        2, task_timeout=2.0, max_retries=3, fault_plans=FAULT_PLANS[fault]
+    ) as pool:
+        scheduler, results = _run_with_pool(workload, pool)
+        assert all(_same_sample(got, want) for got, want in zip(results, reference))
+        # Accounting balances: every submitted job completed exactly once.
+        assert scheduler.stats.jobs_completed == len(BITS_A)
+        # The faulted worker was replaced, its chunk retried, nothing lost.
+        assert pool.stats.workers_restarted == 1
+        assert pool.stats.tasks_retried == 1
+        assert pool.stats.tasks_dispatched == pool.stats.tasks_completed + 1
+        assert pool.stats.rows_executed == len(BITS_A)
+        # The pool healed: every slot alive again.
+        assert all(worker.alive for worker in pool.health)
+
+
+def test_kill_worker_mid_flush(workload):
+    """A worker SIGKILLed from outside (no plan, no warning) is survived."""
+    reference = workload[4]
+    with WorkerPool(2, task_timeout=30.0) as pool:
+        victim_pid = pool._workers[0].process.pid
+
+        def _kill() -> None:
+            try:
+                os.kill(victim_pid, signal.SIGKILL)
+            except ProcessLookupError:  # already gone: equivalent outcome
+                pass
+
+        # Kill the worker while the flush is in progress: TEST_TINY rows are
+        # fast, so fire from a timer racing the flush.
+        killer = threading.Timer(0.01, _kill)
+        killer.start()
+        try:
+            scheduler, results = _run_with_pool(workload, pool)
+        finally:
+            killer.cancel()
+        assert all(_same_sample(got, want) for got, want in zip(results, reference))
+        assert scheduler.stats.jobs_completed == len(BITS_A)
+        # Depending on timing the kill lands mid-task (requeue) or between
+        # flushes (replaced at next assign) — either way nothing is lost and
+        # at most one restart happened.
+        assert pool.stats.workers_restarted <= 1
+        assert all(worker.alive for worker in pool.health)
+
+
+def test_timeout_is_bounded(workload):
+    """A hung worker delays one flush by ~task_timeout, not forever."""
+    reference = workload[4]
+    with WorkerPool(
+        2,
+        task_timeout=1.5,
+        fault_plans={0: {"hang_on_task": 0, "hang_seconds": 3600.0}},
+    ) as pool:
+        begin = time.monotonic()
+        _, results = _run_with_pool(workload, pool)
+        elapsed = time.monotonic() - begin
+        assert all(_same_sample(got, want) for got, want in zip(results, reference))
+        assert elapsed < 30.0  # far below the injected hang
+        assert pool.stats.workers_restarted == 1
+
+
+def test_retry_budget_exhaustion_raises(workload):
+    """Deterministic faults surface as WorkerPoolError, not wrong results."""
+    context, _cas, _cbs, rows, _reference = workload
+    # Every spawn (initial worker + each replacement) errors on its first
+    # task, so the task can never succeed inside max_retries.
+    plans = {i: {"error_on_task": 0} for i in range(8)}
+    with WorkerPool(1, task_timeout=5.0, max_retries=2, fault_plans=plans) as pool:
+        with pytest.raises(WorkerPoolError, match="injected worker fault"):
+            pool.run_rows("tenant", context, rows, SchedulerStats())
+
+
+def test_pool_usable_after_exhaustion(workload):
+    """A fatal task failure does not poison later flushes."""
+    context, _cas, _cbs, rows, reference = workload
+    plans = {0: {"crash_on_task": 0}, 1: {"crash_on_task": 0}}
+    with WorkerPool(1, task_timeout=5.0, max_retries=1, fault_plans=plans) as pool:
+        with pytest.raises(WorkerPoolError):
+            pool.run_rows("tenant", context, rows, SchedulerStats())
+        # Spawn index 2 carries no plan: the next flush must succeed and be
+        # bit-identical (no stale results from the abandoned attempts).
+        outputs = pool.run_rows("tenant", context, rows, SchedulerStats())
+        assert all(_same_sample(got, want) for got, want in zip(outputs, reference))
+
+
+def test_fault_storm_many_flushes(workload):
+    """Back-to-back faulted flushes keep balancing their accounting."""
+    reference = workload[4]
+    plans = {
+        0: {"crash_on_task": 0},
+        # The first replacement poisons its first task too: two generations
+        # of faults inside one pool lifetime.
+        2: {"poison_on_task": 0, "poison_mode": "short"},
+    }
+    with WorkerPool(2, task_timeout=5.0, fault_plans=plans) as pool:
+        scheduler = BatchScheduler(dispatcher=pool)
+        scheduler.register_client("tenant", workload[0])
+        for _ in range(3):
+            _, results = _run_with_pool(workload, pool, scheduler)
+            assert all(
+                _same_sample(got, want) for got, want in zip(results, reference)
+            )
+        assert scheduler.stats.jobs_completed == 3 * len(BITS_A)
+        assert pool.stats.rows_executed == 3 * len(BITS_A)
+        assert pool.stats.workers_restarted == 2
+        assert all(worker.alive for worker in pool.health)

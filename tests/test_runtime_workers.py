@@ -1,0 +1,282 @@
+"""Worker-pool sharding: bit-identity, shared-memory cache, accounting.
+
+The load-bearing property: dispatching a flush's rows through a
+multi-process :class:`WorkerPool` is **bit-identical** to the inline
+single-process path — across all three transform engines, both rotators,
+and mixed gate/LUT rows.  Sharding may only change *where* a row's
+bootstrap runs, never its bits (rows are independent by the PR 1 batch
+property, and workers rebuild — or map — exactly the parent's key state).
+
+Also covered here: the shared-segment format (spectra are shared zero-copy
+for the classical rotator under plain-ndarray engines, rebuilt from key
+bytes for BKU and the approximate integer engine), registry lifecycle, and
+the pool's stats/health accounting in the fault-free path.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.runtime import BatchScheduler, WorkerPool
+from repro.runtime.context import FheContext
+from repro.runtime.scheduler import SchedulerStats, execute_rows
+from repro.runtime.workers import (
+    _attach_segment,
+    _context_from_segment,
+    _pack_client_segment,
+)
+from repro.tfhe.gates import decrypt_bit, encrypt_bit
+
+pytestmark = pytest.mark.filterwarnings("error::UserWarning")
+
+KEY_FIXTURES = [
+    "tiny_keys_naive",       # naive engine, classical rotator
+    "tiny_keys_naive_m2",    # naive engine, BKU m=2
+    "small_keys_double",     # double FFT engine, classical rotator
+    "small_keys_approx_m2",  # approximate integer engine, BKU m=2
+]
+
+
+def _mixed_rows(secret, count: int = 10):
+    """Gate rows with every third row a LUT row (XOR via table 0b0110)."""
+    rows = []
+    plain = []
+    for i in range(count):
+        a, b = i & 1, (i >> 1) & 1
+        ca = encrypt_bit(secret, a, rng=800 + 2 * i)
+        cb = encrypt_bit(secret, b, rng=801 + 2 * i)
+        if i % 3 == 2:
+            rows.append(("lut", 0b0110, (ca, cb)))
+            plain.append(a ^ b)
+        else:
+            rows.append(("gate", "nand", ca, cb))
+            plain.append(1 - (a & b))
+    return rows, plain
+
+
+def _segment_header(segment) -> dict:
+    (header_len,) = struct.unpack("<Q", bytes(segment.buf[0:8]))
+    return json.loads(bytes(segment.buf[8 : 8 + header_len]).decode("utf-8"))
+
+
+@pytest.mark.parametrize("fixture", KEY_FIXTURES)
+def test_sharded_flush_bit_identical(request, fixture):
+    """Pool output == inline output, bit for bit, on mixed gate/LUT rows."""
+    secret, cloud = request.getfixturevalue(fixture)
+    context = cloud.default_context()
+    rows, plain = _mixed_rows(secret)
+    reference = execute_rows(context, rows, stats=SchedulerStats())
+    with WorkerPool(3, task_timeout=60.0) as pool:
+        sharded = pool.run_rows("tenant", context, rows, SchedulerStats())
+    assert len(sharded) == len(reference)
+    for got, want, bit in zip(sharded, reference, plain):
+        assert np.array_equal(got.a, want.a)
+        assert int(got.b) == int(want.b)
+        assert decrypt_bit(secret, got) == bit
+
+
+@pytest.mark.parametrize("fixture", KEY_FIXTURES)
+def test_scheduler_flush_through_pool(request, fixture):
+    """End-to-end scheduler path: coalesced jobs, pool dispatch, handles."""
+    secret, cloud = request.getfixturevalue(fixture)
+    context = FheContext(cloud)
+    inline = BatchScheduler()
+    inline.register_client("c", FheContext(cloud))
+    with WorkerPool(2, task_timeout=60.0) as pool:
+        pooled = BatchScheduler(dispatcher=pool)
+        pooled.register_client("c", context)
+        handles = {}
+        for scheduler in (inline, pooled):
+            session = scheduler.session("c")
+            chained = session.submit_gate(
+                "xor",
+                encrypt_bit(secret, 1, rng=901),
+                encrypt_bit(secret, 0, rng=902),
+            )
+            # A handle-chained gate exercises multi-round flushes.
+            final = session.submit_gate(
+                "and", chained, encrypt_bit(secret, 1, rng=903)
+            )
+            lut = session.submit_lut(
+                0b0111, [encrypt_bit(secret, 0, rng=904), encrypt_bit(secret, 1, rng=905)]
+            )
+            scheduler.flush()
+            handles[scheduler is pooled] = (final.result(), lut.result())
+    for got, want in zip(handles[True], handles[False]):
+        assert np.array_equal(got.a, want.a)
+        assert int(got.b) == int(want.b)
+    assert inline.stats.jobs_completed == pooled.stats.jobs_completed == 3
+
+
+def test_spectrum_is_shared_for_plain_engines(tiny_keys_naive, small_keys_double):
+    """Classical rotator + plain-ndarray engine → spectra ride the segment."""
+    for _, cloud in (tiny_keys_naive, small_keys_double):
+        context = cloud.default_context()
+        segment = _pack_client_segment(context)
+        try:
+            header = _segment_header(segment)
+            assert header["spectrum"] is not None
+            assert header["spectrum"]["shape"][0] == context.cached_tgsw_samples
+        finally:
+            segment.close()
+            segment.unlink()
+
+
+def test_spectrum_falls_back_for_bku_and_approx(
+    tiny_keys_naive_m2, small_keys_approx_m2
+):
+    """BKU keys and IntegerSpectrum tensors rebuild from key bytes instead."""
+    for _, cloud in (tiny_keys_naive_m2, small_keys_approx_m2):
+        context = cloud.default_context()
+        segment = _pack_client_segment(context)
+        try:
+            assert _segment_header(segment)["spectrum"] is None
+        finally:
+            segment.close()
+            segment.unlink()
+
+
+def test_context_from_segment_matches_parent(tiny_keys_naive):
+    """A worker-side rebuilt context bootstraps bit-identically in-parent."""
+    secret, cloud = tiny_keys_naive
+    parent = cloud.default_context()
+    segment = _pack_client_segment(parent)
+    try:
+        attached = _attach_segment(segment.name)
+        try:
+            rebuilt = _context_from_segment(attached)
+            # The shared-spectrum path installed the rotator without a
+            # single forward transform of bootstrapping-key material.
+            assert rebuilt.spectra_cached
+            assert rebuilt.cached_tgsw_samples == parent.cached_tgsw_samples
+            sample = encrypt_bit(secret, 1, rng=777)
+            want = parent.bootstrap(sample)
+            got = rebuilt.bootstrap(sample)
+            assert np.array_equal(got.a, want.a) and int(got.b) == int(want.b)
+            # The mapped spectra are read-only views into shared pages.
+            tensor = rebuilt.rotator.bootstrapping_key[0].tensor
+            assert not tensor.flags.writeable
+            with pytest.raises((ValueError, RuntimeError)):
+                tensor[...] = 0
+        finally:
+            attached.close()
+    finally:
+        segment.close()
+        segment.unlink()
+
+
+def test_install_rotator_refuses_after_cache_build(tiny_keys_naive):
+    _, cloud = tiny_keys_naive
+    context = FheContext(cloud)
+    rotator = context.rotator  # builds the cache
+    with pytest.raises(RuntimeError, match="already built"):
+        context.install_rotator(rotator, cached_tgsw_samples=1)
+
+
+def test_pool_stats_and_chunking(tiny_keys_naive):
+    """Fault-free accounting: chunk split, batched-call stats, health."""
+    secret, cloud = tiny_keys_naive
+    context = cloud.default_context()
+    rows, _ = _mixed_rows(secret, count=9)
+    stats = SchedulerStats()
+    with WorkerPool(3, task_timeout=60.0) as pool:
+        pool.run_rows("tenant", context, rows, stats, max_rows_per_call=2)
+        assert pool.stats.tasks_dispatched == 3  # 9 rows → 3 chunks of 3
+        assert pool.stats.tasks_completed == 3
+        assert pool.stats.tasks_retried == 0
+        assert pool.stats.workers_restarted == 0
+        assert pool.stats.rows_executed == 9
+        # Each 3-row chunk honours max_rows_per_call=2 → 2 calls per chunk.
+        assert stats.batched_calls == 6
+        assert stats.max_rows_per_call == 2
+        health = pool.health
+        assert len(health) == 3
+        assert all(worker.alive for worker in health)
+        assert sum(worker.tasks_completed for worker in health) == 3
+
+
+def test_single_worker_single_row(tiny_keys_naive):
+    """Degenerate sizes: 1 worker, 1 row."""
+    secret, cloud = tiny_keys_naive
+    context = cloud.default_context()
+    ca, cb = encrypt_bit(secret, 1, rng=1), encrypt_bit(secret, 1, rng=2)
+    reference = execute_rows(context, [("gate", "nand", ca, cb)], stats=SchedulerStats())
+    with WorkerPool(1, task_timeout=60.0) as pool:
+        out = pool.run_rows("t", context, [("gate", "nand", ca, cb)], SchedulerStats())
+    assert np.array_equal(out[0].a, reference[0].a)
+    assert int(out[0].b) == int(reference[0].b)
+    with WorkerPool(1, task_timeout=60.0) as pool:
+        assert pool.run_rows("t", context, [], SchedulerStats()) == []
+
+
+def test_multi_client_isolation_through_one_pool(tiny_keys_naive):
+    """Two tenants' keys share the pool but never a bootstrap."""
+    secret_a, cloud_a = tiny_keys_naive
+    from repro.tfhe.keys import generate_keys
+    from repro.tfhe.params import TEST_TINY
+    from repro.tfhe.transform import NaiveNegacyclicTransform
+
+    secret_b, cloud_b = generate_keys(
+        TEST_TINY, NaiveNegacyclicTransform(TEST_TINY.N), unroll_factor=1, rng=51
+    )
+    with WorkerPool(2, task_timeout=60.0) as pool:
+        scheduler = BatchScheduler(dispatcher=pool)
+        scheduler.register_client("a", FheContext(cloud_a))
+        scheduler.register_client("b", FheContext(cloud_b))
+        ha = scheduler.session("a").submit_gate(
+            "nand", encrypt_bit(secret_a, 1, rng=3), encrypt_bit(secret_a, 1, rng=4)
+        )
+        hb = scheduler.session("b").submit_gate(
+            "nand", encrypt_bit(secret_b, 1, rng=5), encrypt_bit(secret_b, 1, rng=6)
+        )
+        scheduler.flush()
+        assert decrypt_bit(secret_a, ha.result()) == 0
+        assert decrypt_bit(secret_b, hb.result()) == 0
+        assert len(pool._segments) == 2
+
+
+def test_register_deregister_lifecycle(tiny_keys_naive):
+    secret, cloud = tiny_keys_naive
+    context = cloud.default_context()
+    pool = WorkerPool(1, task_timeout=60.0)
+    try:
+        pool.register_client("c", context)
+        with pytest.raises(ValueError, match="already registered"):
+            pool.register_client("c", context)
+        name = pool._segments["c"].name
+        pool.deregister_client("c")
+        assert "c" not in pool._segments
+        # The segment is gone from the system, not just the dict.
+        with pytest.raises(FileNotFoundError):
+            _attach_segment(name)
+        pool.deregister_client("c")  # idempotent
+        # run_rows on an unknown client auto-registers.
+        rows = [("gate", "and", encrypt_bit(secret, 1, rng=7), encrypt_bit(secret, 1, rng=8))]
+        out = pool.run_rows("fresh", context, rows, SchedulerStats())
+        assert decrypt_bit(secret, out[0]) == 1
+        assert "fresh" in pool._segments
+    finally:
+        pool.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        pool.run_rows("c", context, [("gate", "and", None, None)], SchedulerStats())
+    with pytest.raises(RuntimeError, match="closed"):
+        pool.register_client("d", context)
+    pool.close()  # idempotent
+
+
+def test_scheduler_deregister_refuses_pending(tiny_keys_naive):
+    secret, cloud = tiny_keys_naive
+    scheduler = BatchScheduler()
+    scheduler.register_client("c", FheContext(cloud))
+    session = scheduler.session("c")
+    session.submit_gate("nand", encrypt_bit(secret, 1, rng=9), encrypt_bit(secret, 0, rng=10))
+    with pytest.raises(RuntimeError, match="pending jobs"):
+        scheduler.deregister_client("c")
+    scheduler.flush()
+    scheduler.deregister_client("c")
+    with pytest.raises(KeyError):
+        scheduler.client_context("c")

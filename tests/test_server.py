@@ -1,0 +1,422 @@
+"""The asyncio serving front: round trips, isolation, errors, backpressure.
+
+The server runs in-process on a background event loop (``server_factory``
+fixture) and real TCP clients talk to it, so these tests cover the whole
+wire: framing, per-connection key namespaces, error mapping, and — the
+regression this PR hardens — that no client behaviour can grow the
+front-end queue unboundedly:
+
+* **reject semantics** — a bounded scheduler queue turns overflow into
+  ``busy`` error frames while everything already accepted completes;
+* **await semantics** — past ``max_inflight`` requests per connection the
+  server stops *reading* that socket, so a flooding client stalls on TCP
+  while the queue's high-water mark stays at
+  ``connections × max_inflight`` — demonstrated at 110 concurrent
+  sessions.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import socket
+import struct
+
+import numpy as np
+import pytest
+
+from repro.runtime.protocol import (
+    ServerBusy,
+    ServerError,
+    ServingClient,
+    encode_frame,
+    pack_parts,
+    read_frame,
+)
+from repro.tfhe.gates import decrypt_bit, encrypt_bit
+from repro.tfhe.integers import decrypt_radix, encrypt_radix
+from repro.tfhe.keys import generate_keys
+from repro.tfhe.lwe import LweBatch
+from repro.tfhe.netlist import adder_netlist
+from repro.tfhe.params import TEST_PBS, TEST_TINY, DigitEncoding
+from repro.tfhe.serialize import to_bytes
+from repro.tfhe.transform import DoubleFFTNegacyclicTransform
+
+pytestmark = pytest.mark.filterwarnings("error::UserWarning")
+
+
+@pytest.fixture(scope="module")
+def wire_keys():
+    """One TEST_TINY double-engine keypair shared by the server tests."""
+    secret, cloud = generate_keys(
+        TEST_TINY,
+        DoubleFFTNegacyclicTransform(TEST_TINY.N),
+        unroll_factor=1,
+        rng=61,
+        eager=False,
+    )
+    return secret, cloud
+
+
+# --------------------------------------------------------------------------- #
+# round trips                                                                 #
+# --------------------------------------------------------------------------- #
+
+
+def test_hello_register_gate_lut_circuit(server_factory, wire_keys):
+    secret, cloud = wire_keys
+    server = server_factory()
+    with ServingClient(port=server.port) as client:
+        hello = client.hello()
+        assert hello["server"] == "repro-serve"
+        info = client.register_key(cloud)
+        assert info["params"] == TEST_TINY.name
+
+        out = client.gate(
+            "nand", encrypt_bit(secret, 1, rng=1), encrypt_bit(secret, 1, rng=2)
+        )
+        assert decrypt_bit(secret, out) == 0
+
+        out = client.lut(
+            0b0110, [encrypt_bit(secret, 1, rng=3), encrypt_bit(secret, 0, rng=4)]
+        )
+        assert decrypt_bit(secret, out) == 1
+
+        width = 4
+        a_val, b_val = 11, 6
+        bits = [encrypt_bit(secret, (a_val >> i) & 1, rng=10 + i) for i in range(width)]
+        bits += [encrypt_bit(secret, (b_val >> i) & 1, rng=20 + i) for i in range(width)]
+        out_batch = client.run_circuit(adder_netlist(width), LweBatch.from_samples(bits))
+        total = sum(
+            decrypt_bit(secret, s) << i
+            for i, s in enumerate(out_batch.to_samples()[:width])
+        )
+        assert total == (a_val + b_val) % (1 << width)
+
+        metrics = client.metrics()
+        assert metrics["jobs_completed"] >= 3
+        assert metrics["queue_depth"] == 0
+        assert metrics["rows_bootstrapped"] > 0
+        assert metrics["bootstraps_per_sec"] > 0
+        assert metrics["connections"] == 1
+
+
+def test_pipelined_requests_match_out_of_order(server_factory, wire_keys):
+    """Many in-flight ids; replies land by id, not arrival order."""
+    secret, cloud = wire_keys
+    server = server_factory()
+    with ServingClient(port=server.port) as client:
+        client.register_key(cloud)
+        cases = [(i & 1, (i >> 1) & 1) for i in range(12)]
+        ids = [
+            client.submit_gate(
+                "xor",
+                encrypt_bit(secret, a, rng=100 + 2 * i),
+                encrypt_bit(secret, b, rng=101 + 2 * i),
+            )
+            for i, (a, b) in enumerate(cases)
+        ]
+        # Collect in reverse: exercises the reply-buffering path.
+        for (a, b), request_id in reversed(list(zip(cases, ids))):
+            assert decrypt_bit(secret, client.gate_result(request_id)) == a ^ b
+
+
+def test_radix_add_over_the_wire(server_factory):
+    encoding = DigitEncoding(message_bits=2, carry_bits=2)
+    secret, cloud = generate_keys(TEST_PBS, unroll_factor=1, rng=71, eager=False)
+    server = server_factory()
+    with ServingClient(port=server.port) as client:
+        client.register_key(cloud)
+        x = encrypt_radix(secret.lwe_key, 57, 4, encoding, rng=1)
+        y = encrypt_radix(secret.lwe_key, 123, 4, encoding, rng=2)
+        total = client.radix_add(x, y)
+        assert decrypt_radix(secret.lwe_key, total) == (57 + 123) % encoding.base**4
+
+
+# --------------------------------------------------------------------------- #
+# isolation                                                                   #
+# --------------------------------------------------------------------------- #
+
+
+def test_interleaved_clients_no_cross_client_leakage(server_factory, wire_keys):
+    """Two tenants, interleaved submissions: replies stay per-connection."""
+    secret_a, cloud_a = wire_keys
+    secret_b, cloud_b = generate_keys(
+        TEST_TINY,
+        DoubleFFTNegacyclicTransform(TEST_TINY.N),
+        unroll_factor=1,
+        rng=62,
+        eager=False,
+    )
+    server = server_factory()
+    with ServingClient(port=server.port) as ca, ServingClient(port=server.port) as cb:
+        ca.register_key(cloud_a)
+        cb.register_key(cloud_b)
+        # Interleave submissions, then collect cross-ordered.
+        ids_a = [
+            ca.submit_gate(
+                "nand",
+                encrypt_bit(secret_a, 1, rng=200 + i),
+                encrypt_bit(secret_a, 1, rng=210 + i),
+            )
+            for i in range(4)
+        ]
+        ids_b = [
+            cb.submit_gate(
+                "or",
+                encrypt_bit(secret_b, 0, rng=220 + i),
+                encrypt_bit(secret_b, 1, rng=230 + i),
+            )
+            for i in range(4)
+        ]
+        results_b = [decrypt_bit(secret_b, cb.gate_result(i)) for i in ids_b]
+        results_a = [decrypt_bit(secret_a, ca.gate_result(i)) for i in ids_a]
+        assert results_a == [0] * 4  # NAND(1,1) under A's key
+        assert results_b == [1] * 4  # OR(0,1) under B's key
+
+
+def test_gate_before_register_key(server_factory, wire_keys):
+    secret, _cloud = wire_keys
+    server = server_factory()
+    with ServingClient(port=server.port) as client:
+        with pytest.raises(ServerError) as excinfo:
+            client.gate(
+                "and", encrypt_bit(secret, 1, rng=5), encrypt_bit(secret, 1, rng=6)
+            )
+        assert excinfo.value.kind == "no_key"
+
+
+def test_double_register_rejected(server_factory, wire_keys):
+    _secret, cloud = wire_keys
+    server = server_factory()
+    with ServingClient(port=server.port) as client:
+        client.register_key(cloud)
+        with pytest.raises(ServerError) as excinfo:
+            client.register_key(cloud)
+        assert excinfo.value.kind == "bad_request"
+
+
+# --------------------------------------------------------------------------- #
+# corruption over the wire                                                    #
+# --------------------------------------------------------------------------- #
+
+
+def _tamper_npz_version(data: bytes, version: int = 99) -> bytes:
+    """Rewrite the npz __meta__ header to an unsupported format version."""
+    archive = np.load(io.BytesIO(data))
+    meta = json.loads(bytes(archive["__meta__"]).decode("utf-8"))
+    meta["version"] = version
+    arrays = {name: archive[name] for name in archive.files if name != "__meta__"}
+    arrays["__meta__"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    out = io.BytesIO()
+    np.savez(out, **arrays)
+    return out.getvalue()
+
+
+def test_bad_npz_version_is_a_clean_error(server_factory, wire_keys):
+    _secret, cloud = wire_keys
+    server = server_factory()
+    with ServingClient(port=server.port) as client:
+        bad = _tamper_npz_version(to_bytes(cloud))
+        request = client.submit("register_key", pack_parts([bad]))
+        with pytest.raises(ServerError) as excinfo:
+            client.result(request)
+        assert excinfo.value.kind == "bad_request"
+        assert "version" in str(excinfo.value)
+        # The connection survived the bad artifact.
+        assert client.hello()["server"] == "repro-serve"
+
+
+def test_wrong_artifact_type_rejected(server_factory, wire_keys):
+    secret, cloud = wire_keys
+    server = server_factory()
+    with ServingClient(port=server.port) as client:
+        # A ciphertext is not a cloud key ...
+        request = client.submit(
+            "register_key", pack_parts([to_bytes(encrypt_bit(secret, 1, rng=7))])
+        )
+        with pytest.raises(ServerError) as excinfo:
+            client.result(request)
+        assert excinfo.value.kind == "bad_request"
+        # ... and a cloud key is not a ciphertext.
+        client.register_key(cloud)
+        request = client.submit(
+            "gate",
+            pack_parts([to_bytes(cloud), to_bytes(encrypt_bit(secret, 1, rng=8))]),
+            gate="and",
+        )
+        with pytest.raises(ServerError) as excinfo:
+            client.result(request)
+        assert excinfo.value.kind == "bad_request"
+
+
+def test_unknown_op_and_missing_fields(server_factory, wire_keys):
+    _secret, cloud = wire_keys
+    server = server_factory()
+    with ServingClient(port=server.port) as client:
+        with pytest.raises(ServerError) as excinfo:
+            client.call("frobnicate")
+        assert excinfo.value.kind == "unsupported"
+        client.register_key(cloud)
+        with pytest.raises(ServerError) as excinfo:
+            client.call("gate", pack_parts([b"", b""]))  # no 'gate' field
+        assert excinfo.value.kind == "bad_request"
+
+
+def _raw_exchange(port: int, payload: bytes) -> tuple:
+    """Send raw bytes; return (error header or None, connection closed?)."""
+    with socket.create_connection(("127.0.0.1", port), timeout=10.0) as sock:
+        sock.sendall(payload)
+        sock.shutdown(socket.SHUT_WR)
+        try:
+            header, _ = read_frame(sock)
+        except EOFError:
+            return None, True
+        trailing = sock.recv(1)
+        return header, trailing == b""
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        b"GARBAGE-NOT-A-FRAME-AT-ALL",           # bad magic
+        struct.pack("<4sIQ", b"rTFS", 10, 0),    # truncated header
+        struct.pack("<4sIQ", b"rTFS", 4, 1 << 60) + b"null",  # oversized body
+    ],
+    ids=["bad-magic", "truncated", "oversized-prefix"],
+)
+def test_malformed_stream_gets_error_then_close(server_factory, payload):
+    server = server_factory()
+    header, closed = _raw_exchange(server.port, payload)
+    assert closed  # a desynchronised stream is always dropped ...
+    if header is not None:  # ... after a best-effort protocol error frame
+        assert header["error"]["kind"] == "protocol"
+    # The server is still healthy for the next connection.
+    with ServingClient(port=server.port) as client:
+        assert client.hello()["server"] == "repro-serve"
+
+
+# --------------------------------------------------------------------------- #
+# backpressure                                                                #
+# --------------------------------------------------------------------------- #
+
+
+def test_bounded_queue_rejects_with_busy(server_factory, wire_keys):
+    """Overflowing the scheduler queue yields ServerBusy, not growth."""
+    secret, cloud = wire_keys
+    server = server_factory(
+        max_pending_jobs=4,
+        max_inflight=64,
+        flush_interval=120.0,  # flusher effectively parked: queue can't drain
+    )
+    with ServingClient(port=server.port) as client:
+        client.register_key(cloud)
+        ids = [
+            client.submit_gate(
+                "and",
+                encrypt_bit(secret, 1, rng=300 + i),
+                encrypt_bit(secret, 0, rng=320 + i),
+            )
+            for i in range(10)
+        ]
+        busy = 0
+        accepted = []
+        # The over-bound submissions answer immediately with busy errors;
+        # nothing blocks even though no flush ever runs.
+        for request_id in ids[4:]:
+            with pytest.raises(ServerBusy):
+                client.result(request_id)
+            busy += 1
+        assert busy == 6
+        assert server.scheduler.pending_jobs == 4  # bounded, not 10
+        del accepted
+
+
+def test_slow_client_cannot_grow_queue_110_sessions(server_factory, wire_keys):
+    """110 concurrent sessions × pipelined gates: queue stays bounded.
+
+    Every connection pipelines ``burst`` gates without reading a single
+    reply (the 'slow client'), yet the scheduler queue's high-water mark
+    never exceeds ``connections × max_inflight`` — the server simply stops
+    reading flooded sockets.  Afterwards every reply decrypts correctly,
+    so backpressure cost latency, not answers.
+    """
+    secret, cloud = wire_keys
+    sessions = 110
+    burst = 3
+    max_inflight = 2
+    server = server_factory(
+        max_inflight=max_inflight,
+        max_pending_jobs=None,  # the *inflight* bound must do the limiting
+        flush_interval=0.001,
+    )
+
+    # Record the queue's high-water mark from inside the event loop.
+    high_water = [0]
+    original_enqueue = server.scheduler._enqueue
+
+    def recording_enqueue(client_id, job):
+        original_enqueue(client_id, job)
+        high_water[0] = max(high_water[0], server.scheduler.pending_jobs)
+
+    server.scheduler._enqueue = recording_enqueue
+
+    clients = []
+    try:
+        for _ in range(sessions):
+            client = ServingClient(port=server.port, timeout=120.0)
+            client.register_key(cloud)
+            clients.append(client)
+        expected = {}
+        for index, client in enumerate(clients):
+            for g in range(burst):
+                a, b = (index + g) & 1, (index >> 1) & 1
+                request = client.submit_gate(
+                    "nand",
+                    encrypt_bit(secret, a, rng=1000 + 10 * index + g),
+                    encrypt_bit(secret, b, rng=5000 + 10 * index + g),
+                )
+                expected[(index, request)] = 1 - (a & b)
+        # Only now does anyone read: all 330 results must come back right.
+        for (index, request), want in expected.items():
+            got = decrypt_bit(secret, clients[index].gate_result(request))
+            assert got == want
+    finally:
+        for client in clients:
+            client.close()
+
+    assert len(expected) == sessions * burst
+    assert high_water[0] <= sessions * max_inflight
+    assert server.scheduler.pending_jobs == 0
+
+
+def test_disconnect_with_pending_jobs_keeps_server_clean(server_factory, wire_keys):
+    """A client that vanishes mid-burst leaves no orphaned queue state."""
+    secret, cloud = wire_keys
+    server = server_factory(flush_interval=0.2)
+    client = ServingClient(port=server.port)
+    client.register_key(cloud)
+    for i in range(4):
+        client.submit_gate(
+            "and", encrypt_bit(secret, 1, rng=600 + i), encrypt_bit(secret, 0, rng=610 + i)
+        )
+    client.close()  # gone before any reply
+    # The server drains the orphans and deregisters the namespace.
+    import time
+
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if not server._connections and server.scheduler.pending_jobs == 0:
+            break
+        time.sleep(0.05)
+    assert server.scheduler.pending_jobs == 0
+    assert not server._connections
+    # And keeps serving.
+    with ServingClient(port=server.port) as fresh:
+        fresh.register_key(cloud)
+        out = fresh.gate(
+            "or", encrypt_bit(secret, 1, rng=620), encrypt_bit(secret, 0, rng=621)
+        )
+        assert decrypt_bit(secret, out) == 1

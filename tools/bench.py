@@ -53,6 +53,10 @@ def _run_circuit_levels() -> None:
     _load_benchmark_module("bench_circuit_levels.py").run()
 
 
+def _run_serving() -> None:
+    _load_benchmark_module("bench_serving.py").run()
+
+
 #: name -> zero-argument runner writing results/BENCH_<name>.json.
 #: (`runtime` is produced by the pytest-driven scheduler bench; it is
 #: validated here but executed through pytest because it needs fixtures.)
@@ -62,6 +66,7 @@ BENCHES = {
     "compiler": _run_compiler,
     "external_product": _run_external_product,
     "pbs": _run_pbs,
+    "serving": _run_serving,
 }
 
 

@@ -28,6 +28,7 @@ SMOKE_ARGS = {
     "circuit_executor.py": ["--width", "6", "--batch", "8"],
     "encrypted_calculator.py": ["--width", "4", "--a", "13", "--b", "10"],
     "runtime_server.py": ["--width", "4", "--sessions", "2"],
+    "serving_clients.py": ["--clients", "2", "--gates", "4", "--workers", "2"],
 }
 
 
