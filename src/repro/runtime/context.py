@@ -39,8 +39,44 @@ from repro.tfhe.keys import (
 from repro.tfhe.keyswitch import KeySwitchKey, keyswitch_apply, keyswitch_apply_batch
 from repro.tfhe.lwe import LweBatch, LweSample
 from repro.tfhe.tgsw import BootstrapWorkspace, tgsw_transform
-from repro.tfhe.transform import NegacyclicTransform
+from repro.tfhe.transform import (
+    NegacyclicTransform,
+    make_transform,
+    select_best_engine,
+)
 from repro.utils.rng import SeedLike, make_rng
+
+
+def resolve_engine(
+    cloud_key: TFHECloudKey,
+    engine: "Optional[NegacyclicTransform | str]" = None,
+) -> NegacyclicTransform:
+    """Resolve an engine argument against a cloud key.
+
+    ``engine`` may be ``None`` (rebuild the engine recorded in the key's
+    ``transform_spec``), a registry kind string (``"double"``,
+    ``"compiled"``, ...), the string ``"auto"`` (pick the best available
+    engine compatible with the key's error model via
+    :func:`repro.tfhe.transform.select_best_engine`), or an already-built
+    :class:`NegacyclicTransform` instance, which is returned as-is.
+    """
+    if isinstance(engine, NegacyclicTransform):
+        return engine
+    degree = cloud_key.params.N
+    spec = cloud_key.transform_spec
+    if engine is None:
+        if spec is None:
+            raise ValueError(
+                "cloud key records no transform spec (ad-hoc engine); "
+                "pass an engine instance explicitly"
+            )
+        return spec.create(degree)
+    if engine == "auto":
+        kind = select_best_engine(for_spec=spec) if spec is not None else select_best_engine()
+        if spec is not None and kind == spec.kind:
+            return spec.create(degree)
+        return make_transform(kind, degree)
+    return make_transform(engine, degree)
 
 
 class FheContext:
@@ -48,27 +84,19 @@ class FheContext:
 
     ``engine`` defaults to the engine recorded in the key's
     ``transform_spec`` (rebuilt through the registry); pass an instance to
-    override it.  The blind rotator — and with it the spectrum cache — is
-    built lazily on first use and then reused for the lifetime of the
-    context, so each bootstrapping-key row is forward-transformed at most
-    once per context.
+    override it, a registry kind string to build that engine, or ``"auto"``
+    to let :func:`repro.tfhe.transform.select_best_engine` pick the fastest
+    available backend compatible with the key's error model.
     """
 
     def __init__(
         self,
         cloud_key: TFHECloudKey,
-        engine: Optional[NegacyclicTransform] = None,
+        engine: "Optional[NegacyclicTransform | str]" = None,
     ) -> None:
         self.cloud_key = cloud_key
         self.params: TFHEParameters = cloud_key.params
-        if engine is None:
-            spec = cloud_key.transform_spec
-            if spec is None:
-                raise ValueError(
-                    "cloud key records no transform spec (ad-hoc engine); "
-                    "pass an engine instance explicitly"
-                )
-            engine = spec.create(self.params.N)
+        engine = resolve_engine(cloud_key, engine)
         if engine.degree != self.params.N:
             raise ValueError(
                 f"engine degree {engine.degree} does not match the "

@@ -337,9 +337,23 @@ class ServingClient:
         header, _ = self.call("hello")
         return header
 
-    def register_key(self, cloud_key) -> Dict[str, Any]:
-        """Upload this connection's cloud key (npz bytes over the wire)."""
-        header, _ = self.call("register_key", pack_parts([to_bytes(cloud_key)]))
+    def register_key(self, cloud_key, engine: Optional[str] = None) -> Dict[str, Any]:
+        """Upload this connection's cloud key (npz bytes over the wire).
+
+        ``engine`` optionally requests the server-side evaluation backend: a
+        registry kind (``"double"``, ``"compiled"``, ``"cupy"``, ...) or
+        ``"auto"``.  If the server cannot honour it, the call raises a
+        :class:`ServerError` of kind ``unsupported_engine`` whose message
+        lists every backend's availability (e.g. ``cupy: not installed``).
+        The reply header reports the engine actually used
+        (``engine_kind``).
+        """
+        fields: Dict[str, Any] = {}
+        if engine is not None:
+            fields["engine"] = engine
+        header, _ = self.call(
+            "register_key", pack_parts([to_bytes(cloud_key)]), **fields
+        )
         return header
 
     def submit_gate(self, name: str, ca: LweSample, cb: LweSample) -> int:

@@ -522,6 +522,7 @@ class BatchScheduler:
         max_rows_per_call: Optional[int] = None,
         dispatcher: Optional[RowDispatcher] = None,
         max_pending_jobs: Optional[int] = None,
+        engine: Optional[str] = None,
     ) -> None:
         if max_rows_per_call is not None and max_rows_per_call <= 0:
             raise ValueError("max_rows_per_call must be positive")
@@ -529,6 +530,10 @@ class BatchScheduler:
             raise ValueError("max_pending_jobs must be positive")
         self.max_rows_per_call = max_rows_per_call
         self.max_pending_jobs = max_pending_jobs
+        #: Default engine for contexts built from registered cloud keys: a
+        #: registry kind, ``"auto"`` (select_best_engine), or ``None`` to
+        #: honour each key's recorded transform spec.
+        self.engine = engine
         self.dispatcher: RowDispatcher = dispatcher or InlineDispatcher()
         self._contexts: Dict[str, FheContext] = {}
         self._queues: Dict[str, List[object]] = {}
@@ -536,12 +541,27 @@ class BatchScheduler:
 
     # -- client management ---------------------------------------------------
     def register_client(
-        self, client_id: str, key: Union[TFHECloudKey, FheContext]
+        self,
+        client_id: str,
+        key: Union[TFHECloudKey, FheContext],
+        engine: Optional[str] = None,
     ) -> FheContext:
-        """Install a client's cloud key (or prebuilt context) under an id."""
+        """Install a client's cloud key (or prebuilt context) under an id.
+
+        ``engine`` overrides the scheduler's default engine policy for this
+        client (a registry kind or ``"auto"``); it is rejected for prebuilt
+        contexts, which already carry their engine.
+        """
         if client_id in self._contexts:
             raise ValueError(f"client {client_id!r} is already registered")
-        context = key if isinstance(key, FheContext) else FheContext(key)
+        if isinstance(key, FheContext):
+            if engine is not None:
+                raise ValueError(
+                    "cannot override the engine of a prebuilt FheContext"
+                )
+            context = key
+        else:
+            context = FheContext(key, engine=engine or self.engine)
         self._contexts[client_id] = context
         self._queues[client_id] = []
         self.dispatcher.register_client(client_id, context)

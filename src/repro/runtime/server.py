@@ -123,6 +123,12 @@ class FheServer:
         Forwarded to the scheduler: chunk bound for one batched bootstrap.
     max_frame:
         Frame size ceiling for this server's connections.
+    engine:
+        Default engine policy for registered keys: a registry kind,
+        ``"auto"`` (pick the best available backend per key via
+        :func:`repro.tfhe.transform.select_best_engine`), or ``None`` to
+        honour each key's recorded transform spec.  A client may override
+        it per connection in its ``register_key`` request.
     """
 
     def __init__(
@@ -136,11 +142,13 @@ class FheServer:
         max_rows_per_call: Optional[int] = None,
         max_frame: int = DEFAULT_MAX_FRAME,
         latency_window: int = 512,
+        engine: Optional[str] = None,
     ) -> None:
         self.scheduler = BatchScheduler(
             max_rows_per_call=max_rows_per_call,
             dispatcher=dispatcher,
             max_pending_jobs=max_pending_jobs,
+            engine=engine,
         )
         self.host = host
         self.port = port
@@ -436,7 +444,7 @@ class FheServer:
         if op == "metrics":
             return {"metrics": self.metrics()}, b""
         if op == "register_key":
-            return await self._op_register_key(conn, body)
+            return await self._op_register_key(conn, header, body)
         if op == "gate":
             return await self._op_gate(conn, header, body)
         if op == "lut":
@@ -479,11 +487,50 @@ class FheServer:
 
     # -- ops ------------------------------------------------------------
 
+    @staticmethod
+    def _check_requested_engine(requested: Any) -> Optional[str]:
+        """Validate a client-requested engine kind against the registry.
+
+        Unknown or registered-but-unavailable engines fail with an
+        ``unsupported_engine`` error frame whose message carries every
+        backend's availability status (the reason strings from
+        :func:`repro.tfhe.transform.available_engines`), so the client sees
+        *why* — e.g. ``cupy: not installed`` — not just that it failed.
+        """
+        if requested is None:
+            return None
+        if not isinstance(requested, str):
+            raise _RequestError(
+                "bad_request", "register_key 'engine' field must be a string"
+            )
+        if requested == "auto":
+            return requested
+        from repro.tfhe.transform import available_engines
+
+        engines = available_engines()
+        status = ", ".join(
+            f"{kind}: {reason or 'available'}" for kind, reason in engines.items()
+        )
+        if requested not in engines:
+            raise _RequestError(
+                "unsupported_engine",
+                f"unknown engine {requested!r}; registered engines: {status}",
+            )
+        reason = engines[requested]
+        if reason is not None:
+            raise _RequestError(
+                "unsupported_engine",
+                f"engine {requested!r} is unavailable on this server "
+                f"({reason}); registered engines: {status}",
+            )
+        return requested
+
     async def _op_register_key(
-        self, conn: _Connection, body: bytes
+        self, conn: _Connection, header: Dict[str, Any], body: bytes
     ) -> Tuple[Dict[str, Any], bytes]:
         if conn.registered:
             raise _RequestError("bad_request", "this connection already registered a key")
+        engine = self._check_requested_engine(header.get("engine"))
         (key_bytes,) = unpack_parts(body, expected=1)
         cloud = self._artifact(key_bytes, TFHECloudKey, "cloud key")
         loop = asyncio.get_running_loop()
@@ -491,13 +538,17 @@ class FheServer:
             # Building the context warms the spectrum cache (and, for a
             # worker pool, packs the shared segment) — do it off-loop.
             context = await loop.run_in_executor(
-                None, self.scheduler.register_client, conn.conn_id, cloud
+                None,
+                lambda: self.scheduler.register_client(
+                    conn.conn_id, cloud, engine=engine
+                ),
             )
             conn.registered = True
         return {
             "params": context.params.name,
             "unroll_factor": context.unroll_factor,
             "engine": type(context.engine).__name__,
+            "engine_kind": context.engine.engine_kind,
         }, b""
 
     async def _op_gate(

@@ -65,6 +65,7 @@ from repro.tfhe.bootstrap import CmuxBlindRotator
 from repro.tfhe.lwe import LweSample
 from repro.tfhe.serialize import from_bytes, to_bytes
 from repro.tfhe.tgsw import TransformedTgswSample
+from repro.tfhe.transform import TransformSpec
 
 __all__ = [
     "WorkerHealth",
@@ -155,8 +156,17 @@ def _pack_client_segment(context: FheContext) -> shared_memory.SharedMemory:
                     "mask_count": first.mask_count,
                     "degree": first.degree,
                 }
+    # Record the parent context's engine spec so workers rebuild the SAME
+    # engine even when it overrides the key's recorded transform spec (e.g.
+    # a server running `--engine compiled` over double-generated keys).
+    # Ad-hoc engines have no spec; workers then fall back to the key's.
+    engine_spec = context.engine.spec()
     header = json.dumps(
-        {"key_len": len(key_bytes), "spectrum": spectrum_meta}
+        {
+            "key_len": len(key_bytes),
+            "spectrum": spectrum_meta,
+            "engine": engine_spec.to_json() if engine_spec is not None else None,
+        }
     ).encode("utf-8")
     key_offset = 8 + len(header)
     spectrum_offset = _align(key_offset + len(key_bytes))
@@ -206,7 +216,13 @@ def _context_from_segment(segment: shared_memory.SharedMemory) -> FheContext:
     key_offset = 8 + header_len
     key_len = int(header["key_len"])
     cloud = from_bytes(bytes(segment.buf[key_offset : key_offset + key_len]))
-    context = FheContext(cloud)
+    engine_payload = header.get("engine")
+    engine = (
+        TransformSpec.from_json(engine_payload).create(cloud.params.N)
+        if engine_payload is not None
+        else None
+    )
+    context = FheContext(cloud, engine=engine)
     meta = header.get("spectrum")
     if meta is not None:
         shape = tuple(int(x) for x in meta["shape"])

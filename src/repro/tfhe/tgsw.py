@@ -510,8 +510,14 @@ def _external_product_data(
     — one stacked forward, one spectral contraction, one stacked backward —
     bit-identical to :func:`_external_product_data_reference`.
     """
-    digits = gadget_decompose_rows(data, tgsw.params, workspace)
-    result = transform.contract_accumulate(digits, tgsw.tensor, reduce=reduce)
+    device_path = getattr(transform, "device_external_product", None)
+    if device_path is not None:
+        # Device engines (the CuPy backend) decompose on the device so the
+        # ciphertext crosses the bus once; same digits, same reduce contract.
+        result = device_path(tgsw.tensor, data, tgsw.params, reduce=reduce)
+    else:
+        digits = gadget_decompose_rows(data, tgsw.params, workspace)
+        result = transform.contract_accumulate(digits, tgsw.tensor, reduce=reduce)
     _count_logical_transforms(transform, tgsw)
     return result
 
@@ -730,8 +736,12 @@ def _cmux_rotate_data(
     add-back folds into the product's single torus reduction (wrapping mod
     2^32 commutes with the int64 addition).
     """
-    digits = _decompose_rotated_difference(data, power, selector.params, workspace)
-    raw = transform.contract_accumulate(digits, selector.tensor, reduce=False)
+    device_path = getattr(transform, "device_cmux_rotate", None)
+    if device_path is not None:
+        raw = device_path(selector.tensor, data, power, selector.params)
+    else:
+        digits = _decompose_rotated_difference(data, power, selector.params, workspace)
+        raw = transform.contract_accumulate(digits, selector.tensor, reduce=False)
     _count_logical_transforms(transform, selector)
     raw += data
     raw &= 0xFFFFFFFF

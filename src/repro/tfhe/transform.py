@@ -547,12 +547,49 @@ class DoubleFFTNegacyclicTransform(NegacyclicTransform):
 
 @dataclass(frozen=True)
 class EngineEntry:
-    """One registered polynomial-multiplication engine."""
+    """One registered polynomial-multiplication engine.
+
+    Beyond the factory, an entry carries the engine's *capabilities*:
+
+    ``error_model``
+        The numerical contract the engine's results satisfy —
+
+        * ``"exact"``: exact integer arithmetic (no error at all);
+        * ``"fft64"``: double-precision FFT, **bit-identical** to the
+          ``"double"`` reference engine (the compiled CPU fast path makes
+          this promise and the cross-engine suite enforces it);
+        * ``"fft64-device"``: double-precision FFT on a device whose FFT
+          kernels round differently in the last bit (cuFFT); decrypted gate
+          results match ``"double"``, raw ciphertext bits may not;
+        * ``"approx"``: MATCHA's approximate integer FFT error model
+          (validated against the Figure-8 error budget, not bit-identity).
+    ``priority``
+        Auto-selection rank — :func:`select_best_engine` picks the highest
+        *available* priority within a compatible error-model family.
+    ``availability``
+        Optional zero-argument probe returning ``None`` when the engine can
+        be constructed here, or a human-readable reason string (e.g.
+        ``"cupy: not installed"``) when it cannot.  Entries without a probe
+        are always available.
+    ``device``
+        ``"cpu"`` or ``"gpu"`` — used by the capability matrix and the
+        modeled-vs-measured platform comparison.
+    """
 
     kind: str
     factory: Callable[..., NegacyclicTransform]
     valid_kwargs: frozenset
     description: str = ""
+    error_model: str = "exact"
+    priority: int = 0
+    availability: Optional[Callable[[], Optional[str]]] = None
+    device: str = "cpu"
+
+    def unavailable_reason(self) -> Optional[str]:
+        """``None`` when constructible here, else why not (human-readable)."""
+        if self.availability is None:
+            return None
+        return self.availability()
 
 
 _ENGINE_REGISTRY: Dict[str, EngineEntry] = {}
@@ -563,13 +600,20 @@ def register_engine(
     factory: Callable[..., NegacyclicTransform],
     valid_kwargs: Sequence[str] = (),
     description: str = "",
+    error_model: str = "exact",
+    priority: int = 0,
+    availability: Optional[Callable[[], Optional[str]]] = None,
+    device: str = "cpu",
 ) -> None:
     """Register a transform engine under ``kind``.
 
     ``factory(degree, **kwargs)`` must return a :class:`NegacyclicTransform`;
     ``valid_kwargs`` lists every keyword argument the factory accepts, so
     :func:`make_transform` can reject typos instead of silently forwarding
-    bogus options.  Re-registering a kind replaces the previous entry.
+    bogus options.  ``availability`` lets optional-dependency backends (the
+    Numba-compiled and CuPy engines) register unconditionally while still
+    reporting *why* they cannot run here — see :class:`EngineEntry` for the
+    capability fields.  Re-registering a kind replaces the previous entry.
     """
     if not kind:
         raise ValueError("engine kind must be a non-empty string")
@@ -578,12 +622,43 @@ def register_engine(
         factory=factory,
         valid_kwargs=frozenset(valid_kwargs),
         description=description,
+        error_model=error_model,
+        priority=priority,
+        availability=availability,
+        device=device,
     )
 
 
-def available_engines() -> List[str]:
-    """The registered engine kinds, sorted."""
-    return sorted(_ENGINE_REGISTRY)
+def available_engines() -> Dict[str, Optional[str]]:
+    """Every registered engine kind → ``None`` (usable) or why it is not.
+
+    Registered-but-unavailable backends (e.g. the CuPy engine on a machine
+    without CuPy) are **reported with their reason** instead of silently
+    omitted — ``{"compiled": None, "cupy": "cupy: not installed", ...}``.
+    The mapping iterates in sorted kind order, so legacy callers that treat
+    the result as a sequence of kinds (membership tests, ``", ".join``)
+    keep working unchanged.
+    """
+    return {kind: _ENGINE_REGISTRY[kind].unavailable_reason()
+            for kind in sorted(_ENGINE_REGISTRY)}
+
+
+def usable_engines() -> List[str]:
+    """The registered engine kinds that are constructible here, sorted."""
+    return [kind for kind, reason in available_engines().items() if reason is None]
+
+
+def describe_engines() -> List[str]:
+    """Human-readable one-line status per registered engine (CLI listings)."""
+    lines = []
+    for kind, reason in available_engines().items():
+        entry = _ENGINE_REGISTRY[kind]
+        status = "available" if reason is None else f"UNAVAILABLE ({reason})"
+        lines.append(
+            f"{kind:>10}  [{entry.device}, {entry.error_model:>12}]  {status}"
+            + (f" — {entry.description}" if entry.description else "")
+        )
+    return lines
 
 
 def engine_entry(kind: str) -> EngineEntry:
@@ -597,21 +672,93 @@ def engine_entry(kind: str) -> EngineEntry:
         ) from None
 
 
+def select_best_engine(
+    error_model: Optional[str] = None,
+    for_spec: Optional["TransformSpec"] = None,
+    allow_device: bool = True,
+) -> str:
+    """The best *available* engine kind, by capability and priority.
+
+    Selection order: among the registered engines whose availability probe
+    passes — and, when ``error_model`` or ``for_spec`` constrains the
+    numerical contract, whose error model is compatible — the entry with the
+    highest ``priority`` wins (ties break toward the lexicographically first
+    kind, deterministically).
+
+    Compatibility is one-directional: a key generated under ``"double"``
+    (``fft64``) may be evaluated by any ``fft64`` engine bit-identically, or
+    by an ``fft64-device`` engine up to last-bit FFT rounding (decrypted
+    results match) — pass ``allow_device=False`` to demand strict
+    bit-identity.  ``"exact"`` and ``"approx"`` families only ever select
+    within themselves.
+
+    This is what ``FheContext(key, engine="auto")``, ``tools/serve.py
+    --engine auto`` and the engine benchmarks route through.
+    """
+    if for_spec is not None:
+        if error_model is not None:
+            raise ValueError("pass either error_model or for_spec, not both")
+        error_model = engine_entry(for_spec.kind).error_model
+    compatible = {error_model}
+    if error_model in ("fft64", None) and allow_device:
+        compatible.add("fft64-device")
+    if error_model in ("fft64-device", None):
+        # CPU fft64 engines evaluate device-generated keys (same arithmetic
+        # model, strictly deterministic rounding) — the fallback `--engine
+        # auto` takes on a machine without a GPU.
+        compatible.add("fft64")
+    candidates = [
+        entry
+        for entry in _ENGINE_REGISTRY.values()
+        if entry.error_model in compatible and entry.unavailable_reason() is None
+    ]
+    if not candidates:
+        detail = ", ".join(
+            f"{kind}: {reason or 'ok'}" for kind, reason in available_engines().items()
+        )
+        raise ValueError(
+            f"no available engine for error model {error_model!r} "
+            f"(registered engines: {detail})"
+        )
+    best = max(candidates, key=lambda entry: (entry.priority, entry.kind))
+    return best.kind
+
+
 def make_transform(kind: str, degree: int, **kwargs) -> NegacyclicTransform:
-    """Instantiate a registered engine (``"naive"``, ``"double"``, ``"approx"``, ...).
+    """Instantiate a registered engine (``"naive"``, ``"double"``, ``"approx"``,
+    ``"compiled"``, ``"cupy"``, ...).
 
     Keyword arguments are validated against the engine's registered option
     set before the factory runs, so a typo like ``twiddel_bits`` fails with
-    the list of valid options instead of being silently dropped or crashing
-    deep inside the engine constructor.
+    the offending engine named and its accepted options listed (plus which
+    *other* engine accepts the kwarg, when one does) instead of being
+    silently dropped or crashing deep inside the engine constructor.
+    Unavailable engines fail here with their availability reason.
     """
     entry = engine_entry(kind)
     unknown = sorted(set(kwargs) - entry.valid_kwargs)
     if unknown:
         valid = ", ".join(sorted(entry.valid_kwargs)) or "(none)"
+        hints = []
+        for name in unknown:
+            owners = sorted(
+                other.kind
+                for other in _ENGINE_REGISTRY.values()
+                if other.kind != kind and name in other.valid_kwargs
+            )
+            if owners:
+                hints.append(f"{name!r} is accepted by {', '.join(owners)}")
         raise ValueError(
-            f"unknown option(s) {unknown} for transform kind {kind!r}; "
-            f"valid options: {valid}"
+            f"unknown option(s) {unknown} for transform engine {kind!r}; "
+            f"engine {kind!r} accepts: {valid}"
+            + (f" ({'; '.join(hints)})" if hints else "")
+        )
+    reason = entry.unavailable_reason()
+    if reason is not None:
+        usable = ", ".join(usable_engines()) or "(none)"
+        raise ValueError(
+            f"transform engine {kind!r} is registered but unavailable here: "
+            f"{reason}; usable engines: {usable}"
         )
     return entry.factory(degree, **kwargs)
 
@@ -623,19 +770,63 @@ def _approx_factory(degree: int, **kwargs) -> NegacyclicTransform:
     return ApproximateNegacyclicTransform(degree, **kwargs)
 
 
+def _compiled_factory(degree: int, **kwargs) -> NegacyclicTransform:
+    # Lazy import keeps the (optional) Numba probe off the module import path.
+    from repro.tfhe.engine_compiled import CompiledNegacyclicTransform
+
+    return CompiledNegacyclicTransform(degree, **kwargs)
+
+
+def _cupy_factory(degree: int, **kwargs) -> NegacyclicTransform:
+    from repro.tfhe.engine_cupy import CupyNegacyclicTransform
+
+    return CupyNegacyclicTransform(degree, **kwargs)
+
+
+def _cupy_availability() -> Optional[str]:
+    from repro.tfhe.engine_cupy import cupy_unavailable_reason
+
+    return cupy_unavailable_reason()
+
+
 register_engine(
     "naive",
     NaiveNegacyclicTransform,
     description="exact schoolbook negacyclic products (ground truth)",
+    error_model="exact",
 )
 register_engine(
     "double",
     DoubleFFTNegacyclicTransform,
     description="double-precision floating-point FFT (TFHE-library baseline)",
+    error_model="fft64",
+    priority=0,
 )
 register_engine(
     "approx",
     _approx_factory,
     valid_kwargs=("twiddle_bits", "target_msb"),
     description="MATCHA's approximate multiplication-less integer FFT",
+    error_model="approx",
+)
+register_engine(
+    "compiled",
+    _compiled_factory,
+    valid_kwargs=("block_size", "parallel", "require_numba"),
+    description=(
+        "compiled CPU fast path: Numba-jitted twist/fold/contract kernels "
+        "when Numba imports, cache-blocked NumPy otherwise (always registers)"
+    ),
+    error_model="fft64",
+    priority=10,
+)
+register_engine(
+    "cupy",
+    _cupy_factory,
+    valid_kwargs=("block_rows", "pinned_staging"),
+    description="GPU engine on CuPy arrays (cuFFT + device-side gadget decomposition)",
+    error_model="fft64-device",
+    priority=20,
+    availability=_cupy_availability,
+    device="gpu",
 )

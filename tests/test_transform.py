@@ -121,8 +121,20 @@ class TestEngineRegistry:
             make_transform("ntt", DEGREE)
 
     def test_bogus_kwarg_rejected_with_valid_options(self):
-        with pytest.raises(ValueError, match=r"twiddel_bits.*valid options:.*twiddle_bits"):
+        # The error names the offending engine and lists its accepted kwargs.
+        with pytest.raises(
+            ValueError,
+            match=r"twiddel_bits.*engine 'approx' accepts:.*twiddle_bits",
+        ):
             make_transform("approx", DEGREE, twiddel_bits=32)
+
+    def test_bogus_kwarg_hints_at_owning_engine(self):
+        # A kwarg that belongs to a *different* engine gets a redirect hint.
+        with pytest.raises(
+            ValueError,
+            match=r"'twiddle_bits' is accepted by approx",
+        ):
+            make_transform("double", DEGREE, twiddle_bits=24)
 
     def test_engine_without_options_rejects_any_kwarg(self):
         # Historically silently-crashing deep in the constructor; now a

@@ -57,6 +57,10 @@ def _run_serving() -> None:
     _load_benchmark_module("bench_serving.py").run()
 
 
+def _run_engines() -> None:
+    _load_benchmark_module("bench_engines.py").run()
+
+
 #: name -> zero-argument runner writing results/BENCH_<name>.json.
 #: (`runtime` is produced by the pytest-driven scheduler bench; it is
 #: validated here but executed through pytest because it needs fixtures.)
@@ -64,6 +68,7 @@ BENCHES = {
     "batch_throughput": _run_batch_throughput,
     "circuit_levels": _run_circuit_levels,
     "compiler": _run_compiler,
+    "engines": _run_engines,
     "external_product": _run_external_product,
     "pbs": _run_pbs,
     "serving": _run_serving,

@@ -34,8 +34,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--engine",
         default="double",
-        choices=available_engines(),
-        help="transform engine recorded in the cloud key (default: double)",
+        choices=sorted(available_engines()),
+        help=(
+            "transform engine recorded in the cloud key (default: double); "
+            "registered-but-unavailable backends fail with their reason"
+        ),
     )
     parser.add_argument(
         "--twiddle-bits",

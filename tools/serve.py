@@ -66,7 +66,41 @@ def main(argv=None) -> int:
         default=None,
         help="chunk bound for one batched bootstrapping call",
     )
+    parser.add_argument(
+        "--engine",
+        default=None,
+        help=(
+            "transform engine for registered keys: a registry kind "
+            "(double, compiled, cupy, ...), 'auto' to pick the best "
+            "available backend per key, or omit to honour each key's "
+            "recorded spec"
+        ),
+    )
+    parser.add_argument(
+        "--list-engines",
+        action="store_true",
+        help="print every registered engine backend (with availability) and exit",
+    )
     args = parser.parse_args(argv)
+
+    from repro.tfhe.transform import available_engines, describe_engines
+
+    if args.list_engines:
+        for line in describe_engines():
+            print(line)
+        return 0
+    if args.engine is not None and args.engine != "auto":
+        engines = available_engines()
+        if args.engine not in engines:
+            parser.error(
+                f"unknown engine {args.engine!r}; registered engines: "
+                + ", ".join(engines)
+            )
+        if engines[args.engine] is not None:
+            parser.error(
+                f"engine {args.engine!r} is unavailable here: "
+                f"{engines[args.engine]} (see --list-engines)"
+            )
 
     pool = (
         WorkerPool(args.workers, task_timeout=args.task_timeout)
@@ -83,6 +117,7 @@ def main(argv=None) -> int:
                 max_inflight=args.max_inflight,
                 flush_interval=args.flush_interval,
                 max_rows_per_call=args.max_rows_per_call,
+                engine=args.engine,
             )
         )
     except KeyboardInterrupt:
