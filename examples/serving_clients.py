@@ -9,13 +9,21 @@ it.  The server coalesces whatever arrives inside one flush window into
 batched bootstrappings and — with ``--workers N`` — shards those rows across
 worker processes that map one shared copy of each client's key spectra.
 
-Run:  python examples/serving_clients.py [--clients 3] [--gates 8] [--workers 2]
+With ``--resilient`` every client runs through
+:class:`repro.runtime.resilient.ResilientClient` instead, and client 0 kills
+its own socket halfway through the burst: the retry layer reconnects,
+re-registers the key (answered from the server's session cache) and resubmits
+the unacknowledged gates under their original request ids, so every result
+still verifies and nothing runs twice (see ``docs/operations.md``).
+
+Run:  python examples/serving_clients.py [--clients 3] [--gates 8] [--workers 2] [--resilient]
 """
 
 from __future__ import annotations
 
 import argparse
 import pathlib
+import socket
 import subprocess
 import sys
 import threading
@@ -24,7 +32,9 @@ import time
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
-from repro.runtime.protocol import ServingClient  # noqa: E402
+from repro.runtime.protocol import ServingClient, pack_parts, unpack_parts  # noqa: E402
+from repro.runtime.resilient import ResilientClient  # noqa: E402
+from repro.tfhe.serialize import from_bytes, to_bytes  # noqa: E402
 from repro.tfhe.circuits import bits_to_int, encrypt_integer  # noqa: E402
 from repro.tfhe.gates import decrypt_bit, decrypt_bits, encrypt_bit  # noqa: E402
 from repro.tfhe.keys import generate_keys  # noqa: E402
@@ -56,7 +66,16 @@ def start_server(workers: int) -> tuple[subprocess.Popen, int]:
     return process, int(line.rsplit(":", 1)[1])
 
 
-def run_client(name: str, seed: int, port: int, gates: int, width: int, report: dict) -> None:
+def run_client(
+    name: str,
+    seed: int,
+    port: int,
+    gates: int,
+    width: int,
+    report: dict,
+    resilient: bool = False,
+    inject_disconnect: bool = False,
+) -> None:
     params = TEST_TINY
     secret, cloud = generate_keys(
         params,
@@ -65,22 +84,41 @@ def run_client(name: str, seed: int, port: int, gates: int, width: int, report: 
         rng=seed,
         eager=False,
     )
-    with ServingClient(port=port) as client:
+    if resilient:
+        client = ResilientClient(port=port, base_delay=0.01, session=f"demo-{name}")
+    else:
+        client = ServingClient(port=port)
+    with client:
         client.register_key(cloud)
 
         # Pipeline a burst of gates: submit all, then collect all, so the
         # server can coalesce them (plus other clients' bursts) per flush.
         cases = [(i & 1, (i >> 1) & 1) for i in range(gates)]
-        ids = [
-            client.submit_gate(
-                "nand",
-                encrypt_bit(secret, a, rng=seed * 1000 + 2 * i),
-                encrypt_bit(secret, b, rng=seed * 1000 + 2 * i + 1),
-            )
-            for i, (a, b) in enumerate(cases)
-        ]
+        ids = []
+        for i, (a, b) in enumerate(cases):
+            ca = encrypt_bit(secret, a, rng=seed * 1000 + 2 * i)
+            cb = encrypt_bit(secret, b, rng=seed * 1000 + 2 * i + 1)
+            if resilient:
+                ids.append(
+                    client.submit(
+                        "gate", pack_parts([to_bytes(ca), to_bytes(cb)]), gate="nand"
+                    )
+                )
+            else:
+                ids.append(client.submit_gate("nand", ca, cb))
+
+        if resilient and inject_disconnect and client._client is not None:
+            # Kill the socket under the retry layer: the next result() must
+            # reconnect, re-register and resubmit without losing a job.
+            client._client._sock.shutdown(socket.SHUT_RDWR)
+
         for (a, b), request_id in zip(cases, ids):
-            got = decrypt_bit(secret, client.gate_result(request_id))
+            if resilient:
+                _, body = client.result(request_id)
+                sample = from_bytes(unpack_parts(body, expected=1)[0])
+            else:
+                sample = client.gate_result(request_id)
+            got = decrypt_bit(secret, sample)
             assert got == 1 - (a & b), f"{name}: NAND({a},{b}) -> {got}"
 
         # One compiled circuit: an encrypted adder over wire-borne inputs.
@@ -91,7 +129,13 @@ def run_client(name: str, seed: int, port: int, gates: int, width: int, report: 
         samples = out.to_samples()
         total = bits_to_int(decrypt_bits(secret, samples[:width]))
         assert total == (a_val + b_val) % (1 << width), f"{name}: bad sum {total}"
-        report[name] = f"{gates} gates ok, {a_val} + {b_val} = {total} ok"
+        line = f"{gates} gates ok, {a_val} + {b_val} = {total} ok"
+        if resilient:
+            stats = client.stats
+            line += f" ({stats.reconnects} reconnects, {stats.resubmitted} resubmitted)"
+            if inject_disconnect:
+                assert stats.reconnects >= 1, f"{name}: injected disconnect not exercised"
+        report[name] = line
 
 
 def main() -> None:
@@ -107,6 +151,11 @@ def main() -> None:
         default=None,
         metavar="HOST:PORT",
         help="use an already-running server instead of spawning one",
+    )
+    parser.add_argument(
+        "--resilient",
+        action="store_true",
+        help="run clients through ResilientClient and inject one disconnect",
     )
     args = parser.parse_args()
 
@@ -126,6 +175,12 @@ def main() -> None:
             threading.Thread(
                 target=run_client,
                 args=(f"client{i}", 11 + 7 * i, port, args.gates, args.width, report),
+                kwargs={
+                    "resilient": args.resilient,
+                    # Client 0 loses its connection mid-burst; the retry layer
+                    # must recover it without losing or duplicating a job.
+                    "inject_disconnect": args.resilient and i == 0,
+                },
             )
             for i in range(args.clients)
         ]
@@ -147,6 +202,12 @@ def main() -> None:
             f"{metrics['bootstraps_per_sec']:.0f} bootstraps/s, "
             f"mean fill {metrics['mean_rows_per_call']:.1f} rows/call"
         )
+        if args.resilient:
+            print(
+                f"resilience: {metrics['sessions']} sessions, "
+                f"{metrics['jobs_deduped']} deduped retries, "
+                f"{metrics['jobs_completed']} jobs each executed exactly once"
+            )
         if "pool" in metrics:
             pool = metrics["pool"]
             print(

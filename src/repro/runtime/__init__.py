@@ -20,20 +20,45 @@ This layer turns the TFHE substrate into something a server can run:
   crashes, hangs and poisoned results requeue instead of corrupting.
 * :class:`repro.runtime.server.FheServer` /
   :class:`repro.runtime.protocol.ServingClient` — the network front: an
-  asyncio socket server speaking length-prefixed frames that carry the npz
-  and JSON artifacts of :mod:`repro.tfhe.serialize`, with per-connection
-  key namespaces, bounded-queue backpressure and a live metrics endpoint.
+  asyncio socket server speaking CRC-protected length-prefixed frames that
+  carry the npz and JSON artifacts of :mod:`repro.tfhe.serialize`, with
+  per-connection key namespaces, durable client sessions (idempotent
+  retries answered from a bounded reply cache), bounded-queue backpressure,
+  deadline-aware load shedding, graceful drain, and a live metrics
+  endpoint.
+* :class:`repro.runtime.resilient.ResilientClient` — the retrying client:
+  reconnect with capped exponential backoff, key re-registration and
+  resubmission of unacknowledged requests under the session token, typed
+  retryable-error policy, per-request deadlines.
+* :mod:`repro.runtime.chaos` — deterministic fault injection
+  (:class:`ChaosProxy`, :class:`FlakyEngine`, :class:`SlowDispatcher`) for
+  the resilience integration suite and operational drills (see
+  ``docs/operations.md``).
 
 Keys and ciphertexts move between clients and a scheduler-running server via
 :mod:`repro.tfhe.serialize`.
 """
 
+from repro.runtime.chaos import ChaosProxy, FlakyEngine, SlowDispatcher
 from repro.runtime.context import FheContext
-from repro.runtime.protocol import ProtocolError, ServerBusy, ServerError, ServingClient
+from repro.runtime.protocol import (
+    ChecksumMismatch,
+    JobAbortedError,
+    JobShed,
+    ProtocolError,
+    ServerBusy,
+    ServerDraining,
+    ServerError,
+    ServingClient,
+    UnsupportedVersion,
+    error_class_for_kind,
+)
+from repro.runtime.resilient import DeadlineExceeded, ResilientClient, RetryStats
 from repro.runtime.scheduler import (
     BatchScheduler,
     EvaluationSession,
     InlineDispatcher,
+    JobAborted,
     JobHandle,
     RowDispatcher,
     SchedulerBusy,
@@ -45,21 +70,34 @@ from repro.runtime.workers import PoolStats, WorkerHealth, WorkerPool, WorkerPoo
 
 __all__ = [
     "BatchScheduler",
+    "ChaosProxy",
+    "ChecksumMismatch",
+    "DeadlineExceeded",
     "EvaluationSession",
     "FheContext",
     "FheServer",
+    "FlakyEngine",
     "InlineDispatcher",
+    "JobAborted",
+    "JobAbortedError",
     "JobHandle",
+    "JobShed",
     "PoolStats",
     "ProtocolError",
+    "ResilientClient",
+    "RetryStats",
     "RowDispatcher",
     "SchedulerBusy",
     "SchedulerStats",
     "ServerBusy",
+    "ServerDraining",
     "ServerError",
     "ServingClient",
+    "SlowDispatcher",
+    "UnsupportedVersion",
     "WorkerHealth",
     "WorkerPool",
     "WorkerPoolError",
+    "error_class_for_kind",
     "execute_rows",
 ]

@@ -40,8 +40,11 @@ from repro.tfhe.keyswitch import KeySwitchKey, keyswitch_apply, keyswitch_apply_
 from repro.tfhe.lwe import LweBatch, LweSample
 from repro.tfhe.tgsw import BootstrapWorkspace, tgsw_transform
 from repro.tfhe.transform import (
+    EngineFault,
     NegacyclicTransform,
+    engine_entry,
     make_transform,
+    quarantine_engine,
     select_best_engine,
 )
 from repro.utils.rng import SeedLike, make_rng
@@ -113,6 +116,8 @@ class FheContext:
         #: evaluators, every scheduler flush) — allocated once, reused for
         #: the lifetime of the context.
         self.workspace = BootstrapWorkspace()
+        #: How many times :meth:`failover` swapped this context's engine.
+        self.engine_failovers = 0
 
     # -- construction helpers ----------------------------------------------
     @classmethod
@@ -168,6 +173,45 @@ class FheContext:
             )
         self._rotator = rotator
         self.cached_tgsw_samples = int(cached_tgsw_samples)
+
+    def failover(self, reason: str = "engine fault") -> str:
+        """Quarantine the current engine kind and rebuild on a fallback.
+
+        Called when the engine raises :class:`repro.tfhe.transform.EngineFault`
+        mid-evaluation (JIT self-check failure, device error).  The faulting
+        kind is quarantined in the registry, the best remaining engine within
+        the same error-model family is selected, and this context's derived
+        state — spectrum cache, evaluators, workspace — is reset so it is
+        rebuilt lazily on the new engine.  Within the ``fft64`` family the
+        replay is bit-identical (the cross-engine suite's contract); from
+        ``fft64-device`` the decrypted results still match.
+
+        Returns the new engine kind.  Raises :class:`EngineFault` when the
+        engine is ad-hoc (no registry kind to quarantine or match against)
+        or no compatible fallback engine remains available.
+        """
+        old_kind = getattr(self.engine, "engine_kind", None)
+        if old_kind is None:
+            raise EngineFault(
+                f"cannot fail over an ad-hoc (unregistered) engine: {reason}"
+            )
+        error_model = engine_entry(old_kind).error_model
+        quarantine_engine(old_kind, reason)
+        try:
+            new_kind = select_best_engine(error_model=error_model)
+        except ValueError as exc:
+            raise EngineFault(
+                f"engine {old_kind!r} quarantined ({reason}) and no "
+                f"compatible fallback remains: {exc}"
+            ) from None
+        self.engine = make_transform(new_kind, self.params.N)
+        self._rotator = None
+        self._scalar_evaluator = None
+        self._batch_evaluators = {}
+        self.cached_tgsw_samples = 0
+        self.workspace = BootstrapWorkspace()
+        self.engine_failovers += 1
+        return new_kind
 
     def _build_rotator(self) -> BlindRotator:
         cloud = self.cloud_key

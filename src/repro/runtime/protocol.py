@@ -1,8 +1,8 @@
-"""Wire protocol of the serving front: length-prefixed frames over a socket.
+"""Wire protocol of the serving front: CRC-protected frames over a socket.
 
 One frame is::
 
-    magic (4) | header_len u32 | body_len u64 | header JSON | body bytes
+    magic (4) | header_len u32 | body_len u64 | crc32 u32 | header JSON | body
 
 with little-endian fixed-width prefixes (matching the shared-memory segment
 layout in :mod:`repro.runtime.workers`).  The **header** is a UTF-8 JSON
@@ -11,7 +11,11 @@ object — ``{"op": ..., "id": ...}`` plus op-specific fields — and the
 ciphertexts, radix integers) and JSON circuit text travel verbatim, so the
 wire format is exactly the on-disk format.  Multi-artifact bodies use
 :func:`pack_parts` / :func:`unpack_parts` (``u32 count | (u64 len | bytes)*``)
-because npz archives are not self-delimiting.
+because npz archives are not self-delimiting.  The ``crc32`` field covers
+``header JSON + body``, so a bit-flipped frame is caught *before* any npz
+deserialization — CRC32 detects every single-bit and burst-under-32-bit
+corruption the checks inside the npz parser would otherwise see (or worse,
+miss).
 
 Robustness contract (exercised by the protocol fuzz suite):
 
@@ -20,16 +24,29 @@ Robustness contract (exercised by the protocol fuzz suite):
   reader's ``max_frame`` (default :data:`DEFAULT_MAX_FRAME`) — so an
   adversarial prefix cannot balloon server memory;
 * a connection that ends mid-frame raises :class:`TruncatedFrame`, a bad
-  magic :class:`BadMagic`, an unparsable header :class:`BadHeader` — all
+  magic :class:`BadMagic`, a payload that fails its checksum
+  :class:`ChecksumMismatch`, an unparsable header :class:`BadHeader` — all
   subclasses of :class:`ProtocolError`, which the server maps to one clean
   error frame (or a connection close for desynchronised streams), never a
   hang;
+* protocol-1 frames (magic ``rTFS``, no checksum) are recognised and
+  rejected with the typed :class:`UnsupportedVersion` instead of being
+  misparsed;
 * responses echo the request ``id``, so a pipelined client can have many
   requests in flight and match replies out of order.
 
+Retry semantics: exceptions carry a ``retryable`` class attribute.  A
+retryable failure (:class:`ServerBusy`, :class:`ServerDraining`,
+:class:`JobAbortedError`, a torn connection) means the request may be safely
+resent — with a session token (``ServingClient(session=...)``) the server
+deduplicates by request id, so a retry is **exactly-once**.  Non-retryable
+failures (bad request, unsupported op, :class:`JobShed`) report a decision,
+not an accident; resending the same request would fail the same way.
+
 :class:`ServingClient` is the synchronous reference client used by the
-examples, benchmarks and tests; the server side reads frames with the
-``*_async`` helpers on :mod:`asyncio` streams.
+examples, benchmarks and tests; :class:`repro.runtime.resilient.ResilientClient`
+wraps it with reconnect/backoff/resubmission.  The server side reads frames
+with the ``*_async`` helpers on :mod:`asyncio` streams.
 """
 
 from __future__ import annotations
@@ -38,6 +55,7 @@ import asyncio
 import json
 import socket
 import struct
+import zlib
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.tfhe.lwe import LweBatch, LweSample
@@ -50,6 +68,7 @@ from repro.tfhe.serialize import (
 
 __all__ = [
     "MAGIC",
+    "LEGACY_MAGIC",
     "PROTOCOL_VERSION",
     "DEFAULT_MAX_FRAME",
     "MAX_HEADER_LEN",
@@ -58,8 +77,15 @@ __all__ = [
     "BadHeader",
     "TruncatedFrame",
     "FrameTooLarge",
+    "ChecksumMismatch",
+    "UnsupportedVersion",
     "ServerError",
     "ServerBusy",
+    "ServerDraining",
+    "JobShed",
+    "JobAbortedError",
+    "error_class_for_kind",
+    "raise_for_reply",
     "encode_frame",
     "pack_parts",
     "unpack_parts",
@@ -68,21 +94,33 @@ __all__ = [
     "ServingClient",
 ]
 
-#: Frame magic: identifies the repro-tfhe serving protocol.
-MAGIC = b"rTFS"
+#: Frame magic of protocol 2 (CRC-protected frames).
+MAGIC = b"rTF2"
+#: Frame magic of the retired protocol 1 (no frame checksum) — recognised
+#: so old peers get a typed :class:`UnsupportedVersion`, not :class:`BadMagic`.
+LEGACY_MAGIC = b"rTFS"
 #: Bumped on incompatible wire changes; ``hello`` reports it.
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 #: Hard ceiling on ``header_len`` (headers are small JSON objects; circuit
 #: JSON rides here too, hence megabyte-scale rather than kilobyte-scale).
 MAX_HEADER_LEN = 8 * 1024 * 1024
 #: Default ceiling on a whole frame (prefixes + header + body).
 DEFAULT_MAX_FRAME = 64 * 1024 * 1024
 
-_PREFIX = struct.Struct("<4sIQ")
+_PREFIX = struct.Struct("<4sIQI")
 
 
 class ProtocolError(ValueError):
-    """Base of every wire-format violation."""
+    """Base of every wire-format violation.
+
+    ``retryable`` marks violations where the *request content* is fine and
+    only its transport was damaged (checksum mismatch, torn stream): a
+    client may reconnect and resend.  Structural violations (bad magic,
+    unparsable header) are not retryable — resending the same bytes would
+    fail identically.
+    """
+
+    retryable = False
 
 
 class BadMagic(ProtocolError):
@@ -96,26 +134,120 @@ class BadHeader(ProtocolError):
 class TruncatedFrame(ProtocolError):
     """The peer closed the connection in the middle of a frame."""
 
+    retryable = True
+
 
 class FrameTooLarge(ProtocolError):
     """A length prefix exceeds the configured bound (refused pre-allocation)."""
 
 
-class ServerError(RuntimeError):
-    """An error frame from the server, carrying its ``kind`` and message."""
+class ChecksumMismatch(ProtocolError):
+    """The frame payload fails its CRC32 — corrupted in transit.
 
-    def __init__(self, kind: str, message: str) -> None:
+    Retryable: the sender's frame was well-formed, the transport damaged
+    it; a resend of the same request is safe (and, with a session token,
+    exactly-once).
+    """
+
+    retryable = True
+
+
+class UnsupportedVersion(ProtocolError):
+    """The peer speaks a retired protocol version (recognised old magic)."""
+
+
+class ServerError(RuntimeError):
+    """An error frame from the server, carrying its ``kind`` and message.
+
+    ``retryable`` mirrors the server's judgement: ``True`` means the request
+    itself was acceptable and may be resent once the transient condition
+    (full queue, drain, aborted flush) clears.  The server also sends an
+    explicit ``retryable`` flag in the error payload, which overrides the
+    class default when present (so newer servers can introduce kinds older
+    clients still handle correctly).
+    """
+
+    retryable = False
+
+    def __init__(self, kind: str, message: str, retryable: Optional[bool] = None) -> None:
         super().__init__(f"[{kind}] {message}")
         self.kind = kind
+        if retryable is not None:
+            self.retryable = bool(retryable)
 
 
 class ServerBusy(ServerError):
     """The server rejected work because its queue is full (backpressure)."""
 
+    retryable = True
+
+
+class ServerDraining(ServerError):
+    """The server is draining for shutdown and admits no new work.
+
+    Retryable — against the restarted server (or another replica), after a
+    backoff long enough for the drain to finish.
+    """
+
+    retryable = True
+
+
+class JobShed(ServerError):
+    """The server shed the job: its deadline budget cannot be met.
+
+    **Not** retryable as-is — the server judged the remaining ``deadline_ms``
+    smaller than its estimated time-to-result, and an immediate identical
+    retry would be judged the same way.  Callers should retry with a larger
+    budget or against a less loaded server.
+    """
+
+
+class JobAbortedError(ServerError):
+    """The job was aborted before producing a result (e.g. its client was
+    force-deregistered mid-flush).  The job did **not** execute to completion,
+    so resubmission is safe."""
+
+    retryable = True
+
+
+#: Error-frame ``kind`` → the exception class :meth:`ServingClient.result`
+#: raises for it.  Unknown kinds fall back to plain :class:`ServerError`
+#: (with the frame's ``retryable`` flag, when present).
+_ERROR_KINDS: Dict[str, type] = {
+    "busy": ServerBusy,
+    "draining": ServerDraining,
+    "shed": JobShed,
+    "aborted": JobAbortedError,
+}
+
+
+def error_class_for_kind(kind: str) -> type:
+    """The :class:`ServerError` subclass raised for an error-frame kind."""
+    return _ERROR_KINDS.get(kind, ServerError)
+
+
+def raise_for_reply(header: Dict[str, Any]) -> None:
+    """Raise the typed :class:`ServerError` for an error reply header (no-op
+    for success replies)."""
+    error = header.get("error")
+    if error is None:
+        return
+    kind = str(error.get("kind", "internal"))
+    message = str(error.get("message", "unknown server error"))
+    retryable = error.get("retryable")
+    raise error_class_for_kind(kind)(
+        kind, message, retryable if isinstance(retryable, bool) else None
+    )
+
 
 # --------------------------------------------------------------------------- #
 # framing                                                                     #
 # --------------------------------------------------------------------------- #
+
+
+def _frame_crc(header_bytes: bytes, body: bytes) -> int:
+    """CRC32 over ``header JSON + body`` (chained, no concatenation copy)."""
+    return zlib.crc32(body, zlib.crc32(header_bytes)) & 0xFFFFFFFF
 
 
 def encode_frame(header: Dict[str, Any], body: bytes = b"") -> bytes:
@@ -125,14 +257,21 @@ def encode_frame(header: Dict[str, Any], body: bytes = b"") -> bytes:
         raise FrameTooLarge(
             f"header is {len(header_bytes)} bytes (max {MAX_HEADER_LEN})"
         )
-    return b"".join(
-        (_PREFIX.pack(MAGIC, len(header_bytes), len(body)), header_bytes, body)
+    prefix = _PREFIX.pack(
+        MAGIC, len(header_bytes), len(body), _frame_crc(header_bytes, body)
     )
+    return b"".join((prefix, header_bytes, body))
 
 
-def _parse_prefix(prefix: bytes, max_frame: int) -> Tuple[int, int]:
-    magic, header_len, body_len = _PREFIX.unpack(prefix)
+def _parse_prefix(prefix: bytes, max_frame: int) -> Tuple[int, int, int]:
+    magic, header_len, body_len, crc = _PREFIX.unpack(prefix)
     if magic != MAGIC:
+        if magic == LEGACY_MAGIC:
+            raise UnsupportedVersion(
+                f"peer speaks retired wire protocol 1 (magic {magic!r}, no "
+                f"frame checksum); this build requires protocol "
+                f"{PROTOCOL_VERSION} (magic {MAGIC!r})"
+            )
         raise BadMagic(f"bad frame magic {magic!r} (expected {MAGIC!r})")
     if header_len > MAX_HEADER_LEN:
         raise FrameTooLarge(
@@ -141,7 +280,16 @@ def _parse_prefix(prefix: bytes, max_frame: int) -> Tuple[int, int]:
     total = _PREFIX.size + header_len + body_len
     if total > max_frame:
         raise FrameTooLarge(f"frame of {total} bytes exceeds {max_frame}")
-    return header_len, body_len
+    return header_len, body_len, crc
+
+
+def _check_crc(header_bytes: bytes, body: bytes, expected: int) -> None:
+    actual = _frame_crc(header_bytes, body)
+    if actual != expected:
+        raise ChecksumMismatch(
+            f"frame payload fails its checksum (crc32 {actual:#010x}, frame "
+            f"claims {expected:#010x}) — corrupted in transit; safe to resend"
+        )
 
 
 def _parse_header(header_bytes: bytes) -> Dict[str, Any]:
@@ -180,10 +328,11 @@ def read_frame(
     if not first:
         raise EOFError("connection closed")
     prefix = first + _recv_exactly(sock, _PREFIX.size - 1)
-    header_len, body_len = _parse_prefix(prefix, max_frame)
-    header = _parse_header(_recv_exactly(sock, header_len))
+    header_len, body_len, crc = _parse_prefix(prefix, max_frame)
+    header_bytes = _recv_exactly(sock, header_len)
     body = _recv_exactly(sock, body_len) if body_len else b""
-    return header, body
+    _check_crc(header_bytes, body, crc)
+    return _parse_header(header_bytes), body
 
 
 async def read_frame_async(
@@ -202,7 +351,7 @@ async def read_frame_async(
         raise TruncatedFrame(
             f"connection closed {len(exc.partial)} bytes into the frame prefix"
         ) from None
-    header_len, body_len = _parse_prefix(prefix, max_frame)
+    header_len, body_len, crc = _parse_prefix(prefix, max_frame)
     try:
         header_bytes = await reader.readexactly(header_len)
         body = await reader.readexactly(body_len) if body_len else b""
@@ -211,6 +360,7 @@ async def read_frame_async(
             f"connection closed mid-frame ({len(exc.partial)} of "
             f"{exc.expected} bytes received)"
         ) from None
+    _check_crc(header_bytes, body, crc)
     return _parse_header(header_bytes), body
 
 
@@ -269,8 +419,18 @@ class ServingClient:
     methods (:meth:`gate`, :meth:`lut`, :meth:`run_circuit`, ...) are
     submit-then-result round trips.
 
-    Error frames raise :class:`ServerError` (or :class:`ServerBusy` for
-    backpressure rejections, so callers can retry-with-delay).
+    Error frames raise the typed :class:`ServerError` taxonomy
+    (:class:`ServerBusy`, :class:`ServerDraining`, :class:`JobShed`,
+    :class:`JobAbortedError`, ... — see :func:`error_class_for_kind`), so
+    callers can branch on ``retryable``.
+
+    ``session`` opts this client into the server's **session recovery**: the
+    token is attached to every request, the server namespaces key state and
+    keeps a bounded result cache under it, and a request id resent on a later
+    connection with the same token returns the cached result instead of
+    re-executing (exactly-once retries).  The
+    :class:`repro.runtime.resilient.ResilientClient` drives this; plain
+    clients may also pass their own token.
     """
 
     def __init__(
@@ -279,12 +439,17 @@ class ServingClient:
         port: int = 8470,
         timeout: Optional[float] = 60.0,
         max_frame: int = DEFAULT_MAX_FRAME,
+        session: Optional[str] = None,
     ) -> None:
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self.max_frame = max_frame
+        self.session = session
         self._next_id = 0
         self._replies: Dict[int, Tuple[Dict[str, Any], bytes]] = {}
+        #: Unsolicited server event headers (e.g. ``{"event": "draining"}``),
+        #: collected by :meth:`result` as they arrive.
+        self.events: List[Dict[str, Any]] = []
 
     # -- plumbing ----------------------------------------------------------
     def close(self) -> None:
@@ -299,11 +464,26 @@ class ServingClient:
     def __exit__(self, *_exc) -> None:
         self.close()
 
-    def submit(self, op: str, body: bytes = b"", **fields: Any) -> int:
-        """Send one request frame; returns its id (see :meth:`result`)."""
-        request_id = self._next_id
-        self._next_id += 1
+    def submit(
+        self,
+        op: str,
+        body: bytes = b"",
+        request_id: Optional[int] = None,
+        **fields: Any,
+    ) -> int:
+        """Send one request frame; returns its id (see :meth:`result`).
+
+        ``request_id`` defaults to the next value of this client's monotonic
+        counter; a resubmitting caller (the resilient client, after a
+        reconnect) passes the *original* id explicitly so the server's
+        session cache can deduplicate the retry.
+        """
+        if request_id is None:
+            request_id = self._next_id
+        self._next_id = max(self._next_id, request_id) + 1
         header = {"op": op, "id": request_id, **fields}
+        if self.session is not None:
+            header.setdefault("session", self.session)
         self._sock.sendall(encode_frame(header, body))
         return request_id
 
@@ -313,16 +493,13 @@ class ServingClient:
             header, body = read_frame(self._sock, self.max_frame)
             reply_id = header.get("id")
             if not isinstance(reply_id, int):
+                if "event" in header:
+                    self.events.append(header)  # unsolicited notice, not a reply
+                    continue
                 raise BadHeader(f"response frame without an integer id: {header}")
             self._replies[reply_id] = (header, body)
         header, body = self._replies.pop(request_id)
-        error = header.get("error")
-        if error is not None:
-            kind = str(error.get("kind", "internal"))
-            message = str(error.get("message", "unknown server error"))
-            if kind == "busy":
-                raise ServerBusy(kind, message)
-            raise ServerError(kind, message)
+        raise_for_reply(header)
         return header, body
 
     def call(

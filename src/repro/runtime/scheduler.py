@@ -63,6 +63,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.runtime.context import FheContext
+from repro.tfhe.transform import EngineFault
 from repro.tfhe.executor import LevelSchedule, _gather_inputs, schedule_circuit
 from repro.tfhe.gates import (
     MIXED_GATE_SPECS,
@@ -83,6 +84,18 @@ from repro.tfhe.lwe import (
 from repro.tfhe.netlist import Circuit
 
 
+class JobAborted(RuntimeError):
+    """A queued job was aborted before producing a result.
+
+    Raised by :meth:`JobHandle.result` when the job's client was
+    force-deregistered (connection torn down, drain timeout) while the job
+    was still pending.  The job did **not** run to completion — no partial
+    result exists — so resubmitting it is safe; ``retryable`` marks that.
+    """
+
+    retryable = True
+
+
 class JobHandle:
     """Future for one scheduled job; resolved by :meth:`BatchScheduler.flush`.
 
@@ -90,29 +103,51 @@ class JobHandle:
     one client can never be fed as an operand to another client's job —
     ciphertexts of different keys are algebraically incompatible and would
     silently decrypt to garbage.
+
+    A handle settles exactly once: either with a result (:meth:`_resolve`)
+    or with a typed exception (:meth:`_fail`, e.g. :class:`JobAborted`);
+    later settle attempts are ignored, so a flush delivering into a handle
+    that a concurrent deregistration already failed cannot resurrect it.
     """
 
-    __slots__ = ("_result", "_done", "client_id")
+    __slots__ = ("_result", "_done", "_exception", "client_id")
 
     def __init__(self, client_id: Optional[str] = None) -> None:
         self._result = None
         self._done = False
+        self._exception: Optional[BaseException] = None
         self.client_id = client_id
 
     @property
     def done(self) -> bool:
         return self._done
 
+    @property
+    def failed(self) -> bool:
+        """Whether the handle settled with an exception instead of a result."""
+        return self._done and self._exception is not None
+
     def result(self):
-        """The job's output; raises if the scheduler has not flushed it yet."""
+        """The job's output; raises if the scheduler has not flushed it yet,
+        or the typed failure if the job was aborted."""
         if not self._done:
             raise RuntimeError(
                 "job has not been executed yet; call BatchScheduler.flush()"
             )
+        if self._exception is not None:
+            raise self._exception
         return self._result
 
     def _resolve(self, value) -> None:
+        if self._done:
+            return
         self._result = value
+        self._done = True
+
+    def _fail(self, exc: BaseException) -> None:
+        if self._done:
+            return
+        self._exception = exc
         self._done = True
 
 
@@ -408,6 +443,14 @@ class SchedulerStats:
     max_rows_per_call: int = 0
     #: Jobs (single-gate or whole-circuit) fully completed.
     jobs_completed: int = 0
+    #: Jobs failed with a typed error (force-deregistration aborts).
+    jobs_aborted: int = 0
+    #: Times a faulting engine was quarantined and its client's context
+    #: rebuilt on a fallback engine mid-flush.
+    engine_failovers: int = 0
+    #: Rounds that fell back to in-process execution after the row
+    #: dispatcher (worker pool) exhausted its retry budget.
+    inline_fallbacks: int = 0
 
     @property
     def mean_rows_per_call(self) -> float:
@@ -422,6 +465,9 @@ class SchedulerStats:
         self.rows_bootstrapped = 0
         self.max_rows_per_call = 0
         self.jobs_completed = 0
+        self.jobs_aborted = 0
+        self.engine_failovers = 0
+        self.inline_fallbacks = 0
 
 
 class EvaluationSession:
@@ -567,18 +613,35 @@ class BatchScheduler:
         self.dispatcher.register_client(client_id, context)
         return context
 
-    def deregister_client(self, client_id: str) -> None:
+    def deregister_client(self, client_id: str, force: bool = False) -> None:
         """Drop a client's context and queue (e.g. its connection closed).
 
         Refuses while the client still has unresolved jobs — silently
-        discarding them would leak handles that can never resolve.
+        discarding them would leak handles that can never resolve.  With
+        ``force=True`` the pending handles are instead **failed** with the
+        typed :class:`JobAborted`, so a deregistration racing an in-flight
+        flush leaves no handle unresolved: waiters see a retryable error,
+        never a hang, and a flush round delivering into an already-failed
+        handle is a no-op (handles settle exactly once).
         """
         self.client_context(client_id)  # validate
-        if any(not job.done for job in self._queues[client_id]):
-            raise RuntimeError(
-                f"client {client_id!r} still has pending jobs; "
-                f"flush before deregistering"
-            )
+        pending = [job for job in self._queues[client_id] if not job.done]
+        if pending:
+            if not force:
+                raise RuntimeError(
+                    f"client {client_id!r} still has pending jobs; "
+                    f"flush before deregistering (or deregister with force=True "
+                    f"to fail them with JobAborted)"
+                )
+            for job in pending:
+                job.handle._fail(
+                    JobAborted(
+                        f"client {client_id!r} was deregistered with "
+                        f"{len(pending)} unresolved jobs; resubmit after "
+                        f"re-registering"
+                    )
+                )
+            self.stats.jobs_aborted += len(pending)
         del self._contexts[client_id]
         del self._queues[client_id]
         self.dispatcher.deregister_client(client_id)
@@ -621,6 +684,76 @@ class BatchScheduler:
         )
 
     # -- execution -------------------------------------------------------------
+    def _republish_client(self, client_id: str, context: FheContext) -> None:
+        """Re-register a client with the dispatcher after its context's
+        engine changed (a worker pool republishes the shared key segment so
+        workers rebuild their contexts on the new engine spec)."""
+        try:
+            self.dispatcher.deregister_client(client_id)
+        except Exception:  # noqa: BLE001 - the old registration may be gone
+            pass
+        self.dispatcher.register_client(client_id, context)
+
+    def _run_rows_resilient(self, client_id: str, rows: List[Row]) -> List[LweSample]:
+        """Dispatch one round's rows, surviving engine faults and pool failure.
+
+        * :class:`repro.tfhe.transform.EngineFault` (from an inline engine,
+          or re-raised by a worker pool whose task exhausted retries on one)
+          quarantines the faulting engine kind, fails the client's context
+          over to the best fallback within its error-model family
+          (:meth:`FheContext.failover`), republishes the context to the
+          dispatcher and replays the round there.  No partial results from
+          the faulted attempt are used, so the replay is bit-identical
+          within the ``fft64`` family.
+        * ``WorkerPoolError`` (pool retry budget exhausted for a non-engine
+          fault) degrades the round to in-process :func:`execute_rows` —
+          the pool's health problem must not fail client jobs that a single
+          process can still compute correctly.
+
+        Both paths are counted in :class:`SchedulerStats`
+        (``engine_failovers`` / ``inline_fallbacks``) and surfaced through
+        the server's metrics endpoint.
+        """
+        # Imported here: workers.py imports this module at import time.
+        from repro.runtime.workers import WorkerPoolError
+
+        context = self._contexts[client_id]
+        try:
+            return self.dispatcher.run_rows(
+                client_id, context, rows, self.stats, self.max_rows_per_call
+            )
+        except EngineFault as exc:
+            context.failover(str(exc))
+            self.stats.engine_failovers += 1
+            self._republish_client(client_id, context)
+            try:
+                return self.dispatcher.run_rows(
+                    client_id, context, rows, self.stats, self.max_rows_per_call
+                )
+            except (EngineFault, WorkerPoolError):
+                # The replay faulted too — the dispatcher itself is sick
+                # (e.g. a pool whose workers keep dying).  The failed-over
+                # context is healthy in this process, so finish the round
+                # inline rather than fail jobs a single process can compute.
+                self.stats.inline_fallbacks += 1
+                return execute_rows(
+                    context, rows, self.stats, self.max_rows_per_call
+                )
+        except WorkerPoolError:
+            self.stats.inline_fallbacks += 1
+            try:
+                return execute_rows(
+                    context, rows, self.stats, self.max_rows_per_call
+                )
+            except EngineFault as exc:
+                # The pool failed *because* the engine is sick everywhere.
+                context.failover(str(exc))
+                self.stats.engine_failovers += 1
+                self._republish_client(client_id, context)
+                return execute_rows(
+                    context, rows, self.stats, self.max_rows_per_call
+                )
+
     def flush(self) -> int:
         """Run every pending job to completion; returns the rows bootstrapped.
 
@@ -628,12 +761,20 @@ class BatchScheduler:
         bootstrapping over every row every ready job wants next (chunked by
         ``max_rows_per_call`` when set).  Rounds repeat until no job makes
         progress, i.e. chained handles resolve level-by-level.
+
+        Robust against concurrent deregistration: rounds iterate a snapshot
+        of the queues and re-check each client still exists before
+        dispatching, so ``deregister_client(force=True)`` racing a flush
+        fails that client's handles with :class:`JobAborted` (handled by the
+        exactly-once settle semantics) instead of corrupting the round.
         """
         self.stats.flushes += 1
         total_rows = 0
         while True:
             progressed = False
-            for client_id, queue in self._queues.items():
+            for client_id, queue in list(self._queues.items()):
+                if client_id not in self._contexts:
+                    continue  # deregistered since the snapshot
                 jobs = [job for job in queue if not job.done]
                 contributions: List[Tuple[object, int]] = []
                 rows: List[Row] = []
@@ -644,22 +785,17 @@ class BatchScheduler:
                         rows.extend(job_rows)
                 if not rows:
                     continue
-                outputs = self.dispatcher.run_rows(
-                    client_id,
-                    self._contexts[client_id],
-                    rows,
-                    self.stats,
-                    self.max_rows_per_call,
-                )
+                outputs = self._run_rows_resilient(client_id, rows)
                 cursor = 0
                 for job, count in contributions:
+                    was_done = job.done  # failed mid-dispatch by a forced deregister
                     job.deliver(outputs[cursor : cursor + count])
                     cursor += count
-                    self.stats.jobs_completed += 1 if job.done else 0
+                    self.stats.jobs_completed += 1 if job.done and not was_done else 0
                 total_rows += len(rows)
                 progressed = True
             # Drop resolved jobs from the queues.
-            for client_id in self._queues:
+            for client_id in list(self._queues):
                 self._queues[client_id] = [
                     job for job in self._queues[client_id] if not job.done
                 ]

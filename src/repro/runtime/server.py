@@ -43,6 +43,8 @@ import asyncio
 import json
 import signal
 import time
+import zlib
+from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -50,6 +52,7 @@ import numpy as np
 from repro.runtime.context import FheContext
 from repro.runtime.scheduler import (
     BatchScheduler,
+    JobAborted,
     JobHandle,
     RowDispatcher,
     SchedulerBusy,
@@ -86,15 +89,61 @@ class _RequestError(Exception):
         self.message = message
 
 
+class _SessionState:
+    """Server-side state for one client *session*, surviving reconnects.
+
+    A client that sends a ``session`` token in its request headers gets a
+    durable identity: its key registration, a bounded cache of success
+    replies keyed by request id (so retried requests are answered from the
+    cache — exactly-once results under at-least-once delivery), and an
+    inflight map deduplicating *concurrent* duplicates of the same request.
+    Token-less connections keep the historical ephemeral behaviour.
+    """
+
+    def __init__(self, token: str, cache_size: int) -> None:
+        self.token = token
+        #: Scheduler client id — session-scoped, so a reconnect reuses the
+        #: same registered context instead of re-warming a new one.
+        self.client_id = f"sess-{token}"
+        self.cache_size = cache_size
+        self.registered = False
+        self.key_fingerprint: Optional[int] = None
+        self.register_reply: Optional[Tuple[Dict[str, Any], bytes]] = None
+        #: request id → (reply header, reply body); success replies only —
+        #: errors are never cached, so a retry re-executes them.
+        self.results: "OrderedDict[int, Tuple[Dict[str, Any], bytes]]" = OrderedDict()
+        #: request id → future resolving to this request's outcome tuple;
+        #: a concurrent duplicate awaits it instead of re-executing.
+        self.inflight: Dict[int, asyncio.Future] = {}
+        self.refs = 0
+        self.last_seen = time.monotonic()
+
+    def remember(self, request_id: int, header: Dict[str, Any], body: bytes) -> None:
+        self.results[request_id] = (header, body)
+        while len(self.results) > self.cache_size:
+            self.results.popitem(last=False)
+
+    def prune_acked(self, ack: Any) -> None:
+        """Drop cached replies the client acknowledged (ids below ``ack``)."""
+        if not isinstance(ack, int):
+            return
+        for request_id in [rid for rid in self.results if rid < ack]:
+            del self.results[request_id]
+
+
 class _Connection:
     """Per-connection state: its writer, key namespace and inflight bound."""
 
     def __init__(self, conn_id: str, writer: asyncio.StreamWriter, max_inflight: int) -> None:
         self.conn_id = conn_id
+        #: Scheduler namespace — the connection id until a session token
+        #: binds this connection to a durable session's client id.
+        self.client_id = conn_id
         self.writer = writer
         self.write_lock = asyncio.Lock()
         self.inflight = asyncio.Semaphore(max_inflight)
         self.registered = False
+        self.session: Optional[_SessionState] = None
         self.tasks: set = set()
 
 
@@ -129,6 +178,12 @@ class FheServer:
         :func:`repro.tfhe.transform.select_best_engine`), or ``None`` to
         honour each key's recorded transform spec.  A client may override
         it per connection in its ``register_key`` request.
+    session_cache_size:
+        Per-session bound on cached success replies (the idempotent-retry
+        window).  Clients advance it faster via the ``ack`` header field.
+    session_ttl:
+        Seconds a disconnected session's state (key registration, reply
+        cache) is retained before it is reaped.
     """
 
     def __init__(
@@ -143,6 +198,8 @@ class FheServer:
         max_frame: int = DEFAULT_MAX_FRAME,
         latency_window: int = 512,
         engine: Optional[str] = None,
+        session_cache_size: int = 256,
+        session_ttl: float = 300.0,
     ) -> None:
         self.scheduler = BatchScheduler(
             max_rows_per_call=max_rows_per_call,
@@ -166,6 +223,13 @@ class FheServer:
         self._flush_seconds: List[float] = []
         self._busy_seconds = 0.0
         self._started_at: Optional[float] = None
+        self.session_cache_size = session_cache_size
+        self.session_ttl = session_ttl
+        self._sessions: Dict[str, _SessionState] = {}
+        self._draining = False
+        self._drain_seconds: Optional[float] = None
+        self._jobs_deduped = 0
+        self._jobs_shed = 0
 
     # ------------------------------------------------------------------ #
     # lifecycle                                                          #
@@ -198,6 +262,41 @@ class FheServer:
         for conn in list(self._connections.values()):
             conn.writer.close()
         self._fail_waiters(RuntimeError("server stopped"))
+
+    async def drain(self, timeout: Optional[float] = 30.0) -> float:
+        """Graceful drain: stop admitting work, finish everything accepted.
+
+        Closes the listener, pushes a ``draining`` event frame to every
+        connected client (so retrying clients fail over instead of queueing
+        on a dying server), rejects new job submissions with a retryable
+        ``draining`` error, and waits until the scheduler queue, the reply
+        waiters and every in-flight request task have resolved — every job
+        accepted before the drain started gets its reply.  Returns the
+        drain duration in seconds (also surfaced in :meth:`metrics`).
+        """
+        begin = time.monotonic()
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for conn in list(self._connections.values()):
+            try:
+                await self._send(conn, {"event": "draining"})
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+        deadline = None if timeout is None else begin + timeout
+        while True:
+            async with self._lock:
+                idle = not self.scheduler.pending_jobs and not self._waiters
+            if idle and all(not c.tasks for c in self._connections.values()):
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                break
+            self._work_ready.set()  # poke the flusher: no new work will arrive
+            await asyncio.sleep(0.005)
+        self._drain_seconds = time.monotonic() - begin
+        return self._drain_seconds
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -248,7 +347,10 @@ class FheServer:
             if future.cancelled():
                 continue
             if handle.done:
-                future.set_result(handle.result())
+                try:
+                    future.set_result(handle.result())
+                except Exception as exc:  # aborted / failed handle
+                    future.set_exception(exc)
             else:
                 unresolved.append((handle, future))
         self._waiters = unresolved
@@ -270,7 +372,10 @@ class FheServer:
             future: asyncio.Future = loop.create_future()
             self._waiters.append((handle, future))
             self._work_ready.set()
-        return await future
+        try:
+            return await future
+        except JobAborted as exc:
+            raise _RequestError("aborted", str(exc)) from None
 
     # ------------------------------------------------------------------ #
     # metrics                                                            #
@@ -306,7 +411,18 @@ class FheServer:
             ),
             "flush_latency_p50": _pct(0.50),
             "flush_latency_p99": _pct(0.99),
+            "sessions": len(self._sessions),
+            "jobs_deduped": self._jobs_deduped,
+            "jobs_shed": self._jobs_shed,
+            "jobs_aborted": stats.jobs_aborted,
+            "engine_failovers": stats.engine_failovers,
+            "inline_fallbacks": stats.inline_fallbacks,
+            "draining": self._draining,
+            "drain_seconds": self._drain_seconds or 0.0,
         }
+        from repro.tfhe.transform import quarantined_engines
+
+        snapshot["engines_quarantined"] = quarantined_engines()
         dispatcher = self.scheduler.dispatcher
         pool_stats = getattr(dispatcher, "stats", None)
         health = getattr(dispatcher, "health", None)
@@ -318,6 +434,9 @@ class FheServer:
                 "tasks_retried": pool_stats.tasks_retried,
                 "workers_restarted": pool_stats.workers_restarted,
                 "results_rejected": pool_stats.results_rejected,
+                "breaker_trips": pool_stats.breaker_trips,
+                "inline_fallbacks": pool_stats.inline_fallbacks,
+                "breaker_open": bool(getattr(dispatcher, "breaker_open", False)),
                 "workers": [
                     {
                         "spawn_index": w.spawn_index,
@@ -361,6 +480,11 @@ class FheServer:
                 task = asyncio.create_task(self._run_request(conn, header, body))
                 conn.tasks.add(task)
                 task.add_done_callback(conn.tasks.discard)
+        except asyncio.CancelledError:
+            # Server stopping with this connection live: end the reader
+            # quietly (asyncio's stream callback would log the cancellation
+            # as an error otherwise) and let the finally clean up.
+            pass
         finally:
             if conn.tasks:
                 await asyncio.gather(*conn.tasks, return_exceptions=True)
@@ -368,7 +492,14 @@ class FheServer:
 
     async def _cleanup_connection(self, conn: _Connection) -> None:
         self._connections.pop(conn.conn_id, None)
-        if conn.registered:
+        if conn.session is not None:
+            # Durable session: keep its registration and reply cache alive
+            # for a reconnect; reap only after session_ttl of disuse.
+            conn.session.refs -= 1
+            conn.session.last_seen = time.monotonic()
+            async with self._lock:
+                self._reap_sessions()
+        elif conn.registered:
             async with self._lock:
                 loop = asyncio.get_running_loop()
                 try:
@@ -377,7 +508,10 @@ class FheServer:
                         # drain them so the queues stay clean, drop results.
                         await loop.run_in_executor(None, self.scheduler.flush)
                         self._resolve_waiters()
-                    self.scheduler.deregister_client(conn.conn_id)
+                    # force=True: a job enqueued after that flush (racing
+                    # request task) gets failed with JobAborted instead of
+                    # wedging the teardown — satellite of the abort path.
+                    self.scheduler.deregister_client(conn.conn_id, force=True)
                 except Exception:  # pragma: no cover - best-effort teardown
                     pass
         try:
@@ -385,6 +519,21 @@ class FheServer:
             await conn.writer.wait_closed()
         except (ConnectionError, OSError):  # pragma: no cover
             pass
+
+    def _reap_sessions(self) -> None:
+        """Drop sessions with no live connection past their TTL (lock held)."""
+        now = time.monotonic()
+        for token in [
+            t
+            for t, sess in self._sessions.items()
+            if sess.refs <= 0 and now - sess.last_seen > self.session_ttl
+        ]:
+            sess = self._sessions.pop(token)
+            if sess.registered:
+                try:
+                    self.scheduler.deregister_client(sess.client_id, force=True)
+                except Exception:  # pragma: no cover - best-effort teardown
+                    pass
 
     async def _send(
         self, conn: _Connection, header: Dict[str, Any], body: bytes = b""
@@ -412,6 +561,60 @@ class FheServer:
     # request dispatch                                                   #
     # ------------------------------------------------------------------ #
 
+    def _bind_session(
+        self, conn: _Connection, header: Dict[str, Any]
+    ) -> Optional[_SessionState]:
+        """Resolve the request's ``session`` token to durable session state."""
+        token = header.get("session")
+        if token is None:
+            return conn.session
+        if not isinstance(token, str) or not token:
+            raise _RequestError("protocol", "'session' must be a non-empty string")
+        if conn.session is not None:
+            if conn.session.token != token:
+                raise _RequestError(
+                    "protocol", "connection is already bound to a different session"
+                )
+            return conn.session
+        sess = self._sessions.get(token)
+        if sess is None:
+            sess = _SessionState(token, self.session_cache_size)
+            self._sessions[token] = sess
+        sess.refs += 1
+        sess.last_seen = time.monotonic()
+        conn.session = sess
+        conn.client_id = sess.client_id
+        return sess
+
+    async def _execute(
+        self, conn: _Connection, header: Dict[str, Any], body: bytes
+    ) -> Tuple:
+        """Run one dispatch, folding every failure into an outcome tuple.
+
+        Outcomes are plain values — ``("ok", header, body)`` or
+        ``("err", kind, message)`` — so duplicate-request futures never hold
+        exceptions (which asyncio would warn about when unretrieved).
+        """
+        try:
+            reply_header, reply_body = await self._dispatch(conn, header, body)
+        except _RequestError as exc:
+            return ("err", exc.kind, exc.message)
+        except (ProtocolError, SerializationError) as exc:
+            return ("err", "bad_request", str(exc))
+        except Exception as exc:  # noqa: BLE001 - one request, one error frame
+            return ("err", "internal", f"{type(exc).__name__}: {exc}")
+        return ("ok", reply_header, reply_body)
+
+    async def _send_outcome(
+        self, conn: _Connection, request_id: int, outcome: Tuple
+    ) -> None:
+        if outcome[0] == "ok":
+            reply_header = dict(outcome[1])
+            reply_header["id"] = request_id
+            await self._send(conn, reply_header, outcome[2])
+        else:
+            await self._send_error(conn, request_id, outcome[1], outcome[2])
+
     async def _run_request(
         self, conn: _Connection, header: Dict[str, Any], body: bytes
     ) -> None:
@@ -421,9 +624,40 @@ class FheServer:
         try:
             if not isinstance(header.get("id"), int):
                 raise _RequestError("protocol", "request header lacks an integer 'id'")
-            reply_header, reply_body = await self._dispatch(conn, header, body)
-            reply_header["id"] = request_id
-            await self._send(conn, reply_header, reply_body)
+            sess = self._bind_session(conn, header)
+            if sess is None:
+                await self._send_outcome(
+                    conn, request_id, await self._execute(conn, header, body)
+                )
+                return
+            # Idempotent path: a retried request id is answered from the
+            # session's reply cache (or by awaiting the in-flight original)
+            # instead of executing twice.
+            sess.prune_acked(header.get("ack"))
+            cached = sess.results.get(request_id)
+            if cached is not None:
+                self._jobs_deduped += 1
+                await self._send_outcome(conn, request_id, ("ok",) + cached)
+                return
+            inflight = sess.inflight.get(request_id)
+            if inflight is not None:
+                self._jobs_deduped += 1
+                await self._send_outcome(conn, request_id, await asyncio.shield(inflight))
+                return
+            future: asyncio.Future = asyncio.get_running_loop().create_future()
+            sess.inflight[request_id] = future
+            outcome: Tuple = ("err", "aborted", "request cancelled before completion")
+            try:
+                outcome = await self._execute(conn, header, body)
+            finally:
+                sess.inflight.pop(request_id, None)
+                if outcome[0] == "ok":
+                    # Cache BEFORE sending: if the peer vanished mid-reply,
+                    # the computed result still answers the retry.
+                    sess.remember(request_id, outcome[1], outcome[2])
+                if not future.done():
+                    future.set_result(outcome)
+            await self._send_outcome(conn, request_id, outcome)
         except _RequestError as exc:
             await self._send_error(conn, request_id, exc.kind, exc.message)
         except (ProtocolError, SerializationError) as exc:
@@ -443,6 +677,13 @@ class FheServer:
             return {"server": "repro-serve", "protocol": PROTOCOL_VERSION}, b""
         if op == "metrics":
             return {"metrics": self.metrics()}, b""
+        if self._draining:
+            # Introspection stays up during a drain; work admission stops.
+            raise _RequestError(
+                "draining", "server is draining and no longer accepts new work"
+            )
+        if op in ("gate", "lut", "circuit", "radix_add"):
+            self._check_deadline(header)
         if op == "register_key":
             return await self._op_register_key(conn, header, body)
         if op == "gate":
@@ -455,12 +696,38 @@ class FheServer:
             return await self._op_radix_add(conn, body)
         raise _RequestError("unsupported", f"unknown op {op!r}")
 
+    def _check_deadline(self, header: Dict[str, Any]) -> None:
+        """Deadline-aware load shedding: reject work that cannot make it.
+
+        A client may send ``deadline_ms`` (its remaining per-request
+        budget); when the estimated time-to-result — the coalescing window
+        plus the median flush latency — already exceeds it, the job is shed
+        up front with a typed non-retryable error instead of burning a
+        bootstrap whose reply the client will have abandoned.
+        """
+        deadline_ms = header.get("deadline_ms")
+        if not isinstance(deadline_ms, (int, float)) or isinstance(deadline_ms, bool):
+            return
+        latencies = sorted(self._flush_seconds)
+        p50 = latencies[len(latencies) // 2] if latencies else 0.0
+        eta = self.flush_interval + p50
+        if deadline_ms / 1000.0 < eta:
+            self._jobs_shed += 1
+            raise _RequestError(
+                "shed",
+                f"deadline of {deadline_ms:.0f}ms cannot be met "
+                f"(estimated time to result {eta * 1000.0:.1f}ms)",
+            )
+
     def _context(self, conn: _Connection) -> FheContext:
-        if not conn.registered:
+        registered = conn.registered or (
+            conn.session is not None and conn.session.registered
+        )
+        if not registered:
             raise _RequestError(
                 "no_key", "register_key must precede homomorphic operations"
             )
-        return self.scheduler.client_context(conn.conn_id)
+        return self.scheduler.client_context(conn.client_id)
 
     def _artifact(self, data: bytes, expected_type, what: str):
         try:
@@ -528,10 +795,23 @@ class FheServer:
     async def _op_register_key(
         self, conn: _Connection, header: Dict[str, Any], body: bytes
     ) -> Tuple[Dict[str, Any], bytes]:
+        sess = conn.session
+        (key_bytes,) = unpack_parts(body, expected=1)
+        if sess is not None and sess.registered:
+            # Idempotent re-registration after a reconnect: the same key
+            # gets the cached reply; a different key is a hard error (the
+            # session's queued results were computed under the old key).
+            if zlib.crc32(key_bytes) != sess.key_fingerprint:
+                raise _RequestError(
+                    "bad_request", "session already registered a different key"
+                )
+            conn.registered = True
+            assert sess.register_reply is not None
+            self._jobs_deduped += 1
+            return dict(sess.register_reply[0]), sess.register_reply[1]
         if conn.registered:
             raise _RequestError("bad_request", "this connection already registered a key")
         engine = self._check_requested_engine(header.get("engine"))
-        (key_bytes,) = unpack_parts(body, expected=1)
         cloud = self._artifact(key_bytes, TFHECloudKey, "cloud key")
         loop = asyncio.get_running_loop()
         async with self._lock:
@@ -540,16 +820,21 @@ class FheServer:
             context = await loop.run_in_executor(
                 None,
                 lambda: self.scheduler.register_client(
-                    conn.conn_id, cloud, engine=engine
+                    conn.client_id, cloud, engine=engine
                 ),
             )
             conn.registered = True
-        return {
+        reply = {
             "params": context.params.name,
             "unroll_factor": context.unroll_factor,
             "engine": type(context.engine).__name__,
             "engine_kind": context.engine.engine_kind,
-        }, b""
+        }
+        if sess is not None:
+            sess.registered = True
+            sess.key_fingerprint = zlib.crc32(key_bytes)
+            sess.register_reply = (dict(reply), b"")
+        return reply, b""
 
     async def _op_gate(
         self, conn: _Connection, header: Dict[str, Any], body: bytes
@@ -560,7 +845,7 @@ class FheServer:
         part_a, part_b = unpack_parts(body, expected=2)
         ca = self._check_sample(conn, self._artifact(part_a, LweSample, "operand a"), "operand a")
         cb = self._check_sample(conn, self._artifact(part_b, LweSample, "operand b"), "operand b")
-        session = self.scheduler.session(conn.conn_id)
+        session = self.scheduler.session(conn.client_id)
         try:
             result = await self._submit(lambda: session.submit_gate(name, ca, cb))
         except ValueError as exc:  # unknown gate name
@@ -584,7 +869,7 @@ class FheServer:
             )
             for i, part in enumerate(parts)
         ]
-        session = self.scheduler.session(conn.conn_id)
+        session = self.scheduler.session(conn.client_id)
         try:
             result = await self._submit(lambda: session.submit_lut(table, operands))
         except ValueError as exc:  # infeasible table / arity
@@ -620,7 +905,7 @@ class FheServer:
         for name, wires in circuit.input_wires.items():
             inputs[name] = bits[cursor : cursor + len(wires)]
             cursor += len(wires)
-        session = self.scheduler.session(conn.conn_id)
+        session = self.scheduler.session(conn.client_id)
         try:
             outputs = await self._submit(lambda: session.submit_circuit(circuit, inputs))
         except ValueError as exc:
@@ -661,30 +946,55 @@ async def serve(
     dispatcher: Optional[RowDispatcher] = None,
     host: str = "127.0.0.1",
     port: int = 8470,
+    drain_timeout: Optional[float] = 30.0,
     **kwargs: Any,
 ) -> None:
     """Run an :class:`FheServer` until signalled (used by ``tools/serve.py``).
 
     SIGINT/SIGTERM are handled *inside* the event loop (where supported) so
-    shutdown is an orderly stop — connections drained, worker pool and
-    shared-memory segments released by the caller's ``finally`` — rather
-    than a ``KeyboardInterrupt`` landing mid-write in some handler frame.
+    shutdown is an orderly **graceful drain** — admission stops, connected
+    clients are notified, every accepted job still gets its reply — before
+    the server (and the caller's worker pool / shared memory, via its
+    ``finally``) is torn down.  A second signal skips the rest of the drain
+    and stops immediately.
     """
     server = FheServer(dispatcher=dispatcher, host=host, port=port, **kwargs)
     await server.start()
     print(f"repro-serve listening on {server.host}:{server.port}", flush=True)
     loop = asyncio.get_running_loop()
     stopping = asyncio.Event()
+    force_stop = asyncio.Event()
     handled = []
+
+    def _on_signal() -> None:
+        if stopping.is_set():
+            force_stop.set()
+        else:
+            stopping.set()
+
     for signum in (signal.SIGINT, signal.SIGTERM):
         try:
-            loop.add_signal_handler(signum, stopping.set)
+            loop.add_signal_handler(signum, _on_signal)
             handled.append(signum)
         except (NotImplementedError, RuntimeError):  # non-Unix / nested loop
             pass
     try:
         if handled:
             await stopping.wait()
+            print("repro-serve draining...", flush=True)
+            drain_task = asyncio.create_task(server.drain(timeout=drain_timeout))
+            force_task = asyncio.create_task(force_stop.wait())
+            done, pending = await asyncio.wait(
+                {drain_task, force_task}, return_when=asyncio.FIRST_COMPLETED
+            )
+            for task in pending:
+                task.cancel()
+            if drain_task in done:
+                print(
+                    f"repro-serve drained in {drain_task.result():.2f}s", flush=True
+                )
+            else:
+                print("repro-serve drain interrupted, stopping now", flush=True)
         else:
             await server.serve_forever()
     finally:

@@ -50,8 +50,9 @@ import os
 import struct
 import time
 import traceback
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import multiprocessing
 import multiprocessing.connection
@@ -65,7 +66,7 @@ from repro.tfhe.bootstrap import CmuxBlindRotator
 from repro.tfhe.lwe import LweSample
 from repro.tfhe.serialize import from_bytes, to_bytes
 from repro.tfhe.tgsw import TransformedTgswSample
-from repro.tfhe.transform import TransformSpec
+from repro.tfhe.transform import EngineFault, TransformSpec
 
 __all__ = [
     "WorkerHealth",
@@ -93,6 +94,10 @@ class PoolStats:
     workers_restarted: int = 0
     results_rejected: int = 0
     rows_executed: int = 0
+    #: Times the circuit breaker opened after a restart storm.
+    breaker_trips: int = 0
+    #: ``run_rows`` calls executed in-process because the breaker was open.
+    inline_fallbacks: int = 0
 
     def reset(self) -> None:
         self.tasks_dispatched = 0
@@ -101,6 +106,8 @@ class PoolStats:
         self.workers_restarted = 0
         self.results_rejected = 0
         self.rows_executed = 0
+        self.breaker_trips = 0
+        self.inline_fallbacks = 0
 
 
 @dataclass
@@ -269,6 +276,8 @@ def _apply_fault(plan: Dict[str, Any], task_index: int, result_msg: Tuple):
         time.sleep(float(plan.get("hang_seconds", 3600.0)))
     if plan.get("error_on_task") == task_index:
         raise RuntimeError("injected worker fault")
+    if plan.get("engine_fault_on_task") == task_index or plan.get("engine_fault_always"):
+        raise EngineFault("injected engine fault")
     if plan.get("poison_on_task") == task_index:
         mode = plan.get("poison_mode", "short")
         kind, task_id, outputs, row_count = result_msg
@@ -340,6 +349,11 @@ def _worker_main(
                     )
                     result = ("ok", task_id, outputs, len(rows))
                     result = _apply_fault(plan, task_index, result)
+                except EngineFault:
+                    # Tagged so the parent can distinguish "this worker's
+                    # engine is sick" (quarantine + failover upstream) from
+                    # a generic task fault (requeue to another worker).
+                    result = ("err", task_id, traceback.format_exc(), "engine_fault")
                 except Exception:  # noqa: BLE001 - report, let parent decide
                     result = ("err", task_id, traceback.format_exc())
                 task_index += 1
@@ -373,6 +387,9 @@ class _Task:
     chunk_limit: Optional[int] = None
     #: Last worker-side traceback, surfaced by :class:`WorkerPoolError`.
     error: str = ""
+    #: Classification of the last worker-side error (``"engine_fault"`` when
+    #: the worker's engine raised :class:`EngineFault`; empty otherwise).
+    error_kind: str = ""
 
 
 class _Worker:
@@ -415,6 +432,18 @@ class WorkerPool(RowDispatcher):
     max_retries:
         How many times one task may be requeued after worker faults before
         :class:`WorkerPoolError` is raised.
+    breaker_threshold, breaker_window, breaker_cooldown:
+        The refork **circuit breaker**: when ``breaker_threshold`` worker
+        restarts happen within ``breaker_window`` seconds, the breaker
+        opens for ``breaker_cooldown`` seconds — while open, ``run_rows``
+        executes in-process (the inline path) instead of touching the pool,
+        bounding a refork storm instead of burning CPU respawning workers
+        that keep dying.  After the cooldown the breaker closes with a
+        cleared restart history (half-open: the next run probes the pool;
+        a fresh storm re-trips).  ``breaker_threshold=None`` disables.
+    clock:
+        Monotonic time source for the breaker (injectable for deterministic
+        tests); defaults to :func:`time.monotonic`.
     fault_plans:
         Test-only mapping of spawn index → fault plan (see module docs).
     """
@@ -425,16 +454,28 @@ class WorkerPool(RowDispatcher):
         start_method: Optional[str] = None,
         task_timeout: Optional[float] = 60.0,
         max_retries: int = 3,
+        breaker_threshold: Optional[int] = 8,
+        breaker_window: float = 30.0,
+        breaker_cooldown: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
         fault_plans: Optional[Dict[int, Dict[str, Any]]] = None,
     ) -> None:
         if num_workers <= 0:
             raise ValueError("num_workers must be positive")
+        if breaker_threshold is not None and breaker_threshold <= 0:
+            raise ValueError("breaker_threshold must be positive (or None)")
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else "spawn"
         self.num_workers = num_workers
         self.task_timeout = task_timeout
         self.max_retries = max_retries
+        self.breaker_threshold = breaker_threshold
+        self.breaker_window = breaker_window
+        self.breaker_cooldown = breaker_cooldown
+        self._clock = clock
+        self._restart_times: deque = deque()
+        self._breaker_open_until: Optional[float] = None
         self._fault_plans = dict(fault_plans or {})
         self._mp = multiprocessing.get_context(start_method)
         self._segments: Dict[str, shared_memory.SharedMemory] = {}
@@ -482,9 +523,40 @@ class WorkerPool(RowDispatcher):
         except Exception:
             pass
         self.stats.workers_restarted += 1
+        self._record_restart()
         replacement = self._spawn()
         self._workers[self._workers.index(worker)] = replacement
         return replacement
+
+    def _record_restart(self) -> None:
+        if self.breaker_threshold is None:
+            return
+        now = self._clock()
+        self._restart_times.append(now)
+        while self._restart_times and self._restart_times[0] < now - self.breaker_window:
+            self._restart_times.popleft()
+        if (
+            self._breaker_open_until is None
+            and len(self._restart_times) >= self.breaker_threshold
+        ):
+            self._breaker_open_until = now + self.breaker_cooldown
+            self.stats.breaker_trips += 1
+
+    @property
+    def breaker_open(self) -> bool:
+        """Whether the refork circuit breaker is currently open.
+
+        Reading the property past the cooldown closes the breaker
+        (half-open) and clears the restart history, so only a *fresh*
+        restart storm can re-trip it.
+        """
+        if self._breaker_open_until is None:
+            return False
+        if self._clock() < self._breaker_open_until:
+            return True
+        self._breaker_open_until = None
+        self._restart_times.clear()
+        return False
 
     def close(self) -> None:
         """Stop all workers and release every shared segment."""
@@ -596,6 +668,11 @@ class WorkerPool(RowDispatcher):
         rows = list(rows)
         if not rows:
             return []
+        if self.breaker_open:
+            # A refork storm tripped the breaker: don't feed work to a pool
+            # whose workers keep dying — run the round in-process instead.
+            self.stats.inline_fallbacks += 1
+            return execute_rows(context, rows, stats, max_rows_per_call)
         if client_id not in self._segments:
             # Standalone use (no scheduler register hook ran): publish now.
             self.register_client(client_id, context)
@@ -611,7 +688,7 @@ class WorkerPool(RowDispatcher):
                         continue
                     break
                 outstanding -= self._collect(results, pending, stats)
-        except WorkerPoolError:
+        except (WorkerPoolError, EngineFault):
             self._reset_busy_workers()
             raise
         ordered: List[LweSample] = []
@@ -746,6 +823,7 @@ class WorkerPool(RowDispatcher):
             worker.faults += 1
             self.stats.results_rejected += 1
             task.error = message[2] if len(message) > 2 else "unknown worker error"
+            task.error_kind = message[3] if len(message) > 3 else ""
             return False
         if message[0] != "ok" or len(message) != 4:
             self.stats.results_rejected += 1
@@ -786,11 +864,17 @@ class WorkerPool(RowDispatcher):
         self.stats.tasks_retried += 1
         if task.retries > self.max_retries:
             detail = getattr(task, "error", "")
-            raise WorkerPoolError(
+            summary = (
                 f"task {task.task_id} ({len(task.rows)} rows for client "
                 f"{task.client_id!r}) failed {task.retries} times; last "
                 f"fault: {reason}" + (f"\n{detail}" if detail else "")
             )
+            if task.error_kind == "engine_fault":
+                # The worker's *engine* faulted deterministically — surface
+                # that as EngineFault so the scheduler fails the engine over
+                # instead of falling back inline onto the same broken kind.
+                raise EngineFault(summary)
+            raise WorkerPoolError(summary)
         pending.append(task)
 
     def _reset_busy_workers(self) -> None:

@@ -545,6 +545,48 @@ class DoubleFFTNegacyclicTransform(NegacyclicTransform):
 # --------------------------------------------------------------------------- #
 
 
+class EngineFault(RuntimeError):
+    """A transform engine failed *at runtime* (after construction).
+
+    Raised when an engine that constructed fine later misbehaves — a JIT
+    kernel failing its self-check, a device error mid-transform, a poisoned
+    buffer.  The fault is typed (rather than a bare ``RuntimeError``) so the
+    runtime can react structurally: :meth:`repro.runtime.context.FheContext.failover`
+    quarantines the faulting kind in the registry and transparently rebuilds
+    the evaluation state on the best fallback engine within the same
+    error-model family, and the batch scheduler retries the affected rows
+    there.  Retryable by construction: no partial results escape.
+    """
+
+    retryable = True
+
+
+#: Engine kinds quarantined after a runtime fault → the reason string.
+#: Quarantine is process-wide registry state (matching the registry itself):
+#: a quarantined kind reports as unavailable, so ``select_best_engine`` skips
+#: it and ``make_transform`` refuses it until :func:`clear_engine_quarantine`.
+_QUARANTINED: Dict[str, str] = {}
+
+
+def quarantine_engine(kind: str, reason: str = "engine fault") -> None:
+    """Mark a registered engine kind unavailable after a runtime fault."""
+    engine_entry(kind)  # validate the kind before poisoning the map
+    _QUARANTINED[kind] = str(reason) or "engine fault"
+
+
+def clear_engine_quarantine(kind: Optional[str] = None) -> None:
+    """Lift the quarantine of ``kind`` (or of every kind when ``None``)."""
+    if kind is None:
+        _QUARANTINED.clear()
+    else:
+        _QUARANTINED.pop(kind, None)
+
+
+def quarantined_engines() -> Dict[str, str]:
+    """Currently quarantined engine kinds → reason (sorted by kind)."""
+    return {kind: _QUARANTINED[kind] for kind in sorted(_QUARANTINED)}
+
+
 @dataclass(frozen=True)
 class EngineEntry:
     """One registered polynomial-multiplication engine.
@@ -586,7 +628,16 @@ class EngineEntry:
     device: str = "cpu"
 
     def unavailable_reason(self) -> Optional[str]:
-        """``None`` when constructible here, else why not (human-readable)."""
+        """``None`` when constructible here, else why not (human-readable).
+
+        A runtime quarantine (:func:`quarantine_engine`) takes precedence
+        over the static availability probe: an engine that *constructs* fine
+        but faulted mid-evaluation must stop being selectable until the
+        quarantine is lifted.
+        """
+        quarantined = _QUARANTINED.get(self.kind)
+        if quarantined is not None:
+            return f"quarantined: {quarantined}"
         if self.availability is None:
             return None
         return self.availability()

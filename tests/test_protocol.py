@@ -23,13 +23,16 @@ import pytest
 
 from repro.runtime.protocol import (
     DEFAULT_MAX_FRAME,
+    LEGACY_MAGIC,
     MAGIC,
     MAX_HEADER_LEN,
     BadHeader,
     BadMagic,
+    ChecksumMismatch,
     FrameTooLarge,
     ProtocolError,
     TruncatedFrame,
+    UnsupportedVersion,
     encode_frame,
     pack_parts,
     read_frame,
@@ -37,7 +40,16 @@ from repro.runtime.protocol import (
     unpack_parts,
 )
 
-_PREFIX = struct.Struct("<4sIQ")
+_PREFIX = struct.Struct("<4sIQI")
+
+
+def _raw_frame(header_bytes: bytes, body: bytes = b"", crc: int = None) -> bytes:
+    """Hand-build a v2 frame (valid CRC unless one is forced)."""
+    import zlib
+
+    if crc is None:
+        crc = zlib.crc32(body, zlib.crc32(header_bytes)) & 0xFFFFFFFF
+    return _PREFIX.pack(MAGIC, len(header_bytes), len(body), crc) + header_bytes + body
 
 
 def _read_from_bytes(data: bytes, max_frame: int = DEFAULT_MAX_FRAME):
@@ -137,16 +149,46 @@ def test_bad_magic():
 
 def test_oversized_body_prefix_refused_before_allocation():
     # Claims an 8 EiB body with no bytes behind it: must be rejected from
-    # the 16-byte prefix alone, not by trying to read (or allocate) it.
-    prefix = _PREFIX.pack(MAGIC, 2, 1 << 62)
+    # the 20-byte prefix alone, not by trying to read (or allocate) it.
+    prefix = _PREFIX.pack(MAGIC, 2, 1 << 62, 0)
     with pytest.raises(FrameTooLarge):
         _read_from_bytes(prefix + b"{}")
 
 
 def test_oversized_header_prefix_refused():
-    prefix = _PREFIX.pack(MAGIC, MAX_HEADER_LEN + 1, 0)
+    prefix = _PREFIX.pack(MAGIC, MAX_HEADER_LEN + 1, 0, 0)
     with pytest.raises(FrameTooLarge):
         _read_from_bytes(prefix)
+
+
+def test_legacy_magic_rejected_typed():
+    # A v1 (pre-CRC) peer is told apart from random garbage: its magic is
+    # recognised and refused with the version error, not BadMagic.
+    # Pad past the (larger) v2 prefix size: a real v1 peer keeps streaming,
+    # so the reader always gets its 20 prefix bytes before judging them.
+    prefix = struct.pack("<4sIQ", LEGACY_MAGIC, 2, 0) + b"{}" + b"\x00" * 8
+    with pytest.raises(UnsupportedVersion):
+        _read_from_bytes(prefix)
+
+
+def test_corrupted_body_fails_checksum():
+    frame = bytearray(encode_frame({"op": "gate", "id": 9}, b"payload-bytes"))
+    frame[-3] ^= 0x10  # flip one bit inside the body
+    with pytest.raises(ChecksumMismatch):
+        _read_from_bytes(bytes(frame))
+
+
+def test_corrupted_header_fails_checksum():
+    frame = bytearray(encode_frame({"op": "gate", "id": 9}, b"payload"))
+    frame[_PREFIX.size + 2] ^= 0x01  # flip one bit inside the JSON header
+    with pytest.raises(ChecksumMismatch):
+        _read_from_bytes(bytes(frame))
+
+
+def test_checksum_mismatch_is_retryable():
+    assert ChecksumMismatch.retryable is True
+    assert TruncatedFrame.retryable is True
+    assert BadMagic.retryable is False
 
 
 def test_frame_over_reader_budget_refused():
@@ -161,24 +203,20 @@ def test_encode_rejects_oversized_header():
 
 
 def test_header_not_json():
-    body = b"this is not json"
-    prefix = _PREFIX.pack(MAGIC, len(body), 0)
+    # CRC-valid frame whose header bytes are not JSON: the checksum passes,
+    # the parse fails typed.
     with pytest.raises(BadHeader):
-        _read_from_bytes(prefix + body)
+        _read_from_bytes(_raw_frame(b"this is not json"))
 
 
 def test_header_not_utf8():
-    raw = b"\xff\xfe\xfd\xfc"
-    prefix = _PREFIX.pack(MAGIC, len(raw), 0)
     with pytest.raises(BadHeader):
-        _read_from_bytes(prefix + raw)
+        _read_from_bytes(_raw_frame(b"\xff\xfe\xfd\xfc"))
 
 
 def test_header_not_an_object():
-    raw = json.dumps([1, 2, 3]).encode()
-    prefix = _PREFIX.pack(MAGIC, len(raw), 0)
     with pytest.raises(BadHeader):
-        _read_from_bytes(prefix + raw)
+        _read_from_bytes(_raw_frame(json.dumps([1, 2, 3]).encode()))
 
 
 # --------------------------------------------------------------------------- #
@@ -237,18 +275,21 @@ def test_fuzz_random_blobs_never_hang():
 
 
 def test_fuzz_mutated_valid_frames():
-    """Single-byte mutations of a valid frame fail typed or survive."""
+    """Single-byte mutations of a valid frame ALWAYS fail typed.
+
+    With the CRC-protected v2 frame this is a hard guarantee, not
+    best-effort: CRC32 detects every single-byte error in the covered
+    region, and mutations of the prefix itself hit the magic/length/CRC
+    validation.  No mutation may parse as a (silently different) frame.
+    """
     rng = np.random.default_rng(42)
     frame = encode_frame({"op": "gate", "id": 5, "gate": "xor"}, b"payload-bytes")
     for _ in range(300):
         mutated = bytearray(frame)
         position = int(rng.integers(0, len(mutated)))
         mutated[position] ^= int(rng.integers(1, 256))
-        try:
-            header, _body = _read_from_bytes(bytes(mutated))
-            assert isinstance(header, dict)  # survived: still a JSON object
-        except (ProtocolError, EOFError):
-            pass
+        with pytest.raises((ProtocolError, EOFError)):
+            _read_from_bytes(bytes(mutated))
 
 
 def test_fuzz_truncations_of_valid_frame():

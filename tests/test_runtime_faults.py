@@ -155,6 +155,14 @@ def test_retry_budget_exhaustion_raises(workload):
     with WorkerPool(1, task_timeout=5.0, max_retries=2, fault_plans=plans) as pool:
         with pytest.raises(WorkerPoolError, match="injected worker fault"):
             pool.run_rows("tenant", context, rows, SchedulerStats())
+        # Retry accounting balances on exhaustion: the task was requeued
+        # max_retries + 1 times (each attempt failed), every attempt was a
+        # fresh dispatch, and NO row was ever counted as executed — a
+        # failed flush contributes nothing, so rows can't double-execute.
+        assert pool.stats.tasks_retried == 3
+        assert pool.stats.tasks_dispatched == 3
+        assert pool.stats.tasks_completed == 0
+        assert pool.stats.rows_executed == 0
 
 
 def test_pool_usable_after_exhaustion(workload):
@@ -168,6 +176,125 @@ def test_pool_usable_after_exhaustion(workload):
         # bit-identical (no stale results from the abandoned attempts).
         outputs = pool.run_rows("tenant", context, rows, SchedulerStats())
         assert all(_same_sample(got, want) for got, want in zip(outputs, reference))
+
+
+def test_requeued_rows_never_double_execute(workload):
+    """One fault, one requeue: rows execute exactly once, bit-identically."""
+    reference = workload[4]
+    with WorkerPool(
+        2, task_timeout=2.0, max_retries=3, fault_plans={0: {"crash_on_task": 0}}
+    ) as pool:
+        scheduler, results = _run_with_pool(workload, pool)
+        assert all(_same_sample(got, want) for got, want in zip(results, reference))
+        # The requeued chunk ran once on its replacement worker — the pool's
+        # row counter matches the workload exactly (no double execution),
+        # and the per-worker completion counters account every task once.
+        assert pool.stats.rows_executed == len(BITS_A)
+        assert sum(w.tasks_completed for w in pool.health) == pool.stats.tasks_completed
+
+
+def test_breaker_trips_on_restart_storm_and_degrades_inline(workload):
+    """A refork storm opens the breaker; flushes degrade to inline, then heal."""
+    context, _cas, _cbs, rows, reference = workload
+    clock = [0.0]
+    # Spawns 0-2 crash their first task; spawn 3 is healthy.  With a
+    # threshold of 3 inside a 10 s window the third restart trips the
+    # breaker mid-run (the run itself still completes on spawn 3).
+    plans = {i: {"crash_on_task": 0} for i in range(3)}
+    with WorkerPool(
+        1,
+        task_timeout=5.0,
+        max_retries=5,
+        breaker_threshold=3,
+        breaker_window=10.0,
+        breaker_cooldown=5.0,
+        clock=lambda: clock[0],
+        fault_plans=plans,
+    ) as pool:
+        outputs = pool.run_rows("tenant", context, rows, SchedulerStats())
+        assert all(_same_sample(got, want) for got, want in zip(outputs, reference))
+        assert pool.stats.workers_restarted == 3
+        assert pool.stats.breaker_trips == 1
+        assert pool.breaker_open
+        # While open, run_rows computes in-process — bit-identically — and
+        # touches no worker.
+        done_before = sum(w.tasks_completed for w in pool.health)
+        outputs = pool.run_rows("tenant", context, rows, SchedulerStats())
+        assert all(_same_sample(got, want) for got, want in zip(outputs, reference))
+        assert pool.stats.inline_fallbacks == 1
+        assert sum(w.tasks_completed for w in pool.health) == done_before
+        # Past the cooldown the breaker half-opens (restart history cleared)
+        # and the pool serves again.
+        clock[0] += 6.0
+        assert not pool.breaker_open
+        outputs = pool.run_rows("tenant", context, rows, SchedulerStats())
+        assert all(_same_sample(got, want) for got, want in zip(outputs, reference))
+        assert pool.stats.breaker_trips == 1  # no re-trip without a new storm
+
+
+def test_scheduler_falls_back_inline_when_pool_exhausts(workload):
+    """Pool exhaustion fails the *pool*, not the clients' jobs."""
+    reference = workload[4]
+    plans = {i: {"error_on_task": 0} for i in range(8)}
+    with WorkerPool(1, task_timeout=5.0, max_retries=1, fault_plans=plans) as pool:
+        scheduler, results = _run_with_pool(workload, pool)
+        assert all(_same_sample(got, want) for got, want in zip(results, reference))
+        assert scheduler.stats.inline_fallbacks == 1
+        assert scheduler.stats.jobs_completed == len(BITS_A)
+
+
+def test_worker_engine_fault_triggers_failover():
+    """A deterministic worker-side EngineFault quarantines the engine kind.
+
+    Every worker attempt raises EngineFault, so retry exhaustion surfaces
+    EngineFault (not WorkerPoolError) to the scheduler, which quarantines
+    ``double``, rebuilds the context on the ``compiled`` fallback (same
+    fft64 family — bit-identical), republishes the client to the pool and
+    replays the round.
+    """
+    from repro.runtime.context import FheContext
+    from repro.tfhe.keys import generate_keys
+    from repro.tfhe.params import TEST_TINY
+    from repro.tfhe.transform import (
+        DoubleFFTNegacyclicTransform,
+        clear_engine_quarantine,
+        quarantined_engines,
+    )
+
+    secret, cloud = generate_keys(
+        TEST_TINY,
+        DoubleFFTNegacyclicTransform(TEST_TINY.N),
+        unroll_factor=1,
+        rng=77,
+        eager=False,
+    )
+    cas = [encrypt_bit(secret, b, rng=510 + i) for i, b in enumerate(BITS_A)]
+    cbs = [encrypt_bit(secret, b, rng=540 + i) for i, b in enumerate(BITS_B)]
+    reference_rows = [("gate", "nand", ca, cb) for ca, cb in zip(cas, cbs)]
+    reference = execute_rows(FheContext(cloud), reference_rows, stats=SchedulerStats())
+    # Spawns 0 and 1 cover both pre-failover attempts (max_retries=1); the
+    # workers spawned for the post-failover replay carry no plan — the
+    # fault "lives in" the quarantined engine, as a real engine bug would.
+    plans = {0: {"engine_fault_always": True}, 1: {"engine_fault_always": True}}
+    try:
+        with WorkerPool(1, task_timeout=5.0, max_retries=1, fault_plans=plans) as pool:
+            scheduler = BatchScheduler(dispatcher=pool)
+            context = scheduler.register_client("tenant", cloud)
+            session = scheduler.session("tenant")
+            handles = [
+                session.submit_gate("nand", ca, cb) for ca, cb in zip(cas, cbs)
+            ]
+            scheduler.flush()
+            results = [handle.result() for handle in handles]
+            assert all(
+                _same_sample(got, want) for got, want in zip(results, reference)
+            )
+            assert scheduler.stats.engine_failovers == 1
+            assert "double" in quarantined_engines()
+            assert context.engine.engine_kind == "compiled"
+            assert scheduler.stats.jobs_completed == len(BITS_A)
+    finally:
+        clear_engine_quarantine()
 
 
 def test_fault_storm_many_flushes(workload):

@@ -77,6 +77,16 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help=(
+            "graceful-drain bound (s) on SIGTERM/SIGINT: accepted jobs are "
+            "flushed and clients notified before exit; a second signal "
+            "force-stops immediately"
+        ),
+    )
+    parser.add_argument(
         "--list-engines",
         action="store_true",
         help="print every registered engine backend (with availability) and exit",
@@ -118,6 +128,7 @@ def main(argv=None) -> int:
                 flush_interval=args.flush_interval,
                 max_rows_per_call=args.max_rows_per_call,
                 engine=args.engine,
+                drain_timeout=args.drain_timeout,
             )
         )
     except KeyboardInterrupt:
