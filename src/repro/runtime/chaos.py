@@ -34,7 +34,13 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.runtime.context import FheContext
 from repro.runtime.protocol import _PREFIX
-from repro.runtime.scheduler import Row, RowDispatcher, SchedulerStats, execute_rows
+from repro.runtime.scheduler import (
+    Row,
+    RowDispatcher,
+    SchedulerStats,
+    _round_scope,
+    execute_rows,
+)
 from repro.tfhe.lwe import LweSample
 from repro.tfhe.transform import EngineFault, NegacyclicTransform
 
@@ -371,12 +377,17 @@ class SlowDispatcher(RowDispatcher):
         rows: Sequence[Row],
         stats: SchedulerStats,
         max_rows_per_call: Optional[int] = None,
+        round_ctx=None,
     ) -> List[LweSample]:
         self.rounds += 1
         time.sleep(self.delay)
         if self.inner is not None:
-            return self.inner.run_rows(client_id, context, rows, stats, max_rows_per_call)
-        return execute_rows(context, rows, stats, max_rows_per_call)
+            self.inner.telemetry = self.telemetry
+            return self.inner.run_rows(
+                client_id, context, rows, stats, max_rows_per_call, round_ctx=round_ctx
+            )
+        with _round_scope(context, round_ctx):
+            return execute_rows(context, rows, stats, max_rows_per_call)
 
     def register_client(self, client_id: str, context: FheContext) -> None:
         if self.inner is not None:

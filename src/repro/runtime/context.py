@@ -118,6 +118,11 @@ class FheContext:
         self.workspace = BootstrapWorkspace()
         #: How many times :meth:`failover` swapped this context's engine.
         self.engine_failovers = 0
+        #: Optional :class:`repro.telemetry.Telemetry` bundle; set by the
+        #: scheduler on registration so the innermost evaluator layer can
+        #: record per-stage spans without an argument threaded through
+        #: every call.  ``None`` keeps the fast path untouched.
+        self.telemetry = None
 
     # -- construction helpers ----------------------------------------------
     @classmethod

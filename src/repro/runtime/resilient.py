@@ -51,6 +51,11 @@ from repro.tfhe.serialize import Circuit, circuit_to_json, from_bytes, to_bytes
 
 __all__ = ["DeadlineExceeded", "ResilientClient", "RetryStats"]
 
+#: Ops whose frames carry a client-minted ``trace`` id.  The id lives in the
+#: pending-request record, so a resubmit after a reconnect resends the *same*
+#: id — server-side, the original attempt and the retry land in one trace.
+_TRACED_OPS = frozenset({"gate", "lut", "circuit", "radix_add"})
+
 
 class DeadlineExceeded(RuntimeError):
     """The per-request deadline budget ran out before a result arrived."""
@@ -118,6 +123,7 @@ class ResilientClient:
         max_frame: int = DEFAULT_MAX_FRAME,
         rng: Optional[random.Random] = None,
         sleep: Callable[[float], None] = time.sleep,
+        telemetry: Optional[Any] = None,
     ) -> None:
         if max_attempts <= 0:
             raise ValueError("max_attempts must be positive")
@@ -141,6 +147,14 @@ class ResilientClient:
         self._key: Optional[Tuple[Any, Optional[str]]] = None
         self._register_header: Optional[Dict[str, Any]] = None
         self.stats = RetryStats()
+        #: Optional :class:`repro.telemetry.Telemetry` bundle; when set, the
+        #: RetryStats counters are mirrored into its registry under
+        #: ``fhe_client_*`` names (stats stay authoritative either way).
+        self.telemetry = telemetry
+
+    def _count(self, name: str, help_text: str, amount: float = 1, **labels) -> None:
+        if self.telemetry is not None:
+            self.telemetry.count(name, help_text, amount=amount, **labels)
 
     # -- lifecycle ---------------------------------------------------------
     def close(self) -> None:
@@ -173,7 +187,11 @@ class ResilientClient:
         )
         if self.stats.connects:
             self.stats.reconnects += 1
+            self._count(
+                "fhe_client_reconnects_total", "Re-dials after a dropped connection."
+            )
         self.stats.connects += 1
+        self._count("fhe_client_connects_total", "Connections dialled (incl. first).")
         self._client = client
         try:
             self._recover(client)
@@ -204,6 +222,10 @@ class ResilientClient:
             self._send(client, request_id)
             if self.stats.reconnects:
                 self.stats.resubmitted += 1
+                self._count(
+                    "fhe_client_resubmits_total",
+                    "Unacknowledged requests replayed after a reconnect.",
+                )
 
     def _send(self, client: ServingClient, request_id: int) -> None:
         pending = self._pending[request_id]
@@ -220,6 +242,11 @@ class ResilientClient:
         delay = min(self.max_delay, self.base_delay * (2 ** max(0, attempt - 1)))
         delay *= 0.5 + self._rng.random()  # jitter in [0.5, 1.5)
         self.stats.backoff_seconds += delay
+        self._count(
+            "fhe_client_backoff_seconds_total",
+            "Total seconds slept in retry backoff.",
+            amount=delay,
+        )
         self._sleep(delay)
 
     # -- core request machinery -------------------------------------------
@@ -239,10 +266,16 @@ class ResilientClient:
         self._next_id += 1
         budget = self.default_deadline if deadline is None else deadline
         already_connected = self._client is not None
+        fields = dict(fields)
+        if op in _TRACED_OPS:
+            # Minted once and stored with the pending record: every resend of
+            # this request carries the same trace id, so the server stitches
+            # all delivery attempts into a single trace.
+            fields.setdefault("trace", uuid.uuid4().hex)
         self._pending[request_id] = _Pending(
             op=op,
             body=body,
-            fields=dict(fields),
+            fields=fields,
             deadline_at=None if budget is None else time.monotonic() + budget,
         )
         try:
@@ -268,6 +301,10 @@ class ResilientClient:
                 and time.monotonic() > pending.deadline_at
             ):
                 self._pending.pop(request_id, None)
+                self._count(
+                    "fhe_client_deadline_exceeded_total",
+                    "Requests abandoned because their deadline budget ran out.",
+                )
                 raise DeadlineExceeded(
                     f"request {request_id} ({pending.op}) exceeded its deadline "
                     f"after {attempts} retryable failure(s)"
@@ -278,6 +315,12 @@ class ResilientClient:
                 raise last_error
             if attempts:
                 self.stats.retries += 1
+                kind = type(last_error).__name__ if last_error is not None else "unknown"
+                self._count(
+                    "fhe_client_retries_total",
+                    "Retry attempts, labeled by the error that forced them.",
+                    kind=kind,
+                )
                 self._backoff(attempts)
             try:
                 client = self._ensure_connected()

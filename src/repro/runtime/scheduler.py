@@ -57,12 +57,15 @@ connection.
 
 from __future__ import annotations
 
+import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.runtime.context import FheContext
+from repro.telemetry.metrics import ROWS_PER_CALL_BUCKETS
 from repro.tfhe.transform import EngineFault
 from repro.tfhe.executor import LevelSchedule, _gather_inputs, schedule_circuit
 from repro.tfhe.gates import (
@@ -110,13 +113,15 @@ class JobHandle:
     that a concurrent deregistration already failed cannot resurrect it.
     """
 
-    __slots__ = ("_result", "_done", "_exception", "client_id")
+    __slots__ = ("_result", "_done", "_exception", "client_id", "trace_id")
 
     def __init__(self, client_id: Optional[str] = None) -> None:
         self._result = None
         self._done = False
         self._exception: Optional[BaseException] = None
         self.client_id = client_id
+        #: Trace id of the job behind this handle (``None`` without tracing).
+        self.trace_id: Optional[str] = None
 
     @property
     def done(self) -> bool:
@@ -233,6 +238,10 @@ def execute_rows(
     outputs: List[LweSample] = []
     rows = list(rows)
     chunk = max_rows_per_call or len(rows)
+    tel = getattr(context, "telemetry", None)
+    metered = tel is not None and tel.metrics_enabled
+    if metered:
+        engine_before = context.engine.stats.snapshot()
     for start in range(0, len(rows), chunk):
         part = rows[start : start + chunk]
         if any(row[0] == "lut" for row in part):
@@ -245,8 +254,51 @@ def execute_rows(
         if stats is not None:
             stats.batched_calls += 1
             stats.max_rows_per_call = max(stats.max_rows_per_call, len(part))
+        if metered:
+            tel.count(
+                "fhe_batched_calls_total",
+                "Mixed-gate batched bootstrapping calls issued.",
+            )
+            tel.observe(
+                "fhe_rows_per_call",
+                len(part),
+                "Coalesced batch width per bootstrapping call.",
+                buckets=ROWS_PER_CALL_BUCKETS,
+            )
         outputs.extend(result.to_samples())
+    if metered:
+        record_engine_deltas(tel, context.engine, engine_before)
     return outputs
+
+
+def record_engine_deltas(tel, engine, before) -> None:
+    """Mirror an engine's transform-call deltas into the registry.
+
+    ``before`` is an earlier :meth:`TransformStats.snapshot`; the counter
+    carries the engine kind as a label so a failover's engine swap shows up
+    as a second labeled series rather than a reset.
+    """
+    after = engine.stats.snapshot()
+    kind = getattr(engine, "engine_kind", None) or "unknown"
+    help_text = "Negacyclic transform invocations by direction."
+    forward = after.forward_calls - before.forward_calls
+    backward = after.backward_calls - before.backward_calls
+    if forward > 0:
+        tel.count(
+            "fhe_engine_transform_calls_total",
+            help_text,
+            amount=forward,
+            engine=kind,
+            direction="forward",
+        )
+    if backward > 0:
+        tel.count(
+            "fhe_engine_transform_calls_total",
+            help_text,
+            amount=backward,
+            engine=kind,
+            direction="backward",
+        )
 
 
 class RowDispatcher:
@@ -258,7 +310,17 @@ class RowDispatcher:
     Implementations update ``stats`` (``batched_calls`` /
     ``max_rows_per_call``) to reflect the batched bootstrapping calls they
     actually issued.
+
+    ``round_ctx`` is the scheduler's tracing context for the round —
+    ``(trace ids, flush span id)`` or ``None`` — so the execution side can
+    attribute its ``engine_contract``/``keyswitch`` spans to the jobs the
+    round serves (the worker pool ships it across the process boundary).
     """
+
+    #: Optional :class:`repro.telemetry.Telemetry` sink; mirrored here by
+    #: the owning scheduler so pool-side accounting lands in the same
+    #: registry and trace ring.
+    telemetry = None
 
     def run_rows(
         self,
@@ -267,6 +329,7 @@ class RowDispatcher:
         rows: Sequence[Row],
         stats: "SchedulerStats",
         max_rows_per_call: Optional[int] = None,
+        round_ctx: Optional[Tuple[Tuple[str, ...], Optional[str]]] = None,
     ) -> List[LweSample]:
         raise NotImplementedError
 
@@ -275,6 +338,15 @@ class RowDispatcher:
 
     def deregister_client(self, client_id: str) -> None:
         """Hook invoked when the scheduler drops a client (optional)."""
+
+
+def _round_scope(context: FheContext, round_ctx):
+    """A ``stage_round`` scope for in-process execution (no-op untraced)."""
+    tel = getattr(context, "telemetry", None)
+    if tel is None or round_ctx is None:
+        return nullcontext()
+    trace_ids, parent_span_id = round_ctx
+    return tel.stage_round(trace_ids, parent_span_id)
 
 
 class InlineDispatcher(RowDispatcher):
@@ -287,8 +359,10 @@ class InlineDispatcher(RowDispatcher):
         rows: Sequence[Row],
         stats: "SchedulerStats",
         max_rows_per_call: Optional[int] = None,
+        round_ctx: Optional[Tuple[Tuple[str, ...], Optional[str]]] = None,
     ) -> List[LweSample]:
-        return execute_rows(context, rows, stats, max_rows_per_call)
+        with _round_scope(context, round_ctx):
+            return execute_rows(context, rows, stats, max_rows_per_call)
 
 
 class _GateJob:
@@ -506,7 +580,9 @@ class EvaluationSession:
         return operand
 
     # -- queued bootstrapped work -------------------------------------------
-    def submit_gate(self, name: str, ca: Operand, cb: Operand) -> JobHandle:
+    def submit_gate(
+        self, name: str, ca: Operand, cb: Operand, trace_id: Optional[str] = None
+    ) -> JobHandle:
         """Queue one two-input gate; operands may be earlier jobs' handles
         of the **same** client."""
         if name not in MIXED_GATE_SPECS:
@@ -515,10 +591,17 @@ class EvaluationSession:
         self.scheduler._enqueue(
             self.client_id,
             _GateJob(name, self._check_operand(ca), self._check_operand(cb), handle),
+            op="gate",
+            trace_id=trace_id,
         )
         return handle
 
-    def submit_lut(self, table: int, operands: Sequence[Operand]) -> JobHandle:
+    def submit_lut(
+        self,
+        table: int,
+        operands: Sequence[Operand],
+        trace_id: Optional[str] = None,
+    ) -> JobHandle:
         """Queue one k-input boolean lookup (truth table ``table``).
 
         The table must have a single-bootstrap realisation
@@ -530,7 +613,12 @@ class EvaluationSession:
         operands = [self._check_operand(op) for op in operands]
         require_lut_spec(table, len(operands))  # fail fast on infeasible tables
         handle = JobHandle(self.client_id)
-        self.scheduler._enqueue(self.client_id, _LutJob(table, operands, handle))
+        self.scheduler._enqueue(
+            self.client_id,
+            _LutJob(table, operands, handle),
+            op="lut",
+            trace_id=trace_id,
+        )
         return handle
 
     def submit_circuit(
@@ -539,6 +627,7 @@ class EvaluationSession:
         inputs: Mapping[str, Sequence[Operand]],
         outputs: Optional[Sequence[str]] = None,
         schedule: Optional[LevelSchedule] = None,
+        trace_id: Optional[str] = None,
     ) -> JobHandle:
         """Queue a whole netlist (single word, scalar bits per input).
 
@@ -556,7 +645,7 @@ class EvaluationSession:
         job = _CircuitJob(
             circuit, schedule, checked, self.context.params.n, handle
         )
-        self.scheduler._enqueue(self.client_id, job)
+        self.scheduler._enqueue(self.client_id, job, op="circuit", trace_id=trace_id)
         return handle
 
 
@@ -569,6 +658,7 @@ class BatchScheduler:
         dispatcher: Optional[RowDispatcher] = None,
         max_pending_jobs: Optional[int] = None,
         engine: Optional[str] = None,
+        telemetry=None,
     ) -> None:
         if max_rows_per_call is not None and max_rows_per_call <= 0:
             raise ValueError("max_rows_per_call must be positive")
@@ -584,6 +674,21 @@ class BatchScheduler:
         self._contexts: Dict[str, FheContext] = {}
         self._queues: Dict[str, List[object]] = {}
         self.stats = SchedulerStats()
+        #: Optional :class:`repro.telemetry.Telemetry` bundle; ``None`` keeps
+        #: every instrumentation site behind one ``is None`` check.
+        self.telemetry = telemetry
+        if telemetry is not None:
+            self.dispatcher.telemetry = telemetry
+
+    # -- telemetry helpers ---------------------------------------------------
+    def _count(self, name: str, help_text: str, amount: float = 1, **labels) -> None:
+        """Increment a registry counter iff metrics are enabled."""
+        if self.telemetry is not None:
+            self.telemetry.count(name, help_text, amount=amount, **labels)
+
+    @property
+    def _traced(self) -> bool:
+        return self.telemetry is not None and self.telemetry.tracer.enabled
 
     # -- client management ---------------------------------------------------
     def register_client(
@@ -608,6 +713,8 @@ class BatchScheduler:
             context = key
         else:
             context = FheContext(key, engine=engine or self.engine)
+        if self.telemetry is not None:
+            context.telemetry = self.telemetry
         self._contexts[client_id] = context
         self._queues[client_id] = []
         self.dispatcher.register_client(client_id, context)
@@ -658,13 +765,44 @@ class BatchScheduler:
         return EvaluationSession(self, client_id)
 
     # -- queue ----------------------------------------------------------------
-    def _enqueue(self, client_id: str, job) -> None:
+    def _enqueue(
+        self,
+        client_id: str,
+        job,
+        op: str = "job",
+        trace_id: Optional[str] = None,
+    ) -> None:
+        tel = self.telemetry
+        traced = tel is not None and tel.tracer.enabled
+        if traced:
+            tid = trace_id or tel.tracer.new_trace_id()
+            job.trace_id = tid
+            job.handle.trace_id = tid
+            job.submit_wall = time.time()
+            job.submit_perf = time.perf_counter()
+            # Start of the job's current coalescing window (reset per round).
+            job.wait_from = job.submit_perf
         # A job can resolve at submit time without costing any bootstraps —
         # e.g. an optimized circuit whose live outputs are constant wires or
         # COPY/NOT chains only (zero bootstrapped levels).  Count it here,
         # since flush() will simply drop it from the queue.
         if job.done:
             self.stats.jobs_completed += 1
+            self._count(
+                "fhe_jobs_submitted_total", "Jobs accepted by the scheduler.", op=op
+            )
+            self._count("fhe_jobs_completed_total", "Jobs fully resolved.")
+            if traced:
+                tel.tracer.record(
+                    "enqueue",
+                    job.trace_id,
+                    start=job.submit_wall,
+                    duration=0.0,
+                    attrs={"op": op, "client": client_id},
+                )
+                tel.tracer.record(
+                    "job", job.trace_id, start=job.submit_wall, duration=0.0
+                )
             return
         if (
             self.max_pending_jobs is not None
@@ -673,6 +811,17 @@ class BatchScheduler:
             raise SchedulerBusy(
                 f"scheduler queue is full ({self.max_pending_jobs} pending "
                 f"jobs); flush before submitting more"
+            )
+        self._count(
+            "fhe_jobs_submitted_total", "Jobs accepted by the scheduler.", op=op
+        )
+        if traced:
+            tel.tracer.record(
+                "enqueue",
+                job.trace_id,
+                start=job.submit_wall,
+                duration=0.0,
+                attrs={"op": op, "client": client_id},
             )
         self._queues[client_id].append(job)
 
@@ -694,7 +843,9 @@ class BatchScheduler:
             pass
         self.dispatcher.register_client(client_id, context)
 
-    def _run_rows_resilient(self, client_id: str, rows: List[Row]) -> List[LweSample]:
+    def _run_rows_resilient(
+        self, client_id: str, rows: List[Row], round_ctx=None
+    ) -> List[LweSample]:
         """Dispatch one round's rows, surviving engine faults and pool failure.
 
         * :class:`repro.tfhe.transform.EngineFault` (from an inline engine,
@@ -718,17 +869,31 @@ class BatchScheduler:
         from repro.runtime.workers import WorkerPoolError
 
         context = self._contexts[client_id]
+        # Omit the kwarg entirely for untraced rounds so pre-telemetry
+        # RowDispatcher implementations keep working unchanged.
+        ctx_kwargs = {} if round_ctx is None else {"round_ctx": round_ctx}
         try:
             return self.dispatcher.run_rows(
-                client_id, context, rows, self.stats, self.max_rows_per_call
+                client_id,
+                context,
+                rows,
+                self.stats,
+                self.max_rows_per_call,
+                **ctx_kwargs,
             )
         except EngineFault as exc:
             context.failover(str(exc))
             self.stats.engine_failovers += 1
+            self._count("fhe_engine_failovers_total", "Engine quarantines mid-flush.")
             self._republish_client(client_id, context)
             try:
                 return self.dispatcher.run_rows(
-                    client_id, context, rows, self.stats, self.max_rows_per_call
+                    client_id,
+                    context,
+                    rows,
+                    self.stats,
+                    self.max_rows_per_call,
+                    **ctx_kwargs,
                 )
             except (EngineFault, WorkerPoolError):
                 # The replay faulted too — the dispatcher itself is sick
@@ -736,23 +901,35 @@ class BatchScheduler:
                 # context is healthy in this process, so finish the round
                 # inline rather than fail jobs a single process can compute.
                 self.stats.inline_fallbacks += 1
-                return execute_rows(
-                    context, rows, self.stats, self.max_rows_per_call
+                self._count(
+                    "fhe_inline_fallbacks_total", "Rounds degraded to in-process."
                 )
+                with _round_scope(context, round_ctx):
+                    return execute_rows(
+                        context, rows, self.stats, self.max_rows_per_call
+                    )
         except WorkerPoolError:
             self.stats.inline_fallbacks += 1
+            self._count(
+                "fhe_inline_fallbacks_total", "Rounds degraded to in-process."
+            )
             try:
-                return execute_rows(
-                    context, rows, self.stats, self.max_rows_per_call
-                )
+                with _round_scope(context, round_ctx):
+                    return execute_rows(
+                        context, rows, self.stats, self.max_rows_per_call
+                    )
             except EngineFault as exc:
                 # The pool failed *because* the engine is sick everywhere.
                 context.failover(str(exc))
                 self.stats.engine_failovers += 1
-                self._republish_client(client_id, context)
-                return execute_rows(
-                    context, rows, self.stats, self.max_rows_per_call
+                self._count(
+                    "fhe_engine_failovers_total", "Engine quarantines mid-flush."
                 )
+                self._republish_client(client_id, context)
+                with _round_scope(context, round_ctx):
+                    return execute_rows(
+                        context, rows, self.stats, self.max_rows_per_call
+                    )
 
     def flush(self) -> int:
         """Run every pending job to completion; returns the rows bootstrapped.
@@ -769,6 +946,9 @@ class BatchScheduler:
         exactly-once settle semantics) instead of corrupting the round.
         """
         self.stats.flushes += 1
+        self._count("fhe_flushes_total", "Scheduler flush invocations.")
+        tel = self.telemetry
+        traced = self._traced
         total_rows = 0
         while True:
             progressed = False
@@ -785,13 +965,43 @@ class BatchScheduler:
                         rows.extend(job_rows)
                 if not rows:
                     continue
-                outputs = self._run_rows_resilient(client_id, rows)
+                round_ctx = None
+                if traced:
+                    round_ctx = self._record_coalesce(contributions)
+                flush_wall = time.time()
+                flush_perf = time.perf_counter()
+                outputs = self._run_rows_resilient(client_id, rows, round_ctx)
+                if round_ctx is not None:
+                    trace_ids, flush_span_id = round_ctx
+                    attrs = {"client": client_id, "rows": len(rows)}
+                    if len(trace_ids) > 1:
+                        attrs["traces"] = list(trace_ids)
+                    tel.tracer.record(
+                        "flush",
+                        trace_ids[0],
+                        start=flush_wall,
+                        duration=time.perf_counter() - flush_perf,
+                        span_id=flush_span_id,
+                        attrs=attrs,
+                    )
                 cursor = 0
                 for job, count in contributions:
                     was_done = job.done  # failed mid-dispatch by a forced deregister
                     job.deliver(outputs[cursor : cursor + count])
                     cursor += count
-                    self.stats.jobs_completed += 1 if job.done and not was_done else 0
+                    if traced:
+                        # Next coalescing window (multi-level jobs) starts now.
+                        job.wait_from = time.perf_counter()
+                    if job.done and not was_done:
+                        self.stats.jobs_completed += 1
+                        self._count("fhe_jobs_completed_total", "Jobs fully resolved.")
+                        if traced and getattr(job, "trace_id", None) is not None:
+                            tel.tracer.record(
+                                "job",
+                                job.trace_id,
+                                start=job.submit_wall,
+                                duration=time.perf_counter() - job.submit_perf,
+                            )
                 total_rows += len(rows)
                 progressed = True
             # Drop resolved jobs from the queues.
@@ -807,4 +1017,37 @@ class BatchScheduler:
                 "no queued job produces"
             )
         self.stats.rows_bootstrapped += total_rows
+        if total_rows:
+            self._count(
+                "fhe_rows_bootstrapped_total",
+                "Ciphertext rows bootstrapped.",
+                amount=total_rows,
+            )
         return total_rows
+
+    def _record_coalesce(self, contributions: List[Tuple[object, int]]):
+        """Record each job's ``coalesce_wait`` span and mint the round ctx.
+
+        Returns ``(trace ids, flush span id)`` for the round, or ``None``
+        when no contributing job carries a trace (tracing was enabled after
+        they were submitted).
+        """
+        tel = self.telemetry
+        now_wall = time.time()
+        now_perf = time.perf_counter()
+        trace_ids: List[str] = []
+        for job, _count in contributions:
+            tid = getattr(job, "trace_id", None)
+            if tid is None:
+                continue
+            trace_ids.append(tid)
+            waited = now_perf - getattr(job, "wait_from", now_perf)
+            tel.tracer.record(
+                "coalesce_wait",
+                tid,
+                start=now_wall - waited,
+                duration=waited,
+            )
+        if not trace_ids:
+            return None
+        return tuple(trace_ids), tel.tracer.new_span_id()

@@ -70,6 +70,7 @@ from repro.runtime.protocol import (
 from repro.tfhe.integers import RadixEvaluator, RadixInt
 from repro.tfhe.keys import TFHECloudKey
 from repro.tfhe.lwe import LweBatch, LweSample
+from repro.telemetry import DEFAULT_LATENCY_BUCKETS, Telemetry
 from repro.tfhe.serialize import (
     SerializationError,
     circuit_from_json,
@@ -78,6 +79,9 @@ from repro.tfhe.serialize import (
 )
 
 __all__ = ["FheServer", "serve"]
+
+#: Ops that represent homomorphic work (traced, per-session accounted).
+_JOB_OPS = frozenset({"gate", "lut", "circuit", "radix_add"})
 
 
 class _RequestError(Exception):
@@ -200,12 +204,18 @@ class FheServer:
         engine: Optional[str] = None,
         session_cache_size: int = 256,
         session_ttl: float = 300.0,
+        telemetry: bool = True,
     ) -> None:
+        #: Unified metrics + tracing sink (``telemetry=False`` keeps every
+        #: instrumentation site behind a single ``is None`` check — the
+        #: zero-overhead-when-disabled contract asserted by the bench).
+        self.telemetry: Optional[Telemetry] = Telemetry() if telemetry else None
         self.scheduler = BatchScheduler(
             max_rows_per_call=max_rows_per_call,
             dispatcher=dispatcher,
             max_pending_jobs=max_pending_jobs,
             engine=engine,
+            telemetry=self.telemetry,
         )
         self.host = host
         self.port = port
@@ -230,6 +240,16 @@ class FheServer:
         self._drain_seconds: Optional[float] = None
         self._jobs_deduped = 0
         self._jobs_shed = 0
+        #: client id → job-op requests served (the ``top_sessions`` view).
+        self._session_jobs: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # telemetry helpers                                                  #
+    # ------------------------------------------------------------------ #
+
+    def _tel_count(self, name: str, help_text: str, amount: float = 1, **labels) -> None:
+        if self.telemetry is not None:
+            self.telemetry.count(name, help_text, amount=amount, **labels)
 
     # ------------------------------------------------------------------ #
     # lifecycle                                                          #
@@ -339,6 +359,19 @@ class FheServer:
                 self._busy_seconds += elapsed
                 self._flush_seconds.append(elapsed)
                 del self._flush_seconds[: -self.latency_window]
+                tel = self.telemetry
+                if tel is not None and tel.metrics_enabled:
+                    tel.count(
+                        "fhe_server_busy_seconds_total",
+                        "Monotonic seconds the flusher spent bootstrapping.",
+                        amount=elapsed,
+                    )
+                    tel.observe(
+                        "fhe_flush_seconds",
+                        elapsed,
+                        "Wall time of one scheduler flush.",
+                        buckets=DEFAULT_LATENCY_BUCKETS,
+                    )
                 self._resolve_waiters()
 
     def _resolve_waiters(self) -> None:
@@ -392,10 +425,19 @@ class FheServer:
             index = min(len(latencies) - 1, int(q * (len(latencies) - 1) + 0.5))
             return latencies[index]
 
+        uptime = time.monotonic() - self._started_at if self._started_at else 0.0
+        # Busy time comes from the registry when telemetry is on — the
+        # flusher feeds the counter from the same monotonic measurements, so
+        # the legacy view and the Prometheus exposition can never disagree.
+        busy = self._busy_seconds
+        tel = self.telemetry
+        if tel is not None and tel.metrics_enabled:
+            family = tel.registry.get("fhe_server_busy_seconds_total")
+            if family is not None:
+                busy = family.value
         snapshot: Dict[str, Any] = {
-            "uptime_seconds": (
-                time.monotonic() - self._started_at if self._started_at else 0.0
-            ),
+            "uptime_seconds": uptime,
+            "busy_fraction": busy / uptime if uptime else 0.0,
             "connections": len(self._connections),
             "clients": len(self.scheduler._contexts),
             "queue_depth": self.scheduler.pending_jobs,
@@ -405,9 +447,7 @@ class FheServer:
             "jobs_completed": stats.jobs_completed,
             "mean_rows_per_call": stats.mean_rows_per_call,
             "bootstraps_per_sec": (
-                stats.rows_bootstrapped / self._busy_seconds
-                if self._busy_seconds
-                else 0.0
+                stats.rows_bootstrapped / busy if busy else 0.0
             ),
             "flush_latency_p50": _pct(0.50),
             "flush_latency_p99": _pct(0.99),
@@ -419,6 +459,13 @@ class FheServer:
             "inline_fallbacks": stats.inline_fallbacks,
             "draining": self._draining,
             "drain_seconds": self._drain_seconds or 0.0,
+            "top_sessions": sorted(
+                (
+                    {"client": client, "jobs": jobs}
+                    for client, jobs in self._session_jobs.items()
+                ),
+                key=lambda entry: -entry["jobs"],
+            )[:5],
         }
         from repro.tfhe.transform import quarantined_engines
 
@@ -449,6 +496,47 @@ class FheServer:
                 ],
             }
         return snapshot
+
+    def _refresh_gauges(self) -> None:
+        """Point-in-time gauges, refreshed at exposition time (scrape pull)."""
+        tel = self.telemetry
+        assert tel is not None
+        reg = tel.registry
+        uptime = time.monotonic() - self._started_at if self._started_at else 0.0
+        reg.gauge("fhe_server_uptime_seconds", "Seconds since start()").set(uptime)
+        reg.gauge("fhe_server_draining", "1 while a graceful drain is running.").set(
+            1.0 if self._draining else 0.0
+        )
+        reg.gauge("fhe_connections", "Live client connections.").set(
+            len(self._connections)
+        )
+        reg.gauge("fhe_sessions_active", "Durable sessions held.").set(
+            len(self._sessions)
+        )
+        reg.gauge("fhe_queue_depth", "Scheduler jobs pending flush.").set(
+            self.scheduler.pending_jobs
+        )
+        reg.gauge("fhe_awaiting_results", "Requests awaiting a flushed reply.").set(
+            len(self._waiters)
+        )
+        dispatcher = self.scheduler.dispatcher
+        health = getattr(dispatcher, "health", None)
+        if health is not None:
+            reg.gauge("fhe_pool_workers_alive", "Pool workers currently alive.").set(
+                sum(1 for w in health if w.alive)
+            )
+            reg.gauge(
+                "fhe_pool_breaker_open", "1 while the refork breaker is open."
+            ).set(1.0 if getattr(dispatcher, "breaker_open", False) else 0.0)
+
+    def render_prometheus(self) -> str:
+        """The ``metrics_prom`` payload: gauges refreshed, registry rendered."""
+        if self.telemetry is None:
+            raise _RequestError(
+                "unsupported", "this server was started with telemetry disabled"
+            )
+        self._refresh_gauges()
+        return self.telemetry.render_prometheus()
 
     # ------------------------------------------------------------------ #
     # connections                                                        #
@@ -615,19 +703,60 @@ class FheServer:
         else:
             await self._send_error(conn, request_id, outcome[1], outcome[2])
 
+    async def _reply(
+        self, conn: _Connection, request_id: int, outcome: Tuple, header: Dict[str, Any]
+    ) -> None:
+        """Send one outcome frame, recording a ``reply`` span for job ops.
+
+        A retried request answered from the dedup cache passes through here
+        too, so one logical job that was delivered twice shows one trace
+        with two ``reply`` spans — the signature the chaos suite asserts on.
+        """
+        tel = self.telemetry
+        trace_id = header.get("trace")
+        if (
+            tel is None
+            or not tel.tracer.enabled
+            or header.get("op") not in _JOB_OPS
+            or not isinstance(trace_id, str)
+            or not trace_id
+        ):
+            await self._send_outcome(conn, request_id, outcome)
+            return
+        start_wall = time.time()
+        start_perf = time.perf_counter()
+        await self._send_outcome(conn, request_id, outcome)
+        tel.tracer.record(
+            "reply",
+            trace_id,
+            start=start_wall,
+            duration=time.perf_counter() - start_perf,
+            attrs={"op": header.get("op"), "status": outcome[0], "request": request_id},
+        )
+
     async def _run_request(
         self, conn: _Connection, header: Dict[str, Any], body: bytes
     ) -> None:
         request_id = header.get("id")
         if not isinstance(request_id, int):
             request_id = -1
+        tel = self.telemetry
+        if (
+            tel is not None
+            and tel.tracer.enabled
+            and header.get("op") in _JOB_OPS
+            and not (isinstance(header.get("trace"), str) and header.get("trace"))
+        ):
+            # Job without a client-supplied trace id: mint one server-side so
+            # the whole enqueue → flush → reply path still joins one trace.
+            header["trace"] = tel.tracer.new_trace_id()
         try:
             if not isinstance(header.get("id"), int):
                 raise _RequestError("protocol", "request header lacks an integer 'id'")
             sess = self._bind_session(conn, header)
             if sess is None:
-                await self._send_outcome(
-                    conn, request_id, await self._execute(conn, header, body)
+                await self._reply(
+                    conn, request_id, await self._execute(conn, header, body), header
                 )
                 return
             # Idempotent path: a retried request id is answered from the
@@ -637,12 +766,20 @@ class FheServer:
             cached = sess.results.get(request_id)
             if cached is not None:
                 self._jobs_deduped += 1
-                await self._send_outcome(conn, request_id, ("ok",) + cached)
+                self._tel_count(
+                    "fhe_jobs_deduped_total", "Requests answered without re-executing."
+                )
+                await self._reply(conn, request_id, ("ok",) + cached, header)
                 return
             inflight = sess.inflight.get(request_id)
             if inflight is not None:
                 self._jobs_deduped += 1
-                await self._send_outcome(conn, request_id, await asyncio.shield(inflight))
+                self._tel_count(
+                    "fhe_jobs_deduped_total", "Requests answered without re-executing."
+                )
+                await self._reply(
+                    conn, request_id, await asyncio.shield(inflight), header
+                )
                 return
             future: asyncio.Future = asyncio.get_running_loop().create_future()
             sess.inflight[request_id] = future
@@ -657,7 +794,7 @@ class FheServer:
                     sess.remember(request_id, outcome[1], outcome[2])
                 if not future.done():
                     future.set_result(outcome)
-            await self._send_outcome(conn, request_id, outcome)
+            await self._reply(conn, request_id, outcome, header)
         except _RequestError as exc:
             await self._send_error(conn, request_id, exc.kind, exc.message)
         except (ProtocolError, SerializationError) as exc:
@@ -673,17 +810,30 @@ class FheServer:
         op = header.get("op")
         if not isinstance(op, str):
             raise _RequestError("protocol", "request header lacks a string 'op' field")
+        self._tel_count("fhe_requests_total", "Requests dispatched by op.", op=op)
         if op == "hello":
             return {"server": "repro-serve", "protocol": PROTOCOL_VERSION}, b""
         if op == "metrics":
             return {"metrics": self.metrics()}, b""
+        if op == "metrics_prom":
+            # Prometheus text exposition; like "metrics", introspection stays
+            # available during a drain.
+            return (
+                {"content_type": "text/plain; version=0.0.4"},
+                self.render_prometheus().encode("utf-8"),
+            )
+        if op == "trace_export":
+            return self._op_trace_export(header)
         if self._draining:
             # Introspection stays up during a drain; work admission stops.
             raise _RequestError(
                 "draining", "server is draining and no longer accepts new work"
             )
-        if op in ("gate", "lut", "circuit", "radix_add"):
+        if op in _JOB_OPS:
             self._check_deadline(header)
+            self._session_jobs[conn.client_id] = (
+                self._session_jobs.get(conn.client_id, 0) + 1
+            )
         if op == "register_key":
             return await self._op_register_key(conn, header, body)
         if op == "gate":
@@ -695,6 +845,35 @@ class FheServer:
         if op == "radix_add":
             return await self._op_radix_add(conn, body)
         raise _RequestError("unsupported", f"unknown op {op!r}")
+
+    def _op_trace_export(self, header: Dict[str, Any]) -> Tuple[Dict[str, Any], bytes]:
+        """Export the trace ring: Chrome trace-event (default) or span JSON.
+
+        ``trace`` narrows the export to one trace id; ``format`` selects
+        ``"chrome"`` (trace-event JSON for chrome://tracing / Perfetto) or
+        ``"json"`` (plain span dicts).
+        """
+        tel = self.telemetry
+        if tel is None or not tel.tracer.enabled:
+            raise _RequestError(
+                "unsupported", "this server was started with telemetry disabled"
+            )
+        trace_id = header.get("trace")
+        if trace_id is not None and not isinstance(trace_id, str):
+            raise _RequestError("bad_request", "'trace' must be a string trace id")
+        fmt = header.get("format", "chrome")
+        if fmt == "chrome":
+            payload = tel.tracer.export_chrome(trace_id)
+        elif fmt == "json":
+            payload = tel.tracer.export_json(trace_id)
+        else:
+            raise _RequestError(
+                "bad_request", f"unknown trace format {fmt!r} (chrome|json)"
+            )
+        return (
+            {"format": fmt, "spans": len(tel.tracer.spans(trace_id))},
+            payload.encode("utf-8"),
+        )
 
     def _check_deadline(self, header: Dict[str, Any]) -> None:
         """Deadline-aware load shedding: reject work that cannot make it.
@@ -713,6 +892,9 @@ class FheServer:
         eta = self.flush_interval + p50
         if deadline_ms / 1000.0 < eta:
             self._jobs_shed += 1
+            self._tel_count(
+                "fhe_jobs_shed_total", "Jobs rejected up front by deadline shedding."
+            )
             raise _RequestError(
                 "shed",
                 f"deadline of {deadline_ms:.0f}ms cannot be met "
@@ -846,8 +1028,11 @@ class FheServer:
         ca = self._check_sample(conn, self._artifact(part_a, LweSample, "operand a"), "operand a")
         cb = self._check_sample(conn, self._artifact(part_b, LweSample, "operand b"), "operand b")
         session = self.scheduler.session(conn.client_id)
+        trace_id = header.get("trace") if isinstance(header.get("trace"), str) else None
         try:
-            result = await self._submit(lambda: session.submit_gate(name, ca, cb))
+            result = await self._submit(
+                lambda: session.submit_gate(name, ca, cb, trace_id=trace_id)
+            )
         except ValueError as exc:  # unknown gate name
             raise _RequestError("bad_request", str(exc)) from None
         return {}, pack_parts([to_bytes(result)])
@@ -870,8 +1055,11 @@ class FheServer:
             for i, part in enumerate(parts)
         ]
         session = self.scheduler.session(conn.client_id)
+        trace_id = header.get("trace") if isinstance(header.get("trace"), str) else None
         try:
-            result = await self._submit(lambda: session.submit_lut(table, operands))
+            result = await self._submit(
+                lambda: session.submit_lut(table, operands, trace_id=trace_id)
+            )
         except ValueError as exc:  # infeasible table / arity
             raise _RequestError("bad_request", str(exc)) from None
         return {}, pack_parts([to_bytes(result)])
@@ -906,8 +1094,11 @@ class FheServer:
             inputs[name] = bits[cursor : cursor + len(wires)]
             cursor += len(wires)
         session = self.scheduler.session(conn.client_id)
+        trace_id = header.get("trace") if isinstance(header.get("trace"), str) else None
         try:
-            outputs = await self._submit(lambda: session.submit_circuit(circuit, inputs))
+            outputs = await self._submit(
+                lambda: session.submit_circuit(circuit, inputs, trace_id=trace_id)
+            )
         except ValueError as exc:
             raise _RequestError("bad_request", str(exc)) from None
         ordered: List[LweSample] = []

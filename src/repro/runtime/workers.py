@@ -61,7 +61,15 @@ from multiprocessing import resource_tracker, shared_memory
 import numpy as np
 
 from repro.runtime.context import FheContext
-from repro.runtime.scheduler import RowDispatcher, Row, SchedulerStats, execute_rows
+from repro.runtime.scheduler import (
+    RowDispatcher,
+    Row,
+    SchedulerStats,
+    _round_scope,
+    execute_rows,
+)
+from repro.telemetry import Telemetry
+from repro.telemetry.metrics import ROWS_PER_CALL_BUCKETS
 from repro.tfhe.bootstrap import CmuxBlindRotator
 from repro.tfhe.lwe import LweSample
 from repro.tfhe.serialize import from_bytes, to_bytes
@@ -280,13 +288,13 @@ def _apply_fault(plan: Dict[str, Any], task_index: int, result_msg: Tuple):
         raise EngineFault("injected engine fault")
     if plan.get("poison_on_task") == task_index:
         mode = plan.get("poison_mode", "short")
-        kind, task_id, outputs, row_count = result_msg
+        kind, task_id, outputs, row_count, payload = result_msg
         if mode == "short":  # drop a row: row-count mismatch
-            return (kind, task_id, outputs[:-1], row_count)
+            return (kind, task_id, outputs[:-1], row_count, payload)
         if mode == "wrong_task":  # answer a task that was never asked
-            return (kind, task_id + 10_000, outputs, row_count)
+            return (kind, task_id + 10_000, outputs, row_count, payload)
         if mode == "garbage":  # structurally broken ciphertexts
-            return (kind, task_id, [object()] * len(outputs), row_count)
+            return (kind, task_id, [object()] * len(outputs), row_count, payload)
         raise ValueError(f"unknown poison mode {mode!r}")
     return result_msg
 
@@ -336,7 +344,7 @@ def _worker_main(
             elif kind == "ping":
                 conn.send(("pong", spawn_index))
             elif kind == "rows":
-                _, task_id, client_id, rows, max_rows_per_call = message
+                _, task_id, client_id, rows, max_rows_per_call, trace_ctx = message
                 try:
                     context = contexts.get(client_id)
                     if context is None:
@@ -344,10 +352,43 @@ def _worker_main(
                         segments[client_id] = segment
                         context = _context_from_segment(segment)
                         contexts[client_id] = context
-                    outputs = execute_rows(
-                        context, rows, max_rows_per_call=max_rows_per_call
-                    )
-                    result = ("ok", task_id, outputs, len(rows))
+                    payload = None
+                    if trace_ctx is None:
+                        outputs = execute_rows(
+                            context, rows, max_rows_per_call=max_rows_per_call
+                        )
+                    else:
+                        # Traced task: record stage spans into a private,
+                        # metrics-less ring and ship them back as tuples;
+                        # engine-call deltas ride along so the parent's
+                        # registry stays the single metrics sink.
+                        worker_tel = Telemetry(
+                            metrics=False, tracing=True, ring_size=256
+                        )
+                        engine_before = context.engine.stats.snapshot()
+                        context.telemetry = worker_tel
+                        try:
+                            with _round_scope(context, trace_ctx):
+                                outputs = execute_rows(
+                                    context,
+                                    rows,
+                                    max_rows_per_call=max_rows_per_call,
+                                )
+                        finally:
+                            context.telemetry = None
+                        engine_after = context.engine.stats.snapshot()
+                        payload = {
+                            "spans": worker_tel.drain_span_tuples(),
+                            "engine": {
+                                "kind": getattr(context.engine, "engine_kind", None)
+                                or "unknown",
+                                "forward": engine_after.forward_calls
+                                - engine_before.forward_calls,
+                                "backward": engine_after.backward_calls
+                                - engine_before.backward_calls,
+                            },
+                        }
+                    result = ("ok", task_id, outputs, len(rows), payload)
                     result = _apply_fault(plan, task_index, result)
                 except EngineFault:
                     # Tagged so the parent can distinguish "this worker's
@@ -390,6 +431,13 @@ class _Task:
     #: Classification of the last worker-side error (``"engine_fault"`` when
     #: the worker's engine raised :class:`EngineFault`; empty otherwise).
     error_kind: str = ""
+    #: The round's tracing context ``(trace ids, flush span id)``, shipped
+    #: to the worker inside the task tuple (``None`` untraced).
+    trace_ctx: Optional[Tuple] = None
+    #: Wall/perf clocks at the moment the task was last sent to a worker
+    #: (parent-side ``worker_dispatch`` span bounds).
+    sent_wall: float = 0.0
+    sent_perf: float = 0.0
 
 
 class _Worker:
@@ -523,6 +571,7 @@ class WorkerPool(RowDispatcher):
         except Exception:
             pass
         self.stats.workers_restarted += 1
+        self._count("fhe_pool_worker_restarts_total", "Pool workers killed and respawned.")
         self._record_restart()
         replacement = self._spawn()
         self._workers[self._workers.index(worker)] = replacement
@@ -541,6 +590,9 @@ class WorkerPool(RowDispatcher):
         ):
             self._breaker_open_until = now + self.breaker_cooldown
             self.stats.breaker_trips += 1
+            self._count(
+                "fhe_pool_breaker_trips_total", "Refork circuit-breaker openings."
+            )
 
     @property
     def breaker_open(self) -> bool:
@@ -654,6 +706,7 @@ class WorkerPool(RowDispatcher):
         rows: Sequence[Row],
         stats: SchedulerStats,
         max_rows_per_call: Optional[int] = None,
+        round_ctx: Optional[Tuple] = None,
     ) -> List[LweSample]:
         """Scatter one round's rows across the pool, gather in input order.
 
@@ -672,11 +725,16 @@ class WorkerPool(RowDispatcher):
             # A refork storm tripped the breaker: don't feed work to a pool
             # whose workers keep dying — run the round in-process instead.
             self.stats.inline_fallbacks += 1
-            return execute_rows(context, rows, stats, max_rows_per_call)
+            self._count(
+                "fhe_pool_inline_fallbacks_total",
+                "Rounds run in-process while the breaker was open.",
+            )
+            with _round_scope(context, round_ctx):
+                return execute_rows(context, rows, stats, max_rows_per_call)
         if client_id not in self._segments:
             # Standalone use (no scheduler register hook ran): publish now.
             self.register_client(client_id, context)
-        tasks = self._make_tasks(client_id, rows)
+        tasks = self._make_tasks(client_id, rows, round_ctx)
         results: Dict[int, List[LweSample]] = {}
         pending: List[_Task] = list(tasks)
         outstanding = 0
@@ -697,7 +755,9 @@ class WorkerPool(RowDispatcher):
         self.stats.rows_executed += len(rows)
         return ordered
 
-    def _make_tasks(self, client_id: str, rows: List[Row]) -> List[_Task]:
+    def _make_tasks(
+        self, client_id: str, rows: List[Row], round_ctx: Optional[Tuple] = None
+    ) -> List[_Task]:
         """Split rows into ≤ ``num_workers`` contiguous, near-even chunks."""
         count = min(self.num_workers, len(rows))
         base, extra = divmod(len(rows), count)
@@ -706,10 +766,41 @@ class WorkerPool(RowDispatcher):
         for i in range(count):
             size = base + (1 if i < extra else 0)
             task = _Task(self._next_task_id, client_id, start, rows[start : start + size])
+            task.trace_ctx = round_ctx
             self._next_task_id += 1
             tasks.append(task)
             start += size
         return tasks
+
+    # -- telemetry -----------------------------------------------------------
+    def _count(self, name: str, help_text: str, amount: float = 1, **labels) -> None:
+        """Increment a registry counter iff a telemetry sink is attached."""
+        if self.telemetry is not None:
+            self.telemetry.count(name, help_text, amount=amount, **labels)
+
+    def _ingest_payload(self, task: _Task, payload) -> None:
+        """Adopt one traced task's shipped spans and engine-call deltas."""
+        tel = self.telemetry
+        if tel is None or not isinstance(payload, dict):
+            return
+        if tel.tracer.enabled:
+            for span_tuple in payload.get("spans", ()):
+                try:
+                    tel.tracer.ingest(span_tuple)
+                except (ValueError, TypeError):
+                    continue  # malformed span from a sick worker: drop, keep rest
+        engine = payload.get("engine")
+        if tel.metrics_enabled and isinstance(engine, dict):
+            for direction in ("forward", "backward"):
+                delta = engine.get(direction, 0)
+                if isinstance(delta, int) and delta > 0:
+                    self._count(
+                        "fhe_engine_transform_calls_total",
+                        "Negacyclic transform invocations by direction.",
+                        amount=delta,
+                        engine=str(engine.get("kind", "unknown")),
+                        direction=direction,
+                    )
 
     def _assign(
         self, pending: List[_Task], client_id: str, max_rows_per_call: Optional[int]
@@ -725,9 +816,18 @@ class WorkerPool(RowDispatcher):
                 worker = self._replace(worker)
             task = pending.pop(0)
             task.chunk_limit = max_rows_per_call
+            task.sent_wall = time.time()
+            task.sent_perf = time.perf_counter()
             try:
                 worker.conn.send(
-                    ("rows", task.task_id, task.client_id, task.rows, max_rows_per_call)
+                    (
+                        "rows",
+                        task.task_id,
+                        task.client_id,
+                        task.rows,
+                        max_rows_per_call,
+                        task.trace_ctx,
+                    )
                 )
             except (OSError, ValueError, BrokenPipeError):
                 worker.faults += 1
@@ -825,10 +925,10 @@ class WorkerPool(RowDispatcher):
             task.error = message[2] if len(message) > 2 else "unknown worker error"
             task.error_kind = message[3] if len(message) > 3 else ""
             return False
-        if message[0] != "ok" or len(message) != 4:
+        if message[0] != "ok" or len(message) != 5:
             self.stats.results_rejected += 1
             return False
-        _, task_id, outputs, row_count = message
+        _, task_id, outputs, row_count, payload = message
         if task_id != task.task_id or row_count != len(task.rows):
             self.stats.results_rejected += 1
             return False
@@ -855,13 +955,46 @@ class WorkerPool(RowDispatcher):
         if task.chunk_limit:
             per_call = min(per_call, task.chunk_limit)
             max_rows = per_call
-        stats.batched_calls += -(-len(task.rows) // per_call) if per_call else 0
+        calls = -(-len(task.rows) // per_call) if per_call else 0
+        stats.batched_calls += calls
         stats.max_rows_per_call = max(stats.max_rows_per_call, max_rows)
+        tel = self.telemetry
+        if tel is not None:
+            if tel.metrics_enabled and calls:
+                tel.count(
+                    "fhe_batched_calls_total",
+                    "Mixed-gate batched bootstrapping calls issued.",
+                    amount=calls,
+                )
+                remaining = len(task.rows)
+                while remaining > 0:
+                    tel.observe(
+                        "fhe_rows_per_call",
+                        min(per_call, remaining),
+                        "Coalesced batch width per bootstrapping call.",
+                        buckets=ROWS_PER_CALL_BUCKETS,
+                    )
+                    remaining -= per_call
+            self._ingest_payload(task, payload)
+            if tel.tracer.enabled and task.trace_ctx is not None:
+                trace_ids, flush_span_id = task.trace_ctx
+                attrs = {"worker": worker.spawn_index, "rows": len(task.rows)}
+                if len(trace_ids) > 1:
+                    attrs["traces"] = list(trace_ids)
+                tel.tracer.record(
+                    "worker_dispatch",
+                    trace_ids[0],
+                    start=task.sent_wall,
+                    duration=time.perf_counter() - task.sent_perf,
+                    parent_id=flush_span_id,
+                    attrs=attrs,
+                )
         return True
 
     def _requeue(self, task: _Task, pending: List[_Task], reason: str) -> None:
         task.retries += 1
         self.stats.tasks_retried += 1
+        self._count("fhe_pool_tasks_retried_total", "Pool tasks requeued after faults.")
         if task.retries > self.max_retries:
             detail = getattr(task, "error", "")
             summary = (

@@ -21,6 +21,7 @@ import numpy as np
 from repro.tfhe.bootstrap import (
     blind_rotate_and_extract,
     blind_rotate_and_extract_batch,
+    bootstrap_without_keyswitch_batch,
     context_gate_bootstrap,
     context_gate_bootstrap_batch,
     make_test_vector,
@@ -380,7 +381,17 @@ class BatchGateEvaluator:
 
     def _bootstrap(self, batch: LweBatch) -> LweBatch:
         self.counters.bootstraps += batch.batch_size
-        return context_gate_bootstrap_batch(self.context, batch, int(MU))
+        tel = getattr(self.context, "telemetry", None)
+        if tel is None or not tel.tracing_active:
+            return context_gate_bootstrap_batch(self.context, batch, int(MU))
+        # Traced path: same computation split at the key-switch boundary so
+        # each stage records its own span against the round's traces.
+        with tel.stage("engine_contract", rows=batch.batch_size):
+            extracted = bootstrap_without_keyswitch_batch(
+                batch, int(MU), self.context.rotator, self.context.params
+            )
+        with tel.stage("keyswitch", rows=batch.batch_size):
+            return keyswitch_apply_batch(self.context.keyswitch_key, extracted)
 
     def _binary_gate(
         self, offset_eighths: int, ca: LweBatch, cb: LweBatch, sign_a: int, sign_b: int
@@ -550,10 +561,18 @@ class BatchGateEvaluator:
         accepts any row count, not just ``self.batch_size``.
         """
         self.counters.bootstraps += combined.batch_size
-        extracted = blind_rotate_and_extract_batch(
-            combined, test_vectors, self.context.rotator, self.context.params
-        )
-        return keyswitch_apply_batch(self.context.keyswitch_key, extracted)
+        tel = getattr(self.context, "telemetry", None)
+        if tel is None or not tel.tracing_active:
+            extracted = blind_rotate_and_extract_batch(
+                combined, test_vectors, self.context.rotator, self.context.params
+            )
+            return keyswitch_apply_batch(self.context.keyswitch_key, extracted)
+        with tel.stage("engine_contract", rows=combined.batch_size):
+            extracted = blind_rotate_and_extract_batch(
+                combined, test_vectors, self.context.rotator, self.context.params
+            )
+        with tel.stage("keyswitch", rows=combined.batch_size):
+            return keyswitch_apply_batch(self.context.keyswitch_key, extracted)
 
     def lut(self, table: int, inputs) -> LweBatch:
         """Evaluate a k-input boolean LUT on every row in one bootstrapping."""

@@ -357,8 +357,8 @@ def test_slow_client_cannot_grow_queue_110_sessions(server_factory, wire_keys):
     high_water = [0]
     original_enqueue = server.scheduler._enqueue
 
-    def recording_enqueue(client_id, job):
-        original_enqueue(client_id, job)
+    def recording_enqueue(client_id, job, **kwargs):
+        original_enqueue(client_id, job, **kwargs)
         high_water[0] = max(high_water[0], server.scheduler.pending_jobs)
 
     server.scheduler._enqueue = recording_enqueue

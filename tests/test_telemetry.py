@@ -1,0 +1,537 @@
+"""The unified telemetry subsystem: registry, tracing, exposition, end-to-end.
+
+Unit layers first (metric families, histogram bucket-edge semantics, the
+Prometheus render→parse round trip, the tracer ring), then the integration
+properties PR 10 is really about:
+
+* a traced job submitted through an **inline** scheduler leaves the full
+  span taxonomy in the ring, correctly parented;
+* spans recorded inside **forked worker processes** cross the result pipe
+  and land in the parent's ring, stitched under the round's flush span;
+* a circuit submitted over the wire with a client trace id exports a valid
+  Chrome trace-event document covering every serving stage;
+* a :class:`ResilientClient` disconnect mid-request resubmits under the
+  *same* trace id, so the server records one trace with two reply attempts;
+* ``FheServer.metrics()`` keeps its legacy dict shape (the ops-tooling
+  contract) while gaining the registry-backed uptime/busy numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import socket
+import struct
+import time
+
+import pytest
+
+from repro.runtime import BatchScheduler, WorkerPool
+from repro.runtime.protocol import ServingClient, pack_parts, unpack_parts
+from repro.runtime.resilient import ResilientClient
+from repro.telemetry import (
+    MetricError,
+    MetricsRegistry,
+    PrometheusParseError,
+    Telemetry,
+    Tracer,
+    parse_prometheus_text,
+    render_prometheus,
+)
+from repro.tfhe.gates import decrypt_bit, encrypt_bit
+from repro.tfhe.keys import generate_keys
+from repro.tfhe.lwe import LweBatch
+from repro.tfhe.netlist import adder_netlist
+from repro.tfhe.params import TEST_TINY
+from repro.tfhe.serialize import circuit_to_json, from_bytes, to_bytes
+from repro.tfhe.transform import DoubleFFTNegacyclicTransform
+
+pytestmark = pytest.mark.filterwarnings("error::UserWarning")
+
+
+@pytest.fixture(scope="module")
+def wire_keys():
+    """One TEST_TINY double-engine keypair shared by the telemetry tests."""
+    return generate_keys(
+        TEST_TINY,
+        DoubleFFTNegacyclicTransform(TEST_TINY.N),
+        unroll_factor=1,
+        rng=61,
+        eager=False,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# metrics registry                                                            #
+# --------------------------------------------------------------------------- #
+
+
+def test_counter_gauge_basics():
+    reg = MetricsRegistry()
+    jobs = reg.counter("fhe_jobs_total", "jobs", labelnames=("op",))
+    jobs.labels(op="gate").inc()
+    jobs.labels(op="gate").inc(2)
+    jobs.labels(op="lut").inc()
+    depth = reg.gauge("fhe_queue_depth", "queue")
+    depth.set(7)
+    depth.dec(3)
+
+    snap = reg.snapshot()
+    gate = next(
+        s for s in snap["fhe_jobs_total"]["series"] if s["labels"] == {"op": "gate"}
+    )
+    assert gate["value"] == 3
+    assert snap["fhe_queue_depth"]["series"][0]["value"] == 4
+
+    # Re-declaration is get-or-create; a shape mismatch is an error, not a
+    # silent second family.
+    assert reg.counter("fhe_jobs_total", labelnames=("op",)) is jobs
+    with pytest.raises(MetricError):
+        reg.counter("fhe_jobs_total", labelnames=("kind",))
+    with pytest.raises(MetricError):
+        reg.gauge("fhe_jobs_total")
+    with pytest.raises(MetricError):
+        reg.counter("0-bad-name")
+
+    reg.reset()
+    assert all(
+        s["value"] == 0 for s in reg.snapshot()["fhe_jobs_total"]["series"]
+    )
+
+
+def test_histogram_bucket_edges():
+    """An observation equal to a bound lands in that bound's bucket
+    (Prometheus inclusive ``le``); past the last bound only +Inf grows."""
+    reg = MetricsRegistry()
+    hist = reg.histogram("fhe_lat_seconds", "lat", buckets=(0.1, 1.0, 5.0))
+
+    hist.observe(0.1)  # == first bound → first bucket
+    hist.observe(1.0)  # == second bound → second bucket
+    hist.observe(0.5)  # interior → second bucket
+    hist.observe(99.0)  # overflow → +Inf only
+
+    (series,) = reg.snapshot()["fhe_lat_seconds"]["series"]
+    buckets = {le: n for le, n in series["buckets"]}
+    assert buckets[0.1] == 1
+    assert buckets[1.0] == 3  # cumulative: the 0.1 obs plus both le-1.0 obs
+    assert buckets[5.0] == 3  # overflow did NOT land here
+    assert buckets[math.inf] == 4 == series["count"]
+    assert series["sum"] == pytest.approx(100.6)
+    assert hist.quantile(0.5) == 1.0
+
+    with pytest.raises(MetricError):
+        reg.histogram("fhe_bad", buckets=(1.0, 1.0))
+    with pytest.raises(MetricError):
+        reg.histogram("fhe_lat_seconds", buckets=(0.25, 2.0))  # shape mismatch
+
+
+def test_prometheus_render_parse_roundtrip():
+    reg = MetricsRegistry()
+    reg.counter("fhe_jobs_total", "submitted jobs", labelnames=("op",)).labels(
+        op='we"ird\\op'
+    ).inc(5)
+    reg.gauge("fhe_uptime_seconds", "uptime").set(12.5)
+    hist = reg.histogram("fhe_flush_seconds", "flush", buckets=(0.01, 0.1))
+    hist.observe(0.05)
+    hist.observe(3.0)
+
+    text = render_prometheus(reg.snapshot())
+    families = parse_prometheus_text(text)
+
+    assert families["fhe_jobs_total"]["type"] == "counter"
+    ((name, labels, value),) = families["fhe_jobs_total"]["samples"]
+    assert labels == {"op": 'we"ird\\op'} and value == 5
+
+    assert families["fhe_uptime_seconds"]["samples"][0][2] == 12.5
+
+    flush = families["fhe_flush_seconds"]
+    assert flush["type"] == "histogram"
+    by_name = {}
+    for name, labels, value in flush["samples"]:
+        by_name.setdefault(name, []).append((labels, value))
+    assert [v for _, v in by_name["fhe_flush_seconds_bucket"]] == [0, 1, 2]
+    assert by_name["fhe_flush_seconds_count"][0][1] == 2
+    assert by_name["fhe_flush_seconds_sum"][0][1] == pytest.approx(3.05)
+
+    # The parser is a validator too: a non-monotone bucket series is refused.
+    broken = text.replace(
+        'fhe_flush_seconds_bucket{le="+Inf"} 2',
+        'fhe_flush_seconds_bucket{le="+Inf"} 1',
+    )
+    with pytest.raises(PrometheusParseError):
+        parse_prometheus_text(broken)
+
+
+def test_telemetry_hot_path_helpers():
+    """`count`/`observe` cache the bound series and honour the kill switch."""
+    tel = Telemetry()
+    tel.count("fhe_x_total")
+    tel.count("fhe_x_total", amount=2)
+    tel.count("fhe_y_total", op="gate")
+    tel.observe("fhe_z_seconds", 0.2, buckets=(0.1, 1.0))
+
+    snap = tel.registry.snapshot()
+    assert snap["fhe_x_total"]["series"][0]["value"] == 3
+    assert snap["fhe_y_total"]["series"][0]["labels"] == {"op": "gate"}
+    assert snap["fhe_z_seconds"]["series"][0]["count"] == 1
+
+    # Cached handles survive a reset (children are zeroed in place).
+    tel.registry.reset()
+    tel.count("fhe_x_total")
+    assert tel.registry.snapshot()["fhe_x_total"]["series"][0]["value"] == 1
+
+    off = Telemetry(metrics=False)
+    off.count("fhe_x_total")
+    off.observe("fhe_z_seconds", 1.0)
+    assert off.registry.snapshot() == {}
+
+
+# --------------------------------------------------------------------------- #
+# tracer                                                                      #
+# --------------------------------------------------------------------------- #
+
+
+def test_tracer_ring_is_bounded_and_filterable():
+    tracer = Tracer(ring_size=4)
+    for i in range(7):
+        tracer.record(f"s{i}", trace_id=f"t{i % 2}", start=float(i), duration=0.1)
+    spans = tracer.spans()
+    assert [s.name for s in spans] == ["s3", "s4", "s5", "s6"]  # oldest dropped
+    assert [s.name for s in tracer.spans("t0")] == ["s4", "s6"]
+    assert tracer.trace_ids() == ["t1", "t0"]
+
+    # Batch spans list their participants; membership resolves either way.
+    tracer.record(
+        "flush", trace_id="t0", start=8.0, duration=0.2, attrs={"traces": ["t0", "t1"]}
+    )
+    assert "flush" in [s.name for s in tracer.spans("t1")]
+
+    disabled = Tracer(enabled=False)
+    assert disabled.record("x", trace_id="t", start=0.0, duration=0.0) is None
+    assert disabled.spans() == []
+
+
+def test_tracer_exports_and_pipe_tuples():
+    tracer = Tracer()
+    root = tracer.record("job", trace_id="t", start=1.0, duration=0.5)
+    tracer.record(
+        "keyswitch", trace_id="t", start=1.1, duration=0.1, parent_id=root
+    )
+
+    doc = json.loads(tracer.export_json())
+    assert [d["name"] for d in doc] == ["job", "keyswitch"]
+    assert doc[1]["parent_id"] == root
+
+    chrome = json.loads(tracer.export_chrome())
+    assert chrome["displayTimeUnit"] == "ms"
+    for event in chrome["traceEvents"]:
+        assert event["ph"] == "X"
+        assert isinstance(event["ts"], float) and isinstance(event["dur"], float)
+    assert chrome["traceEvents"][0]["ts"] == pytest.approx(1.0e6)
+
+    # Worker-side spans travel as tuples and are re-ingested verbatim.
+    other = Tracer()
+    for record in [s.to_tuple() for s in tracer.spans()]:
+        other.ingest(record)
+    assert [s.name for s in other.spans("t")] == ["job", "keyswitch"]
+    with pytest.raises(ValueError):
+        other.ingest((1, 2, 3, 4, 5, 6, 7))
+
+
+# --------------------------------------------------------------------------- #
+# scheduler integration                                                       #
+# --------------------------------------------------------------------------- #
+
+
+def _span_index(spans):
+    by_name = {}
+    for span in spans:
+        by_name.setdefault(span.name, []).append(span)
+    return by_name
+
+
+def test_inline_scheduler_records_full_taxonomy(wire_keys):
+    secret, cloud = wire_keys
+    tel = Telemetry()
+    scheduler = BatchScheduler(telemetry=tel)
+    scheduler.register_client("tenant", cloud)
+    session = scheduler.session("tenant")
+
+    handles = [
+        session.submit_gate(
+            "nand",
+            encrypt_bit(secret, i & 1, rng=300 + 2 * i),
+            encrypt_bit(secret, (i >> 1) & 1, rng=301 + 2 * i),
+            trace_id=f"trace-{i}",
+        )
+        for i in range(4)
+    ]
+    scheduler.flush()
+    assert decrypt_bit(secret, handles[3].result()) == 0  # NAND(1, 1)
+
+    spans = tel.tracer.spans("trace-3")
+    by_name = _span_index(spans)
+    for must in ("enqueue", "coalesce_wait", "flush", "engine_contract",
+                 "keyswitch", "job"):
+        assert must in by_name, f"missing {must!r} in {sorted(by_name)}"
+
+    # Parenting: batch stages hang off the round's flush span; the per-job
+    # wait and root spans carry the job's own trace.
+    (flush_span,) = by_name["flush"]
+    assert by_name["engine_contract"][0].parent_id == flush_span.span_id
+    assert by_name["keyswitch"][0].parent_id == flush_span.span_id
+    assert by_name["coalesce_wait"][0].trace_id == "trace-3"
+    (job_span,) = by_name["job"]
+    assert job_span.parent_id is None
+    assert job_span.duration >= by_name["coalesce_wait"][0].duration >= 0.0
+
+    # All four traces share the one batched flush round.
+    assert set(flush_span.attrs["traces"]) == {f"trace-{i}" for i in range(4)}
+
+    # Metrics moved in lockstep.
+    snap = tel.registry.snapshot()
+    submitted = snap["fhe_jobs_submitted_total"]["series"]
+    assert sum(s["value"] for s in submitted) == 4
+    assert snap["fhe_flushes_total"]["series"][0]["value"] >= 1
+    assert snap["fhe_rows_bootstrapped_total"]["series"][0]["value"] >= 4
+    assert snap["fhe_rows_per_call"]["series"][0]["count"] >= 1
+
+
+def test_untraced_scheduler_records_nothing(wire_keys):
+    """telemetry=None keeps the ring and registry out of the picture entirely
+    (the zero-overhead contract's observable half)."""
+    secret, cloud = wire_keys
+    scheduler = BatchScheduler()
+    scheduler.register_client("tenant", cloud)
+    session = scheduler.session("tenant")
+    handle = session.submit_gate(
+        "nand", encrypt_bit(secret, 1, rng=310), encrypt_bit(secret, 1, rng=311)
+    )
+    scheduler.flush()
+    assert decrypt_bit(secret, handle.result()) == 0
+    assert scheduler.telemetry is None
+
+
+def test_trace_crosses_worker_pool_process_boundary(wire_keys):
+    """Spans recorded inside forked workers come back over the result pipe
+    into the parent ring, parented under the round's flush span."""
+    secret, cloud = wire_keys
+    tel = Telemetry()
+    with WorkerPool(2, task_timeout=60.0) as pool:
+        scheduler = BatchScheduler(dispatcher=pool, telemetry=tel)
+        scheduler.register_client("tenant", cloud)
+        session = scheduler.session("tenant")
+        handles = [
+            session.submit_gate(
+                "xor",
+                encrypt_bit(secret, i & 1, rng=400 + 2 * i),
+                encrypt_bit(secret, (i >> 1) & 1, rng=401 + 2 * i),
+                trace_id=f"pooled-{i}",
+            )
+            for i in range(6)
+        ]
+        scheduler.flush()
+        for i, handle in enumerate(handles):
+            assert decrypt_bit(secret, handle.result()) == (i & 1) ^ ((i >> 1) & 1)
+
+    by_name = _span_index(tel.tracer.spans("pooled-0"))
+    (flush_span,) = by_name["flush"]
+    assert "worker_dispatch" in by_name
+    for dispatch in by_name["worker_dispatch"]:
+        assert dispatch.parent_id == flush_span.span_id
+
+    # The engine stages ran inside the forked workers: their span ids carry
+    # the *worker's* pid prefix, proving they crossed the pipe rather than
+    # being re-recorded by the parent.
+    parent_prefix = tel.tracer._id_prefix
+    contracts = by_name["engine_contract"]
+    assert contracts and all(
+        not span.span_id.startswith(parent_prefix) for span in contracts
+    )
+    assert "keyswitch" in by_name
+
+    # Worker accounting (batch calls, engine transform deltas measured
+    # inside the forked processes) reached the parent registry.
+    snap = tel.registry.snapshot()
+    assert snap["fhe_batched_calls_total"]["series"][0]["value"] >= 1
+    assert snap["fhe_rows_per_call"]["series"][0]["count"] >= 1
+    transform = snap["fhe_engine_transform_calls_total"]["series"]
+    assert sum(s["value"] for s in transform) > 0
+
+
+# --------------------------------------------------------------------------- #
+# server end to end                                                           #
+# --------------------------------------------------------------------------- #
+
+
+def test_server_end_to_end_trace_and_prometheus(server_factory, wire_keys):
+    """The PR's acceptance path: a circuit submitted over the wire with a
+    client-chosen trace id, served by a 2-worker pool, exports a valid
+    Chrome trace-event document spanning every serving stage; the metrics
+    endpoint renders parseable Prometheus text."""
+    secret, cloud = wire_keys
+    with WorkerPool(2, task_timeout=120.0) as pool:
+        server = server_factory(dispatcher=pool, flush_interval=0.02)
+        with ServingClient(port=server.port) as client:
+            client.register_key(cloud)
+            a_val, b_val = 3, 1
+            bits = [encrypt_bit(secret, (a_val >> i) & 1, rng=500 + i) for i in range(2)]
+            bits += [encrypt_bit(secret, (b_val >> i) & 1, rng=510 + i) for i in range(2)]
+            request_id = client.submit(
+                "circuit",
+                pack_parts([to_bytes(LweBatch.from_samples(bits))]),
+                circuit=json.loads(circuit_to_json(adder_netlist(2))),
+                trace="acceptance-trace",
+            )
+            _, body = client.result(request_id)
+            out = from_bytes(unpack_parts(body, expected=1)[0])
+            total = sum(
+                decrypt_bit(secret, s) << i for i, s in enumerate(out.to_samples())
+            )
+            assert total == a_val + b_val
+
+            # Chrome trace-event export, filtered to our trace.
+            _, trace_body = client.call("trace_export", trace="acceptance-trace")
+            doc = json.loads(trace_body.decode("utf-8"))
+            names = {event["name"] for event in doc["traceEvents"]}
+            for must in ("enqueue", "coalesce_wait", "flush", "worker_dispatch",
+                         "engine_contract", "keyswitch", "job", "reply"):
+                assert must in names, f"missing {must!r} in {sorted(names)}"
+            for event in doc["traceEvents"]:
+                assert event["ph"] == "X"
+                for key in ("name", "ts", "dur", "pid", "tid", "args"):
+                    assert key in event
+                assert event["args"]["trace_id"]
+
+            # Prometheus exposition parses and carries the serving families.
+            _, prom_body = client.call("metrics_prom")
+            families = parse_prometheus_text(prom_body.decode("utf-8"))
+            for must in ("fhe_jobs_submitted_total", "fhe_flushes_total",
+                         "fhe_requests_total", "fhe_server_uptime_seconds",
+                         "fhe_server_busy_seconds_total", "fhe_flush_seconds",
+                         "fhe_pool_workers_alive"):
+                assert must in families, f"missing {must!r}"
+            alive = families["fhe_pool_workers_alive"]["samples"][0][2]
+            assert alive == 2
+
+
+def test_server_metrics_keeps_legacy_shape(server_factory, wire_keys):
+    """`metrics()` is an ops contract: every pre-telemetry key survives,
+    and the registry-backed additions sit beside them."""
+    secret, cloud = wire_keys
+    server = server_factory(flush_interval=0.02)
+    with ServingClient(port=server.port) as client:
+        client.register_key(cloud)
+        out = client.gate(
+            "nand", encrypt_bit(secret, 1, rng=520), encrypt_bit(secret, 1, rng=521)
+        )
+        assert decrypt_bit(secret, out) == 0
+
+        metrics = client.metrics()
+        for legacy in ("flushes", "jobs_completed", "queue_depth",
+                       "rows_bootstrapped", "bootstraps_per_sec", "connections",
+                       "draining", "awaiting_results", "sessions",
+                       "flush_latency_p50", "flush_latency_p99"):
+            assert legacy in metrics, f"legacy key {legacy!r} dropped"
+        assert metrics["uptime_seconds"] > 0
+        assert 0.0 <= metrics["busy_fraction"] <= 1.0
+        assert isinstance(metrics["top_sessions"], list)
+
+
+def test_telemetry_disabled_server_still_serves(server_factory, wire_keys):
+    secret, cloud = wire_keys
+    server = server_factory(telemetry=False, flush_interval=0.02)
+    with ServingClient(port=server.port) as client:
+        client.register_key(cloud)
+        out = client.gate(
+            "or", encrypt_bit(secret, 0, rng=530), encrypt_bit(secret, 1, rng=531)
+        )
+        assert decrypt_bit(secret, out) == 1
+        metrics = client.metrics()  # legacy view works without the registry
+        assert metrics["jobs_completed"] >= 1
+        from repro.runtime.protocol import ServerError
+
+        with pytest.raises(ServerError):
+            client.call("metrics_prom")
+
+
+def test_resilient_retry_keeps_one_trace_two_reply_attempts(
+    server_factory, wire_keys
+):
+    """A disconnect after the server replied (but before the client read it)
+    forces a resubmit.  The client minted the trace id once at submit time,
+    so both delivery attempts — the lost original and the cache-replayed
+    retry — land in ONE server-side trace with TWO reply spans."""
+    secret, cloud = wire_keys
+    server = server_factory(flush_interval=0.02)
+    with ResilientClient(port=server.port, base_delay=0.001) as client:
+        client.register_key(cloud)
+        ca = encrypt_bit(secret, 1, rng=540)
+        cb = encrypt_bit(secret, 1, rng=541)
+        request_id = client.submit(
+            "gate", pack_parts([to_bytes(ca), to_bytes(cb)]), gate="nand"
+        )
+        trace_id = client._pending[request_id].fields["trace"]
+
+        # Wait until the server has *sent* the first reply (span recorded),
+        # then hard-close the socket with an RST so the buffered reply is
+        # discarded unread — the first delivery attempt is genuinely lost.
+        tracer = server.telemetry.tracer
+        deadline = time.monotonic() + 30.0
+        while not any(s.name == "reply" for s in tracer.spans(trace_id)):
+            assert time.monotonic() < deadline, "first reply never recorded"
+            time.sleep(0.01)
+        sock = client._client._sock
+        sock.setsockopt(
+            socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+        )
+        sock.close()
+
+        _, body = client.result(request_id)
+        out = from_bytes(unpack_parts(body, expected=1)[0])
+        assert decrypt_bit(secret, out) == 0
+        assert client.stats.resubmitted >= 1
+
+        # The reply span is recorded just after the frame is flushed, so the
+        # client can observe the retried reply a beat before the server's
+        # coroutine records it — poll briefly rather than racing it.
+        deadline = time.monotonic() + 30.0
+        while True:
+            spans = tracer.spans(trace_id)
+            replies = [s for s in spans if s.name == "reply"]
+            if len(replies) >= 2:
+                break
+            assert time.monotonic() < deadline, (
+                "retry did not produce a second reply span"
+            )
+            time.sleep(0.01)
+        jobs = [s for s in spans if s.name == "job"]
+        assert len(jobs) == 1, "the job must have executed exactly once"
+        assert {s.trace_id for s in replies} == {trace_id}
+        assert client.stats.reconnects >= 1
+
+
+def test_resilient_client_counts_into_registry(server_factory, wire_keys):
+    """With a Telemetry bundle attached, the retry machinery mirrors its
+    bookkeeping into fhe_client_* counters."""
+    secret, cloud = wire_keys
+    server = server_factory(flush_interval=0.02)
+    tel = Telemetry()
+    with ResilientClient(
+        port=server.port, base_delay=0.001, telemetry=tel
+    ) as client:
+        client.register_key(cloud)
+        out = client.gate(
+            "and", encrypt_bit(secret, 1, rng=550), encrypt_bit(secret, 1, rng=551)
+        )
+        assert decrypt_bit(secret, out) == 1
+        client._client._sock.shutdown(socket.SHUT_RDWR)
+        out = client.gate(
+            "xor", encrypt_bit(secret, 1, rng=552), encrypt_bit(secret, 0, rng=553)
+        )
+        assert decrypt_bit(secret, out) == 1
+
+    snap = tel.registry.snapshot()
+    assert snap["fhe_client_connects_total"]["series"][0]["value"] >= 2
+    assert snap["fhe_client_reconnects_total"]["series"][0]["value"] >= 1
+    assert snap["fhe_client_resubmits_total"]["series"][0]["value"] >= 1

@@ -61,6 +61,10 @@ def _run_engines() -> None:
     _load_benchmark_module("bench_engines.py").run()
 
 
+def _run_telemetry() -> None:
+    _load_benchmark_module("bench_telemetry_overhead.py").run()
+
+
 #: name -> zero-argument runner writing results/BENCH_<name>.json.
 #: (`runtime` is produced by the pytest-driven scheduler bench; it is
 #: validated here but executed through pytest because it needs fixtures.)
@@ -72,6 +76,7 @@ BENCHES = {
     "external_product": _run_external_product,
     "pbs": _run_pbs,
     "serving": _run_serving,
+    "telemetry": _run_telemetry,
 }
 
 

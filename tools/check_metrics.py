@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Validate a server's telemetry exposition: Prometheus text + trace export.
+
+Connects to a running serving front (see ``tools/serve.py``), scrapes the
+``metrics_prom`` op, and runs the strict parser
+(:func:`repro.telemetry.parse_prometheus_text`) over the payload — every
+line must lex, histograms must be cumulative and end in ``+Inf == _count``,
+labels must round-trip.  With ``--trace-export`` it also pulls the span
+ring as Chrome trace-event JSON and checks the document shape.
+
+Exit status is 0 only when everything validates, so CI can use it as a
+smoke gate:
+
+    PYTHONPATH=src python tools/check_metrics.py --port 8470 \\
+        --require fhe_requests_total --require fhe_server_uptime_seconds \\
+        --trace-export
+
+Offline mode: ``--file metrics.prom`` validates a saved scrape instead of
+connecting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.telemetry import PrometheusParseError, parse_prometheus_text  # noqa: E402
+
+
+def check_text(text: str, require: list) -> int:
+    """Parse one exposition payload; print a summary, return exit status."""
+    try:
+        families = parse_prometheus_text(text)
+    except PrometheusParseError as exc:
+        print(f"FAIL: line {exc.line_no}: {exc.reason}", file=sys.stderr)
+        print(f"      {exc.line!r}", file=sys.stderr)
+        return 1
+    samples = sum(len(family["samples"]) for family in families.values())
+    print(f"ok: {len(families)} metric families, {samples} samples")
+    missing = [name for name in require if name not in families]
+    if missing:
+        print(f"FAIL: required families missing: {', '.join(missing)}", file=sys.stderr)
+        print(f"      present: {', '.join(sorted(families))}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def check_chrome_trace(payload: bytes) -> int:
+    """Validate a ``trace_export`` reply as Chrome trace-event JSON."""
+    try:
+        doc = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        print(f"FAIL: trace export is not valid JSON: {exc}", file=sys.stderr)
+        return 1
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        print("FAIL: trace export lacks a 'traceEvents' list", file=sys.stderr)
+        return 1
+    for i, event in enumerate(events):
+        for key in ("name", "ph", "ts", "dur", "pid", "tid"):
+            if key not in event:
+                print(f"FAIL: traceEvents[{i}] missing {key!r}", file=sys.stderr)
+                return 1
+        if event["ph"] != "X":
+            print(f"FAIL: traceEvents[{i}] phase {event['ph']!r} != 'X'", file=sys.stderr)
+            return 1
+    print(f"ok: trace export carries {len(events)} complete events")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--host", default="127.0.0.1", help="serving front address")
+    parser.add_argument("--port", type=int, default=8470, help="serving front port")
+    parser.add_argument(
+        "--file",
+        default=None,
+        help="validate this saved exposition file instead of connecting",
+    )
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="FAMILY",
+        help="fail unless this metric family is present (repeatable)",
+    )
+    parser.add_argument(
+        "--trace-export",
+        action="store_true",
+        help="also pull trace_export and validate the Chrome trace-event JSON",
+    )
+    args = parser.parse_args(argv)
+
+    if args.file is not None:
+        text = pathlib.Path(args.file).read_text(encoding="utf-8")
+        return check_text(text, args.require)
+
+    from repro.runtime.protocol import ServingClient  # noqa: E402
+
+    with ServingClient(args.host, args.port, timeout=30.0) as client:
+        _, body = client.call("metrics_prom")
+        status = check_text(body.decode("utf-8"), args.require)
+        if args.trace_export:
+            _, trace_body = client.call("trace_export")
+            status = check_chrome_trace(trace_body) or status
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
